@@ -1,0 +1,196 @@
+package gptunecrowd
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+
+	"gptunecrowd/internal/core"
+	"gptunecrowd/internal/crowd"
+	"gptunecrowd/internal/gp"
+	"gptunecrowd/internal/variability"
+)
+
+// --- Suggest-only API (drive your own evaluation loop).
+
+// SuggestNext proposes the next configuration to evaluate for the given
+// history, without evaluating anything — for users who run their
+// application out-of-band (batch queues, manual runs) and feed results
+// back via ReportResult.
+func SuggestNext(p *Problem, h *History, algorithm string, sources []*SourceTask, seed int64) (map[string]interface{}, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if h == nil {
+		h = &History{}
+	}
+	prop, err := NewProposer(algorithm, sources, 0)
+	if err != nil {
+		return nil, err
+	}
+	ctx := &core.ProposeContext{
+		Problem: p,
+		History: h,
+		Rng:     rand.New(rand.NewSource(seed)),
+		Iter:    h.Len(),
+	}
+	u, err := prop.Propose(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return p.ParamSpace.Decode(p.ParamSpace.Canonicalize(u)), nil
+}
+
+// ReportResult appends an out-of-band evaluation result to a history.
+// Pass a non-nil evalErr to record a failed run.
+func ReportResult(p *Problem, h *History, params map[string]interface{}, y float64, evalErr error) error {
+	u, err := p.ParamSpace.Encode(params)
+	if err != nil {
+		return err
+	}
+	s := Sample{ParamU: p.ParamSpace.Canonicalize(u), Params: params, Y: y}
+	if evalErr != nil {
+		s.Failed = true
+		s.Err = evalErr.Error()
+		s.Y = 0
+	}
+	h.Append(s)
+	return nil
+}
+
+// --- Parallel (batched) tuning.
+
+// BatchTuneOptions extends TuneOptions with batching controls.
+type BatchTuneOptions struct {
+	TuneOptions
+	// BatchSize proposals are generated per round with the
+	// constant-liar strategy and evaluated concurrently.
+	BatchSize int
+	// Workers caps concurrent evaluations (default BatchSize).
+	Workers int
+}
+
+// TuneBatch runs the batched tuning loop: useful when the allocation
+// can evaluate several trial configurations at once.
+func TuneBatch(p *Problem, task map[string]interface{}, opts BatchTuneOptions) (*Result, error) {
+	alg := opts.Algorithm
+	if alg == "" {
+		if len(opts.Sources) > 0 {
+			alg = "Ensemble(proposed)"
+		} else {
+			alg = "NoTLA"
+		}
+	}
+	prop, err := NewProposer(alg, opts.Sources, opts.MaxSourceSamples)
+	if err != nil {
+		return nil, err
+	}
+	h, err := core.RunLoopBatch(p, task, prop, core.BatchOptions{
+		Budget:    opts.Budget,
+		BatchSize: opts.BatchSize,
+		Workers:   opts.Workers,
+		Seed:      opts.Seed,
+		OnSample:  opts.OnSample,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{History: h, Algorithm: alg}
+	if best, ok := h.Best(); ok {
+		res.BestParams = best.Params
+		res.BestY = best.Y
+		return res, nil
+	}
+	return res, fmt.Errorf("gptunecrowd: no successful evaluation within the budget of %d", opts.Budget)
+}
+
+// --- Performance-variability detection (the paper's stated future
+// work, implemented here).
+
+type (
+	// VariabilityReport summarizes repeated-measurement noise.
+	VariabilityReport = variability.Report
+	// ConfigStats is per-configuration variability.
+	ConfigStats = variability.ConfigStats
+	// RobustEvaluator repeats and aggregates measurements.
+	RobustEvaluator = variability.RobustEvaluator
+)
+
+// AnalyzeVariability inspects a tuning history for configurations whose
+// repeated measurements disagree by more than cvThreshold (coefficient
+// of variation).
+func AnalyzeVariability(h *History, cvThreshold float64) *VariabilityReport {
+	return variability.Analyze(variability.FromHistory(h), cvThreshold)
+}
+
+// NewRobustEvaluator wraps an evaluator with repeat-and-aggregate
+// measurement (median of `repeats` runs, adaptive re-measuring).
+func NewRobustEvaluator(inner Evaluator, repeats int) *RobustEvaluator {
+	return &variability.RobustEvaluator{Inner: inner, Repeats: repeats}
+}
+
+// --- Pre-trained surrogate model sharing.
+
+// SurrogateModelDoc is a stored pre-trained surrogate model envelope.
+type SurrogateModelDoc = crowd.SurrogateModelDoc
+
+// UploadSurrogateModel fits a GP to the successful samples of a history
+// and stores it on the crowd server as a pre-trained model for the
+// problem/task, returning the stored id.
+func UploadSurrogateModel(c *CrowdClient, d *MetaDescription, task map[string]interface{}, h *History,
+	machine MachineConfiguration, accessibility string) (string, error) {
+	X, Y := h.XY()
+	if len(X) < 2 {
+		return "", fmt.Errorf("gptunecrowd: need at least 2 successful samples to fit a model")
+	}
+	ps := d.ProblemSpace.ParameterSpace
+	model, err := gp.Fit(X, Y, gp.Options{Categorical: categoricalMask(ps), Seed: 1})
+	if err != nil {
+		return "", err
+	}
+	payload, err := json.Marshal(model)
+	if err != nil {
+		return "", err
+	}
+	ids, err := c.UploadModels([]SurrogateModelDoc{{
+		TuningProblemName: d.TuningProblemName,
+		TaskParams:        task,
+		Machine:           machine,
+		NumSamples:        len(X),
+		Accessibility:     accessibility,
+		Model:             payload,
+	}})
+	if err != nil {
+		return "", err
+	}
+	return ids[0], nil
+}
+
+// DownloadSurrogateModel fetches the most recently stored pre-trained
+// model for the problem and returns it as a black-box SurrogateModel
+// over decoded configurations.
+func DownloadSurrogateModel(c *CrowdClient, d *MetaDescription) (SurrogateModel, error) {
+	models, err := c.QueryModels(d.TuningProblemName, 0)
+	if err != nil {
+		return nil, err
+	}
+	if len(models) == 0 {
+		return nil, fmt.Errorf("gptunecrowd: no stored models for %q", d.TuningProblemName)
+	}
+	latest := models[len(models)-1]
+	model, err := gp.FromJSON(latest.Model)
+	if err != nil {
+		return nil, err
+	}
+	ps := d.ProblemSpace.ParameterSpace
+	if model.Dim() != ps.Dim() {
+		return nil, fmt.Errorf("gptunecrowd: stored model has dimension %d, parameter space has %d", model.Dim(), ps.Dim())
+	}
+	return func(cfg map[string]interface{}) (float64, float64) {
+		u, err := ps.Encode(cfg)
+		if err != nil {
+			return 0, 0
+		}
+		return model.Predict(ps.Canonicalize(u))
+	}, nil
+}

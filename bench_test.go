@@ -1,0 +1,416 @@
+package gptunecrowd
+
+// One benchmark per table and figure of the paper's evaluation section,
+// each running a miniature (but structurally identical) version of the
+// corresponding experiment and reporting the figure's headline quantity
+// as a custom metric:
+//
+//   - comparison figures report best-objective metrics per tuner group
+//     ("best_notla", "best_tla") whose ratio is the paper's speedup,
+//   - sensitivity tables report the top total-effect index,
+//   - reduced-space figures report original vs reduced best objectives.
+//
+// The full-size experiments live behind `go run ./cmd/experiments
+// -scale paper`; these benches are sized to keep `go test -bench=.`
+// in the minutes range.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gptunecrowd/internal/apps/nimrod"
+	"gptunecrowd/internal/bandit"
+	"gptunecrowd/internal/core"
+	"gptunecrowd/internal/experiments"
+	"gptunecrowd/internal/gp"
+	"gptunecrowd/internal/lcm"
+	"gptunecrowd/internal/machine"
+	"gptunecrowd/internal/sample"
+	"gptunecrowd/internal/sensitivity"
+)
+
+// benchScale miniaturizes every experiment.
+var benchScale = experiments.Scale{
+	Budget:           5,
+	Repeats:          1,
+	SourceSamples:    25,
+	MaxSourceSamples: 20,
+	SurrogateCap:     50,
+	SensN:            64,
+	Seed:             1,
+	Search:           core.SearchOptions{Candidates: 48, DEGens: 8},
+}
+
+// reportComparison emits the NoTLA-vs-best-TLA metrics of a comparison
+// figure.
+func reportComparison(b *testing.B, res *experiments.FigureResult) {
+	b.Helper()
+	at := res.Budget
+	no := res.BestAt("NoTLA", at)
+	if !math.IsNaN(no) {
+		b.ReportMetric(no, "best_notla")
+	}
+	bestTLA := math.Inf(1)
+	for _, s := range res.Series {
+		if s.Name == "NoTLA" {
+			continue
+		}
+		if v := res.BestAt(s.Name, at); !math.IsNaN(v) && v < bestTLA {
+			bestTLA = v
+		}
+	}
+	if !math.IsInf(bestTLA, 1) {
+		b.ReportMetric(bestTLA, "best_tla")
+	}
+}
+
+func benchFigure(b *testing.B, run func() (*experiments.FigureResult, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportComparison(b, res)
+		}
+	}
+}
+
+// --- Fig. 3: synthetic-function TLA comparison.
+
+func BenchmarkFig3DemoTarget10(b *testing.B) {
+	benchFigure(b, func() (*experiments.FigureResult, error) { return experiments.Fig3("a", benchScale) })
+}
+
+func BenchmarkFig3DemoTarget12(b *testing.B) {
+	benchFigure(b, func() (*experiments.FigureResult, error) { return experiments.Fig3("b", benchScale) })
+}
+
+func BenchmarkFig3BraninOneSource(b *testing.B) {
+	benchFigure(b, func() (*experiments.FigureResult, error) { return experiments.Fig3("c", benchScale) })
+}
+
+func BenchmarkFig3BraninThreeSources(b *testing.B) {
+	benchFigure(b, func() (*experiments.FigureResult, error) { return experiments.Fig3("e", benchScale) })
+}
+
+// --- Fig. 4: PDGEQRF case study.
+
+func BenchmarkFig4PDGEQRFOneSource(b *testing.B) {
+	benchFigure(b, func() (*experiments.FigureResult, error) { return experiments.Fig4("a", benchScale) })
+}
+
+func BenchmarkFig4PDGEQRFThreeSources(b *testing.B) {
+	benchFigure(b, func() (*experiments.FigureResult, error) { return experiments.Fig4("b", benchScale) })
+}
+
+// --- Fig. 5: NIMROD case study.
+
+func BenchmarkFig5NIMRODNodeScaling(b *testing.B) {
+	benchFigure(b, func() (*experiments.FigureResult, error) { return experiments.Fig5("a", benchScale) })
+}
+
+func BenchmarkFig5NIMRODCrossArch(b *testing.B) {
+	benchFigure(b, func() (*experiments.FigureResult, error) { return experiments.Fig5("b", benchScale) })
+}
+
+func BenchmarkFig5NIMRODLargeTask(b *testing.B) {
+	benchFigure(b, func() (*experiments.FigureResult, error) { return experiments.Fig5("c", benchScale) })
+}
+
+// --- Tables IV / V: sensitivity analyses.
+
+func benchSensitivity(b *testing.B, run func(experiments.Scale) (*sensitivity.Result, error), top string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := run(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for j, n := range res.Names {
+				if n == top {
+					b.ReportMetric(res.ST[j], "top_ST")
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkTable4SuperLUSensitivity(b *testing.B) {
+	benchSensitivity(b, experiments.Table4, "COLPERM")
+}
+
+func BenchmarkTable5HypreSensitivity(b *testing.B) {
+	benchSensitivity(b, experiments.Table5, "smooth_type")
+}
+
+// --- Figs. 6 / 7: reduced-space tuning.
+
+func benchReduced(b *testing.B, run func(experiments.Scale) (*experiments.FigureResult, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := run(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(res.FinalBest("original space"), "best_original")
+			b.ReportMetric(res.FinalBest("reduced space"), "best_reduced")
+		}
+	}
+}
+
+func BenchmarkFig6SuperLUReducedSpace(b *testing.B) {
+	benchReduced(b, experiments.Fig6)
+}
+
+func BenchmarkFig7HypreReducedSpace(b *testing.B) {
+	benchReduced(b, experiments.Fig7)
+}
+
+// --- Tables I–III (static, effectively free: they assert the
+// metadata renders).
+
+func BenchmarkTable1AlgorithmPool(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(experiments.Table1()) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTable2PDGEQRFParams(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(experiments.Table2()) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTable3NIMRODParams(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(experiments.Table3()) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// --- Ablation benches for the design choices called out in DESIGN.md.
+
+// Ablation: the ensemble's dynamic exploration rate (Eq. 4) vs the two
+// naive ensembles. Reports each variant's final best.
+func BenchmarkAblationEnsembleSelection(b *testing.B) {
+	p, task, sources := fig3Fixture(b)
+	for i := 0; i < b.N; i++ {
+		finals := map[string]float64{}
+		for _, alg := range []string{"Ensemble(proposed)", "Ensemble(toggling)", "Ensemble(prob)"} {
+			prop, err := experiments.NewProposer(alg, sources, benchScale.MaxSourceSamples)
+			if err != nil {
+				b.Fatal(err)
+			}
+			h, err := core.RunLoop(p, task, prop, core.LoopOptions{Budget: benchScale.Budget, Seed: int64(i + 1), Search: benchScale.Search})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if best, ok := h.Best(); ok {
+				finals[alg] = best.Y
+			}
+		}
+		if i == b.N-1 {
+			b.ReportMetric(finals["Ensemble(proposed)"], "best_proposed")
+			b.ReportMetric(finals["Ensemble(toggling)"], "best_toggling")
+			b.ReportMetric(finals["Ensemble(prob)"], "best_prob")
+		}
+	}
+}
+
+// Ablation: acquisition function (EI vs LCB) on the NoTLA tuner.
+func BenchmarkAblationAcquisition(b *testing.B) {
+	p, task, _ := fig3Fixture(b)
+	for i := 0; i < b.N; i++ {
+		finals := map[string]float64{}
+		for _, acq := range []core.Acquisition{core.EI{}, core.LCB{}} {
+			tuner := core.NewGPTuner()
+			tuner.Acquisition = acq
+			h, err := core.RunLoop(p, task, tuner, core.LoopOptions{Budget: benchScale.Budget + 4, Seed: int64(i + 1), Search: benchScale.Search})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if best, ok := h.Best(); ok {
+				finals[acq.Name()] = best.Y
+			}
+		}
+		if i == b.N-1 {
+			b.ReportMetric(finals["EI"], "best_ei")
+			b.ReportMetric(finals["LCB"], "best_lcb")
+		}
+	}
+}
+
+// Ablation: Multitask(TS) source-sample cap — the accuracy/cost knob of
+// the LCM (DESIGN.md).
+func BenchmarkAblationSourceCap(b *testing.B) {
+	p, task, sources := fig3Fixture(b)
+	for _, srcCap := range []int{10, 20, 40} {
+		b.Run(itoa(srcCap), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				prop, err := experiments.NewProposer("Multitask(TS)", sources, srcCap)
+				if err != nil {
+					b.Fatal(err)
+				}
+				h, err := core.RunLoop(p, task, prop, core.LoopOptions{Budget: benchScale.Budget, Seed: int64(i + 1), Search: benchScale.Search})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == b.N-1 {
+					if best, ok := h.Best(); ok {
+						b.ReportMetric(best.Y, "best")
+					}
+				}
+			}
+		})
+	}
+}
+
+// --- Micro-benchmarks of the core numerical kernels.
+
+func BenchmarkGPFit100Samples(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n, dim := 100, 4
+	X := make([][]float64, n)
+	Y := make([]float64, n)
+	for i := range X {
+		x := make([]float64, dim)
+		for d := range x {
+			x[d] = rng.Float64()
+		}
+		X[i] = x
+		Y[i] = x[0]*x[0] + math.Sin(3*x[1]) + 0.1*rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gp.Fit(X, Y, gp.Options{Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLCMFitTwoTasks(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	mk := func(n int, scale float64) ([][]float64, []float64) {
+		X := make([][]float64, n)
+		Y := make([]float64, n)
+		for i := range X {
+			x := rng.Float64()
+			X[i] = []float64{x}
+			Y[i] = scale * math.Sin(2*math.Pi*x)
+		}
+		return X, Y
+	}
+	X1, Y1 := mk(30, 1)
+	X2, Y2 := mk(5, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lcm.Fit([][][]float64{X1, X2}, [][]float64{Y1, Y2},
+			lcm.Options{Seed: int64(i), MaxIter: 20, Restarts: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSobolSequence(b *testing.B) {
+	seq, err := sample.NewSobolSeq(12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst := make([]float64, 12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seq.Next(dst)
+	}
+}
+
+func BenchmarkSaltelliSensitivity(b *testing.B) {
+	f := func(u []float64) float64 { return u[0] + 2*u[1]*u[2] }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sensitivity.Analyze(f, 3, nil, sensitivity.Options{N: 256, NBoot: 20, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// fig3Fixture builds the shared demo-function transfer fixture.
+func fig3Fixture(b *testing.B) (*core.Problem, map[string]interface{}, []*SourceTask) {
+	b.Helper()
+	p := demoProblem()
+	src, err := experiments.CollectSourceSamples("t=0.8", p, map[string]interface{}{"t": 0.8}, benchScale.SourceSamples, 77)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p, map[string]interface{}{"t": 1.0}, []*SourceTask{src}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// Extension bench: the GPTuneBand-style multi-fidelity tuner on the
+// NIMROD model — reports configurations screened per unit of
+// full-fidelity cost.
+func BenchmarkExtensionMultiFidelityNIMROD(b *testing.B) {
+	app := nimrod.New(machine.CoriHaswell(32))
+	task := map[string]interface{}{"mx": 5, "my": 7, "lphi": 1}
+	for i := 0; i < b.N; i++ {
+		res, err := bandit.Run(app.ParamSpace(), task, app, bandit.Options{
+			TotalCost: 6, Seed: int64(i + 1),
+			Search: core.SearchOptions{Candidates: 32, DEGens: 5},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(float64(len(res.Observations)), "configs")
+			b.ReportMetric(res.CostSpent, "cost")
+			b.ReportMetric(res.BestY, "best")
+		}
+	}
+}
+
+// Extension bench: batched constant-liar tuning vs sequential at equal
+// budget (wall-clock advantage appears when evaluations are slow; here
+// we report solution quality parity).
+func BenchmarkExtensionBatchTuning(b *testing.B) {
+	p, task, _ := fig3Fixture(b)
+	for i := 0; i < b.N; i++ {
+		seq, err := core.RunLoop(p, task, core.NewGPTuner(), core.LoopOptions{Budget: 8, Seed: int64(i + 1), Search: benchScale.Search})
+		if err != nil {
+			b.Fatal(err)
+		}
+		bat, err := core.RunLoopBatch(p, task, core.NewGPTuner(), core.BatchOptions{Budget: 8, BatchSize: 4, Seed: int64(i + 1), Search: benchScale.Search})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			if best, ok := seq.Best(); ok {
+				b.ReportMetric(best.Y, "best_sequential")
+			}
+			if best, ok := bat.Best(); ok {
+				b.ReportMetric(best.Y, "best_batched")
+			}
+		}
+	}
+}

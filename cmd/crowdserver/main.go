@@ -1,0 +1,76 @@
+// Command crowdserver runs the shared performance database (the role of
+// gptune.lbl.gov in the paper): an HTTP API with user registration,
+// API-key authentication, access-controlled sample storage, and
+// JSONL persistence.
+//
+// Usage:
+//
+//	crowdserver -addr :8080 -data /var/lib/gptunecrowd
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"time"
+
+	"gptunecrowd/internal/crowd"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		dataDir  = flag.String("data", "", "directory for JSONL persistence (empty = in-memory only)")
+		interval = flag.Duration("flush", 30*time.Second, "persistence interval")
+	)
+	flag.Parse()
+
+	srv := crowd.NewServer()
+	collections := []string{"users", "func_evals"}
+	if *dataDir != "" {
+		if err := os.MkdirAll(*dataDir, 0o755); err != nil {
+			log.Fatalf("crowdserver: create data dir: %v", err)
+		}
+		for _, name := range collections {
+			path := filepath.Join(*dataDir, name+".jsonl")
+			if _, err := os.Stat(path); err == nil {
+				if err := srv.Store().Collection(name).LoadFile(path); err != nil {
+					log.Fatalf("crowdserver: load %s: %v", path, err)
+				}
+				log.Printf("loaded %d documents into %s", srv.Store().Collection(name).Len(), name)
+			}
+		}
+		flush := func() {
+			for _, name := range collections {
+				path := filepath.Join(*dataDir, name+".jsonl")
+				if err := srv.Store().Collection(name).SaveFile(path); err != nil {
+					log.Printf("crowdserver: save %s: %v", path, err)
+				}
+			}
+		}
+		go func() {
+			t := time.NewTicker(*interval)
+			defer t.Stop()
+			for range t.C {
+				flush()
+			}
+		}()
+		// Flush on SIGINT.
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		go func() {
+			<-sig
+			flush()
+			log.Println("crowdserver: state flushed, exiting")
+			os.Exit(0)
+		}()
+	}
+
+	log.Printf("crowdserver listening on %s (data dir %q)", *addr, *dataDir)
+	if err := http.ListenAndServe(*addr, srv); err != nil {
+		log.Fatal(err)
+	}
+}

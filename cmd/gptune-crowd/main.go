@@ -1,0 +1,129 @@
+// Command gptune-crowd tunes one of the built-in applications, with
+// optional crowd-database integration driven by a meta-description file
+// (Section IV-A of the paper).
+//
+// Standalone (no crowd):
+//
+//	gptune-crowd -app pdgeqrf -budget 20
+//
+// Crowd-tuning: query source datasets from the shared database, run a
+// TLA algorithm, and upload the new evaluations (when
+// sync_crowd_repo = "yes" in the meta file):
+//
+//	gptune-crowd -app nimrod -meta meta.json -algorithm "Ensemble(proposed)" -budget 10
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	gptunecrowd "gptunecrowd"
+	"gptunecrowd/internal/apps"
+)
+
+func main() {
+	var (
+		appName   = flag.String("app", "demo", fmt.Sprintf("application %v", apps.Names()))
+		taskJSON  = flag.String("task", "", "task parameters as JSON (default: app-specific)")
+		algorithm = flag.String("algorithm", "", "tuning algorithm (default NoTLA, or Ensemble(proposed) with sources)")
+		budget    = flag.Int("budget", 20, "number of function evaluations")
+		seed      = flag.Int64("seed", 1, "random seed")
+		nodes     = flag.Int("nodes", 0, "compute nodes for the app model")
+		partition = flag.String("partition", "haswell", "machine partition (haswell or knl)")
+		matrix    = flag.String("matrix", "", "matrix for superlu (Si5H12 or H2O)")
+		metaPath  = flag.String("meta", "", "meta-description file for crowd integration")
+		maxSrc    = flag.Int("max-source-samples", 100, "per-source sample cap for LCM algorithms")
+		batch     = flag.Int("batch", 0, "evaluate N proposals per round concurrently (constant liar)")
+	)
+	flag.Parse()
+
+	inst, err := apps.Build(*appName, apps.Options{
+		Nodes: *nodes, Partition: *partition, Matrix: *matrix, Seed: *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	task := inst.DefaultTask
+	if *taskJSON != "" {
+		task = map[string]interface{}{}
+		if err := json.Unmarshal([]byte(*taskJSON), &task); err != nil {
+			log.Fatalf("bad -task JSON: %v", err)
+		}
+	}
+
+	opts := gptunecrowd.TuneOptions{
+		Budget:           *budget,
+		Seed:             *seed,
+		Algorithm:        *algorithm,
+		MaxSourceSamples: *maxSrc,
+		OnSample: func(i int, s gptunecrowd.Sample) {
+			if s.Failed {
+				fmt.Printf("eval %2d [%s]: FAILED (%s)\n", i+1, s.Proposer, s.Err)
+				return
+			}
+			fmt.Printf("eval %2d [%s]: y = %.6g  %v\n", i+1, s.Proposer, s.Y, s.Params)
+		},
+	}
+
+	var client *gptunecrowd.CrowdClient
+	var desc *gptunecrowd.MetaDescription
+	if *metaPath != "" {
+		desc, err = gptunecrowd.LoadMeta(*metaPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		client = gptunecrowd.ConnectMeta(desc)
+		evals, err := gptunecrowd.QueryFunctionEvaluations(client, desc)
+		if err != nil {
+			log.Fatalf("crowd query: %v", err)
+		}
+		fmt.Printf("downloaded %d crowd samples for %q\n", len(evals), desc.TuningProblemName)
+		if len(evals) > 0 {
+			sources, err := gptunecrowd.SourcesFromEvals(inst.Problem.ParamSpace, evals)
+			if err != nil {
+				log.Fatalf("building sources: %v", err)
+			}
+			fmt.Printf("grouped into %d source task(s)\n", len(sources))
+			opts.Sources = sources
+		}
+	}
+
+	fmt.Printf("tuning %s (%s), budget %d\n", *appName, inst.Description, *budget)
+	var res *gptunecrowd.Result
+	if *batch > 1 {
+		res, err = gptunecrowd.TuneBatch(inst.Problem, task, gptunecrowd.BatchTuneOptions{
+			TuneOptions: opts, BatchSize: *batch,
+		})
+	} else {
+		res, err = gptunecrowd.Tune(inst.Problem, task, opts)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nalgorithm: %s\nbest y: %.6g\nbest configuration: %v\n",
+		res.Algorithm, res.BestY, res.BestParams)
+
+	if desc != nil && desc.Sync() {
+		machineCfg, err := desc.ResolveMachine(os.Getenv)
+		if err != nil {
+			// Not running under Slurm: fall back to the manual fields.
+			machineCfg = gptunecrowd.MachineConfiguration{
+				MachineName: desc.Machine.MachineName,
+				Partition:   desc.Machine.Partition,
+				Nodes:       desc.Machine.Nodes,
+			}
+		}
+		software, err := desc.ResolveSoftware(os.ReadFile)
+		if err != nil {
+			log.Printf("software auto-parse failed (continuing without): %v", err)
+		}
+		ids, err := gptunecrowd.UploadHistory(client, desc, task, res.History, machineCfg, software, "public")
+		if err != nil {
+			log.Fatalf("crowd upload: %v", err)
+		}
+		fmt.Printf("uploaded %d evaluations to the shared database\n", len(ids))
+	}
+}

@@ -1,0 +1,105 @@
+package gptunecrowd_test
+
+import (
+	"fmt"
+	"log"
+
+	gptunecrowd "gptunecrowd"
+)
+
+// The smallest end-to-end tune: define a problem, run Bayesian
+// optimization, read the best configuration. (No Output comment: these
+// examples document the API and are compiled, not executed, because
+// tuning results depend on float scheduling.)
+func ExampleTune() {
+	ps := gptunecrowd.MustSpace(
+		gptunecrowd.Param{Name: "x", Kind: gptunecrowd.Real, Lo: 0, Hi: 1},
+	)
+	problem := &gptunecrowd.Problem{
+		Name:       "demo",
+		ParamSpace: ps,
+		Evaluator: gptunecrowd.EvaluatorFunc(func(task, p map[string]interface{}) (float64, error) {
+			x := p["x"].(float64)
+			return (x - 0.3) * (x - 0.3), nil
+		}),
+	}
+	res, err := gptunecrowd.Tune(problem, nil, gptunecrowd.TuneOptions{Budget: 15, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.BestParams["x"], res.BestY)
+}
+
+// Transfer learning with a pre-collected source dataset: pass the
+// samples as a SourceTask and pick an algorithm from the Table I pool.
+func ExampleTune_transferLearning() {
+	ps := gptunecrowd.MustSpace(
+		gptunecrowd.Param{Name: "x", Kind: gptunecrowd.Real, Lo: 0, Hi: 1},
+	)
+	problem := &gptunecrowd.Problem{
+		Name:       "demo",
+		ParamSpace: ps,
+		Evaluator: gptunecrowd.EvaluatorFunc(func(task, p map[string]interface{}) (float64, error) {
+			x := p["x"].(float64)
+			return (x - 0.3) * (x - 0.3), nil
+		}),
+	}
+	// Normally downloaded from the crowd database.
+	source := gptunecrowd.NewSource("older-machine",
+		[][]float64{{0.1}, {0.25}, {0.4}, {0.7}}, []float64{0.05, 0.003, 0.012, 0.17})
+	res, err := gptunecrowd.Tune(problem, nil, gptunecrowd.TuneOptions{
+		Budget:    8,
+		Seed:      1,
+		Algorithm: "Ensemble(proposed)",
+		Sources:   []*gptunecrowd.SourceTask{source},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Algorithm, res.BestY)
+}
+
+// Driving the tuner without letting it evaluate: useful when runs go
+// through a batch queue.
+func ExampleSuggestNext() {
+	ps := gptunecrowd.MustSpace(
+		gptunecrowd.Param{Name: "threads", Kind: gptunecrowd.Integer, Lo: 1, Hi: 65},
+	)
+	problem := &gptunecrowd.Problem{
+		Name:       "queue-driven",
+		ParamSpace: ps,
+		Evaluator: gptunecrowd.EvaluatorFunc(func(_, _ map[string]interface{}) (float64, error) {
+			panic("never called: evaluation happens out of band")
+		}),
+	}
+	h := &gptunecrowd.History{}
+	for i := 0; i < 3; i++ {
+		cfg, err := gptunecrowd.SuggestNext(problem, h, "NoTLA", nil, int64(i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		// ... submit cfg to the queue, wait, read the measured runtime ...
+		measured := 1.0 / float64(cfg["threads"].(int))
+		if err := gptunecrowd.ReportResult(problem, h, cfg, measured, nil); err != nil {
+			log.Fatal(err)
+		}
+	}
+	best, _ := h.Best()
+	fmt.Println(best.Params)
+}
+
+// Sobol' sensitivity analysis over any objective, then search-space
+// reduction from the total-effect indices.
+func ExampleSensitivityFromFunc() {
+	ps := gptunecrowd.MustSpace(
+		gptunecrowd.Param{Name: "important", Kind: gptunecrowd.Real, Lo: 0, Hi: 1},
+		gptunecrowd.Param{Name: "inert", Kind: gptunecrowd.Real, Lo: 0, Hi: 1},
+	)
+	res, err := gptunecrowd.SensitivityFromFunc(func(cfg map[string]interface{}) float64 {
+		return 10 * cfg["important"].(float64)
+	}, ps, gptunecrowd.SensitivityOptions{N: 512})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.MostSensitive(0.1)) // → [important]
+}

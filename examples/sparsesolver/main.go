@@ -1,0 +1,88 @@
+// Tuning a real, executing solver: restarted GMRES from internal/sparse
+// solving a nonsymmetric convection–diffusion system. Unlike the
+// performance-model case studies, the objective here is genuinely
+// measured wall-clock time, so results vary machine to machine — which
+// is exactly the situation crowd-tuning targets.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	gptunecrowd "gptunecrowd"
+	"gptunecrowd/internal/sparse"
+)
+
+func main() {
+	// The system: 3-D convection–diffusion, ~17k unknowns.
+	a, err := sparse.ConvectionDiffusion3D(26, 26, 26, 0.6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	b := make([]float64, a.N)
+	for i := range b {
+		b[i] = 1
+	}
+	fmt.Printf("system: n = %d, nnz = %d\n\n", a.N, a.NNZ())
+
+	// Preconditioners are built once per kind and reused.
+	jacobi, err := sparse.NewJacobi(a)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ilu, err := sparse.NewILU0(a)
+	if err != nil {
+		log.Fatal(err)
+	}
+	precs := map[string]sparse.Preconditioner{
+		"none":   sparse.IdentityPrec{},
+		"jacobi": jacobi,
+		"ilu0":   ilu,
+	}
+
+	paramSpace := gptunecrowd.MustSpace(
+		gptunecrowd.Param{Name: "restart", Kind: gptunecrowd.Integer, Lo: 5, Hi: 101},
+		gptunecrowd.Param{Name: "prec", Kind: gptunecrowd.Categorical,
+			Categories: []string{"none", "jacobi", "ilu0"}},
+	)
+	problem := &gptunecrowd.Problem{
+		Name:       "gmres",
+		ParamSpace: paramSpace,
+		Evaluator: gptunecrowd.EvaluatorFunc(func(_, params map[string]interface{}) (float64, error) {
+			restart := params["restart"].(int)
+			prec := precs[params["prec"].(string)]
+			start := time.Now()
+			res, err := sparse.GMRES(a, b, sparse.GMRESOptions{
+				Restart: restart,
+				Tol:     1e-8,
+				MaxIter: 4000,
+				Prec:    prec,
+			})
+			if err != nil {
+				return 0, err
+			}
+			elapsed := time.Since(start).Seconds()
+			if !res.Converged {
+				return 0, fmt.Errorf("gmres(restart=%d, prec=%s) did not converge", restart, prec.Name())
+			}
+			return elapsed, nil
+		}),
+	}
+
+	res, err := gptunecrowd.Tune(problem, nil, gptunecrowd.TuneOptions{
+		Budget: 15,
+		Seed:   3,
+		OnSample: func(i int, s gptunecrowd.Sample) {
+			if s.Failed {
+				fmt.Printf("eval %2d: FAILED (%s)  %v\n", i+1, s.Err, s.Params)
+				return
+			}
+			fmt.Printf("eval %2d: %.4fs  %v\n", i+1, s.Y, s.Params)
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbest measured configuration: %v (%.4fs)\n", res.BestParams, res.BestY)
+}

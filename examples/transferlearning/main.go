@@ -1,0 +1,64 @@
+// Transfer learning on ScaLAPACK's PDGEQRF (the paper's Section VI-B
+// case study): performance samples collected for one matrix size are
+// used to tune a different size with a tiny budget, and every TLA
+// algorithm is compared against the NoTLA baseline.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	gptunecrowd "gptunecrowd"
+	"gptunecrowd/internal/apps/scalapack"
+	"gptunecrowd/internal/machine"
+)
+
+func main() {
+	// The machine: 8 Cori-Haswell-like nodes, 256 cores.
+	app := scalapack.New(machine.CoriHaswell(8))
+	problem := app.Problem()
+
+	// Pre-collected source dataset: 100 random configurations for
+	// m = n = 10000 (what another user would have uploaded to the crowd
+	// database).
+	srcTask := map[string]interface{}{"m": 10000, "n": 10000}
+	rng := rand.New(rand.NewSource(7))
+	var X [][]float64
+	var Y []float64
+	for len(X) < 100 {
+		u := make([]float64, problem.ParamSpace.Dim())
+		for d := range u {
+			u[d] = rng.Float64()
+		}
+		u = problem.ParamSpace.Canonicalize(u)
+		y, err := problem.Evaluator.Evaluate(srcTask, problem.ParamSpace.Decode(u))
+		if err != nil {
+			continue
+		}
+		X = append(X, u)
+		Y = append(Y, y)
+	}
+	source := gptunecrowd.NewSource("m=n=10000", X, Y)
+	fmt.Printf("source dataset: %d samples for m=n=10000\n\n", source.Len())
+
+	// Target task: a matrix size nobody tuned yet.
+	target := map[string]interface{}{"m": 12000, "n": 12000}
+	const budget = 8
+
+	for _, alg := range []string{"NoTLA", "Multitask(TS)", "WeightedSum(dynamic)", "Stacking", "Ensemble(proposed)"} {
+		res, err := gptunecrowd.Tune(problem, target, gptunecrowd.TuneOptions{
+			Budget:           budget,
+			Seed:             11,
+			Algorithm:        alg,
+			Sources:          []*gptunecrowd.SourceTask{source},
+			MaxSourceSamples: 60,
+		})
+		if err != nil {
+			log.Fatalf("%s: %v", alg, err)
+		}
+		fmt.Printf("%-22s best runtime %.4f s  (config %v)\n", alg, res.BestY, res.BestParams)
+	}
+	fmt.Println("\nWith only", budget, "evaluations, the transfer learners exploit the")
+	fmt.Println("source dataset and normally beat the from-scratch NoTLA tuner.")
+}

@@ -1,0 +1,3 @@
+module gptunecrowd
+
+go 1.22

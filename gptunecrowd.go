@@ -1,0 +1,231 @@
+// Package gptunecrowd is a Go implementation of GPTuneCrowd — the
+// crowd-based autotuning framework for high-performance computing
+// applications of Cho et al. (IPDPS 2023). It bundles:
+//
+//   - a Bayesian-optimization tuner with Gaussian-process surrogates,
+//   - the transfer-learning algorithm pool of the paper's Table I
+//     (Multitask PS/TS, WeightedSum static/equal/dynamic, Stacking, and
+//     the proposed Ensemble),
+//   - Sobol' parameter sensitivity analysis for search-space reduction,
+//   - a shared performance database (HTTP server + client) with
+//     meta-description-driven queries, API keys and access control.
+//
+// The quickest path: define a Problem, then
+//
+//	res, err := gptunecrowd.Tune(problem, task, gptunecrowd.TuneOptions{Budget: 20})
+//
+// Transfer learning needs source datasets (from the crowd database or
+// local files):
+//
+//	opts := gptunecrowd.TuneOptions{Budget: 10, Algorithm: "Ensemble(proposed)", Sources: sources}
+package gptunecrowd
+
+import (
+	"fmt"
+
+	"gptunecrowd/internal/core"
+	"gptunecrowd/internal/meta"
+	"gptunecrowd/internal/space"
+	"gptunecrowd/internal/tla"
+)
+
+// Re-exported problem-definition types: the public API is the only
+// import an application needs.
+type (
+	// Problem is a tuning problem: spaces plus the objective evaluator.
+	Problem = core.Problem
+	// Evaluator runs the application for one (task, configuration) pair.
+	Evaluator = core.Evaluator
+	// EvaluatorFunc adapts a function to Evaluator.
+	EvaluatorFunc = core.EvaluatorFunc
+	// Space is an ordered list of parameters.
+	Space = space.Space
+	// Param describes one parameter.
+	Param = space.Param
+	// OutputSpace lists objectives.
+	OutputSpace = space.OutputSpace
+	// OutputParam describes one objective.
+	OutputParam = space.OutputParam
+	// History is the evaluation record of one tuning run.
+	History = core.History
+	// Sample is one recorded evaluation.
+	Sample = core.Sample
+	// Proposer is a point-suggestion algorithm (NoTLA or any TLA).
+	Proposer = core.Proposer
+	// SourceTask is a pre-collected dataset used for transfer learning.
+	SourceTask = tla.Source
+	// Constraint is a named feasibility predicate over configurations;
+	// infeasible points are never proposed.
+	Constraint = core.Constraint
+)
+
+// Parameter kind constants.
+const (
+	Real        = space.Real
+	Integer     = space.Integer
+	Categorical = space.Categorical
+)
+
+// NewSpace builds a validated Space.
+func NewSpace(params ...Param) (*Space, error) { return space.New(params...) }
+
+// MustSpace is NewSpace that panics on error.
+func MustSpace(params ...Param) *Space { return space.MustNew(params...) }
+
+// NewSource wraps a source dataset of normalized points and outputs.
+func NewSource(name string, X [][]float64, Y []float64) *SourceTask {
+	return tla.NewSource(name, X, Y)
+}
+
+// SourceFromConfigs builds a source dataset from decoded parameter
+// configurations (e.g. downloaded crowd samples) by encoding them into
+// the problem's normalized space. Configurations that fail to encode
+// are skipped; the count of skipped samples is returned.
+func SourceFromConfigs(name string, ps *Space, configs []map[string]interface{}, outputs []float64) (*SourceTask, int, error) {
+	if len(configs) != len(outputs) {
+		return nil, 0, fmt.Errorf("gptunecrowd: %d configs but %d outputs", len(configs), len(outputs))
+	}
+	var X [][]float64
+	var Y []float64
+	skipped := 0
+	for i, cfg := range configs {
+		u, err := ps.Encode(cfg)
+		if err != nil {
+			skipped++
+			continue
+		}
+		X = append(X, ps.Canonicalize(u))
+		Y = append(Y, outputs[i])
+	}
+	if len(X) == 0 {
+		return nil, skipped, fmt.Errorf("gptunecrowd: no encodable samples for source %q", name)
+	}
+	return tla.NewSource(name, X, Y), skipped, nil
+}
+
+// TuneOptions configures a tuning run.
+type TuneOptions struct {
+	// Budget is NS, the number of function evaluations (required).
+	Budget int
+	// Seed makes the run reproducible.
+	Seed int64
+	// Algorithm selects the proposer; empty means "NoTLA" when Sources
+	// is empty and "Ensemble(proposed)" otherwise. See Algorithms().
+	Algorithm string
+	// Sources are the transfer-learning datasets.
+	Sources []*SourceTask
+	// MaxSourceSamples caps per-source samples for the LCM-based
+	// algorithms (0 = algorithm default).
+	MaxSourceSamples int
+	// OnSample observes evaluations as they land.
+	OnSample func(i int, s Sample)
+}
+
+// Result reports a tuning run.
+type Result struct {
+	BestParams map[string]interface{}
+	BestY      float64
+	History    *History
+	Algorithm  string
+}
+
+// Algorithms lists the supported algorithm names (Table I plus the
+// NoTLA baseline and the two naive ensembles).
+func Algorithms() []string {
+	return []string{
+		"NoTLA",
+		"Multitask(PS)",
+		"Multitask(TS)",
+		"WeightedSum(equal)",
+		"WeightedSum(dynamic)",
+		"Stacking",
+		"Ensemble(proposed)",
+		"Ensemble(toggling)",
+		"Ensemble(prob)",
+	}
+}
+
+// NewProposer constructs a proposer by algorithm name. Sources may be
+// nil only for "NoTLA".
+func NewProposer(algorithm string, sources []*SourceTask, maxSourceSamples int) (Proposer, error) {
+	switch algorithm {
+	case "", "NoTLA":
+		return core.NewGPTuner(), nil
+	}
+	if len(sources) == 0 {
+		return nil, fmt.Errorf("gptunecrowd: algorithm %q requires source tasks", algorithm)
+	}
+	switch algorithm {
+	case "Multitask(PS)":
+		return tla.NewMultitaskPS(sources), nil
+	case "Multitask(TS)":
+		p := tla.NewMultitaskTS(sources)
+		if maxSourceSamples > 0 {
+			p.MaxSourceSamples = maxSourceSamples
+		}
+		return p, nil
+	case "WeightedSum(equal)":
+		return tla.NewWeightedSumEqual(sources), nil
+	case "WeightedSum(dynamic)":
+		return tla.NewWeightedSumDynamic(sources), nil
+	case "Stacking":
+		return tla.NewStacking(sources), nil
+	case "Ensemble(proposed)", "Ensemble(toggling)", "Ensemble(prob)":
+		mode := tla.EnsembleProposed
+		if algorithm == "Ensemble(toggling)" {
+			mode = tla.EnsembleToggling
+		}
+		if algorithm == "Ensemble(prob)" {
+			mode = tla.EnsembleProb
+		}
+		e := tla.NewEnsemble(sources, mode)
+		if maxSourceSamples > 0 {
+			for _, p := range e.Pool {
+				if mt, ok := p.(*tla.MultitaskTS); ok {
+					mt.MaxSourceSamples = maxSourceSamples
+				}
+			}
+		}
+		return e, nil
+	}
+	return nil, fmt.Errorf("gptunecrowd: unknown algorithm %q (see Algorithms())", algorithm)
+}
+
+// Tune runs the tuning loop for the given task and returns the best
+// configuration found.
+func Tune(p *Problem, task map[string]interface{}, opts TuneOptions) (*Result, error) {
+	alg := opts.Algorithm
+	if alg == "" {
+		if len(opts.Sources) > 0 {
+			alg = "Ensemble(proposed)"
+		} else {
+			alg = "NoTLA"
+		}
+	}
+	prop, err := NewProposer(alg, opts.Sources, opts.MaxSourceSamples)
+	if err != nil {
+		return nil, err
+	}
+	h, err := core.RunLoop(p, task, prop, core.LoopOptions{
+		Budget:   opts.Budget,
+		Seed:     opts.Seed,
+		OnSample: opts.OnSample,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{History: h, Algorithm: alg}
+	if best, ok := h.Best(); ok {
+		res.BestParams = best.Params
+		res.BestY = best.Y
+	} else {
+		return res, fmt.Errorf("gptunecrowd: no successful evaluation within the budget of %d", opts.Budget)
+	}
+	return res, nil
+}
+
+// LoadMeta parses a meta-description file (Section IV-A of the paper).
+func LoadMeta(path string) (*meta.Description, error) { return meta.ParseFile(path) }
+
+// ParseMeta parses a meta description from bytes.
+func ParseMeta(data []byte) (*meta.Description, error) { return meta.Parse(data) }

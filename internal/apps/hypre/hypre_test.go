@@ -1,0 +1,156 @@
+package hypre
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gptunecrowd/internal/core"
+	"gptunecrowd/internal/machine"
+	"gptunecrowd/internal/sensitivity"
+)
+
+func app() *App { return New(machine.CoriHaswell(1)) }
+
+func baseCfg() map[string]interface{} {
+	cfg := Defaults()
+	cfg["Px"] = 4
+	cfg["Py"] = 4
+	cfg["Nproc"] = 16
+	cfg["smooth_type"] = "none"
+	cfg["smooth_num_levels"] = 0
+	cfg["agg_num_levels"] = 2
+	return cfg
+}
+
+func TestEvaluatePositive(t *testing.T) {
+	a := app()
+	task := map[string]interface{}{"nx": 100, "ny": 100, "nz": 100}
+	y, err := a.Evaluate(task, baseCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y <= 0 || math.IsNaN(y) {
+		t.Fatalf("runtime = %v", y)
+	}
+}
+
+func TestSmootherDominates(t *testing.T) {
+	a := app()
+	a.NoiseSigma = 0
+	task := map[string]interface{}{"nx": 100, "ny": 100, "nz": 100}
+	cfg := baseCfg()
+	cfg["smooth_num_levels"] = 4
+	cfg["smooth_type"] = "none"
+	fast, err := a.Evaluate(task, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg["smooth_type"] = "Schwarz"
+	slow, err := a.Evaluate(task, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow < 1.5*fast {
+		t.Fatalf("Schwarz at 4 levels should be much slower: %v vs %v", slow, fast)
+	}
+}
+
+func TestSobolOrderingMatchesTableV(t *testing.T) {
+	// The headline property: the Sobol analysis over the model must rank
+	// smooth_type and agg_num_levels on top, with the seven inert
+	// parameters near zero — the paper's Table V shape.
+	a := app()
+	a.NoiseSigma = 0
+	task := map[string]interface{}{"nx": 100, "ny": 100, "nz": 100}
+	sp := a.ParamSpace()
+	res, err := sensitivity.AnalyzeSpace(func(cfg map[string]interface{}) float64 {
+		y, err := a.Evaluate(task, cfg)
+		if err != nil {
+			return math.NaN()
+		}
+		return y
+	}, sp, sensitivity.Options{N: 512, NBoot: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := map[string]float64{}
+	for i, n := range res.Names {
+		st[n] = res.ST[i]
+	}
+	if st["smooth_type"] < 0.3 {
+		t.Fatalf("smooth_type ST = %v, want high", st["smooth_type"])
+	}
+	if st["agg_num_levels"] < 0.15 {
+		t.Fatalf("agg_num_levels ST = %v, want moderate-high", st["agg_num_levels"])
+	}
+	for _, inert := range []string{"strong_threshold", "P_max_elmts", "coarsen_type", "relax_type", "interp_type", "Px"} {
+		if st[inert] > 0.1 {
+			t.Fatalf("%s ST = %v, want near zero", inert, st[inert])
+		}
+	}
+	if st["smooth_type"] < st["Py"] || st["agg_num_levels"] < st["strong_threshold"] {
+		t.Fatal("sensitivity ordering violated")
+	}
+}
+
+func TestMoreProcsFasterButSaturating(t *testing.T) {
+	a := app()
+	a.NoiseSigma = 0
+	task := map[string]interface{}{"nx": 100, "ny": 100, "nz": 100}
+	cfg := baseCfg()
+	cfg["Nproc"] = 1
+	y1, _ := a.Evaluate(task, cfg)
+	cfg["Nproc"] = 8
+	y8, _ := a.Evaluate(task, cfg)
+	cfg["Nproc"] = 31
+	y31, _ := a.Evaluate(task, cfg)
+	if y8 >= y1 {
+		t.Fatalf("8 procs should beat 1: %v vs %v", y8, y1)
+	}
+	// Saturation: the 8→31 gain must be much smaller than the 1→8 gain.
+	if (y8 - y31) > (y1-y8)*0.5 {
+		t.Fatalf("speedup should saturate: 1p=%v 8p=%v 31p=%v", y1, y8, y31)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	a := app()
+	task := map[string]interface{}{"nx": 100, "ny": 100, "nz": 100}
+	if _, err := a.Evaluate(map[string]interface{}{"nx": 100}, baseCfg()); err == nil {
+		t.Fatal("expected task error")
+	}
+	bad := baseCfg()
+	delete(bad, "smooth_type")
+	if _, err := a.Evaluate(task, bad); err == nil {
+		t.Fatal("expected param error")
+	}
+}
+
+func TestRandomConfigsAllEvaluate(t *testing.T) {
+	a := app()
+	sp := a.ParamSpace()
+	task := map[string]interface{}{"nx": 64, "ny": 64, "nz": 64}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		u := core.RandomPoint(sp, rng)
+		y, err := a.Evaluate(task, sp.Decode(u))
+		if err != nil {
+			t.Fatalf("decoded config failed: %v", err)
+		}
+		if y <= 0 {
+			t.Fatalf("runtime %v", y)
+		}
+	}
+}
+
+func TestBiggerGridSlower(t *testing.T) {
+	a := app()
+	a.NoiseSigma = 0
+	cfg := baseCfg()
+	y64, _ := a.Evaluate(map[string]interface{}{"nx": 64, "ny": 64, "nz": 64}, cfg)
+	y128, _ := a.Evaluate(map[string]interface{}{"nx": 128, "ny": 128, "nz": 128}, cfg)
+	if y128 <= y64 {
+		t.Fatalf("bigger grid should be slower: %v vs %v", y64, y128)
+	}
+}

@@ -1,0 +1,38 @@
+// Package noise provides deterministic measurement noise for the
+// application performance models: every (instance seed, configuration)
+// pair maps to a fixed multiplicative log-normal factor, so repeated
+// evaluations of the same configuration return the same "measured"
+// runtime (like a quiesced machine) while different configurations and
+// different simulator instances decorrelate.
+package noise
+
+import (
+	"hash/fnv"
+	"math"
+)
+
+// Multiplier returns exp(σ·z) where z is a standard normal deviate
+// derived deterministically from seed and the key values.
+func Multiplier(seed int64, sigma float64, keys ...float64) float64 {
+	if sigma == 0 {
+		return 1
+	}
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	put(uint64(seed))
+	for _, k := range keys {
+		put(math.Float64bits(k))
+	}
+	// Two 32-bit halves → Box–Muller.
+	s := h.Sum64()
+	u1 := (float64(s>>33) + 0.5) / float64(1<<31)
+	u2 := (float64(s&0x7fffffff) + 0.5) / float64(1<<31)
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return math.Exp(sigma * z)
+}

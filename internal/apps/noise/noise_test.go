@@ -1,0 +1,59 @@
+package noise
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterministic(t *testing.T) {
+	a := Multiplier(1, 0.05, 1, 2, 3)
+	b := Multiplier(1, 0.05, 1, 2, 3)
+	if a != b {
+		t.Fatal("same inputs must give the same multiplier")
+	}
+}
+
+func TestKeySensitivity(t *testing.T) {
+	a := Multiplier(1, 0.05, 1, 2, 3)
+	b := Multiplier(1, 0.05, 1, 2, 4)
+	c := Multiplier(2, 0.05, 1, 2, 3)
+	if a == b || a == c {
+		t.Fatal("different keys/seeds should decorrelate")
+	}
+}
+
+func TestZeroSigmaIsIdentity(t *testing.T) {
+	if Multiplier(1, 0, 9, 9) != 1 {
+		t.Fatal("sigma 0 must return exactly 1")
+	}
+}
+
+func TestDistributionMoments(t *testing.T) {
+	// Log of the multiplier should be ~N(0, σ²): check mean and spread
+	// over many keys.
+	const sigma = 0.1
+	n := 5000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		l := math.Log(Multiplier(7, sigma, float64(i)))
+		sum += l
+		sumsq += l * l
+	}
+	mean := sum / float64(n)
+	std := math.Sqrt(sumsq/float64(n) - mean*mean)
+	if math.Abs(mean) > 0.01 {
+		t.Fatalf("log-mean %v, want ~0", mean)
+	}
+	if math.Abs(std-sigma) > 0.01 {
+		t.Fatalf("log-std %v, want ~%v", std, sigma)
+	}
+}
+
+func TestAlwaysPositiveFinite(t *testing.T) {
+	for i := 0; i < 1000; i++ {
+		m := Multiplier(int64(i), 0.5, float64(i*3), float64(-i))
+		if m <= 0 || math.IsNaN(m) || math.IsInf(m, 0) {
+			t.Fatalf("bad multiplier %v", m)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+// Package apps provides a name-indexed registry of the built-in tuning
+// problems (the paper's applications plus the synthetic functions), so
+// the command-line tools can address them uniformly.
+package apps
+
+import (
+	"fmt"
+	"sort"
+
+	"gptunecrowd/internal/apps/hypre"
+	"gptunecrowd/internal/apps/nimrod"
+	"gptunecrowd/internal/apps/scalapack"
+	"gptunecrowd/internal/apps/superlu"
+	"gptunecrowd/internal/apps/synth"
+	"gptunecrowd/internal/core"
+	"gptunecrowd/internal/machine"
+	"gptunecrowd/internal/sparsemodel"
+)
+
+// Instance is a constructed problem with its default task.
+type Instance struct {
+	Problem     *core.Problem
+	DefaultTask map[string]interface{}
+	Description string
+}
+
+// Options configures problem construction.
+type Options struct {
+	Nodes     int    // compute nodes of the allocation (app-specific default when 0)
+	Partition string // "haswell" (default) or "knl"
+	Matrix    string // for superlu: "Si5H12" (default) or "H2O"
+	Seed      int64  // simulator noise seed
+}
+
+func (o Options) machine(defaultNodes int) machine.Machine {
+	n := o.Nodes
+	if n <= 0 {
+		n = defaultNodes
+	}
+	if o.Partition == "knl" {
+		return machine.CoriKNL(n)
+	}
+	return machine.CoriHaswell(n)
+}
+
+// Build constructs the named problem. Names returns the valid names.
+func Build(name string, opts Options) (*Instance, error) {
+	switch name {
+	case "demo":
+		return &Instance{
+			Problem:     synth.DemoProblem(),
+			DefaultTask: map[string]interface{}{"t": 1.0},
+			Description: "GPTune demo synthetic function (1 task param, 1 tuning param)",
+		}, nil
+	case "branin":
+		return &Instance{
+			Problem:     synth.BraninProblem(),
+			DefaultTask: synth.StandardBraninTask(),
+			Description: "Branin synthetic function (6 task params, 2 tuning params)",
+		}, nil
+	case "pdgeqrf":
+		app := scalapack.New(opts.machine(8))
+		app.Seed = opts.Seed
+		return &Instance{
+			Problem:     app.Problem(),
+			DefaultTask: map[string]interface{}{"m": 10000, "n": 10000},
+			Description: "ScaLAPACK PDGEQRF performance model (Table II parameters)",
+		}, nil
+	case "nimrod":
+		app := nimrod.New(opts.machine(32))
+		app.Seed = opts.Seed
+		return &Instance{
+			Problem:     app.Problem(),
+			DefaultTask: map[string]interface{}{"mx": 5, "my": 7, "lphi": 1},
+			Description: "NIMROD MHD performance model (Table III parameters, OOM failures)",
+		}, nil
+	case "superlu":
+		mat := sparsemodel.Si5H12()
+		if opts.Matrix == "H2O" {
+			mat = sparsemodel.H2O()
+		} else if opts.Matrix != "" && opts.Matrix != "Si5H12" {
+			return nil, fmt.Errorf("apps: unknown matrix %q (want Si5H12 or H2O)", opts.Matrix)
+		}
+		app := superlu.New(opts.machine(4), mat)
+		app.Seed = opts.Seed
+		return &Instance{
+			Problem:     app.Problem(),
+			DefaultTask: map[string]interface{}{"n": mat.N},
+			Description: fmt.Sprintf("SuperLU_DIST 2D performance model on %s", mat.Name),
+		}, nil
+	case "hypre":
+		app := hypre.New(opts.machine(1))
+		app.Seed = opts.Seed
+		return &Instance{
+			Problem:     app.Problem(),
+			DefaultTask: map[string]interface{}{"nx": 100, "ny": 100, "nz": 100},
+			Description: "Hypre BoomerAMG+GMRES performance model (Table V parameters)",
+		}, nil
+	}
+	return nil, fmt.Errorf("apps: unknown application %q (available: %v)", name, Names())
+}
+
+// Names lists the registered application names.
+func Names() []string {
+	names := []string{"demo", "branin", "pdgeqrf", "nimrod", "superlu", "hypre"}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,74 @@
+package apps
+
+import (
+	"testing"
+
+	"gptunecrowd/internal/core"
+)
+
+func TestBuildAllRegisteredApps(t *testing.T) {
+	for _, name := range Names() {
+		inst, err := Build(name, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := inst.Problem.Validate(); err != nil {
+			t.Fatalf("%s: invalid problem: %v", name, err)
+		}
+		if inst.Description == "" {
+			t.Fatalf("%s: missing description", name)
+		}
+		// The default task must evaluate successfully for at least one
+		// mid-space configuration.
+		ps := inst.Problem.ParamSpace
+		u := make([]float64, ps.Dim())
+		for d := range u {
+			u[d] = 0.5
+		}
+		u = ps.Canonicalize(u)
+		if _, err := inst.Problem.Evaluator.Evaluate(inst.DefaultTask, ps.Decode(u)); err != nil {
+			t.Fatalf("%s: default task mid-point evaluation failed: %v", name, err)
+		}
+	}
+}
+
+func TestBuildUnknown(t *testing.T) {
+	if _, err := Build("fortranizer", Options{}); err == nil {
+		t.Fatal("expected unknown-app error")
+	}
+	if _, err := Build("superlu", Options{Matrix: "Unknown"}); err == nil {
+		t.Fatal("expected unknown-matrix error")
+	}
+}
+
+func TestBuildOptions(t *testing.T) {
+	knl, err := Build("nimrod", Options{Nodes: 16, Partition: "knl"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hsw, err := Build("nimrod", Options{Nodes: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same config evaluates differently on the two partitions.
+	ps := knl.Problem.ParamSpace
+	u := ps.Canonicalize(make([]float64, ps.Dim()))
+	cfg := ps.Decode(u)
+	yk, err1 := knl.Problem.Evaluator.Evaluate(knl.DefaultTask, cfg)
+	yh, err2 := hsw.Problem.Evaluator.Evaluate(hsw.DefaultTask, cfg)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("eval errors: %v %v", err1, err2)
+	}
+	if yk == yh {
+		t.Fatal("partitions should differ")
+	}
+	h2o, err := Build("superlu", Options{Matrix: "H2O"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2o.DefaultTask["n"].(int) != 67024 {
+		t.Fatalf("H2O task = %v", h2o.DefaultTask)
+	}
+	_ = core.Sample{} // keep the core import for the interface check below
+	var _ core.Evaluator = h2o.Problem.Evaluator
+}

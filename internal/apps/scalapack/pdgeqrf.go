@@ -1,0 +1,181 @@
+// Package scalapack models ScaLAPACK's PDGEQRF — the distributed-memory
+// blocked QR factorization tuned in Section VI-B of the paper. The
+// physical runs on Cori are replaced by an analytic performance model
+// over the same task parameters (matrix dimensions m, n) and tuning
+// parameters (Table II: mb, nb, lg2npernode, p), evaluated against a
+// machine model. The model reproduces the response-surface features the
+// transfer-learning experiments rely on: interior optima in the block
+// sizes, a ranks-versus-threads trade-off in lg2npernode, a process-grid
+// aspect sweet spot in p, and strong correlation between tasks and
+// machine configurations.
+package scalapack
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"gptunecrowd/internal/apps/noise"
+	"gptunecrowd/internal/core"
+	"gptunecrowd/internal/machine"
+	"gptunecrowd/internal/space"
+)
+
+// App is a PDGEQRF simulator bound to one machine allocation.
+type App struct {
+	Machine machine.Machine
+	// NoiseSigma is the log-normal measurement noise (default 0.03).
+	NoiseSigma float64
+	// Seed decorrelates noise between simulator instances.
+	Seed int64
+	// PerCallNoise redraws the noise on every evaluation instead of
+	// fixing it per configuration — models run-to-run system noise, the
+	// regime that variability detection and the RobustEvaluator target.
+	PerCallNoise bool
+
+	calls atomic.Int64
+}
+
+// New returns a PDGEQRF simulator for the given allocation.
+func New(m machine.Machine) *App {
+	return &App{Machine: m, NoiseSigma: 0.03}
+}
+
+// ParamSpace returns the Table II tuning space for this allocation.
+func (a *App) ParamSpace() *space.Space {
+	cores := a.Machine.CoresPerNode
+	maxLg := int(math.Log2(float64(cores)))
+	return space.MustNew(
+		space.Param{Name: "mb", Kind: space.Integer, Lo: 1, Hi: 16},
+		space.Param{Name: "nb", Kind: space.Integer, Lo: 1, Hi: 16},
+		space.Param{Name: "lg2npernode", Kind: space.Integer, Lo: 0, Hi: float64(maxLg)},
+		space.Param{Name: "p", Kind: space.Integer, Lo: 1, Hi: float64(a.Machine.Nodes * cores)},
+	)
+}
+
+// TaskSpace returns the task space (matrix dimensions).
+func (a *App) TaskSpace() *space.Space {
+	return space.MustNew(
+		space.Param{Name: "m", Kind: space.Integer, Lo: 1000, Hi: 50001},
+		space.Param{Name: "n", Kind: space.Integer, Lo: 1000, Hi: 50001},
+	)
+}
+
+// Problem assembles the core tuning problem.
+func (a *App) Problem() *core.Problem {
+	return &core.Problem{
+		Name:       "PDGEQRF",
+		TaskSpace:  a.TaskSpace(),
+		ParamSpace: a.ParamSpace(),
+		Output:     space.OutputSpace{Outputs: []space.OutputParam{{Name: "runtime", Type: "real"}}},
+		Evaluator: core.EvaluatorFunc(func(task, params map[string]interface{}) (float64, error) {
+			return a.Evaluate(task, params)
+		}),
+	}
+}
+
+// Evaluate returns the modeled runtime in seconds.
+func (a *App) Evaluate(task, params map[string]interface{}) (float64, error) {
+	m, ok1 := intVal(task["m"])
+	n, ok2 := intVal(task["n"])
+	if !ok1 || !ok2 {
+		return 0, fmt.Errorf("scalapack: task needs integer m and n")
+	}
+	mb, ok1 := intVal(params["mb"])
+	nb, ok2 := intVal(params["nb"])
+	lg, ok3 := intVal(params["lg2npernode"])
+	p, ok4 := intVal(params["p"])
+	if !ok1 || !ok2 || !ok3 || !ok4 {
+		return 0, fmt.Errorf("scalapack: params need integer mb, nb, lg2npernode, p")
+	}
+	t, err := a.runtime(m, n, mb, nb, lg, p)
+	if err != nil {
+		return 0, err
+	}
+	keys := []float64{float64(m), float64(n), float64(mb), float64(nb), float64(lg), float64(p)}
+	if a.PerCallNoise {
+		keys = append(keys, float64(a.calls.Add(1)))
+	}
+	t *= noise.Multiplier(a.Seed, a.NoiseSigma, keys...)
+	return t, nil
+}
+
+// runtime is the deterministic part of the model.
+func (a *App) runtime(m, n, mb, nb, lg, p int) (float64, error) {
+	mach := a.Machine
+	if m <= 0 || n <= 0 {
+		return 0, fmt.Errorf("scalapack: non-positive matrix dims %dx%d", m, n)
+	}
+	ranksPerNode := 1 << uint(lg)
+	if ranksPerNode > mach.CoresPerNode {
+		return 0, fmt.Errorf("scalapack: %d ranks exceed %d cores per node", ranksPerNode, mach.CoresPerNode)
+	}
+	P := mach.Nodes * ranksPerNode
+	threads := mach.CoresPerNode / ranksPerNode
+	if p < 1 {
+		p = 1
+	}
+	// Grid: p rows × q columns; ranks beyond p*q idle (the paper notes
+	// idle MPI ranks are possible).
+	q := P / p
+	if q < 1 {
+		// More row-processes than ranks: the factorization still runs on
+		// a 1-column grid of min(p, P) rows, wasting nothing but badly
+		// shaped.
+		p = P
+		q = 1
+	}
+	active := p * q
+	rb := float64(8 * mb) // row block size
+	cb := float64(8 * nb) // column block size
+	mf, nf := float64(m), float64(n)
+	kf := math.Min(mf, nf)
+
+	// Useful flops of QR (m >= n form; symmetric in the min dim).
+	flops := 2*mf*nf*kf - (2.0/3.0)*kf*kf*kf
+	if flops < 0 {
+		flops = 2 * mf * nf * kf
+	}
+
+	// Efficiency terms.
+	geo := math.Sqrt(rb * cb)
+	eBlas := geo / (geo + 48) // small blocks starve BLAS3
+	// Load imbalance: trailing-matrix distribution granularity.
+	eImb := 1 / (1 + rb*float64(p)/mf + cb*float64(q)/nf)
+	// QR panels parallelize over rows; a mildly tall grid (p ≈ 2q) is
+	// best, as on the real code.
+	aspect := math.Abs(math.Log2(float64(p) / (2 * float64(q))))
+	eGrid := 1 / (1 + 0.25*aspect)
+	// Thread efficiency: intra-node BLAS threads scale sub-linearly.
+	eThread := math.Pow(float64(threads), -0.12)
+	rate := float64(active) * float64(threads) * mach.GFlopsPerCore * 1e9 *
+		eBlas * eImb * eGrid * eThread
+	tComp := flops / rate
+
+	// Communication: one panel broadcast/reduce pair per column block.
+	panels := nf / cb
+	latency := mach.NetLatencyUS * 1e-6 * mach.SerialPenalty
+	msgBytes := (mf/float64(p) + cb) * cb * 8
+	bw := mach.NetBWGBs * 1e9
+	logP := math.Log2(float64(p)) + 1
+	logQ := math.Log2(float64(q)) + 1
+	tComm := panels * (latency*(logP+logQ) + msgBytes/bw*logQ)
+
+	// Panel factorization critical path (serial in the row dimension of
+	// each panel): worsens with many small panels.
+	tPanel := panels * (kf / float64(p)) * cb * 2 / (mach.GFlopsPerCore * 1e9 / mach.SerialPenalty)
+
+	return tComp + tComm + tPanel, nil
+}
+
+func intVal(v interface{}) (int, bool) {
+	switch x := v.(type) {
+	case int:
+		return x, true
+	case int64:
+		return int(x), true
+	case float64:
+		return int(math.Round(x)), true
+	}
+	return 0, false
+}

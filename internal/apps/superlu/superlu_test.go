@@ -1,0 +1,132 @@
+package superlu
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gptunecrowd/internal/core"
+	"gptunecrowd/internal/machine"
+	"gptunecrowd/internal/sparsemodel"
+)
+
+func app(t *testing.T) *App {
+	t.Helper()
+	return New(machine.CoriHaswell(4), sparsemodel.Si5H12())
+}
+
+func cfg(colperm string, la, nprows, nsup, nrel int) map[string]interface{} {
+	return map[string]interface{}{
+		"COLPERM": colperm, "LOOKAHEAD": la, "nprows": nprows, "NSUP": nsup, "NREL": nrel,
+	}
+}
+
+func TestColpermDominates(t *testing.T) {
+	a := app(t)
+	a.NoiseSigma = 0
+	natural, err := a.Evaluate(nil, cfg("NATURAL", 10, 8, 128, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	metis, err := a.Evaluate(nil, cfg("METIS_AT_PLUS_A", 10, 8, 128, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if natural < 5*metis {
+		t.Fatalf("NATURAL (%v) should be far worse than METIS (%v)", natural, metis)
+	}
+}
+
+func TestLookaheadMinorEffect(t *testing.T) {
+	a := app(t)
+	a.NoiseSigma = 0
+	lo, _ := a.Evaluate(nil, cfg("METIS_AT_PLUS_A", 5, 8, 128, 20))
+	hi, _ := a.Evaluate(nil, cfg("METIS_AT_PLUS_A", 20, 8, 128, 20))
+	rel := math.Abs(lo-hi) / lo
+	if rel > 0.15 {
+		t.Fatalf("LOOKAHEAD effect too large: %v", rel)
+	}
+}
+
+func TestNprowsMatters(t *testing.T) {
+	a := app(t)
+	a.NoiseSigma = 0
+	best := math.Inf(1)
+	worst := 0.0
+	for _, p := range []int{1, 2, 4, 8, 16, 32, 64, 128} {
+		y, err := a.Evaluate(nil, cfg("METIS_AT_PLUS_A", 10, p, 128, 20))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if y < best {
+			best = y
+		}
+		if y > worst {
+			worst = y
+		}
+	}
+	if worst/best < 1.2 {
+		t.Fatalf("nprows should matter: spread %v", worst/best)
+	}
+}
+
+func TestH2OSlowerThanSi5H12(t *testing.T) {
+	si := New(machine.CoriHaswell(4), sparsemodel.Si5H12())
+	h2o := New(machine.CoriHaswell(4), sparsemodel.H2O())
+	si.NoiseSigma, h2o.NoiseSigma = 0, 0
+	c := cfg("METIS_AT_PLUS_A", 10, 8, 128, 20)
+	ySi, _ := si.Evaluate(nil, c)
+	yH, _ := h2o.Evaluate(nil, c)
+	if yH <= ySi {
+		t.Fatalf("H2O (larger) should be slower: %v vs %v", yH, ySi)
+	}
+}
+
+func TestInvalidParams(t *testing.T) {
+	a := app(t)
+	if _, err := a.Evaluate(nil, cfg("WEIRD", 10, 8, 128, 20)); err == nil {
+		t.Fatal("expected unknown ordering error")
+	}
+	if _, err := a.Evaluate(nil, cfg("NATURAL", 10, 100000, 128, 20)); err == nil {
+		t.Fatal("expected nprows range error")
+	}
+	if _, err := a.Evaluate(nil, map[string]interface{}{"COLPERM": "NATURAL"}); err == nil {
+		t.Fatal("expected missing-parameter error")
+	}
+}
+
+func TestDefaultsAreValidAndGood(t *testing.T) {
+	a := app(t)
+	a.NoiseSigma = 0
+	d := Defaults()
+	yDefault, err := a.Evaluate(nil, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Defaults should be competitive: better than the random-config mean.
+	sp := a.ParamSpace()
+	rng := rand.New(rand.NewSource(1))
+	var sum float64
+	for i := 0; i < 100; i++ {
+		y, err := a.Evaluate(nil, sp.Decode(core.RandomPoint(sp, rng)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += y
+	}
+	if yDefault > sum/100 {
+		t.Fatalf("defaults (%v) worse than random mean (%v)", yDefault, sum/100)
+	}
+}
+
+func TestParamSpaceRoundTrip(t *testing.T) {
+	a := app(t)
+	sp := a.ParamSpace()
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 50; i++ {
+		u := core.RandomPoint(sp, rng)
+		if _, err := a.Evaluate(nil, sp.Decode(u)); err != nil {
+			t.Fatalf("decoded config must be valid: %v", err)
+		}
+	}
+}

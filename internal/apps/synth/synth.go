@@ -1,0 +1,148 @@
+// Package synth provides the two synthetic objective functions used in
+// Section VI-A of the paper to compare transfer-learning algorithms: the
+// GPTune "demo" function and the Branin function.
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"gptunecrowd/internal/core"
+	"gptunecrowd/internal/space"
+)
+
+// Demo evaluates the paper's demo objective
+//
+//	y(t, x) = 1 + e^{−(x+1)^{t+1}} · cos(2πx) · Σ_{i=1..3} sin(2πx·(t+2)^i)
+//
+// with one task parameter t ∈ [0, 10) and one tuning parameter
+// x ∈ [0, 1).
+func Demo(t, x float64) float64 {
+	s := 0.0
+	for i := 1; i <= 3; i++ {
+		s += math.Sin(2 * math.Pi * x * math.Pow(t+2, float64(i)))
+	}
+	return 1 + math.Exp(-math.Pow(x+1, t+1))*math.Cos(2*math.Pi*x)*s
+}
+
+// DemoProblem builds the demo tuning problem.
+func DemoProblem() *core.Problem {
+	return &core.Problem{
+		Name:      "demo",
+		TaskSpace: space.MustNew(space.Param{Name: "t", Kind: space.Real, Lo: 0, Hi: 10}),
+		ParamSpace: space.MustNew(
+			space.Param{Name: "x", Kind: space.Real, Lo: 0, Hi: 1},
+		),
+		Output: space.OutputSpace{Outputs: []space.OutputParam{{Name: "y", Type: "real"}}},
+		Evaluator: core.EvaluatorFunc(func(task, params map[string]interface{}) (float64, error) {
+			t, ok := task["t"].(float64)
+			if !ok {
+				return 0, fmt.Errorf("synth: demo task needs float64 %q", "t")
+			}
+			return Demo(t, params["x"].(float64)), nil
+		}),
+	}
+}
+
+// Branin evaluates the generalized Branin function
+//
+//	y = a(x2 − b·x1² + c·x1 − r)² + s(1 − t)·cos(x1) + s
+//
+// with six task parameters (a, b, c, r, s, t) and two tuning parameters
+// (x1 ∈ [−5, 10], x2 ∈ [0, 15]).
+func Branin(a, b, c, r, s, t, x1, x2 float64) float64 {
+	d := x2 - b*x1*x1 + c*x1 - r
+	return a*d*d + s*(1-t)*math.Cos(x1) + s
+}
+
+// StandardBraninTask returns the classic Branin constants.
+func StandardBraninTask() map[string]interface{} {
+	return map[string]interface{}{
+		"a": 1.0,
+		"b": 5.1 / (4 * math.Pi * math.Pi),
+		"c": 5 / math.Pi,
+		"r": 6.0,
+		"s": 10.0,
+		"t": 1 / (8 * math.Pi),
+	}
+}
+
+// RandomBraninTask draws a task near the standard constants, as the
+// paper does when it "randomly chooses the source and target tasks".
+func RandomBraninTask(rng *rand.Rand) map[string]interface{} {
+	jitter := func(v, frac float64) float64 { return v * (1 + frac*(2*rng.Float64()-1)) }
+	std := StandardBraninTask()
+	return map[string]interface{}{
+		"a": jitter(std["a"].(float64), 0.5),
+		"b": jitter(std["b"].(float64), 0.3),
+		"c": jitter(std["c"].(float64), 0.3),
+		"r": jitter(std["r"].(float64), 0.3),
+		"s": jitter(std["s"].(float64), 0.5),
+		"t": jitter(std["t"].(float64), 0.5),
+	}
+}
+
+// BraninProblem builds the Branin tuning problem.
+func BraninProblem() *core.Problem {
+	return &core.Problem{
+		Name: "branin",
+		TaskSpace: space.MustNew(
+			space.Param{Name: "a", Kind: space.Real, Lo: 0.5, Hi: 1.5},
+			space.Param{Name: "b", Kind: space.Real, Lo: 0.05, Hi: 0.25},
+			space.Param{Name: "c", Kind: space.Real, Lo: 1, Hi: 2.2},
+			space.Param{Name: "r", Kind: space.Real, Lo: 4, Hi: 8},
+			space.Param{Name: "s", Kind: space.Real, Lo: 5, Hi: 15},
+			space.Param{Name: "t", Kind: space.Real, Lo: 0.02, Hi: 0.06},
+		),
+		ParamSpace: space.MustNew(
+			space.Param{Name: "x1", Kind: space.Real, Lo: -5, Hi: 10},
+			space.Param{Name: "x2", Kind: space.Real, Lo: 0, Hi: 15},
+		),
+		Output: space.OutputSpace{Outputs: []space.OutputParam{{Name: "y", Type: "real"}}},
+		Evaluator: core.EvaluatorFunc(func(task, params map[string]interface{}) (float64, error) {
+			get := func(k string) (float64, error) {
+				v, ok := task[k].(float64)
+				if !ok {
+					return 0, fmt.Errorf("synth: branin task needs float64 %q", k)
+				}
+				return v, nil
+			}
+			var vals [6]float64
+			for i, k := range []string{"a", "b", "c", "r", "s", "t"} {
+				v, err := get(k)
+				if err != nil {
+					return 0, err
+				}
+				vals[i] = v
+			}
+			return Branin(vals[0], vals[1], vals[2], vals[3], vals[4], vals[5],
+				params["x1"].(float64), params["x2"].(float64)), nil
+		}),
+	}
+}
+
+// CollectSamples evaluates the problem at n random parameter
+// configurations for the given task and returns the normalized points
+// and objective values — how the paper builds its source datasets
+// ("randomly chosen parameter configurations"). Failed evaluations are
+// retried with fresh points.
+func CollectSamples(p *core.Problem, task map[string]interface{}, n int, rng *rand.Rand) ([][]float64, []float64, error) {
+	X := make([][]float64, 0, n)
+	Y := make([]float64, 0, n)
+	attempts := 0
+	for len(X) < n {
+		if attempts > 20*n+100 {
+			return nil, nil, fmt.Errorf("synth: could not collect %d samples (too many failures)", n)
+		}
+		attempts++
+		u := core.RandomPoint(p.ParamSpace, rng)
+		y, err := p.Evaluator.Evaluate(task, p.ParamSpace.Decode(u))
+		if err != nil {
+			continue
+		}
+		X = append(X, u)
+		Y = append(Y, y)
+	}
+	return X, Y, nil
+}

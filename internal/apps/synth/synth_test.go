@@ -1,0 +1,91 @@
+package synth
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDemoKnownStructure(t *testing.T) {
+	// The demo function equals 1 wherever the envelope or cosine term
+	// vanishes; check generic sanity instead of special points: finite,
+	// and varying in x.
+	vals := make(map[float64]bool)
+	for _, x := range []float64{0.07, 0.18, 0.33, 0.61, 0.89} {
+		y := Demo(1.0, x)
+		if math.IsNaN(y) || math.IsInf(y, 0) {
+			t.Fatalf("Demo(1,%v) = %v", x, y)
+		}
+		vals[math.Round(y*1e6)] = true
+	}
+	if len(vals) < 3 {
+		t.Fatal("demo function suspiciously flat")
+	}
+}
+
+func TestDemoTaskChangesLandscape(t *testing.T) {
+	// Different task parameters must give different landscapes (the
+	// premise of transfer learning experiments).
+	var diff float64
+	for _, x := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		diff += math.Abs(Demo(0.8, x) - Demo(1.2, x))
+	}
+	if diff < 0.1 {
+		t.Fatal("task parameter has no effect")
+	}
+}
+
+func TestBraninKnownMinima(t *testing.T) {
+	// Classic Branin has global minimum 0.397887 at three points.
+	std := StandardBraninTask()
+	f := func(x1, x2 float64) float64 {
+		return Branin(std["a"].(float64), std["b"].(float64), std["c"].(float64),
+			std["r"].(float64), std["s"].(float64), std["t"].(float64), x1, x2)
+	}
+	for _, pt := range [][2]float64{{-math.Pi, 12.275}, {math.Pi, 2.275}, {9.42478, 2.475}} {
+		if v := f(pt[0], pt[1]); math.Abs(v-0.397887) > 1e-4 {
+			t.Fatalf("Branin(%v) = %v, want 0.397887", pt, v)
+		}
+	}
+}
+
+func TestProblemsEvaluate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	demo := DemoProblem()
+	task := map[string]interface{}{"t": 1.0}
+	X, Y, err := CollectSamples(demo, task, 10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(X) != 10 || len(Y) != 10 {
+		t.Fatal("sample count wrong")
+	}
+	branin := BraninProblem()
+	_, Yb, err := CollectSamples(branin, StandardBraninTask(), 10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, y := range Yb {
+		if math.IsNaN(y) {
+			t.Fatal("NaN objective")
+		}
+	}
+}
+
+func TestBraninTaskValidation(t *testing.T) {
+	branin := BraninProblem()
+	_, err := branin.Evaluator.Evaluate(map[string]interface{}{"a": 1.0}, map[string]interface{}{"x1": 0.0, "x2": 0.0})
+	if err == nil {
+		t.Fatal("expected missing-task-parameter error")
+	}
+}
+
+func TestRandomBraninTaskInRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 20; i++ {
+		task := RandomBraninTask(rng)
+		if task["a"].(float64) <= 0 || task["s"].(float64) <= 0 {
+			t.Fatal("degenerate random task")
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"math"
+
+	"gptunecrowd/internal/stat"
+)
+
+// Surrogate is a posterior model over the normalized parameter space:
+// the GP, LCM-slice or combined transfer-learning models all satisfy it.
+type Surrogate interface {
+	// Predict returns the posterior mean and standard deviation at x.
+	Predict(x []float64) (mean, std float64)
+}
+
+// SurrogateFunc adapts a function to the Surrogate interface.
+type SurrogateFunc func(x []float64) (float64, float64)
+
+// Predict implements Surrogate.
+func (f SurrogateFunc) Predict(x []float64) (float64, float64) { return f(x) }
+
+// Acquisition scores a candidate point; the tuner maximizes it. All
+// acquisitions are phrased for minimization problems.
+type Acquisition interface {
+	Score(mean, std, best float64) float64
+	Name() string
+}
+
+// EI is the expected-improvement acquisition (the GPTune default).
+type EI struct {
+	// Xi is the exploration offset subtracted from the incumbent
+	// (0 is the classic formulation).
+	Xi float64
+}
+
+// Score returns E[max(best − ξ − Y, 0)] for Y ~ N(mean, std²).
+func (e EI) Score(mean, std, best float64) float64 {
+	if std <= 0 {
+		if mean < best-e.Xi {
+			return best - e.Xi - mean
+		}
+		return 0
+	}
+	d := best - e.Xi - mean
+	z := d / std
+	return d*stat.NormCDF(z) + std*stat.NormPDF(z)
+}
+
+// Name implements Acquisition.
+func (EI) Name() string { return "EI" }
+
+// LCB is the lower-confidence-bound acquisition, scored as the negated
+// bound so that larger is better.
+type LCB struct {
+	// Kappa controls exploration (default 1.96 when zero).
+	Kappa float64
+}
+
+// Score returns −(mean − κ·std).
+func (l LCB) Score(mean, std, _ float64) float64 {
+	k := l.Kappa
+	if k == 0 {
+		k = 1.96
+	}
+	return -(mean - k*std)
+}
+
+// Name implements Acquisition.
+func (LCB) Name() string { return "LCB" }
+
+// PI is the probability-of-improvement acquisition.
+type PI struct{ Xi float64 }
+
+// Score returns P(Y < best − ξ).
+func (p PI) Score(mean, std, best float64) float64 {
+	if std <= 0 {
+		if mean < best-p.Xi {
+			return 1
+		}
+		return 0
+	}
+	return stat.NormCDF((best - p.Xi - mean) / std)
+}
+
+// Name implements Acquisition.
+func (PI) Name() string { return "PI" }
+
+// bestForAcq extracts the incumbent for the acquisition: the minimum
+// observed objective, or +Inf when nothing succeeded yet (EI then
+// degenerates, so callers should prefer random sampling in that case).
+func bestForAcq(h *History) float64 {
+	if b, ok := h.Best(); ok {
+		return b.Y
+	}
+	return math.Inf(1)
+}

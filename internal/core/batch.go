@@ -1,0 +1,121 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// BatchOptions configures a parallel tuning run: per round, BatchSize
+// points are proposed with the constant-liar strategy (each proposal is
+// committed to a scratch history with a pessimistic "lie" so the next
+// proposal explores elsewhere) and evaluated concurrently by Workers
+// goroutines — the pattern used when an HPC allocation can run several
+// trial configurations at once.
+type BatchOptions struct {
+	Budget    int // total function evaluations
+	BatchSize int // proposals per round (default 2)
+	Workers   int // concurrent evaluations (default BatchSize)
+	Seed      int64
+	Search    SearchOptions
+	// OnSample observes evaluations in deterministic (proposal) order.
+	OnSample func(i int, s Sample)
+}
+
+// RunLoopBatch executes the batched tuning loop. Results are
+// deterministic for a fixed seed: proposals are generated sequentially
+// and recorded in proposal order regardless of which evaluation
+// finishes first.
+func RunLoopBatch(p *Problem, task map[string]interface{}, proposer Proposer, opts BatchOptions) (*History, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Budget <= 0 {
+		return nil, fmt.Errorf("core: non-positive budget %d", opts.Budget)
+	}
+	if opts.BatchSize <= 0 {
+		opts.BatchSize = 2
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = opts.BatchSize
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	h := &History{}
+	search := opts.Search
+	if len(p.Constraints) > 0 {
+		search.Feasible = func(u []float64) bool {
+			return p.Feasible(task, p.ParamSpace.Decode(u))
+		}
+	}
+	evalIdx := 0
+	for evalIdx < opts.Budget {
+		batch := opts.BatchSize
+		if rem := opts.Budget - evalIdx; batch > rem {
+			batch = rem
+		}
+		// Propose batch points sequentially against a scratch history
+		// that accumulates constant lies.
+		scratch := &History{Samples: append([]Sample(nil), h.Samples...)}
+		lie := lieValue(h)
+		points := make([][]float64, 0, batch)
+		for k := 0; k < batch; k++ {
+			ctx := &ProposeContext{
+				Problem: p,
+				Task:    task,
+				History: scratch,
+				Rng:     rng,
+				Iter:    evalIdx + k,
+				Search:  search,
+			}
+			u, err := proposer.Propose(ctx)
+			if err != nil {
+				return h, fmt.Errorf("core: proposer %s failed at iteration %d: %w", proposer.Name(), evalIdx+k, err)
+			}
+			u = p.ParamSpace.Canonicalize(u)
+			points = append(points, u)
+			scratch.Append(Sample{ParamU: u, Y: lie, Proposer: proposer.Name()})
+		}
+		// Evaluate the batch concurrently.
+		results := make([]Sample, batch)
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, opts.Workers)
+		for k, u := range points {
+			wg.Add(1)
+			go func(k int, u []float64) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				params := p.ParamSpace.Decode(u)
+				s := Sample{ParamU: u, Params: params, Proposer: proposer.Name()}
+				y, err := p.Evaluator.Evaluate(task, params)
+				if err != nil {
+					s.Failed = true
+					s.Err = err.Error()
+				} else {
+					s.Y = y
+				}
+				results[k] = s
+			}(k, u)
+		}
+		wg.Wait()
+		for k, s := range results {
+			h.Append(s)
+			if opts.OnSample != nil {
+				opts.OnSample(evalIdx+k, s)
+			}
+		}
+		evalIdx += batch
+	}
+	return h, nil
+}
+
+// lieValue is the constant-liar target: the incumbent when one exists
+// (the "max lie" variant would use the worst), otherwise zero — the
+// surrogate standardizes targets, so the absolute level only matters
+// relative to the observed samples.
+func lieValue(h *History) float64 {
+	if best, ok := h.Best(); ok {
+		return best.Y
+	}
+	return 0
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gptunecrowd/internal/space"
+)
+
+func TestRunLoopBatchConsumesBudget(t *testing.T) {
+	p := quadProblem(t)
+	h, err := RunLoopBatch(p, nil, NewGPTuner(), BatchOptions{Budget: 11, BatchSize: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Len() != 11 {
+		t.Fatalf("budget: %d", h.Len())
+	}
+	if _, ok := h.Best(); !ok {
+		t.Fatal("no best")
+	}
+}
+
+func TestRunLoopBatchProposesDistinctPoints(t *testing.T) {
+	// Constant-liar batching must not propose the same point several
+	// times in one round.
+	p := quadProblem(t)
+	h, err := RunLoopBatch(p, nil, NewGPTuner(), BatchOptions{Budget: 8, BatchSize: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[[2]float64]int{}
+	for _, s := range h.Samples {
+		key := [2]float64{s.ParamU[0], s.ParamU[1]}
+		seen[key]++
+	}
+	for k, n := range seen {
+		if n > 1 {
+			t.Fatalf("point %v proposed %d times", k, n)
+		}
+	}
+}
+
+func TestRunLoopBatchActuallyParallel(t *testing.T) {
+	ps := space.MustNew(space.Param{Name: "x", Kind: space.Real, Lo: 0, Hi: 1})
+	var inFlight, maxInFlight int64
+	p := &Problem{
+		Name:       "slow",
+		ParamSpace: ps,
+		Evaluator: EvaluatorFunc(func(_, params map[string]interface{}) (float64, error) {
+			cur := atomic.AddInt64(&inFlight, 1)
+			for {
+				old := atomic.LoadInt64(&maxInFlight)
+				if cur <= old || atomic.CompareAndSwapInt64(&maxInFlight, old, cur) {
+					break
+				}
+			}
+			time.Sleep(5 * time.Millisecond)
+			atomic.AddInt64(&inFlight, -1)
+			return params["x"].(float64), nil
+		}),
+	}
+	_, err := RunLoopBatch(p, nil, NewGPTuner(), BatchOptions{Budget: 8, BatchSize: 4, Workers: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if atomic.LoadInt64(&maxInFlight) < 2 {
+		t.Fatalf("max in-flight = %d, want >= 2", maxInFlight)
+	}
+}
+
+func TestRunLoopBatchDeterministicOrder(t *testing.T) {
+	p := quadProblem(t)
+	run := func() []float64 {
+		h, err := RunLoopBatch(p, nil, NewGPTuner(), BatchOptions{Budget: 9, BatchSize: 3, Seed: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]float64, h.Len())
+		for i, s := range h.Samples {
+			out[i] = s.Y
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRunLoopBatchFailuresRecorded(t *testing.T) {
+	ps := space.MustNew(space.Param{Name: "x", Kind: space.Real, Lo: 0, Hi: 1})
+	var n int64
+	p := &Problem{
+		Name:       "flaky",
+		ParamSpace: ps,
+		Evaluator: EvaluatorFunc(func(_, params map[string]interface{}) (float64, error) {
+			if atomic.AddInt64(&n, 1)%3 == 0 {
+				return 0, errors.New("oom")
+			}
+			return params["x"].(float64), nil
+		}),
+	}
+	h, err := RunLoopBatch(p, nil, NewGPTuner(), BatchOptions{Budget: 9, BatchSize: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Len() != 9 {
+		t.Fatal("failures must consume budget")
+	}
+	if h.NumOK() != 6 {
+		t.Fatalf("NumOK = %d", h.NumOK())
+	}
+}
+
+func TestRunLoopBatchValidation(t *testing.T) {
+	p := quadProblem(t)
+	if _, err := RunLoopBatch(p, nil, NewGPTuner(), BatchOptions{}); err == nil {
+		t.Fatal("expected budget error")
+	}
+}
+
+func TestOnSampleOrderInBatch(t *testing.T) {
+	p := quadProblem(t)
+	next := 0
+	_, err := RunLoopBatch(p, nil, NewGPTuner(), BatchOptions{
+		Budget: 6, BatchSize: 3, Seed: 6,
+		OnSample: func(i int, s Sample) {
+			if i != next {
+				t.Fatalf("callback out of order: %d want %d", i, next)
+			}
+			next++
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != 6 {
+		t.Fatalf("callbacks fired %d times", next)
+	}
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"math"
+)
+
+// Sample records one function evaluation.
+type Sample struct {
+	ParamU []float64              // normalized tuning-parameter point
+	Params map[string]interface{} // decoded configuration
+	Y      float64                // objective value (valid when !Failed)
+	Failed bool
+	Err    string // failure description when Failed
+
+	Proposer string // name of the algorithm that suggested this point
+}
+
+// History accumulates the evaluations of one target task.
+type History struct {
+	Samples []Sample
+}
+
+// Append adds a sample.
+func (h *History) Append(s Sample) { h.Samples = append(h.Samples, s) }
+
+// Len returns the total number of evaluations, including failures.
+func (h *History) Len() int { return len(h.Samples) }
+
+// NumOK returns the number of successful evaluations.
+func (h *History) NumOK() int {
+	n := 0
+	for _, s := range h.Samples {
+		if !s.Failed {
+			n++
+		}
+	}
+	return n
+}
+
+// XY returns the successful samples as aligned input/target slices.
+func (h *History) XY() ([][]float64, []float64) {
+	X := make([][]float64, 0, len(h.Samples))
+	Y := make([]float64, 0, len(h.Samples))
+	for _, s := range h.Samples {
+		if s.Failed {
+			continue
+		}
+		X = append(X, s.ParamU)
+		Y = append(Y, s.Y)
+	}
+	return X, Y
+}
+
+// Best returns the successful sample with the lowest objective.
+func (h *History) Best() (Sample, bool) {
+	best := Sample{Y: math.Inf(1)}
+	found := false
+	for _, s := range h.Samples {
+		if !s.Failed && s.Y < best.Y {
+			best = s
+			found = true
+		}
+	}
+	return best, found
+}
+
+// BestSoFar returns, for each evaluation index i (1-based count), the
+// best objective observed in the first i evaluations; NaN until the
+// first success. This is the "best-so-far" series plotted in every
+// figure of the paper.
+func (h *History) BestSoFar() []float64 {
+	out := make([]float64, len(h.Samples))
+	best := math.NaN()
+	for i, s := range h.Samples {
+		if !s.Failed && (math.IsNaN(best) || s.Y < best) {
+			best = s.Y
+		}
+		out[i] = best
+	}
+	return out
+}
+
+// Contains reports whether the (canonicalized) point u was already
+// evaluated, within tolerance.
+func (h *History) Contains(u []float64, tol float64) bool {
+	for _, s := range h.Samples {
+		if len(s.ParamU) != len(u) {
+			continue
+		}
+		match := true
+		for d := range u {
+			if math.Abs(s.ParamU[d]-u[d]) > tol {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
+}

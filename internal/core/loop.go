@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Proposer suggests the next tuning-parameter point given the target
+// task's evaluation history. The plain GP tuner and every TLA algorithm
+// implement this interface.
+type Proposer interface {
+	// Name identifies the algorithm (e.g. "NoTLA", "Multitask(TS)").
+	Name() string
+	// Propose returns the next normalized (canonical) point to evaluate.
+	Propose(ctx *ProposeContext) ([]float64, error)
+}
+
+// ProposeContext carries everything a proposer may need.
+type ProposeContext struct {
+	Problem *Problem
+	Task    map[string]interface{}
+	History *History
+	Rng     *rand.Rand
+	Iter    int // 0-based evaluation index
+	Search  SearchOptions
+}
+
+// RandomFeasible draws a random canonical point satisfying the
+// problem's constraints (falling back to an unconstrained draw after
+// many rejections, so a badly specified constraint cannot hang the
+// loop).
+func (ctx *ProposeContext) RandomFeasible() []float64 {
+	sp := ctx.Problem.ParamSpace
+	for i := 0; i < 256; i++ {
+		u := RandomPoint(sp, ctx.Rng)
+		if ctx.Search.Feasible == nil || ctx.Search.Feasible(u) {
+			return u
+		}
+	}
+	return RandomPoint(sp, ctx.Rng)
+}
+
+// LoopOptions configures one tuning run.
+type LoopOptions struct {
+	Budget int   // NS, the number of function evaluations
+	Seed   int64 // RNG seed; runs are deterministic given the seed
+	Search SearchOptions
+	// OnSample, when set, observes every evaluation as it lands.
+	OnSample func(i int, s Sample)
+}
+
+// RunLoop executes the iterative tuning loop: propose → evaluate →
+// record, for Budget evaluations. Failed evaluations are recorded and
+// count against the budget but are invisible to surrogate fits (the
+// History.XY accessor skips them).
+func RunLoop(p *Problem, task map[string]interface{}, proposer Proposer, opts LoopOptions) (*History, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Budget <= 0 {
+		return nil, fmt.Errorf("core: non-positive budget %d", opts.Budget)
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	h := &History{}
+	search := opts.Search
+	if len(p.Constraints) > 0 {
+		search.Feasible = func(u []float64) bool {
+			return p.Feasible(task, p.ParamSpace.Decode(u))
+		}
+	}
+	for i := 0; i < opts.Budget; i++ {
+		ctx := &ProposeContext{
+			Problem: p,
+			Task:    task,
+			History: h,
+			Rng:     rng,
+			Iter:    i,
+			Search:  search,
+		}
+		u, err := proposer.Propose(ctx)
+		if err != nil {
+			return h, fmt.Errorf("core: proposer %s failed at iteration %d: %w", proposer.Name(), i, err)
+		}
+		if len(u) != p.ParamSpace.Dim() {
+			return h, fmt.Errorf("core: proposer %s returned a %d-dim point, want %d", proposer.Name(), len(u), p.ParamSpace.Dim())
+		}
+		u = p.ParamSpace.Canonicalize(u)
+		params := p.ParamSpace.Decode(u)
+		s := Sample{ParamU: u, Params: params, Proposer: proposer.Name()}
+		y, err := p.Evaluator.Evaluate(task, params)
+		if err != nil {
+			s.Failed = true
+			s.Err = err.Error()
+		} else {
+			s.Y = y
+		}
+		h.Append(s)
+		if opts.OnSample != nil {
+			opts.OnSample(i, s)
+		}
+	}
+	return h, nil
+}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"gptunecrowd/internal/gp"
+	"gptunecrowd/internal/kernel"
+)
+
+// GPTuner is the non-transfer-learning Bayesian-optimization proposer
+// ("NoTLA" in the paper): after every function evaluation it refits a GP
+// surrogate on the target task's history and maximizes the acquisition.
+// Until MinSamples successful evaluations exist it falls back to random
+// (Latin-hypercube-style) points.
+type GPTuner struct {
+	Kernel      kernel.Type
+	Acquisition Acquisition
+	MinSamples  int // successful samples required before modeling (default 2)
+	Restarts    int // GP fit restarts (default 2)
+	label       string
+}
+
+// NewGPTuner returns the default NoTLA proposer.
+func NewGPTuner() *GPTuner {
+	return &GPTuner{Acquisition: EI{}, MinSamples: 2}
+}
+
+// Name implements Proposer.
+func (t *GPTuner) Name() string {
+	if t.label != "" {
+		return t.label
+	}
+	return "NoTLA"
+}
+
+// Propose implements Proposer.
+func (t *GPTuner) Propose(ctx *ProposeContext) ([]float64, error) {
+	minSamples := t.MinSamples
+	if minSamples < 2 {
+		minSamples = 2
+	}
+	X, Y := ctx.History.XY()
+	if len(X) < minSamples {
+		return ctx.RandomFeasible(), nil
+	}
+	model, err := gp.Fit(X, Y, gp.Options{
+		Kernel:      t.Kernel,
+		Categorical: ctx.Problem.CategoricalMask(),
+		Restarts:    t.Restarts,
+		Seed:        ctx.Rng.Int63(),
+	})
+	if err != nil {
+		// Surrogate trouble should not kill the run; explore instead.
+		return ctx.RandomFeasible(), nil
+	}
+	acq := t.Acquisition
+	if acq == nil {
+		acq = EI{}
+	}
+	u := SearchNext(model, ctx.Problem.ParamSpace, acq, ctx.History, ctx.Rng, ctx.Search)
+	return u, nil
+}

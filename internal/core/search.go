@@ -1,0 +1,150 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+
+	"gptunecrowd/internal/optimize"
+	"gptunecrowd/internal/sample"
+	"gptunecrowd/internal/space"
+)
+
+// SearchOptions tunes the acquisition maximization.
+type SearchOptions struct {
+	Candidates int // random candidate pool size (default 256)
+	DEGens     int // differential-evolution generations (default 30)
+	DEPop      int // DE population (default 0 → heuristic)
+	DedupTol   float64
+	// Feasible, when set, restricts the search to normalized points it
+	// accepts (populated by the loop from Problem.Constraints).
+	Feasible func(u []float64) bool
+}
+
+func (o *SearchOptions) defaults() {
+	if o.Candidates == 0 {
+		o.Candidates = 256
+	}
+	if o.DEGens == 0 {
+		o.DEGens = 30
+	}
+	if o.DedupTol == 0 {
+		o.DedupTol = 1e-9
+	}
+}
+
+// SearchNext maximizes the acquisition over the normalized parameter
+// space and returns a canonicalized point not yet present in the
+// history: a random-candidate prescreen seeds differential evolution,
+// whose winner is snapped to the discrete grid. Falls back to random
+// points if everything promising is a duplicate.
+func SearchNext(surr Surrogate, sp *space.Space, acq Acquisition, h *History, rng *rand.Rand, opts SearchOptions) []float64 {
+	opts.defaults()
+	dim := sp.Dim()
+	best := bestForAcq(h)
+	neg := func(u []float64) float64 {
+		c := sp.Canonicalize(u)
+		if opts.Feasible != nil && !opts.Feasible(c) {
+			return math.Inf(1)
+		}
+		mean, std := surr.Predict(c)
+		return -acq.Score(mean, std, best)
+	}
+	// Prescreen a candidate pool for DE seeds.
+	pool := sample.LatinHypercube(opts.Candidates, dim, rng)
+	type scored struct {
+		u []float64
+		f float64
+	}
+	top := make([]scored, 0, 8)
+	for _, u := range pool {
+		f := neg(u)
+		if len(top) < 8 {
+			top = append(top, scored{u, f})
+			continue
+		}
+		worst := 0
+		for i := range top {
+			if top[i].f > top[worst].f {
+				worst = i
+			}
+		}
+		if f < top[worst].f {
+			top[worst] = scored{u, f}
+		}
+	}
+	seeds := make([][]float64, len(top))
+	for i, s := range top {
+		seeds[i] = s.u
+	}
+	lo := make([]float64, dim)
+	hi := make([]float64, dim)
+	for d := range hi {
+		hi[d] = 1
+	}
+	res := optimize.DifferentialEvolution(neg, optimize.DEConfig{
+		Lower:   lo,
+		Upper:   hi,
+		MaxGen:  opts.DEGens,
+		Pop:     opts.DEPop,
+		Seeds:   seeds,
+		RandSrc: rng,
+	})
+	u := sp.Canonicalize(res.X)
+	if !h.Contains(u, opts.DedupTol) {
+		return u
+	}
+	// The optimum was already evaluated (common on small discrete
+	// spaces): take the best non-duplicate from the prescreen pool,
+	// else a fresh random point.
+	bestAlt := []float64(nil)
+	bestF := 0.0
+	for _, s := range top {
+		if math.IsInf(s.f, 1) {
+			continue // infeasible or unscoreable candidate
+		}
+		c := sp.Canonicalize(s.u)
+		if h.Contains(c, opts.DedupTol) {
+			continue
+		}
+		if bestAlt == nil || s.f < bestF {
+			bestAlt, bestF = c, s.f
+		}
+	}
+	if bestAlt != nil {
+		return bestAlt
+	}
+	for i := 0; i < 64; i++ {
+		u := make([]float64, dim)
+		for d := range u {
+			u[d] = rng.Float64()
+		}
+		c := sp.Canonicalize(u)
+		if opts.Feasible != nil && !opts.Feasible(c) {
+			continue
+		}
+		if !h.Contains(c, opts.DedupTol) {
+			return c
+		}
+	}
+	// Space may be exhausted; return the optimum even though it repeats.
+	return u
+}
+
+// RandomPoint returns a canonicalized uniform random point.
+func RandomPoint(sp *space.Space, rng *rand.Rand) []float64 {
+	u := make([]float64, sp.Dim())
+	for d := range u {
+		u[d] = rng.Float64()
+	}
+	return sp.Canonicalize(u)
+}
+
+// LHSPoints returns n canonicalized Latin-hypercube points.
+func LHSPoints(sp *space.Space, n int, rng *rand.Rand) [][]float64 {
+	raw := sample.LatinHypercube(n, sp.Dim(), rng)
+	out := make([][]float64, n)
+	for i, u := range raw {
+		out[i] = sp.Canonicalize(u)
+	}
+	return out
+}

@@ -1,0 +1,119 @@
+package crowd
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"gptunecrowd/internal/historydb"
+)
+
+// Client talks to a crowd server. The zero HTTP client uses
+// http.DefaultClient.
+type Client struct {
+	BaseURL string
+	APIKey  string
+	HTTP    *http.Client
+}
+
+// NewClient returns a client bound to the server URL and API key.
+func NewClient(baseURL, apiKey string) *Client {
+	return &Client{BaseURL: baseURL, APIKey: apiKey}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// post sends a JSON request and decodes the JSON response into out.
+func (c *Client) post(path string, in, out interface{}) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("crowd: encode request: %w", err)
+	}
+	req, err := http.NewRequest(http.MethodPost, c.BaseURL+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if c.APIKey != "" {
+		req.Header.Set("X-Api-Key", c.APIKey)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return fmt.Errorf("crowd: request %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e errorResponse
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+			return fmt.Errorf("crowd: %s: %s (HTTP %d)", path, e.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("crowd: %s: HTTP %d", path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Register creates a user account and returns its API key. The client's
+// APIKey field is updated in place.
+func (c *Client) Register(username, email string) (string, error) {
+	var resp RegisterResponse
+	if err := c.post("/api/v1/register", RegisterRequest{Username: username, Email: email}, &resp); err != nil {
+		return "", err
+	}
+	c.APIKey = resp.APIKey
+	return resp.APIKey, nil
+}
+
+// Upload stores function evaluations on the server.
+func (c *Client) Upload(evals []FuncEval) ([]string, error) {
+	var resp UploadResponse
+	if err := c.post("/api/v1/func_eval/upload", UploadRequest{FuncEvals: evals}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.IDs, nil
+}
+
+// Query downloads the samples matching the request.
+func (c *Client) Query(req QueryRequest) ([]FuncEval, error) {
+	var resp QueryResponse
+	if err := c.post("/api/v1/func_eval/query", req, &resp); err != nil {
+		return nil, err
+	}
+	return resp.FuncEvals, nil
+}
+
+// QueryWithParamFilter is Query with a typed historydb parameter filter
+// (field paths like "task_parameters.m").
+func (c *Client) QueryWithParamFilter(problem string, cfg ConfigurationSpace, filter historydb.Query, limit int) ([]FuncEval, error) {
+	var raw []byte
+	if filter != nil {
+		b, err := historydb.MarshalQuery(filter)
+		if err != nil {
+			return nil, err
+		}
+		raw = b
+	}
+	return c.Query(QueryRequest{
+		TuningProblemName: problem,
+		Configuration:     cfg,
+		ParamQuery:        raw,
+		Limit:             limit,
+	})
+}
+
+// Problems lists tuning problems visible to the caller.
+func (c *Client) Problems() ([]string, error) {
+	var resp ProblemsResponse
+	if err := c.post("/api/v1/problems", struct{}{}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Problems, nil
+}

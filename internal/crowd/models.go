@@ -1,0 +1,174 @@
+package crowd
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"gptunecrowd/internal/historydb"
+)
+
+// SurrogateModelDoc is a stored pre-trained surrogate model (Section
+// V-A-1: the database holds "pre-trained surrogate performance models
+// of source tasks" alongside raw samples). The model payload is opaque
+// JSON (produced by gp.GP.MarshalJSON); the envelope carries the
+// metadata needed to find it again.
+type SurrogateModelDoc struct {
+	ID                string                 `json:"_id,omitempty"`
+	TuningProblemName string                 `json:"tuning_problem_name"`
+	TaskParams        map[string]interface{} `json:"task_parameters,omitempty"`
+	Machine           MachineConfiguration   `json:"machine_configuration,omitempty"`
+	NumSamples        int                    `json:"num_samples"`
+	Owner             string                 `json:"owner,omitempty"`
+	Accessibility     string                 `json:"accessibility"`
+	Model             json.RawMessage        `json:"model"`
+}
+
+// Validate checks the envelope.
+func (m *SurrogateModelDoc) Validate() error {
+	if m.TuningProblemName == "" {
+		return errMissing("tuning_problem_name")
+	}
+	if len(m.Model) == 0 || string(m.Model) == "null" {
+		return errMissing("model")
+	}
+	switch m.Accessibility {
+	case "", "public", "private", "shared":
+		return nil
+	}
+	return errBadAccess(m.Accessibility)
+}
+
+type fieldError string
+
+func (e fieldError) Error() string { return string(e) }
+
+func errMissing(f string) error   { return fieldError("crowd: surrogate model needs " + f) }
+func errBadAccess(a string) error { return fieldError("crowd: unknown accessibility " + a) }
+
+// ModelUploadRequest / ModelQueryRequest are the wire forms.
+type ModelUploadRequest struct {
+	Models []SurrogateModelDoc `json:"models"`
+}
+
+// ModelUploadResponse reports assigned ids.
+type ModelUploadResponse struct {
+	IDs []string `json:"ids"`
+}
+
+// ModelQueryRequest selects stored models.
+type ModelQueryRequest struct {
+	TuningProblemName string `json:"tuning_problem_name"`
+	Limit             int    `json:"limit,omitempty"`
+}
+
+// ModelQueryResponse carries matching models.
+type ModelQueryResponse struct {
+	Models []SurrogateModelDoc `json:"models"`
+}
+
+func (s *Server) models() *historydb.Collection { return s.store.Collection("surrogate_models") }
+
+func (s *Server) handleModelUpload(w http.ResponseWriter, r *http.Request, user string) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req ModelUploadRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(req.Models) == 0 {
+		writeErr(w, http.StatusBadRequest, "no models in upload")
+		return
+	}
+	var resp ModelUploadResponse
+	for i := range req.Models {
+		m := &req.Models[i]
+		if err := m.Validate(); err != nil {
+			writeErr(w, http.StatusBadRequest, "model %d: %v", i, err)
+			return
+		}
+		m.Owner = user
+		if m.Accessibility == "" {
+			m.Accessibility = "public"
+		}
+		m.Machine = m.Machine.Normalize()
+		b, err := json.Marshal(m)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "model %d: %v", i, err)
+			return
+		}
+		var doc historydb.Document
+		if err := json.Unmarshal(b, &doc); err != nil {
+			writeErr(w, http.StatusInternalServerError, "model %d: %v", i, err)
+			return
+		}
+		delete(doc, "_id")
+		id, err := s.models().Insert(doc)
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, "store error: %v", err)
+			return
+		}
+		resp.IDs = append(resp.IDs, id)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleModelQuery(w http.ResponseWriter, r *http.Request, user string) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req ModelQueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.TuningProblemName == "" {
+		writeErr(w, http.StatusBadRequest, "tuning_problem_name required")
+		return
+	}
+	docs, err := s.models().Find(historydb.Eq("tuning_problem_name", req.TuningProblemName))
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "store error: %v", err)
+		return
+	}
+	var resp ModelQueryResponse
+	for _, d := range docs {
+		b, err := json.Marshal(d)
+		if err != nil {
+			continue
+		}
+		var m SurrogateModelDoc
+		if err := json.Unmarshal(b, &m); err != nil {
+			continue
+		}
+		if !canSee(&FuncEval{Accessibility: m.Accessibility, Owner: m.Owner}, user) {
+			continue
+		}
+		resp.Models = append(resp.Models, m)
+		if req.Limit > 0 && len(resp.Models) >= req.Limit {
+			break
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// UploadModels stores pre-trained surrogate models on the server.
+func (c *Client) UploadModels(models []SurrogateModelDoc) ([]string, error) {
+	var resp ModelUploadResponse
+	if err := c.post("/api/v1/surrogate/upload", ModelUploadRequest{Models: models}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.IDs, nil
+}
+
+// QueryModels downloads stored surrogate models for a problem.
+func (c *Client) QueryModels(problem string, limit int) ([]SurrogateModelDoc, error) {
+	var resp ModelQueryResponse
+	if err := c.post("/api/v1/surrogate/query", ModelQueryRequest{TuningProblemName: problem, Limit: limit}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Models, nil
+}

@@ -1,0 +1,357 @@
+package crowd
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+
+	"gptunecrowd/internal/historydb"
+)
+
+// Server is the shared-database HTTP server. Construct with NewServer
+// and mount via Handler (it is an http.Handler).
+type Server struct {
+	mu    sync.Mutex
+	store *historydb.Store
+	mux   *http.ServeMux
+}
+
+// NewServer returns a server with an empty store.
+func NewServer() *Server {
+	s := &Server{store: historydb.NewStore()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/v1/register", s.handleRegister)
+	mux.HandleFunc("/api/v1/func_eval/upload", s.auth(s.handleUpload))
+	mux.HandleFunc("/api/v1/func_eval/query", s.auth(s.handleQuery))
+	mux.HandleFunc("/api/v1/problems", s.auth(s.handleProblems))
+	mux.HandleFunc("/api/v1/surrogate/upload", s.auth(s.handleModelUpload))
+	mux.HandleFunc("/api/v1/surrogate/query", s.auth(s.handleModelQuery))
+	s.mux = mux
+	return s
+}
+
+// Store exposes the underlying document store (for persistence wiring
+// in cmd/crowdserver).
+func (s *Server) Store() *historydb.Store { return s.store }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) users() *historydb.Collection     { return s.store.Collection("users") }
+func (s *Server) funcEvals() *historydb.Collection { return s.store.Collection("func_evals") }
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...interface{}) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// newAPIKey generates the paper's default API-key form: a random string
+// of 20 hex characters/digits.
+func newAPIKey() string {
+	var b [10]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(err) // crypto/rand failure is unrecoverable
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// handleRegister creates a user and returns a fresh API key. Usernames
+// are unique.
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req RegisterRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	req.Username = strings.TrimSpace(req.Username)
+	if req.Username == "" {
+		writeErr(w, http.StatusBadRequest, "username required")
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n := s.users().Count(historydb.Eq("username", req.Username)); n > 0 {
+		writeErr(w, http.StatusConflict, "username %q taken", req.Username)
+		return
+	}
+	key := newAPIKey()
+	_, err := s.users().Insert(historydb.Document{
+		"username": req.Username,
+		"email":    req.Email,
+		"api_keys": []interface{}{key},
+	})
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "store error: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, RegisterResponse{APIKey: key})
+}
+
+// auth wraps a handler with API-key authentication; the resolved
+// username is passed through the request header "X-Resolved-User".
+func (s *Server) auth(next func(http.ResponseWriter, *http.Request, string)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		key := r.Header.Get("X-Api-Key")
+		if key == "" {
+			writeErr(w, http.StatusUnauthorized, "missing X-Api-Key header")
+			return
+		}
+		user, err := s.userForKey(key)
+		if err != nil {
+			writeErr(w, http.StatusUnauthorized, "invalid API key")
+			return
+		}
+		next(w, r, user)
+	}
+}
+
+func (s *Server) userForKey(key string) (string, error) {
+	docs, err := s.users().Find(nil)
+	if err != nil {
+		return "", err
+	}
+	for _, d := range docs {
+		keys, _ := d["api_keys"].([]interface{})
+		for _, k := range keys {
+			if ks, ok := k.(string); ok && ks == key {
+				return d["username"].(string), nil
+			}
+		}
+	}
+	return "", fmt.Errorf("crowd: unknown API key")
+}
+
+// handleUpload stores function evaluations under the caller's identity.
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request, user string) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req UploadRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(req.FuncEvals) == 0 {
+		writeErr(w, http.StatusBadRequest, "no function evaluations in upload")
+		return
+	}
+	resp := UploadResponse{}
+	for i := range req.FuncEvals {
+		fe := &req.FuncEvals[i]
+		if err := fe.Validate(); err != nil {
+			writeErr(w, http.StatusBadRequest, "sample %d: %v", i, err)
+			return
+		}
+		fe.Owner = user
+		if fe.Accessibility == "" {
+			fe.Accessibility = "public"
+		}
+		fe.Machine = fe.Machine.Normalize()
+		doc, err := toDocument(fe)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "sample %d: %v", i, err)
+			return
+		}
+		id, err := s.funcEvals().Insert(doc)
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, "store error: %v", err)
+			return
+		}
+		resp.IDs = append(resp.IDs, id)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleQuery returns samples matching the problem name, environment
+// filter and optional parameter query, restricted to what the caller
+// may see.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, user string) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.TuningProblemName == "" {
+		writeErr(w, http.StatusBadRequest, "tuning_problem_name required")
+		return
+	}
+	var paramQuery historydb.Query
+	if len(req.ParamQuery) > 0 {
+		q, err := historydb.UnmarshalQuery(req.ParamQuery)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "bad param_query: %v", err)
+			return
+		}
+		paramQuery = q
+	}
+	base := historydb.And(
+		historydb.Eq("tuning_problem_name", req.TuningProblemName),
+	)
+	docs, err := s.funcEvals().Find(base)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "store error: %v", err)
+		return
+	}
+	resp := QueryResponse{}
+	for _, d := range docs {
+		fe, err := fromDocument(d)
+		if err != nil {
+			continue // skip malformed documents rather than failing the query
+		}
+		if !canSee(fe, user) {
+			continue
+		}
+		if !matchesConfiguration(fe, req.Configuration) {
+			continue
+		}
+		if paramQuery != nil && !paramQuery.Match(d) {
+			continue
+		}
+		// Private metadata is stripped for non-owners.
+		if fe.Owner != user {
+			fe.SharedWith = nil
+		}
+		resp.FuncEvals = append(resp.FuncEvals, *fe)
+		if req.Limit > 0 && len(resp.FuncEvals) >= req.Limit {
+			break
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleProblems lists problem names with at least one sample visible
+// to the caller.
+func (s *Server) handleProblems(w http.ResponseWriter, r *http.Request, user string) {
+	docs, err := s.funcEvals().Find(nil)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "store error: %v", err)
+		return
+	}
+	set := map[string]bool{}
+	for _, d := range docs {
+		fe, err := fromDocument(d)
+		if err != nil || !canSee(fe, user) {
+			continue
+		}
+		set[fe.TuningProblemName] = true
+	}
+	resp := ProblemsResponse{}
+	for name := range set {
+		resp.Problems = append(resp.Problems, name)
+	}
+	sort.Strings(resp.Problems)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// canSee implements the access-control levels of Section III.
+func canSee(fe *FuncEval, user string) bool {
+	switch fe.Accessibility {
+	case "public", "":
+		return true
+	case "private":
+		return fe.Owner == user
+	case "shared":
+		if fe.Owner == user {
+			return true
+		}
+		for _, u := range fe.SharedWith {
+			if u == user {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// matchesConfiguration applies the meta description's environment
+// filters with tag normalization and version ranges.
+func matchesConfiguration(fe *FuncEval, cfg ConfigurationSpace) bool {
+	if len(cfg.MachineConfigurations) > 0 {
+		ok := false
+		m := fe.Machine.Normalize()
+		for _, want := range cfg.MachineConfigurations {
+			w := want.Normalize()
+			if w.MachineName != "" && w.MachineName != m.MachineName {
+				continue
+			}
+			if w.Partition != "" && w.Partition != m.Partition {
+				continue
+			}
+			if w.Nodes > 0 && w.Nodes != m.Nodes {
+				continue
+			}
+			if w.CoresPerNode > 0 && w.CoresPerNode != m.CoresPerNode {
+				continue
+			}
+			ok = true
+			break
+		}
+		if !ok {
+			return false
+		}
+	}
+	for _, vr := range cfg.SoftwareConfigurations {
+		if !vr.Matches(fe.Software) {
+			return false
+		}
+	}
+	if len(cfg.UserConfigurations) > 0 {
+		ok := false
+		for _, u := range cfg.UserConfigurations {
+			if u == fe.Owner {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// toDocument converts a FuncEval to a store document via JSON.
+func toDocument(fe *FuncEval) (historydb.Document, error) {
+	b, err := json.Marshal(fe)
+	if err != nil {
+		return nil, err
+	}
+	var d historydb.Document
+	if err := json.Unmarshal(b, &d); err != nil {
+		return nil, err
+	}
+	delete(d, "_id") // assigned by the store
+	return d, nil
+}
+
+// fromDocument converts a store document back to a FuncEval.
+func fromDocument(d historydb.Document) (*FuncEval, error) {
+	b, err := json.Marshal(d)
+	if err != nil {
+		return nil, err
+	}
+	var fe FuncEval
+	if err := json.Unmarshal(b, &fe); err != nil {
+		return nil, err
+	}
+	return &fe, nil
+}

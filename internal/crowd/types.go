@@ -1,0 +1,153 @@
+// Package crowd implements the shared performance database of
+// GPTuneCrowd (Sections III and IV): an HTTP server backed by the
+// historydb document store with API-key authentication, per-sample
+// access control (public / private / shared-with), machine and software
+// tag normalization, and version-range configuration matching — plus the
+// client used by the tuner to download source datasets and upload new
+// function evaluations.
+package crowd
+
+import (
+	"fmt"
+
+	"gptunecrowd/internal/envparse"
+)
+
+// MachineConfiguration records where a sample was measured.
+type MachineConfiguration struct {
+	MachineName  string `json:"machine_name"`
+	Partition    string `json:"partition,omitempty"`
+	Nodes        int    `json:"nodes,omitempty"`
+	CoresPerNode int    `json:"cores_per_node,omitempty"`
+}
+
+// Normalize canonicalizes the tags (Section III's tag matching).
+func (m MachineConfiguration) Normalize() MachineConfiguration {
+	m.MachineName = envparse.NormalizeMachineName(m.MachineName)
+	m.Partition = envparse.NormalizePartition(m.Partition)
+	return m
+}
+
+// SoftwareConfiguration records one software component of the stack.
+type SoftwareConfiguration struct {
+	Name    string           `json:"name"`
+	Version envparse.Version `json:"version"`
+	Source  string           `json:"source,omitempty"` // "spack", "ck", "manual"
+}
+
+// FuncEval is one crowd-contributed function evaluation: the paper's
+// atomic performance-data sample (task parameters, tuning parameters,
+// evaluation result, plus reproducibility and access metadata).
+type FuncEval struct {
+	ID                string                  `json:"_id,omitempty"`
+	TuningProblemName string                  `json:"tuning_problem_name"`
+	TaskParams        map[string]interface{}  `json:"task_parameters"`
+	TuningParams      map[string]interface{}  `json:"tuning_parameters"`
+	Output            float64                 `json:"evaluation_result"`
+	Failed            bool                    `json:"failed,omitempty"`
+	Machine           MachineConfiguration    `json:"machine_configuration"`
+	Software          []SoftwareConfiguration `json:"software_configuration,omitempty"`
+	Owner             string                  `json:"owner,omitempty"` // set by the server
+	Accessibility     string                  `json:"accessibility"`   // "public", "private", "shared"
+	SharedWith        []string                `json:"shared_with,omitempty"`
+}
+
+// Validate checks the sample before upload.
+func (f *FuncEval) Validate() error {
+	if f.TuningProblemName == "" {
+		return fmt.Errorf("crowd: function evaluation needs a tuning_problem_name")
+	}
+	if len(f.TuningParams) == 0 {
+		return fmt.Errorf("crowd: function evaluation needs tuning_parameters")
+	}
+	switch f.Accessibility {
+	case "", "public", "private", "shared":
+	default:
+		return fmt.Errorf("crowd: unknown accessibility %q", f.Accessibility)
+	}
+	return nil
+}
+
+// VersionRange restricts a software dependency in a query, mirroring
+// the meta description's {"version_from": [8,0,0], "version_to":
+// [9,0,0]} form. Zero-valued ends are open.
+type VersionRange struct {
+	Name        string           `json:"name"`
+	VersionFrom envparse.Version `json:"version_from,omitempty"`
+	VersionTo   envparse.Version `json:"version_to,omitempty"`
+}
+
+// Matches reports whether the software list satisfies the range: the
+// named software must be present with a version inside [from, to].
+func (vr VersionRange) Matches(sw []SoftwareConfiguration) bool {
+	for _, s := range sw {
+		if s.Name != vr.Name {
+			continue
+		}
+		if (vr.VersionFrom != envparse.Version{}) && s.Version.Before(vr.VersionFrom) {
+			continue
+		}
+		if (vr.VersionTo != envparse.Version{}) && vr.VersionTo.Before(s.Version) {
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+// ConfigurationSpace is the query-side environment filter of the meta
+// description (Section IV-A).
+type ConfigurationSpace struct {
+	MachineConfigurations  []MachineConfiguration `json:"machine_configurations,omitempty"`
+	SoftwareConfigurations []VersionRange         `json:"software_configurations,omitempty"`
+	UserConfigurations     []string               `json:"user_configurations,omitempty"`
+}
+
+// QueryRequest is the wire form of a crowd query.
+type QueryRequest struct {
+	TuningProblemName string             `json:"tuning_problem_name"`
+	Configuration     ConfigurationSpace `json:"configuration_space,omitempty"`
+	// ParamRanges optionally restricts task/tuning parameter values:
+	// field paths are relative to the sample document, e.g.
+	// "task_parameters.m". Serialized with the historydb wire format.
+	ParamQuery []byte `json:"param_query,omitempty"`
+	// Limit caps the number of returned samples (0 = no limit).
+	Limit int `json:"limit,omitempty"`
+}
+
+// QueryResponse carries matching samples.
+type QueryResponse struct {
+	FuncEvals []FuncEval `json:"func_evals"`
+}
+
+// UploadRequest carries samples to store.
+type UploadRequest struct {
+	FuncEvals []FuncEval `json:"func_evals"`
+}
+
+// UploadResponse reports assigned ids.
+type UploadResponse struct {
+	IDs []string `json:"ids"`
+}
+
+// RegisterRequest creates a user account.
+type RegisterRequest struct {
+	Username string `json:"username"`
+	Email    string `json:"email"`
+}
+
+// RegisterResponse returns the generated API key (shown once, as on the
+// real site).
+type RegisterResponse struct {
+	APIKey string `json:"api_key"`
+}
+
+// ProblemsResponse lists distinct tuning problem names visible to the
+// caller.
+type ProblemsResponse struct {
+	Problems []string `json:"problems"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}

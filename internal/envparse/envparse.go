@@ -1,0 +1,285 @@
+// Package envparse implements GPTuneCrowd's automatic environment
+// parsing (Section IV-A): extracting reproducibility metadata — machine
+// and software configuration — from Spack spec strings, Slurm
+// environment variables and CK (Collective Knowledge) meta files, so
+// that performance samples uploaded to the shared database carry
+// machine/software provenance without manual input.
+package envparse
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Version is a dotted software version, e.g. {2, 1, 0}.
+type Version [3]int
+
+// ParseVersion parses "2.1.0"-style strings; missing components are 0.
+func ParseVersion(s string) (Version, error) {
+	var v Version
+	if s == "" {
+		return v, fmt.Errorf("envparse: empty version")
+	}
+	parts := strings.Split(s, ".")
+	if len(parts) > 3 {
+		parts = parts[:3]
+	}
+	for i, p := range parts {
+		n, err := strconv.Atoi(p)
+		if err != nil {
+			return v, fmt.Errorf("envparse: bad version component %q in %q", p, s)
+		}
+		v[i] = n
+	}
+	return v, nil
+}
+
+// String renders the version in dotted form.
+func (v Version) String() string {
+	return fmt.Sprintf("%d.%d.%d", v[0], v[1], v[2])
+}
+
+// Compare returns -1, 0 or 1 ordering versions lexicographically.
+func (v Version) Compare(o Version) int {
+	for i := 0; i < 3; i++ {
+		switch {
+		case v[i] < o[i]:
+			return -1
+		case v[i] > o[i]:
+			return 1
+		}
+	}
+	return 0
+}
+
+// AtLeast reports v >= o.
+func (v Version) AtLeast(o Version) bool { return v.Compare(o) >= 0 }
+
+// Before reports v < o.
+func (v Version) Before(o Version) bool { return v.Compare(o) < 0 }
+
+// SoftwareConfig is a parsed software installation record.
+type SoftwareConfig struct {
+	Name            string            `json:"name"`
+	Version         Version           `json:"version"`
+	Compiler        string            `json:"compiler,omitempty"`
+	CompilerVersion Version           `json:"compiler_version,omitempty"`
+	Variants        map[string]bool   `json:"variants,omitempty"`
+	Options         map[string]string `json:"options,omitempty"`
+	Source          string            `json:"source"` // "spack", "ck", "manual"
+}
+
+// ParseSpackSpec parses a Spack spec string such as
+//
+//	scalapack@2.1.0%gcc@9.3.0+shared~static arch=cray-cnl7-haswell
+//
+// into a SoftwareConfig. Only the subset of the grammar needed for
+// provenance is supported: name@version, %compiler@version, +/~ variants
+// and key=value options.
+func ParseSpackSpec(spec string) (*SoftwareConfig, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, fmt.Errorf("envparse: empty spack spec")
+	}
+	cfg := &SoftwareConfig{Variants: map[string]bool{}, Options: map[string]string{}, Source: "spack"}
+	fields := strings.Fields(spec)
+	head := fields[0]
+	// Split off the compiler part first.
+	var compilerPart string
+	if i := strings.IndexByte(head, '%'); i >= 0 {
+		compilerPart = head[i+1:]
+		head = head[:i]
+	}
+	// Variants may be glued to the head: name@ver+shared~static.
+	for {
+		plus := strings.LastIndexAny(head, "+~")
+		if plus <= 0 {
+			break
+		}
+		name := head[plus+1:]
+		if name == "" {
+			return nil, fmt.Errorf("envparse: dangling variant sigil in %q", spec)
+		}
+		cfg.Variants[name] = head[plus] == '+'
+		head = head[:plus]
+	}
+	if i := strings.IndexByte(head, '@'); i >= 0 {
+		v, err := ParseVersion(head[i+1:])
+		if err != nil {
+			return nil, err
+		}
+		cfg.Version = v
+		head = head[:i]
+	}
+	if head == "" {
+		return nil, fmt.Errorf("envparse: spec %q has no package name", spec)
+	}
+	cfg.Name = head
+	if compilerPart != "" {
+		// The compiler part may itself carry glued variants; stop at the
+		// first sigil.
+		if j := strings.IndexAny(compilerPart, "+~"); j >= 0 {
+			rest := compilerPart[j:]
+			compilerPart = compilerPart[:j]
+			for {
+				plus := strings.LastIndexAny(rest, "+~")
+				if plus < 0 {
+					break
+				}
+				name := rest[plus+1:]
+				if name != "" {
+					cfg.Variants[name] = rest[plus] == '+'
+				}
+				rest = rest[:plus]
+			}
+		}
+		if i := strings.IndexByte(compilerPart, '@'); i >= 0 {
+			v, err := ParseVersion(compilerPart[i+1:])
+			if err != nil {
+				return nil, err
+			}
+			cfg.CompilerVersion = v
+			compilerPart = compilerPart[:i]
+		}
+		cfg.Compiler = compilerPart
+	}
+	// Remaining fields: key=value options or standalone variants.
+	for _, f := range fields[1:] {
+		if i := strings.IndexByte(f, '='); i >= 0 {
+			cfg.Options[f[:i]] = f[i+1:]
+			continue
+		}
+		switch f[0] {
+		case '+':
+			cfg.Variants[f[1:]] = true
+		case '~':
+			cfg.Variants[f[1:]] = false
+		}
+	}
+	return cfg, nil
+}
+
+// MachineConfig is a parsed runtime machine/job record.
+type MachineConfig struct {
+	MachineName  string `json:"machine_name,omitempty"`
+	Partition    string `json:"partition,omitempty"`
+	Nodes        int    `json:"nodes"`
+	CoresPerNode int    `json:"cores_per_node,omitempty"`
+	TotalTasks   int    `json:"total_tasks,omitempty"`
+	JobID        string `json:"job_id,omitempty"`
+	Source       string `json:"source"` // "slurm", "manual"
+}
+
+// ParseSlurmEnv extracts the machine configuration from Slurm job
+// environment variables, via the supplied lookup function (os.Getenv in
+// production, a map in tests).
+func ParseSlurmEnv(getenv func(string) string) (*MachineConfig, error) {
+	if getenv("SLURM_JOB_ID") == "" && getenv("SLURM_NNODES") == "" {
+		return nil, fmt.Errorf("envparse: no Slurm environment detected")
+	}
+	cfg := &MachineConfig{Source: "slurm", JobID: getenv("SLURM_JOB_ID")}
+	cfg.MachineName = getenv("SLURM_CLUSTER_NAME")
+	cfg.Partition = getenv("SLURM_JOB_PARTITION")
+	if v := getenv("SLURM_NNODES"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return nil, fmt.Errorf("envparse: bad SLURM_NNODES %q", v)
+		}
+		cfg.Nodes = n
+	}
+	if v := getenv("SLURM_NTASKS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			cfg.TotalTasks = n
+		}
+	}
+	// SLURM_JOB_CPUS_PER_NODE looks like "32" or "32(x4)".
+	if v := getenv("SLURM_JOB_CPUS_PER_NODE"); v != "" {
+		if i := strings.IndexByte(v, '('); i >= 0 {
+			v = v[:i]
+		}
+		if n, err := strconv.Atoi(v); err == nil {
+			cfg.CoresPerNode = n
+		}
+	}
+	return cfg, nil
+}
+
+// ckMeta is the subset of a CK meta.json we consume.
+type ckMeta struct {
+	DataName string `json:"data_name"`
+	Version  string `json:"version"`
+	Deps     map[string]struct {
+		Name    string `json:"name"`
+		Version string `json:"version"`
+	} `json:"deps"`
+}
+
+// ParseCKMeta parses a Collective Knowledge package meta.json blob.
+func ParseCKMeta(data []byte) (*SoftwareConfig, error) {
+	var meta ckMeta
+	if err := json.Unmarshal(data, &meta); err != nil {
+		return nil, fmt.Errorf("envparse: bad CK meta: %w", err)
+	}
+	if meta.DataName == "" {
+		return nil, fmt.Errorf("envparse: CK meta missing data_name")
+	}
+	cfg := &SoftwareConfig{Name: meta.DataName, Source: "ck", Options: map[string]string{}}
+	if meta.Version != "" {
+		v, err := ParseVersion(meta.Version)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Version = v
+	}
+	if c, ok := meta.Deps["compiler"]; ok {
+		cfg.Compiler = c.Name
+		if c.Version != "" {
+			if v, err := ParseVersion(c.Version); err == nil {
+				cfg.CompilerVersion = v
+			}
+		}
+	}
+	return cfg, nil
+}
+
+// NormalizeMachineName maps user-provided machine aliases to the
+// database's canonical tags (Section III: "the shared database
+// internally parses the user provided information to match the tag
+// names"). Unknown names are lower-cased as-is.
+func NormalizeMachineName(name string) string {
+	key := strings.ToLower(strings.TrimSpace(name))
+	aliases := map[string]string{
+		"cori":         "cori",
+		"cori-haswell": "cori",
+		"cori-knl":     "cori",
+		"nersc cori":   "cori",
+		"summit":       "summit",
+		"olcf summit":  "summit",
+		"perlmutter":   "perlmutter",
+		"theta":        "theta",
+		"alcf theta":   "theta",
+	}
+	if canon, ok := aliases[key]; ok {
+		return canon
+	}
+	return key
+}
+
+// NormalizePartition canonicalizes partition/architecture tags.
+func NormalizePartition(p string) string {
+	key := strings.ToLower(strings.TrimSpace(p))
+	aliases := map[string]string{
+		"haswell":         "haswell",
+		"hsw":             "haswell",
+		"knl":             "knl",
+		"knights landing": "knl",
+		"knightslanding":  "knl",
+		"gpu":             "gpu",
+	}
+	if canon, ok := aliases[key]; ok {
+		return canon
+	}
+	return key
+}

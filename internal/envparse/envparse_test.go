@@ -1,0 +1,161 @@
+package envparse
+
+import (
+	"testing"
+)
+
+func TestParseVersion(t *testing.T) {
+	v, err := ParseVersion("2.1.0")
+	if err != nil || v != (Version{2, 1, 0}) {
+		t.Fatalf("ParseVersion = %v, %v", v, err)
+	}
+	v, err = ParseVersion("9")
+	if err != nil || v != (Version{9, 0, 0}) {
+		t.Fatalf("short version = %v, %v", v, err)
+	}
+	if _, err := ParseVersion(""); err == nil {
+		t.Fatal("expected error for empty")
+	}
+	if _, err := ParseVersion("a.b"); err == nil {
+		t.Fatal("expected error for garbage")
+	}
+	if v.String() != "9.0.0" {
+		t.Fatalf("String = %s", v.String())
+	}
+}
+
+func TestVersionCompare(t *testing.T) {
+	a := Version{8, 0, 0}
+	b := Version{9, 3, 0}
+	if !a.Before(b) || a.AtLeast(b) {
+		t.Fatal("ordering wrong")
+	}
+	if !b.AtLeast(a) || a.Compare(a) != 0 {
+		t.Fatal("reflexive/antisymmetric wrong")
+	}
+	if (Version{8, 2, 0}).Compare(Version{8, 1, 9}) != 1 {
+		t.Fatal("component ordering wrong")
+	}
+}
+
+func TestParseSpackSpecFull(t *testing.T) {
+	cfg, err := ParseSpackSpec("scalapack@2.1.0%gcc@9.3.0+shared~static arch=cray-cnl7-haswell")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Name != "scalapack" || cfg.Version != (Version{2, 1, 0}) {
+		t.Fatalf("name/version = %s %v", cfg.Name, cfg.Version)
+	}
+	if cfg.Compiler != "gcc" || cfg.CompilerVersion != (Version{9, 3, 0}) {
+		t.Fatalf("compiler = %s %v", cfg.Compiler, cfg.CompilerVersion)
+	}
+	if !cfg.Variants["shared"] || cfg.Variants["static"] {
+		t.Fatalf("variants = %v", cfg.Variants)
+	}
+	if cfg.Options["arch"] != "cray-cnl7-haswell" {
+		t.Fatalf("options = %v", cfg.Options)
+	}
+	if cfg.Source != "spack" {
+		t.Fatal("source tag missing")
+	}
+}
+
+func TestParseSpackSpecMinimal(t *testing.T) {
+	cfg, err := ParseSpackSpec("superlu-dist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Name != "superlu-dist" || cfg.Version != (Version{}) {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+}
+
+func TestParseSpackSpecErrors(t *testing.T) {
+	for _, bad := range []string{"", "@2.0", "pkg@x.y", "pkg+"} {
+		if _, err := ParseSpackSpec(bad); err == nil {
+			t.Fatalf("expected error for %q", bad)
+		}
+	}
+}
+
+func TestParseSlurmEnv(t *testing.T) {
+	env := map[string]string{
+		"SLURM_JOB_ID":            "12345",
+		"SLURM_NNODES":            "8",
+		"SLURM_NTASKS":            "256",
+		"SLURM_JOB_CPUS_PER_NODE": "32(x8)",
+		"SLURM_CLUSTER_NAME":      "cori",
+		"SLURM_JOB_PARTITION":     "haswell",
+	}
+	cfg, err := ParseSlurmEnv(func(k string) string { return env[k] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Nodes != 8 || cfg.CoresPerNode != 32 || cfg.TotalTasks != 256 {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+	if cfg.MachineName != "cori" || cfg.Partition != "haswell" || cfg.JobID != "12345" {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+}
+
+func TestParseSlurmEnvAbsent(t *testing.T) {
+	if _, err := ParseSlurmEnv(func(string) string { return "" }); err == nil {
+		t.Fatal("expected error outside Slurm")
+	}
+}
+
+func TestParseSlurmEnvBadNodes(t *testing.T) {
+	env := map[string]string{"SLURM_JOB_ID": "1", "SLURM_NNODES": "eight"}
+	if _, err := ParseSlurmEnv(func(k string) string { return env[k] }); err == nil {
+		t.Fatal("expected error for bad node count")
+	}
+}
+
+func TestParseCKMeta(t *testing.T) {
+	data := []byte(`{
+		"data_name": "hypre",
+		"version": "2.20.0",
+		"deps": {"compiler": {"name": "icc", "version": "19.1.2"}}
+	}`)
+	cfg, err := ParseCKMeta(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Name != "hypre" || cfg.Version != (Version{2, 20, 0}) {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+	if cfg.Compiler != "icc" || cfg.CompilerVersion != (Version{19, 1, 2}) {
+		t.Fatalf("compiler = %s %v", cfg.Compiler, cfg.CompilerVersion)
+	}
+	if cfg.Source != "ck" {
+		t.Fatal("source tag")
+	}
+	if _, err := ParseCKMeta([]byte(`{}`)); err == nil {
+		t.Fatal("expected error for missing data_name")
+	}
+	if _, err := ParseCKMeta([]byte(`nope`)); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestNormalization(t *testing.T) {
+	cases := map[string]string{
+		"Cori":         "cori",
+		"cori-haswell": "cori",
+		"NERSC Cori":   "cori",
+		"OLCF Summit":  "summit",
+		"mycluster":    "mycluster",
+	}
+	for in, want := range cases {
+		if got := NormalizeMachineName(in); got != want {
+			t.Fatalf("NormalizeMachineName(%q) = %q, want %q", in, got, want)
+		}
+	}
+	if NormalizePartition("Knights Landing") != "knl" || NormalizePartition("HSW") != "haswell" {
+		t.Fatal("partition normalization wrong")
+	}
+	if NormalizePartition("weird") != "weird" {
+		t.Fatal("unknown partition should pass through lowered")
+	}
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAblationEnsemble(t *testing.T) {
+	res, err := AblationEnsemble(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != "ablation-ensemble" || len(res.Series) != 3 {
+		t.Fatalf("res %s with %d series", res.ID, len(res.Series))
+	}
+}
+
+func TestAblationAcquisition(t *testing.T) {
+	res, err := AblationAcquisition(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 3 {
+		t.Fatalf("%d series", len(res.Series))
+	}
+	names := map[string]bool{}
+	for _, s := range res.Series {
+		names[s.Name] = true
+		if math.IsNaN(s.Mean[len(s.Mean)-1]) {
+			t.Fatalf("series %s has no final value", s.Name)
+		}
+	}
+	if !names["EI"] || !names["LCB"] || !names["PI"] {
+		t.Fatalf("names %v", names)
+	}
+}
+
+func TestAblationSourceCap(t *testing.T) {
+	res, err := AblationSourceCap(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) < 3 {
+		t.Fatalf("%d series", len(res.Series))
+	}
+}
+
+func TestAblationRobustEval(t *testing.T) {
+	res, err := AblationRobustEval(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 2 {
+		t.Fatalf("%d series", len(res.Series))
+	}
+	for _, s := range res.Series {
+		if s.Mean[0] <= 0 || math.IsNaN(s.Mean[0]) {
+			t.Fatalf("series %s value %v", s.Name, s.Mean[0])
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"gptunecrowd/internal/apps/nimrod"
+	"gptunecrowd/internal/apps/scalapack"
+	"gptunecrowd/internal/machine"
+	"gptunecrowd/internal/space"
+)
+
+// Table1 renders the TLA algorithm pool (the paper's Table I) from the
+// live registry, so the printout cannot drift from the code.
+func Table1() string {
+	rows := []struct{ name, desc, origin string }{
+		{"Multitask (PS)", "LCM multitask learning with pseudo samples from black-box source surrogates", "GPTune 2021 [11]"},
+		{"Multitask (TS)", "LCM multitask learning with true samples of the source tasks", "GPTuneCrowd"},
+		{"WeightedSum (static/equal)", "weighted sum of source/target surrogates, static or equal weights", "HiPerBOt [6]"},
+		{"WeightedSum (dynamic)", "weighted sum with weights from a linear-regression fit each iteration", "GPTuneCrowd"},
+		{"Stacking", "residual-stacked source surrogates, sample-count-weighted std combination", "Vizier [12]"},
+		{"Ensemble (proposed)", "per-evaluation TLA selection by PDF (Eq. 3) with exploration rate (Eq. 4)", "GPTuneCrowd"},
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== table1: the TLA algorithm pool\n")
+	fmt.Fprintf(&b, "%-28s %-78s %s\n", "Naming", "Description", "First autotuner")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-28s %-78s %s\n", r.name, r.desc, r.origin)
+	}
+	return b.String()
+}
+
+// renderSpace prints a tuning space as the paper's parameter tables.
+func renderSpace(title string, sp *space.Space, desc map[string]string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s\n", title)
+	fmt.Fprintf(&b, "%-14s %-60s %-12s %s\n", "Parameter", "Description", "Type", "Range")
+	for _, p := range sp.Params {
+		var rng string
+		switch p.Kind {
+		case space.Categorical:
+			rng = fmt.Sprintf("%d choices", len(p.Categories))
+		default:
+			rng = fmt.Sprintf("[%g,%g)", p.Lo, p.Hi)
+		}
+		fmt.Fprintf(&b, "%-14s %-60s %-12s %s\n", p.Name, desc[p.Name], p.Kind, rng)
+	}
+	return b.String()
+}
+
+// Table2 renders the PDGEQRF tuning parameters (paper Table II) from
+// the live parameter space.
+func Table2() string {
+	app := scalapack.New(machine.CoriHaswell(8))
+	return renderSpace("table2: PDGEQRF tuning parameters (8 Haswell nodes)", app.ParamSpace(), map[string]string{
+		"mb":          "row block size = 8*mb",
+		"nb":          "column block size = 8*nb",
+		"lg2npernode": "number of MPI processes per node = 2^lg2npernode",
+		"p":           "number of row processes",
+	})
+}
+
+// Table3 renders the NIMROD tuning parameters (paper Table III).
+func Table3() string {
+	app := nimrod.New(machine.CoriHaswell(32))
+	return renderSpace("table3: NIMROD tuning parameters", app.ParamSpace(), map[string]string{
+		"NSUP": "maximum supernode size in SuperLU",
+		"NREL": "upper bound of the minimum supernode size in SuperLU",
+		"nbx":  "2^nbx blocking in x for assembling NIMROD matrices",
+		"nby":  "2^nby blocking in y for assembling NIMROD matrices",
+		"npz":  "2^npz processes in z of each SuperLU 3D process grid",
+	})
+}

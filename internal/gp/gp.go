@@ -1,0 +1,329 @@
+// Package gp implements exact Gaussian-process regression: the surrogate
+// performance model at the heart of the Bayesian-optimization tuner.
+// Targets are standardized internally; hyperparameters (ARD length
+// scales, signal variance, noise variance) are fitted by multi-start
+// L-BFGS on the exact negative log marginal likelihood with analytic
+// gradients.
+package gp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"gptunecrowd/internal/kernel"
+	"gptunecrowd/internal/linalg"
+	"gptunecrowd/internal/optimize"
+)
+
+// ErrNoData is returned when fitting with zero observations.
+var ErrNoData = errors.New("gp: no training data")
+
+// Options configures a GP fit.
+type Options struct {
+	Kernel      kernel.Type // covariance family (default Matern52)
+	Categorical []bool      // per-dimension categorical flags (Hamming distance)
+	Restarts    int         // multi-start count (default 2; 0 means default)
+	MaxIter     int         // L-BFGS iterations per start (default 60)
+	Seed        int64       // RNG seed for restarts
+	FixedNoise  float64     // if > 0, fixes the noise *standard deviation* (standardized units)
+}
+
+// GP is a fitted Gaussian-process model.
+type GP struct {
+	kern   *kernel.Kernel
+	hyper  *kernel.Hyper
+	lnoise float64 // log noise variance (standardized units)
+
+	x     [][]float64
+	alpha []float64
+	chol  *linalg.Cholesky
+
+	meanY, stdY float64
+	nll         float64
+}
+
+// hyperparameter box (log space, standardized targets, unit-cube inputs).
+var (
+	logLenLo, logLenHi     = math.Log(0.01), math.Log(100.0)
+	logVarLo, logVarHi     = math.Log(1e-6), math.Log(1e4)
+	logNoiseLo, logNoiseHi = math.Log(1e-8), math.Log(1.0)
+)
+
+// Fit trains a GP on inputs X (rows in the unit hypercube) and targets y.
+func Fit(X [][]float64, y []float64, opts Options) (*GP, error) {
+	n := len(X)
+	if n == 0 {
+		return nil, ErrNoData
+	}
+	if len(y) != n {
+		return nil, fmt.Errorf("gp: %d inputs but %d targets", n, len(y))
+	}
+	dim := len(X[0])
+	for i, x := range X {
+		if len(x) != dim {
+			return nil, fmt.Errorf("gp: input %d has dimension %d, want %d", i, len(x), dim)
+		}
+	}
+	for i, v := range y {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("gp: target %d is not finite (%v)", i, v)
+		}
+	}
+	if opts.Restarts <= 0 {
+		opts.Restarts = 2
+	}
+	if opts.MaxIter <= 0 {
+		opts.MaxIter = 60
+	}
+	if opts.Kernel == kernel.Auto {
+		opts.Kernel = kernel.Matern52
+	}
+	// Standardize targets.
+	var mean, sd float64
+	for _, v := range y {
+		mean += v
+	}
+	mean /= float64(n)
+	for _, v := range y {
+		sd += (v - mean) * (v - mean)
+	}
+	sd = math.Sqrt(sd / float64(n))
+	if sd < 1e-12 {
+		sd = 1
+	}
+	ys := make([]float64, n)
+	for i, v := range y {
+		ys[i] = (v - mean) / sd
+	}
+
+	kern := &kernel.Kernel{Type: opts.Kernel, Dim: dim, Categorical: opts.Categorical}
+	g := &GP{kern: kern, x: X, meanY: mean, stdY: sd}
+
+	np := dim + 2 // log lengths, log var, log noise var
+	obj := func(theta []float64) (float64, []float64) {
+		return g.nllGrad(ys, theta, opts.FixedNoise)
+	}
+
+	rng := rand.New(rand.NewSource(opts.Seed))
+	starts := make([][]float64, 0, opts.Restarts)
+	base := make([]float64, np)
+	base[dim] = 0                // log var = 0 (unit signal on standardized data)
+	base[dim+1] = math.Log(1e-3) // modest noise floor
+	starts = append(starts, base)
+	for len(starts) < opts.Restarts {
+		s := make([]float64, np)
+		for d := 0; d < dim; d++ {
+			s[d] = math.Log(0.05) + rng.Float64()*(math.Log(2)-math.Log(0.05))
+		}
+		s[dim] = rng.NormFloat64() * 0.3
+		s[dim+1] = math.Log(1e-4) + rng.Float64()*math.Log(1e3)
+		starts = append(starts, s)
+	}
+
+	best := optimize.MultiStart(starts, func(x0 []float64) optimize.Result {
+		return optimize.LBFGS(obj, x0, optimize.LBFGSConfig{MaxIter: opts.MaxIter})
+	})
+
+	g.hyper = kernel.NewHyper(dim)
+	g.hyper.Unpack(best.X[:dim+1])
+	g.lnoise = clamp(best.X[dim+1], logNoiseLo, logNoiseHi)
+	if opts.FixedNoise > 0 {
+		g.lnoise = math.Log(opts.FixedNoise * opts.FixedNoise)
+	}
+	clampHyper(g.hyper)
+	g.nll = best.F
+	if err := g.factorize(ys); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// FitFixed builds a GP with the given hyperparameters without any
+// optimization — used by tests and by surrogate stacking, where the
+// residual model reuses a known scale.
+func FitFixed(X [][]float64, y []float64, kern *kernel.Kernel, hyper *kernel.Hyper, noiseVar float64) (*GP, error) {
+	n := len(X)
+	if n == 0 {
+		return nil, ErrNoData
+	}
+	var mean, sd float64
+	for _, v := range y {
+		mean += v
+	}
+	mean /= float64(n)
+	for _, v := range y {
+		sd += (v - mean) * (v - mean)
+	}
+	sd = math.Sqrt(sd / float64(n))
+	if sd < 1e-12 {
+		sd = 1
+	}
+	ys := make([]float64, n)
+	for i, v := range y {
+		ys[i] = (v - mean) / sd
+	}
+	g := &GP{kern: kern, hyper: hyper, lnoise: math.Log(math.Max(noiseVar, 1e-10)), x: X, meanY: mean, stdY: sd}
+	if err := g.factorize(ys); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func clampHyper(h *kernel.Hyper) {
+	for d := range h.LogLength {
+		h.LogLength[d] = clamp(h.LogLength[d], logLenLo, logLenHi)
+	}
+	h.LogVar = clamp(h.LogVar, logVarLo, logVarHi)
+}
+
+// nllGrad evaluates the penalized negative log marginal likelihood and
+// its gradient with respect to theta = [logLen..., logVar, logNoiseVar].
+func (g *GP) nllGrad(ys []float64, theta []float64, fixedNoise float64) (float64, []float64) {
+	dim := g.kern.Dim
+	n := len(ys)
+	h := kernel.NewHyper(dim)
+	h.Unpack(theta[:dim+1])
+	logNoise := theta[dim+1]
+	if fixedNoise > 0 {
+		logNoise = math.Log(fixedNoise * fixedNoise)
+	}
+	grad := make([]float64, dim+2)
+
+	// Box penalty keeps L-BFGS inside sane hyperparameter ranges.
+	penalty := 0.0
+	pen := func(idx int, v, lo, hi float64) float64 {
+		const w = 10
+		if v < lo {
+			penalty += w * (lo - v) * (lo - v)
+			grad[idx] += -2 * w * (lo - v)
+		} else if v > hi {
+			penalty += w * (v - hi) * (v - hi)
+			grad[idx] += 2 * w * (v - hi)
+		}
+		return v
+	}
+	for d := 0; d < dim; d++ {
+		pen(d, theta[d], logLenLo, logLenHi)
+	}
+	pen(dim, theta[dim], logVarLo, logVarHi)
+	pen(dim+1, logNoise, logNoiseLo, logNoiseHi)
+
+	K, dKs := g.kern.MatrixGrads(g.x, h)
+	noiseVar := math.Exp(logNoise)
+	K.AddDiag(noiseVar)
+	ch, err := linalg.NewCholesky(K)
+	if err != nil {
+		// Not PD even with jitter: reject the point.
+		return math.Inf(1), grad
+	}
+	alpha := ch.SolveVec(ys)
+	nll := 0.5*linalg.Dot(ys, alpha) + 0.5*ch.LogDet() + 0.5*float64(n)*math.Log(2*math.Pi)
+
+	Kinv := ch.Inverse()
+	// d nll/dθ = 0.5·tr(K⁻¹ dK) − 0.5·αᵀ dK α
+	for p := 0; p <= dim; p++ {
+		dK := dKs[p]
+		var tr, quad float64
+		for i := 0; i < n; i++ {
+			rowK := Kinv.Row(i)
+			rowD := dK.Row(i)
+			ai := alpha[i]
+			for j := 0; j < n; j++ {
+				tr += rowK[j] * rowD[j]
+				quad += ai * rowD[j] * alpha[j]
+			}
+		}
+		grad[p] += 0.5*tr - 0.5*quad
+	}
+	// Noise gradient: dK/dlogNoiseVar = noiseVar·I.
+	if fixedNoise <= 0 {
+		var trInv, aa float64
+		for i := 0; i < n; i++ {
+			trInv += Kinv.At(i, i)
+			aa += alpha[i] * alpha[i]
+		}
+		grad[dim+1] += 0.5 * noiseVar * (trInv - aa)
+	} else {
+		grad[dim+1] = 0
+	}
+	return nll + penalty, grad
+}
+
+func (g *GP) factorize(ys []float64) error {
+	K := g.kern.Matrix(g.x, g.hyper)
+	K.AddDiag(math.Exp(g.lnoise))
+	ch, err := linalg.NewCholesky(K)
+	if err != nil {
+		return fmt.Errorf("gp: covariance factorization failed: %w", err)
+	}
+	g.chol = ch
+	g.alpha = ch.SolveVec(ys)
+	return nil
+}
+
+// Dim returns the input dimension.
+func (g *GP) Dim() int { return g.kern.Dim }
+
+// NumSamples returns the number of training observations.
+func (g *GP) NumSamples() int { return len(g.x) }
+
+// NLL returns the fitted (penalized) negative log marginal likelihood.
+func (g *GP) NLL() float64 { return g.nll }
+
+// Hyper returns the fitted hyperparameters (shared storage).
+func (g *GP) Hyper() *kernel.Hyper { return g.hyper }
+
+// NoiseVar returns the fitted noise variance in standardized units.
+func (g *GP) NoiseVar() float64 { return math.Exp(g.lnoise) }
+
+// Predict returns the posterior mean and standard deviation of the
+// latent function at x, in the original target units.
+func (g *GP) Predict(x []float64) (mean, std float64) {
+	n := len(g.x)
+	ks := make([]float64, n)
+	for i := 0; i < n; i++ {
+		ks[i] = g.kern.Eval(x, g.x[i], g.hyper)
+	}
+	mu := linalg.Dot(ks, g.alpha)
+	v := g.chol.SolveVec(ks)
+	variance := g.kern.Eval(x, x, g.hyper) - linalg.Dot(ks, v)
+	if variance < 1e-12 {
+		variance = 1e-12
+	}
+	return g.meanY + g.stdY*mu, g.stdY * math.Sqrt(variance)
+}
+
+// PredictMean returns only the posterior mean at x.
+func (g *GP) PredictMean(x []float64) float64 {
+	n := len(g.x)
+	ks := make([]float64, n)
+	for i := 0; i < n; i++ {
+		ks[i] = g.kern.Eval(x, g.x[i], g.hyper)
+	}
+	return g.meanY + g.stdY*linalg.Dot(ks, g.alpha)
+}
+
+// PredictBatch evaluates Predict over many points.
+func (g *GP) PredictBatch(X [][]float64) (means, stds []float64) {
+	means = make([]float64, len(X))
+	stds = make([]float64, len(X))
+	for i, x := range X {
+		means[i], stds[i] = g.Predict(x)
+	}
+	return means, stds
+}
+
+// TrainingInputs exposes the training rows (shared storage).
+func (g *GP) TrainingInputs() [][]float64 { return g.x }

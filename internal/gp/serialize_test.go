@@ -1,0 +1,111 @@
+package gp
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+
+	"gptunecrowd/internal/kernel"
+)
+
+func fittedModel(t *testing.T) *GP {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	n := 25
+	X := make([][]float64, n)
+	Y := make([]float64, n)
+	for i := range X {
+		x := []float64{rng.Float64(), rng.Float64()}
+		X[i] = x
+		Y[i] = 3*math.Sin(4*x[0]) + x[1] + 10
+	}
+	g, err := Fit(X, Y, Options{Seed: 2, Kernel: kernel.Matern52})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestExportRestoreRoundTrip(t *testing.T) {
+	g := fittedModel(t)
+	g2, err := Restore(g.Export())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 30; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		m1, s1 := g.Predict(x)
+		m2, s2 := g2.Predict(x)
+		if math.Abs(m1-m2) > 1e-6*(1+math.Abs(m1)) {
+			t.Fatalf("mean mismatch at %v: %v vs %v", x, m1, m2)
+		}
+		if math.Abs(s1-s2) > 1e-6*(1+s1) {
+			t.Fatalf("std mismatch at %v: %v vs %v", x, s1, s2)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	g := fittedModel(t)
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := FromJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.3, 0.6}
+	m1, _ := g.Predict(x)
+	m2, _ := g2.Predict(x)
+	if math.Abs(m1-m2) > 1e-6*(1+math.Abs(m1)) {
+		t.Fatalf("JSON round trip changed predictions: %v vs %v", m1, m2)
+	}
+}
+
+func TestRestoreValidation(t *testing.T) {
+	if _, err := Restore(nil); err == nil {
+		t.Fatal("nil data should fail")
+	}
+	if _, err := Restore(&ModelData{}); err == nil {
+		t.Fatal("empty data should fail")
+	}
+	bad := fittedModel(t).Export()
+	bad.Y = bad.Y[:1]
+	if _, err := Restore(bad); err == nil {
+		t.Fatal("length mismatch should fail")
+	}
+	bad2 := fittedModel(t).Export()
+	bad2.Kernel = "spline"
+	if _, err := Restore(bad2); err == nil {
+		t.Fatal("unknown kernel should fail")
+	}
+	bad3 := fittedModel(t).Export()
+	bad3.LogLength = bad3.LogLength[:1]
+	if _, err := Restore(bad3); err == nil {
+		t.Fatal("length-scale mismatch should fail")
+	}
+	if _, err := FromJSON([]byte("{")); err == nil {
+		t.Fatal("bad JSON should fail")
+	}
+}
+
+func TestExportPreservesCategorical(t *testing.T) {
+	X := [][]float64{{0.1, 0.25}, {0.5, 0.75}, {0.9, 0.25}, {0.3, 0.75}}
+	Y := []float64{1, 5, 1, 5}
+	g, err := Fit(X, Y, Options{Categorical: []bool{false, true}, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Restore(g.Export())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := g2.Predict([]float64{0.4, 0.25})
+	b, _ := g2.Predict([]float64{0.4, 0.75})
+	if math.Abs(a-b) < 0.5 {
+		t.Fatalf("categorical structure lost: %v vs %v", a, b)
+	}
+}

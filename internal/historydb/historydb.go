@@ -1,0 +1,251 @@
+// Package historydb is the storage engine of the shared performance
+// database: a concurrency-safe JSON document store with a typed query
+// language (the role MongoDB plays in the paper's deployment, Section
+// III). Documents are arbitrary JSON objects; queries are composable
+// condition trees over dotted field paths; collections persist as JSONL.
+package historydb
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Document is a JSON object. The store assigns each inserted document a
+// unique "_id" field (a monotonically increasing integer rendered as a
+// string).
+type Document = map[string]interface{}
+
+// Collection is a set of documents with insert/find/delete operations.
+// All methods are safe for concurrent use.
+type Collection struct {
+	mu     sync.RWMutex
+	name   string
+	docs   []Document
+	nextID int64
+}
+
+// NewCollection returns an empty collection.
+func NewCollection(name string) *Collection {
+	return &Collection{name: name, nextID: 1}
+}
+
+// Name returns the collection name.
+func (c *Collection) Name() string { return c.name }
+
+// Len returns the number of stored documents.
+func (c *Collection) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.docs)
+}
+
+// Insert stores a deep copy of doc and returns its assigned id.
+func (c *Collection) Insert(doc Document) (string, error) {
+	cp, err := deepCopy(doc)
+	if err != nil {
+		return "", fmt.Errorf("historydb: insert into %s: %w", c.name, err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	id := fmt.Sprintf("%d", c.nextID)
+	c.nextID++
+	cp["_id"] = id
+	c.docs = append(c.docs, cp)
+	return id, nil
+}
+
+// Find returns deep copies of all documents matching q, in insertion
+// order. A nil query matches everything.
+func (c *Collection) Find(q Query) ([]Document, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []Document
+	for _, d := range c.docs {
+		if q == nil || q.Match(d) {
+			cp, err := deepCopy(d)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, cp)
+		}
+	}
+	return out, nil
+}
+
+// FindOne returns the first match, or nil.
+func (c *Collection) FindOne(q Query) (Document, error) {
+	docs, err := c.Find(q)
+	if err != nil || len(docs) == 0 {
+		return nil, err
+	}
+	return docs[0], nil
+}
+
+// Count returns the number of matching documents.
+func (c *Collection) Count(q Query) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	n := 0
+	for _, d := range c.docs {
+		if q == nil || q.Match(d) {
+			n++
+		}
+	}
+	return n
+}
+
+// Delete removes matching documents and returns how many were removed.
+func (c *Collection) Delete(q Query) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	kept := c.docs[:0]
+	removed := 0
+	for _, d := range c.docs {
+		if q != nil && q.Match(d) {
+			removed++
+			continue
+		}
+		kept = append(kept, d)
+	}
+	c.docs = kept
+	return removed
+}
+
+// Update applies fn to every matching document (in place, under the
+// write lock) and returns the number updated.
+func (c *Collection) Update(q Query, fn func(Document)) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, d := range c.docs {
+		if q == nil || q.Match(d) {
+			fn(d)
+			n++
+		}
+	}
+	return n
+}
+
+// WriteJSONL serializes the collection, one document per line.
+func (c *Collection) WriteJSONL(w io.Writer) error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, d := range c.docs {
+		if err := enc.Encode(d); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL replaces the collection contents from a JSONL stream,
+// preserving existing _id fields and advancing the id counter past them.
+func (c *Collection) ReadJSONL(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var docs []Document
+	maxID := int64(0)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var d Document
+		if err := json.Unmarshal([]byte(line), &d); err != nil {
+			return fmt.Errorf("historydb: bad JSONL line: %w", err)
+		}
+		if ids, ok := d["_id"].(string); ok {
+			var v int64
+			fmt.Sscanf(ids, "%d", &v)
+			if v > maxID {
+				maxID = v
+			}
+		}
+		docs = append(docs, d)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.docs = docs
+	c.nextID = maxID + 1
+	return nil
+}
+
+// SaveFile persists the collection to path.
+func (c *Collection) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return c.WriteJSONL(f)
+}
+
+// LoadFile loads the collection from path.
+func (c *Collection) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return c.ReadJSONL(f)
+}
+
+// Store is a set of named collections.
+type Store struct {
+	mu          sync.Mutex
+	collections map[string]*Collection
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{collections: make(map[string]*Collection)}
+}
+
+// Collection returns (creating if needed) the named collection.
+func (s *Store) Collection(name string) *Collection {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.collections[name]
+	if !ok {
+		c = NewCollection(name)
+		s.collections[name] = c
+	}
+	return c
+}
+
+// Names lists the collection names, sorted.
+func (s *Store) Names() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.collections))
+	for n := range s.collections {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// deepCopy clones a document via JSON, which also normalizes numeric
+// types to float64 — matching what a wire round trip would produce.
+func deepCopy(d Document) (Document, error) {
+	b, err := json.Marshal(d)
+	if err != nil {
+		return nil, err
+	}
+	var out Document
+	if err := json.Unmarshal(b, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,480 @@
+// Package lcm implements the Linear Coregionalization Model used by
+// GPTune-style multitask learning: a joint Gaussian process over several
+// tasks whose cross-task covariance is
+//
+//	K[(i,a),(j,b)] = Σ_q B_q[i,j] · k_q(x_a, x_b),  B_q = a_q·a_qᵀ + diag(κ_q)
+//
+// with one ARD kernel k_q per latent process. The model supports an
+// unequal number of samples per task, which is what enables the paper's
+// Multitask(TS) scheme (many true source samples, few target samples).
+package lcm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"gptunecrowd/internal/kernel"
+	"gptunecrowd/internal/linalg"
+	"gptunecrowd/internal/optimize"
+)
+
+// ErrNoData is returned when every task is empty.
+var ErrNoData = errors.New("lcm: no training data in any task")
+
+// Options configures an LCM fit.
+type Options struct {
+	Q           int         // number of latent processes (default min(tasks, 3))
+	Kernel      kernel.Type // latent kernel family (default Matern52)
+	Categorical []bool      // per-dimension categorical flags
+	Restarts    int         // multi-start count (default 2)
+	MaxIter     int         // L-BFGS iterations per start (default 50)
+	Seed        int64
+}
+
+// Model is a fitted LCM.
+type Model struct {
+	numTasks int
+	dim      int
+	q        int
+	kerns    []*kernel.Kernel // one per latent process (unit variance)
+
+	logLen   [][]float64 // [q][dim]
+	aq       [][]float64 // [q][task]
+	logKappa [][]float64 // [q][task]
+	logNoise []float64   // [task] log noise variance
+
+	// Stacked training data.
+	x     [][]float64 // all samples
+	task  []int       // task index per sample
+	alpha []float64
+	chol  *linalg.Cholesky
+
+	meanY, stdY []float64 // per-task standardization
+}
+
+// Fit trains an LCM on per-task datasets. X[t] and Y[t] hold the samples
+// of task t; tasks may be empty (e.g. a target task with no evaluations
+// yet — its coregionalization weights then stay at their prior values).
+func Fit(X [][][]float64, Y [][]float64, opts Options) (*Model, error) {
+	numTasks := len(X)
+	if numTasks == 0 || len(Y) != numTasks {
+		return nil, fmt.Errorf("lcm: need matching task datasets, got %d/%d", len(X), len(Y))
+	}
+	dim := 0
+	total := 0
+	for t := range X {
+		if len(X[t]) != len(Y[t]) {
+			return nil, fmt.Errorf("lcm: task %d has %d inputs but %d targets", t, len(X[t]), len(Y[t]))
+		}
+		total += len(X[t])
+		for _, x := range X[t] {
+			if dim == 0 {
+				dim = len(x)
+			}
+			if len(x) != dim {
+				return nil, fmt.Errorf("lcm: inconsistent input dimension in task %d", t)
+			}
+		}
+	}
+	if total == 0 {
+		return nil, ErrNoData
+	}
+	if opts.Q <= 0 {
+		opts.Q = numTasks
+		if opts.Q > 3 {
+			opts.Q = 3
+		}
+	}
+	if opts.Kernel == kernel.Auto {
+		opts.Kernel = kernel.Matern52
+	}
+	if opts.Restarts <= 0 {
+		opts.Restarts = 2
+	}
+	if opts.MaxIter <= 0 {
+		opts.MaxIter = 50
+	}
+
+	m := &Model{numTasks: numTasks, dim: dim, q: opts.Q}
+	m.kerns = make([]*kernel.Kernel, opts.Q)
+	for q := range m.kerns {
+		m.kerns[q] = &kernel.Kernel{Type: opts.Kernel, Dim: dim, Categorical: opts.Categorical}
+	}
+	// Per-task standardization; empty tasks get (0, 1).
+	m.meanY = make([]float64, numTasks)
+	m.stdY = make([]float64, numTasks)
+	ys := make([]float64, 0, total)
+	for t := range Y {
+		mean, sd := standardStats(Y[t])
+		m.meanY[t], m.stdY[t] = mean, sd
+	}
+	for t := range X {
+		for i, x := range X[t] {
+			m.x = append(m.x, x)
+			m.task = append(m.task, t)
+			ys = append(ys, (Y[t][i]-m.meanY[t])/m.stdY[t])
+		}
+	}
+
+	np := m.numParams()
+	obj := func(theta []float64) (float64, []float64) {
+		return m.nllGrad(ys, theta)
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	starts := make([][]float64, 0, opts.Restarts)
+	for s := 0; s < opts.Restarts; s++ {
+		starts = append(starts, m.initTheta(rng, s == 0))
+	}
+	best := optimize.MultiStart(starts, func(x0 []float64) optimize.Result {
+		return optimize.LBFGS(obj, x0, optimize.LBFGSConfig{MaxIter: opts.MaxIter})
+	})
+	if math.IsInf(best.F, 1) {
+		return nil, errors.New("lcm: hyperparameter optimization failed to find a feasible point")
+	}
+	m.unpack(best.X)
+	if err := m.factorize(ys); err != nil {
+		return nil, err
+	}
+	_ = np
+	return m, nil
+}
+
+func standardStats(y []float64) (mean, sd float64) {
+	if len(y) == 0 {
+		return 0, 1
+	}
+	for _, v := range y {
+		mean += v
+	}
+	mean /= float64(len(y))
+	for _, v := range y {
+		sd += (v - mean) * (v - mean)
+	}
+	sd = math.Sqrt(sd / float64(len(y)))
+	if sd < 1e-12 {
+		sd = 1
+	}
+	return mean, sd
+}
+
+// Parameter packing order:
+//
+//	for q: logLen[q][0..dim) , aq[q][0..T), logKappa[q][0..T)
+//	then logNoise[0..T)
+func (m *Model) numParams() int {
+	return m.q*(m.dim+2*m.numTasks) + m.numTasks
+}
+
+func (m *Model) initTheta(rng *rand.Rand, canonical bool) []float64 {
+	theta := make([]float64, m.numParams())
+	idx := 0
+	for q := 0; q < m.q; q++ {
+		for d := 0; d < m.dim; d++ {
+			if canonical {
+				theta[idx] = math.Log(0.3)
+			} else {
+				theta[idx] = math.Log(0.05) + rng.Float64()*(math.Log(2)-math.Log(0.05))
+			}
+			idx++
+		}
+		for t := 0; t < m.numTasks; t++ {
+			if canonical {
+				// Identity-like init: latent q drives task q (mod T) strongly.
+				if t%m.q == q {
+					theta[idx] = 1
+				} else {
+					theta[idx] = 0.3
+				}
+			} else {
+				theta[idx] = rng.NormFloat64() * 0.7
+			}
+			idx++
+		}
+		for t := 0; t < m.numTasks; t++ {
+			theta[idx] = math.Log(0.1)
+			idx++
+		}
+	}
+	for t := 0; t < m.numTasks; t++ {
+		theta[idx] = math.Log(1e-3)
+		idx++
+	}
+	return theta
+}
+
+func (m *Model) unpack(theta []float64) {
+	m.logLen = make([][]float64, m.q)
+	m.aq = make([][]float64, m.q)
+	m.logKappa = make([][]float64, m.q)
+	idx := 0
+	for q := 0; q < m.q; q++ {
+		m.logLen[q] = append([]float64(nil), theta[idx:idx+m.dim]...)
+		idx += m.dim
+		m.aq[q] = append([]float64(nil), theta[idx:idx+m.numTasks]...)
+		idx += m.numTasks
+		m.logKappa[q] = append([]float64(nil), theta[idx:idx+m.numTasks]...)
+		idx += m.numTasks
+	}
+	m.logNoise = append([]float64(nil), theta[idx:idx+m.numTasks]...)
+}
+
+// bounds for the packed parameters.
+var (
+	lcmLogLenLo, lcmLogLenHi     = math.Log(0.01), math.Log(100.0)
+	lcmALo, lcmAHi               = -10.0, 10.0
+	lcmLogKapLo, lcmLogKapHi     = math.Log(1e-8), math.Log(100.0)
+	lcmLogNoiseLo, lcmLogNoiseHi = math.Log(1e-8), math.Log(1.0)
+)
+
+// nllGrad computes the penalized negative log marginal likelihood of the
+// stacked standardized targets plus its analytic gradient.
+func (m *Model) nllGrad(ys []float64, theta []float64) (float64, []float64) {
+	n := len(ys)
+	grad := make([]float64, len(theta))
+	penalty := 0.0
+	pen := func(idx int, lo, hi float64) {
+		const w = 10
+		v := theta[idx]
+		if v < lo {
+			penalty += w * (lo - v) * (lo - v)
+			grad[idx] += -2 * w * (lo - v)
+		} else if v > hi {
+			penalty += w * (v - hi) * (v - hi)
+			grad[idx] += 2 * w * (v - hi)
+		}
+	}
+	idx := 0
+	for q := 0; q < m.q; q++ {
+		for d := 0; d < m.dim; d++ {
+			pen(idx, lcmLogLenLo, lcmLogLenHi)
+			idx++
+		}
+		for t := 0; t < m.numTasks; t++ {
+			pen(idx, lcmALo, lcmAHi)
+			idx++
+		}
+		for t := 0; t < m.numTasks; t++ {
+			pen(idx, lcmLogKapLo, lcmLogKapHi)
+			idx++
+		}
+	}
+	for t := 0; t < m.numTasks; t++ {
+		pen(idx, lcmLogNoiseLo, lcmLogNoiseHi)
+		idx++
+	}
+
+	// Unpack into locals.
+	tmp := &Model{numTasks: m.numTasks, dim: m.dim, q: m.q, kerns: m.kerns, x: m.x, task: m.task}
+	tmp.unpack(theta)
+
+	// Base latent kernel matrices and their length-scale gradients.
+	baseK := make([]*linalg.Matrix, m.q)   // k_q(x_a, x_b)
+	baseG := make([][]*linalg.Matrix, m.q) // per loglen dimension
+	hq := kernel.NewHyper(m.dim)           // unit variance: LogVar = 0
+	for q := 0; q < m.q; q++ {
+		copy(hq.LogLength, tmp.logLen[q])
+		hq.LogVar = 0
+		K, gs := m.kerns[q].MatrixGrads(m.x, hq)
+		baseK[q] = K
+		baseG[q] = gs[:m.dim] // drop the variance gradient
+	}
+	// Assemble the joint covariance.
+	K := linalg.NewMatrix(n, n)
+	bq := make([]*linalg.Matrix, m.q)
+	for q := 0; q < m.q; q++ {
+		B := linalg.NewMatrix(m.numTasks, m.numTasks)
+		for i := 0; i < m.numTasks; i++ {
+			for j := 0; j < m.numTasks; j++ {
+				v := tmp.aq[q][i] * tmp.aq[q][j]
+				if i == j {
+					v += math.Exp(tmp.logKappa[q][i])
+				}
+				B.Set(i, j, v)
+			}
+		}
+		bq[q] = B
+		for a := 0; a < n; a++ {
+			ka := baseK[q].Row(a)
+			krow := K.Row(a)
+			ta := m.task[a]
+			for b := 0; b < n; b++ {
+				krow[b] += B.At(ta, m.task[b]) * ka[b]
+			}
+		}
+	}
+	for a := 0; a < n; a++ {
+		K.Add(a, a, math.Exp(tmp.logNoise[m.task[a]]))
+	}
+	ch, err := linalg.NewCholesky(K)
+	if err != nil {
+		return math.Inf(1), grad
+	}
+	alpha := ch.SolveVec(ys)
+	nll := 0.5*linalg.Dot(ys, alpha) + 0.5*ch.LogDet() + 0.5*float64(n)*math.Log(2*math.Pi)
+
+	// W = K⁻¹ − α·αᵀ ; gradient g_p = 0.5 Σ_ab W[ab]·dK_p[ab].
+	W := ch.Inverse()
+	for a := 0; a < n; a++ {
+		wa := W.Row(a)
+		aa := alpha[a]
+		for b := 0; b < n; b++ {
+			wa[b] -= aa * alpha[b]
+		}
+	}
+
+	idx = 0
+	for q := 0; q < m.q; q++ {
+		// Length scales.
+		for d := 0; d < m.dim; d++ {
+			var s float64
+			G := baseG[q][d]
+			for a := 0; a < n; a++ {
+				wa := W.Row(a)
+				ga := G.Row(a)
+				ta := m.task[a]
+				for b := 0; b < n; b++ {
+					s += wa[b] * bq[q].At(ta, m.task[b]) * ga[b]
+				}
+			}
+			grad[idx] += 0.5 * s
+			idx++
+		}
+		// a_q weights: dB[i,j]/da[t] = δ(i=t)a[j] + δ(j=t)a[i];
+		// by symmetry of W and baseK, g = Σ_{a:ta=t} Σ_b W[ab]·a_q[tb]·k_q[ab].
+		for t := 0; t < m.numTasks; t++ {
+			var s float64
+			for a := 0; a < n; a++ {
+				if m.task[a] != t {
+					continue
+				}
+				wa := W.Row(a)
+				ka := baseK[q].Row(a)
+				for b := 0; b < n; b++ {
+					s += wa[b] * tmp.aq[q][m.task[b]] * ka[b]
+				}
+			}
+			grad[idx] += s // the 0.5 cancels with the factor 2 from symmetry
+			idx++
+		}
+		// κ_q: dB[i,j]/dlogκ[t] = δ(i=j=t)·κ_t.
+		for t := 0; t < m.numTasks; t++ {
+			kap := math.Exp(tmp.logKappa[q][t])
+			var s float64
+			for a := 0; a < n; a++ {
+				if m.task[a] != t {
+					continue
+				}
+				wa := W.Row(a)
+				ka := baseK[q].Row(a)
+				for b := 0; b < n; b++ {
+					if m.task[b] == t {
+						s += wa[b] * ka[b]
+					}
+				}
+			}
+			grad[idx] += 0.5 * kap * s
+			idx++
+		}
+	}
+	// Noise.
+	for t := 0; t < m.numTasks; t++ {
+		nv := math.Exp(tmp.logNoise[t])
+		var s float64
+		for a := 0; a < n; a++ {
+			if m.task[a] == t {
+				s += W.At(a, a)
+			}
+		}
+		grad[idx] += 0.5 * nv * s
+		idx++
+	}
+	return nll + penalty, grad
+}
+
+func (m *Model) factorize(ys []float64) error {
+	n := len(ys)
+	K := linalg.NewMatrix(n, n)
+	hq := kernel.NewHyper(m.dim)
+	for q := 0; q < m.q; q++ {
+		copy(hq.LogLength, m.logLen[q])
+		hq.LogVar = 0
+		Kq := m.kerns[q].Matrix(m.x, hq)
+		for a := 0; a < n; a++ {
+			ta := m.task[a]
+			row := K.Row(a)
+			kqa := Kq.Row(a)
+			for b := 0; b < n; b++ {
+				row[b] += m.bAt(q, ta, m.task[b]) * kqa[b]
+			}
+		}
+	}
+	for a := 0; a < n; a++ {
+		K.Add(a, a, math.Exp(m.logNoise[m.task[a]]))
+	}
+	ch, err := linalg.NewCholesky(K)
+	if err != nil {
+		return fmt.Errorf("lcm: covariance factorization failed: %w", err)
+	}
+	m.chol = ch
+	m.alpha = ch.SolveVec(ys)
+	return nil
+}
+
+func (m *Model) bAt(q, i, j int) float64 {
+	v := m.aq[q][i] * m.aq[q][j]
+	if i == j {
+		v += math.Exp(m.logKappa[q][i])
+	}
+	return v
+}
+
+// NumTasks returns the number of tasks the model was trained over.
+func (m *Model) NumTasks() int { return m.numTasks }
+
+// Dim returns the input dimension.
+func (m *Model) Dim() int { return m.dim }
+
+// Predict returns the posterior mean and standard deviation for task t
+// at input x, in the task's original output units.
+func (m *Model) Predict(t int, x []float64) (mean, std float64) {
+	if t < 0 || t >= m.numTasks {
+		panic(fmt.Sprintf("lcm: task %d out of range", t))
+	}
+	n := len(m.x)
+	ks := make([]float64, n)
+	hq := kernel.NewHyper(m.dim)
+	prior := 0.0
+	for q := 0; q < m.q; q++ {
+		copy(hq.LogLength, m.logLen[q])
+		hq.LogVar = 0
+		for b := 0; b < n; b++ {
+			ks[b] += m.bAt(q, t, m.task[b]) * m.kerns[q].Eval(x, m.x[b], hq)
+		}
+		prior += m.bAt(q, t, t)
+	}
+	mu := linalg.Dot(ks, m.alpha)
+	v := m.chol.SolveVec(ks)
+	variance := prior - linalg.Dot(ks, v)
+	if variance < 1e-12 {
+		variance = 1e-12
+	}
+	return m.meanY[t] + m.stdY[t]*mu, m.stdY[t] * math.Sqrt(variance)
+}
+
+// TaskCorrelation returns the model-implied correlation between tasks i
+// and j, aggregated over the latent processes — a diagnostic for how
+// much transfer the model has learned.
+func (m *Model) TaskCorrelation(i, j int) float64 {
+	var bij, bii, bjj float64
+	for q := 0; q < m.q; q++ {
+		bij += m.bAt(q, i, j)
+		bii += m.bAt(q, i, i)
+		bjj += m.bAt(q, j, j)
+	}
+	if bii <= 0 || bjj <= 0 {
+		return 0
+	}
+	return bij / math.Sqrt(bii*bjj)
+}

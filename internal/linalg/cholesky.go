@@ -1,0 +1,196 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNotPositiveDefinite is returned when a Cholesky factorization fails
+// even after the maximum jitter has been applied.
+var ErrNotPositiveDefinite = errors.New("linalg: matrix is not positive definite")
+
+// Cholesky holds the lower-triangular factor L of a symmetric positive
+// definite matrix A = L·Lᵀ, plus the jitter that was added to the
+// diagonal to achieve positive definiteness.
+type Cholesky struct {
+	L      *Matrix
+	Jitter float64
+}
+
+// NewCholesky factorizes the symmetric matrix a (only the lower triangle
+// is read). It does not modify a.
+func NewCholesky(a *Matrix) (*Cholesky, error) {
+	return NewCholeskyJitter(a, 0)
+}
+
+// NewCholeskyJitter factorizes a, adding escalating diagonal jitter
+// (starting at startJitter, or a scale-relative default when 0) whenever
+// the factorization encounters a non-positive pivot. Gaussian-process
+// covariance matrices are frequently near-singular when two inputs
+// almost coincide, so adaptive jitter is the standard remedy.
+func NewCholeskyJitter(a *Matrix, startJitter float64) (*Cholesky, error) {
+	n := a.rows
+	if a.cols != n {
+		return nil, fmt.Errorf("linalg: Cholesky of non-square %dx%d matrix", a.rows, a.cols)
+	}
+	// Mean absolute diagonal sets the jitter scale.
+	var diagScale float64
+	for i := 0; i < n; i++ {
+		diagScale += math.Abs(a.At(i, i))
+	}
+	if n > 0 {
+		diagScale /= float64(n)
+	}
+	if diagScale == 0 {
+		diagScale = 1
+	}
+	jitter := startJitter
+	for attempt := 0; attempt < 12; attempt++ {
+		l, ok := tryCholesky(a, jitter)
+		if ok {
+			return &Cholesky{L: l, Jitter: jitter}, nil
+		}
+		if jitter == 0 {
+			jitter = diagScale * 1e-10
+		} else {
+			jitter *= 10
+		}
+	}
+	return nil, ErrNotPositiveDefinite
+}
+
+func tryCholesky(a *Matrix, jitter float64) (*Matrix, bool) {
+	n := a.rows
+	l := NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		d := a.At(j, j) + jitter
+		lrowj := l.Row(j)
+		for k := 0; k < j; k++ {
+			d -= lrowj[k] * lrowj[k]
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, false
+		}
+		d = math.Sqrt(d)
+		lrowj[j] = d
+		inv := 1 / d
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			lrowi := l.Row(i)
+			for k := 0; k < j; k++ {
+				s -= lrowi[k] * lrowj[k]
+			}
+			lrowi[j] = s * inv
+		}
+	}
+	return l, true
+}
+
+// SolveVec solves A·x = b given A = L·Lᵀ.
+func (c *Cholesky) SolveVec(b []float64) []float64 {
+	y := ForwardSubst(c.L, b)
+	return BackwardSubstT(c.L, y)
+}
+
+// Solve solves A·X = B for every column of B.
+func (c *Cholesky) Solve(b *Matrix) *Matrix {
+	n := c.L.rows
+	if b.rows != n {
+		panic("linalg: Cholesky.Solve dimension mismatch")
+	}
+	x := NewMatrix(n, b.cols)
+	col := make([]float64, n)
+	for j := 0; j < b.cols; j++ {
+		for i := 0; i < n; i++ {
+			col[i] = b.At(i, j)
+		}
+		sol := c.SolveVec(col)
+		for i := 0; i < n; i++ {
+			x.Set(i, j, sol[i])
+		}
+	}
+	return x
+}
+
+// LogDet returns log|A| = 2·Σ log L_ii.
+func (c *Cholesky) LogDet() float64 {
+	var s float64
+	n := c.L.rows
+	for i := 0; i < n; i++ {
+		s += math.Log(c.L.At(i, i))
+	}
+	return 2 * s
+}
+
+// Inverse returns A⁻¹ (used only for small matrices such as LCM
+// coregionalization blocks).
+func (c *Cholesky) Inverse() *Matrix {
+	return c.Solve(Identity(c.L.rows))
+}
+
+// ForwardSubst solves L·y = b for lower-triangular L.
+func ForwardSubst(l *Matrix, b []float64) []float64 {
+	n := l.rows
+	if len(b) != n {
+		panic("linalg: ForwardSubst dimension mismatch")
+	}
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		row := l.Row(i)
+		for k := 0; k < i; k++ {
+			s -= row[k] * y[k]
+		}
+		y[i] = s / row[i]
+	}
+	return y
+}
+
+// BackwardSubstT solves Lᵀ·x = y for lower-triangular L.
+func BackwardSubstT(l *Matrix, y []float64) []float64 {
+	n := l.rows
+	if len(y) != n {
+		panic("linalg: BackwardSubstT dimension mismatch")
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * x[k]
+		}
+		x[i] = s / l.At(i, i)
+	}
+	return x
+}
+
+// SolveLowerMatrix solves L·Y = B columnwise for lower-triangular L,
+// returning Y. B is not modified.
+func SolveLowerMatrix(l, b *Matrix) *Matrix {
+	n := l.rows
+	if b.rows != n {
+		panic("linalg: SolveLowerMatrix dimension mismatch")
+	}
+	y := NewMatrix(n, b.cols)
+	for i := 0; i < n; i++ {
+		li := l.Row(i)
+		yi := y.Row(i)
+		bi := b.Row(i)
+		copy(yi, bi)
+		for k := 0; k < i; k++ {
+			lik := li[k]
+			if lik == 0 {
+				continue
+			}
+			yk := y.Row(k)
+			for j := range yi {
+				yi[j] -= lik * yk[j]
+			}
+		}
+		inv := 1 / li[i]
+		for j := range yi {
+			yi[j] *= inv
+		}
+	}
+	return y
+}

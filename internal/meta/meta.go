@@ -1,0 +1,168 @@
+// Package meta parses and validates GPTuneCrowd meta descriptions —
+// the "simple meta description" of Section IV-A that is all a user
+// needs to provide to tune with crowd data: login credentials, the
+// tuning problem name, the problem spaces, the environment filters for
+// querying, and the local environment to record with uploads.
+package meta
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"gptunecrowd/internal/crowd"
+	"gptunecrowd/internal/envparse"
+	"gptunecrowd/internal/space"
+)
+
+// ProblemSpace bundles the three spaces of a tuning problem.
+type ProblemSpace struct {
+	InputSpace     *space.Space      `json:"input_space"`
+	ParameterSpace *space.Space      `json:"parameter_space"`
+	OutputSpace    space.OutputSpace `json:"output_space"`
+}
+
+// LocalMachine describes the user's runtime environment to record with
+// uploads. With Slurm == "yes" the configuration is auto-completed from
+// the Slurm job environment.
+type LocalMachine struct {
+	MachineName  string `json:"machine_name,omitempty"`
+	Partition    string `json:"partition,omitempty"`
+	Nodes        int    `json:"nodes,omitempty"`
+	CoresPerNode int    `json:"cores_per_node,omitempty"`
+	Slurm        string `json:"slurm,omitempty"` // "yes" enables auto parsing
+}
+
+// LocalSoftware describes the software stack to record. With Spack set
+// to a spec string, the configuration is parsed automatically; CKMeta
+// may point at a CK meta.json file.
+type LocalSoftware struct {
+	Spack  string `json:"spack,omitempty"`
+	CKMeta string `json:"ck_meta,omitempty"`
+	// Manual entries are used verbatim.
+	Manual []crowd.SoftwareConfiguration `json:"manual,omitempty"`
+}
+
+// Description is the complete meta description.
+type Description struct {
+	APIKey            string                   `json:"api_key"`
+	CrowdRepoURL      string                   `json:"crowd_repo_url,omitempty"`
+	TuningProblemName string                   `json:"tuning_problem_name"`
+	ProblemSpace      ProblemSpace             `json:"problem_space"`
+	Configuration     crowd.ConfigurationSpace `json:"configuration_space,omitempty"`
+	Machine           LocalMachine             `json:"machine_configuration,omitempty"`
+	Software          LocalSoftware            `json:"software_configuration,omitempty"`
+	SyncCrowdRepo     string                   `json:"sync_crowd_repo,omitempty"` // "yes"/"no"
+}
+
+// Parse decodes and validates a meta description.
+func Parse(data []byte) (*Description, error) {
+	var d Description
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, fmt.Errorf("meta: invalid JSON: %w", err)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}
+
+// ParseFile reads and parses a meta description file.
+func ParseFile(path string) (*Description, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("meta: %w", err)
+	}
+	return Parse(data)
+}
+
+// Validate checks required fields.
+func (d *Description) Validate() error {
+	if d.TuningProblemName == "" {
+		return fmt.Errorf("meta: tuning_problem_name is required")
+	}
+	if d.ProblemSpace.ParameterSpace == nil || d.ProblemSpace.ParameterSpace.Dim() == 0 {
+		return fmt.Errorf("meta: problem_space.parameter_space is required")
+	}
+	switch d.SyncCrowdRepo {
+	case "", "yes", "no":
+	default:
+		return fmt.Errorf("meta: sync_crowd_repo must be \"yes\" or \"no\", got %q", d.SyncCrowdRepo)
+	}
+	if d.SyncCrowdRepo == "yes" && d.APIKey == "" {
+		return fmt.Errorf("meta: api_key is required when sync_crowd_repo is \"yes\"")
+	}
+	return nil
+}
+
+// Sync reports whether crowd synchronization is enabled.
+func (d *Description) Sync() bool { return d.SyncCrowdRepo == "yes" }
+
+// QueryRequest builds the crowd query implied by the description.
+func (d *Description) QueryRequest() crowd.QueryRequest {
+	return crowd.QueryRequest{
+		TuningProblemName: d.TuningProblemName,
+		Configuration:     d.Configuration,
+	}
+}
+
+// ResolveMachine produces the machine configuration to record with
+// uploads, applying Slurm auto-parsing when requested (getenv is
+// os.Getenv in production).
+func (d *Description) ResolveMachine(getenv func(string) string) (crowd.MachineConfiguration, error) {
+	out := crowd.MachineConfiguration{
+		MachineName:  d.Machine.MachineName,
+		Partition:    d.Machine.Partition,
+		Nodes:        d.Machine.Nodes,
+		CoresPerNode: d.Machine.CoresPerNode,
+	}
+	if d.Machine.Slurm == "yes" {
+		slurm, err := envparse.ParseSlurmEnv(getenv)
+		if err != nil {
+			return out, fmt.Errorf("meta: slurm auto-parse requested: %w", err)
+		}
+		if slurm.MachineName != "" && out.MachineName == "" {
+			out.MachineName = slurm.MachineName
+		}
+		if slurm.Partition != "" && out.Partition == "" {
+			out.Partition = slurm.Partition
+		}
+		if slurm.Nodes > 0 {
+			out.Nodes = slurm.Nodes
+		}
+		if slurm.CoresPerNode > 0 {
+			out.CoresPerNode = slurm.CoresPerNode
+		}
+	}
+	return out.Normalize(), nil
+}
+
+// ResolveSoftware produces the software configurations to record with
+// uploads, applying Spack/CK auto-parsing. readFile is os.ReadFile in
+// production.
+func (d *Description) ResolveSoftware(readFile func(string) ([]byte, error)) ([]crowd.SoftwareConfiguration, error) {
+	var out []crowd.SoftwareConfiguration
+	if d.Software.Spack != "" {
+		cfg, err := envparse.ParseSpackSpec(d.Software.Spack)
+		if err != nil {
+			return nil, fmt.Errorf("meta: spack auto-parse: %w", err)
+		}
+		out = append(out, crowd.SoftwareConfiguration{Name: cfg.Name, Version: cfg.Version, Source: "spack"})
+		if cfg.Compiler != "" {
+			out = append(out, crowd.SoftwareConfiguration{Name: cfg.Compiler, Version: cfg.CompilerVersion, Source: "spack"})
+		}
+	}
+	if d.Software.CKMeta != "" {
+		data, err := readFile(d.Software.CKMeta)
+		if err != nil {
+			return nil, fmt.Errorf("meta: read CK meta: %w", err)
+		}
+		cfg, err := envparse.ParseCKMeta(data)
+		if err != nil {
+			return nil, fmt.Errorf("meta: ck auto-parse: %w", err)
+		}
+		out = append(out, crowd.SoftwareConfiguration{Name: cfg.Name, Version: cfg.Version, Source: "ck"})
+	}
+	out = append(out, d.Software.Manual...)
+	return out, nil
+}

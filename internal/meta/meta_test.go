@@ -1,0 +1,161 @@
+package meta
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// paperExample mirrors the Section IV-A snippet.
+const paperExample = `{
+	"api_key": "your_api_key",
+	"tuning_problem_name": "my_example",
+	"problem_space": {
+		"input_space": [
+			{"name":"t", "type":"integer", "lower_bound":1, "upper_bound":10}
+		],
+		"parameter_space": [
+			{"name":"x", "type":"real", "lower_bound":0, "upper_bound":10}
+		],
+		"output_space": [
+			{"name":"y", "type":"real"}
+		]
+	},
+	"configuration_space": {
+		"machine_configurations": [
+			{"machine_name": "Cori", "partition": "haswell", "nodes": 1, "cores_per_node": 32}
+		],
+		"software_configurations": [
+			{"name": "gcc", "version_from": [8,0,0], "version_to": [9,0,0]}
+		],
+		"user_configurations": ["user_A", "user_B"]
+	},
+	"machine_configuration": {"machine_name": "Cori", "slurm": "yes"},
+	"software_configuration": {"spack": "scalapack@2.1.0%gcc@8.3.0"},
+	"sync_crowd_repo": "yes"
+}`
+
+func TestParsePaperExample(t *testing.T) {
+	d, err := Parse([]byte(paperExample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.TuningProblemName != "my_example" || !d.Sync() {
+		t.Fatalf("basic fields wrong: %+v", d)
+	}
+	if d.ProblemSpace.InputSpace.Dim() != 1 || d.ProblemSpace.ParameterSpace.Dim() != 1 {
+		t.Fatal("spaces not parsed")
+	}
+	if len(d.ProblemSpace.OutputSpace.Outputs) != 1 || d.ProblemSpace.OutputSpace.Outputs[0].Name != "y" {
+		t.Fatal("output space not parsed")
+	}
+	if len(d.Configuration.MachineConfigurations) != 1 || d.Configuration.MachineConfigurations[0].MachineName != "Cori" {
+		t.Fatal("machine configurations not parsed")
+	}
+	if len(d.Configuration.SoftwareConfigurations) != 1 || d.Configuration.SoftwareConfigurations[0].Name != "gcc" {
+		t.Fatal("software configurations not parsed")
+	}
+	if len(d.Configuration.UserConfigurations) != 2 {
+		t.Fatal("user configurations not parsed")
+	}
+	q := d.QueryRequest()
+	if q.TuningProblemName != "my_example" {
+		t.Fatal("query request wrong")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	cases := []string{
+		`{}`,
+		`{"tuning_problem_name": "p"}`, // no parameter space
+		`{"tuning_problem_name": "p",
+		  "problem_space": {"parameter_space":[{"name":"x","type":"real","lower_bound":0,"upper_bound":1}]},
+		  "sync_crowd_repo": "maybe"}`,
+		`{"tuning_problem_name": "p",
+		  "problem_space": {"parameter_space":[{"name":"x","type":"real","lower_bound":0,"upper_bound":1}]},
+		  "sync_crowd_repo": "yes"}`, // sync without api key
+	}
+	for i, c := range cases {
+		if _, err := Parse([]byte(c)); err == nil {
+			t.Fatalf("case %d should fail validation", i)
+		}
+	}
+}
+
+func TestParseFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "meta.json")
+	if err := os.WriteFile(path, []byte(paperExample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d, err := ParseFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.TuningProblemName != "my_example" {
+		t.Fatal("file parse wrong")
+	}
+	if _, err := ParseFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file should fail")
+	}
+}
+
+func TestResolveMachineSlurm(t *testing.T) {
+	d, err := Parse([]byte(paperExample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := map[string]string{
+		"SLURM_JOB_ID":            "77",
+		"SLURM_NNODES":            "4",
+		"SLURM_JOB_CPUS_PER_NODE": "32(x4)",
+		"SLURM_JOB_PARTITION":     "haswell",
+	}
+	m, err := d.ResolveMachine(func(k string) string { return env[k] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.MachineName != "cori" || m.Nodes != 4 || m.CoresPerNode != 32 || m.Partition != "haswell" {
+		t.Fatalf("resolved machine %+v", m)
+	}
+	// Slurm requested but absent → error.
+	if _, err := d.ResolveMachine(func(string) string { return "" }); err == nil {
+		t.Fatal("expected slurm resolution failure")
+	}
+}
+
+func TestResolveSoftwareSpackAndCK(t *testing.T) {
+	d, err := Parse([]byte(paperExample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := d.ResolveSoftware(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sw) != 2 || sw[0].Name != "scalapack" || sw[1].Name != "gcc" {
+		t.Fatalf("spack resolution: %+v", sw)
+	}
+	// CK path.
+	d.Software.CKMeta = "meta.json"
+	sw, err = d.ResolveSoftware(func(string) ([]byte, error) {
+		return []byte(`{"data_name": "hypre", "version": "2.20.0"}`), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, s := range sw {
+		if s.Name == "hypre" && s.Source == "ck" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("CK software missing from %+v", sw)
+	}
+	// Bad spack spec propagates.
+	d.Software.Spack = "@@@"
+	if _, err := d.ResolveSoftware(nil); err == nil || !strings.Contains(err.Error(), "spack") {
+		t.Fatalf("expected spack error, got %v", err)
+	}
+}

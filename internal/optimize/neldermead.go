@@ -1,0 +1,167 @@
+// Package optimize provides the derivative-free and gradient-based
+// optimizers that drive surrogate-model hyperparameter fitting and
+// acquisition-function maximization: Nelder–Mead, L-BFGS with
+// backtracking line search, differential evolution, and a multi-start
+// driver. All routines minimize.
+package optimize
+
+import (
+	"math"
+	"sort"
+)
+
+// Result reports the outcome of a minimization.
+type Result struct {
+	X     []float64 // best point found
+	F     float64   // objective value at X
+	Evals int       // number of objective evaluations
+}
+
+// NelderMeadConfig controls the simplex search.
+type NelderMeadConfig struct {
+	MaxIter int     // maximum iterations (default 200·dim)
+	TolF    float64 // simplex function-spread stopping tolerance (default 1e-10)
+	TolX    float64 // simplex size stopping tolerance (default 1e-10)
+	Step    float64 // initial simplex edge length (default 0.1)
+}
+
+func (c *NelderMeadConfig) defaults(dim int) {
+	if c.MaxIter == 0 {
+		c.MaxIter = 200 * dim
+	}
+	if c.TolF == 0 {
+		c.TolF = 1e-10
+	}
+	if c.TolX == 0 {
+		c.TolX = 1e-10
+	}
+	if c.Step == 0 {
+		c.Step = 0.1
+	}
+}
+
+// NelderMead minimizes f starting from x0 using the adaptive
+// Nelder–Mead simplex method (Gao & Han coefficients for dimension
+// dependence).
+func NelderMead(f func([]float64) float64, x0 []float64, cfg NelderMeadConfig) Result {
+	dim := len(x0)
+	cfg.defaults(dim)
+	n := float64(dim)
+	// Adaptive coefficients (Gao & Han 2012).
+	alpha := 1.0
+	beta := 1 + 2/n
+	gamma := 0.75 - 1/(2*n)
+	delta := 1 - 1/n
+	if dim == 1 {
+		beta, gamma, delta = 2, 0.5, 0.5
+	}
+
+	type vert struct {
+		x []float64
+		f float64
+	}
+	evals := 0
+	eval := func(x []float64) float64 {
+		evals++
+		v := f(x)
+		if math.IsNaN(v) {
+			return math.Inf(1)
+		}
+		return v
+	}
+	simplex := make([]vert, dim+1)
+	simplex[0] = vert{x: append([]float64(nil), x0...)}
+	simplex[0].f = eval(simplex[0].x)
+	for i := 0; i < dim; i++ {
+		x := append([]float64(nil), x0...)
+		h := cfg.Step
+		if x[i] != 0 {
+			h = cfg.Step * math.Abs(x[i])
+		}
+		x[i] += h
+		simplex[i+1] = vert{x: x, f: eval(x)}
+	}
+
+	centroid := make([]float64, dim)
+	xr := make([]float64, dim)
+	xe := make([]float64, dim)
+	xc := make([]float64, dim)
+
+	for iter := 0; iter < cfg.MaxIter; iter++ {
+		sort.Slice(simplex, func(a, b int) bool { return simplex[a].f < simplex[b].f })
+		// Convergence: function spread and simplex extent.
+		fSpread := math.Abs(simplex[dim].f - simplex[0].f)
+		var xSpread float64
+		for i := 0; i < dim; i++ {
+			d := math.Abs(simplex[dim].x[i] - simplex[0].x[i])
+			if d > xSpread {
+				xSpread = d
+			}
+		}
+		if fSpread < cfg.TolF && xSpread < cfg.TolX {
+			break
+		}
+		// Centroid of all but the worst.
+		for i := range centroid {
+			centroid[i] = 0
+		}
+		for v := 0; v < dim; v++ {
+			for i, xv := range simplex[v].x {
+				centroid[i] += xv
+			}
+		}
+		for i := range centroid {
+			centroid[i] /= n
+		}
+		worst := &simplex[dim]
+		// Reflection.
+		for i := range xr {
+			xr[i] = centroid[i] + alpha*(centroid[i]-worst.x[i])
+		}
+		fr := eval(xr)
+		switch {
+		case fr < simplex[0].f:
+			// Expansion.
+			for i := range xe {
+				xe[i] = centroid[i] + beta*(xr[i]-centroid[i])
+			}
+			fe := eval(xe)
+			if fe < fr {
+				copy(worst.x, xe)
+				worst.f = fe
+			} else {
+				copy(worst.x, xr)
+				worst.f = fr
+			}
+		case fr < simplex[dim-1].f:
+			copy(worst.x, xr)
+			worst.f = fr
+		default:
+			// Contraction (outside if fr better than worst, else inside).
+			if fr < worst.f {
+				for i := range xc {
+					xc[i] = centroid[i] + gamma*(xr[i]-centroid[i])
+				}
+			} else {
+				for i := range xc {
+					xc[i] = centroid[i] - gamma*(centroid[i]-worst.x[i])
+				}
+			}
+			fc := eval(xc)
+			if fc < math.Min(fr, worst.f) {
+				copy(worst.x, xc)
+				worst.f = fc
+			} else {
+				// Shrink toward the best vertex.
+				for v := 1; v <= dim; v++ {
+					for i := range simplex[v].x {
+						simplex[v].x[i] = simplex[0].x[i] + delta*(simplex[v].x[i]-simplex[0].x[i])
+					}
+					simplex[v].f = eval(simplex[v].x)
+				}
+			}
+		}
+	}
+	sort.Slice(simplex, func(a, b int) bool { return simplex[a].f < simplex[b].f })
+	return Result{X: simplex[0].x, F: simplex[0].f, Evals: evals}
+}

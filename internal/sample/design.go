@@ -1,0 +1,121 @@
+package sample
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// LatinHypercube returns an n×dim design in [0,1)^dim where each
+// dimension is stratified into n equal bins with one point per bin
+// (maximin is not attempted; the stratification alone is what the tuner
+// needs for space-filling initial samples).
+func LatinHypercube(n, dim int, rng *rand.Rand) [][]float64 {
+	if n <= 0 || dim <= 0 {
+		panic(fmt.Sprintf("sample: invalid LHS size %dx%d", n, dim))
+	}
+	pts := make([][]float64, n)
+	for i := range pts {
+		pts[i] = make([]float64, dim)
+	}
+	perm := make([]int, n)
+	for d := 0; d < dim; d++ {
+		for i := range perm {
+			perm[i] = i
+		}
+		rng.Shuffle(n, func(a, b int) { perm[a], perm[b] = perm[b], perm[a] })
+		for i := 0; i < n; i++ {
+			pts[i][d] = (float64(perm[i]) + rng.Float64()) / float64(n)
+		}
+	}
+	return pts
+}
+
+// Uniform returns n points drawn uniformly at random from [0,1)^dim.
+func Uniform(n, dim int, rng *rand.Rand) [][]float64 {
+	pts := make([][]float64, n)
+	for i := range pts {
+		p := make([]float64, dim)
+		for d := range p {
+			p[d] = rng.Float64()
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// Saltelli holds the cross-sampled design used by the Sobol sensitivity
+// estimators: base matrices A and B (n×dim each) plus the AB_i matrices
+// where column i of A is replaced by column i of B.
+type Saltelli struct {
+	A, B [][]float64
+	AB   [][][]float64 // AB[i] is n×dim
+	N    int
+	Dim  int
+}
+
+// NewSaltelli builds a Saltelli design with n base samples over dim
+// dimensions drawn from a Sobol' sequence of dimension 2·dim, as in
+// Saltelli (2010) and SALib. Total model evaluations required:
+// n·(dim+2).
+func NewSaltelli(n, dim, skip int) (*Saltelli, error) {
+	seq, err := NewSobolSeq(2 * dim)
+	if err != nil {
+		return nil, err
+	}
+	seq.Skip(skip)
+	s := &Saltelli{N: n, Dim: dim}
+	s.A = make([][]float64, n)
+	s.B = make([][]float64, n)
+	buf := make([]float64, 2*dim)
+	for i := 0; i < n; i++ {
+		seq.Next(buf)
+		a := make([]float64, dim)
+		b := make([]float64, dim)
+		copy(a, buf[:dim])
+		copy(b, buf[dim:])
+		s.A[i] = a
+		s.B[i] = b
+	}
+	s.AB = make([][][]float64, dim)
+	for d := 0; d < dim; d++ {
+		m := make([][]float64, n)
+		for i := 0; i < n; i++ {
+			row := append([]float64(nil), s.A[i]...)
+			row[d] = s.B[i][d]
+			m[i] = row
+		}
+		s.AB[d] = m
+	}
+	return s, nil
+}
+
+// AllPoints returns every evaluation point of the design in the fixed
+// order [A; AB_0; …; AB_{dim−1}; B], which callers can evaluate in one
+// batch and slice back apart with SplitValues.
+func (s *Saltelli) AllPoints() [][]float64 {
+	out := make([][]float64, 0, s.N*(s.Dim+2))
+	out = append(out, s.A...)
+	for d := 0; d < s.Dim; d++ {
+		out = append(out, s.AB[d]...)
+	}
+	out = append(out, s.B...)
+	return out
+}
+
+// SplitValues splits a flat value slice (aligned with AllPoints) back
+// into (yA, yAB, yB).
+func (s *Saltelli) SplitValues(y []float64) (yA []float64, yAB [][]float64, yB []float64, err error) {
+	want := s.N * (s.Dim + 2)
+	if len(y) != want {
+		return nil, nil, nil, fmt.Errorf("sample: expected %d values, got %d", want, len(y))
+	}
+	yA = y[:s.N]
+	yAB = make([][]float64, s.Dim)
+	off := s.N
+	for d := 0; d < s.Dim; d++ {
+		yAB[d] = y[off : off+s.N]
+		off += s.N
+	}
+	yB = y[off:]
+	return yA, yAB, yB, nil
+}

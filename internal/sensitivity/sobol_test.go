@@ -1,0 +1,147 @@
+package sensitivity
+
+import (
+	"math"
+	"testing"
+
+	"gptunecrowd/internal/space"
+)
+
+// Ishigami function with the standard constants a=7, b=0.1 over
+// [−π, π]³ has analytic Sobol' indices:
+//
+//	S1 = (0.3139, 0.4424, 0)   ST = (0.5576, 0.4424, 0.2437)
+func ishigami(u []float64) float64 {
+	x1 := -math.Pi + 2*math.Pi*u[0]
+	x2 := -math.Pi + 2*math.Pi*u[1]
+	x3 := -math.Pi + 2*math.Pi*u[2]
+	return math.Sin(x1) + 7*math.Sin(x2)*math.Sin(x2) + 0.1*math.Pow(x3, 4)*math.Sin(x1)
+}
+
+func TestIshigamiIndices(t *testing.T) {
+	res, err := Analyze(ishigami, 3, []string{"x1", "x2", "x3"}, Options{N: 4096, NBoot: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantS1 := []float64{0.3139, 0.4424, 0}
+	wantST := []float64{0.5576, 0.4424, 0.2437}
+	for i := range wantS1 {
+		if math.Abs(res.S1[i]-wantS1[i]) > 0.05 {
+			t.Fatalf("S1[%d] = %v, want %v", i, res.S1[i], wantS1[i])
+		}
+		if math.Abs(res.ST[i]-wantST[i]) > 0.05 {
+			t.Fatalf("ST[%d] = %v, want %v", i, res.ST[i], wantST[i])
+		}
+		if res.S1Conf[i] < 0 || res.STConf[i] < 0 {
+			t.Fatal("negative confidence half-width")
+		}
+	}
+}
+
+func TestAdditiveLinearFunction(t *testing.T) {
+	// f = 3·u1 + 1·u2: purely additive, so S1 ≈ ST and the first input
+	// carries 9x the variance of the second.
+	f := func(u []float64) float64 { return 3*u[0] + u[1] }
+	res, err := Analyze(f, 2, nil, Options{N: 2048, NBoot: 30, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.S1[0]-0.9) > 0.03 || math.Abs(res.S1[1]-0.1) > 0.03 {
+		t.Fatalf("S1 = %v, want ~[0.9 0.1]", res.S1)
+	}
+	for i := range res.S1 {
+		if math.Abs(res.S1[i]-res.ST[i]) > 0.03 {
+			t.Fatalf("additive function should have S1≈ST, got %v vs %v", res.S1[i], res.ST[i])
+		}
+	}
+}
+
+func TestInertParameterScoresZero(t *testing.T) {
+	f := func(u []float64) float64 { return u[0] * u[0] }
+	res, err := Analyze(f, 3, nil, Options{N: 1024, NBoot: 20, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := 1; d < 3; d++ {
+		if math.Abs(res.S1[d]) > 0.02 || math.Abs(res.ST[d]) > 0.02 {
+			t.Fatalf("inert dim %d: S1=%v ST=%v", d, res.S1[d], res.ST[d])
+		}
+	}
+}
+
+func TestConstantFunction(t *testing.T) {
+	f := func(u []float64) float64 { return 5 }
+	res, err := Analyze(f, 2, nil, Options{N: 256, NBoot: 10, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := 0; d < 2; d++ {
+		if res.S1[d] != 0 || res.ST[d] != 0 {
+			t.Fatalf("constant function indices should be 0, got %v/%v", res.S1[d], res.ST[d])
+		}
+	}
+}
+
+func TestAnalyzeValidation(t *testing.T) {
+	if _, err := Analyze(ishigami, 0, nil, Options{}); err == nil {
+		t.Fatal("expected dimension error")
+	}
+	if _, err := Analyze(ishigami, 3, []string{"a"}, Options{}); err == nil {
+		t.Fatal("expected names-length error")
+	}
+}
+
+func TestMostSensitive(t *testing.T) {
+	r := &Result{
+		Names: []string{"a", "b", "c", "d"},
+		ST:    []float64{0.1, 0.7, 0.4, 0.05},
+	}
+	got := r.MostSensitive(0.2)
+	if len(got) != 2 || got[0] != "b" || got[1] != "c" {
+		t.Fatalf("MostSensitive = %v", got)
+	}
+	if len(r.MostSensitive(2)) != 0 {
+		t.Fatal("threshold above all STs should return empty")
+	}
+}
+
+func TestAnalyzeSpaceCategorical(t *testing.T) {
+	sp := space.MustNew(
+		space.Param{Name: "x", Kind: space.Real, Lo: 0, Hi: 1},
+		space.Param{Name: "mode", Kind: space.Categorical, Categories: []string{"slow", "fast"}},
+	)
+	f := func(cfg map[string]interface{}) float64 {
+		v := cfg["x"].(float64) * 0.01 // nearly inert
+		if cfg["mode"].(string) == "slow" {
+			return 10 + v
+		}
+		return 1 + v
+	}
+	res, err := AnalyzeSpace(f, sp, Options{N: 1024, NBoot: 20, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ST[1] < 0.9 {
+		t.Fatalf("categorical driver should dominate: ST = %v", res.ST)
+	}
+	if res.ST[0] > 0.05 {
+		t.Fatalf("near-inert x scored %v", res.ST[0])
+	}
+	if res.Names[1] != "mode" {
+		t.Fatal("names misaligned")
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := &Result{
+		Names:  []string{"p"},
+		S1:     []float64{0.5},
+		S1Conf: []float64{0.01},
+		ST:     []float64{0.6},
+		STConf: []float64{0.02},
+	}
+	s := r.String()
+	if len(s) == 0 || s[:9] != "Parameter" {
+		t.Fatalf("String() = %q", s)
+	}
+}

@@ -1,0 +1,102 @@
+package space
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// paramJSON is the meta-description wire form of a parameter, matching
+// the paper's example:
+//
+//	{"name":"t", "type":"integer", "lower_bound":1, "upper_bound":10}
+//	{"name":"x", "type":"real", "lower_bound":0, "upper_bound":10}
+//	{"name":"c", "type":"categorical", "categories":["a","b"]}
+type paramJSON struct {
+	Name       string   `json:"name"`
+	Type       string   `json:"type"`
+	LowerBound *float64 `json:"lower_bound,omitempty"`
+	UpperBound *float64 `json:"upper_bound,omitempty"`
+	Categories []string `json:"categories,omitempty"`
+	LogScale   bool     `json:"log_scale,omitempty"`
+}
+
+// MarshalJSON renders the space as a meta-description parameter list.
+func (s *Space) MarshalJSON() ([]byte, error) {
+	out := make([]paramJSON, len(s.Params))
+	for i, p := range s.Params {
+		pj := paramJSON{Name: p.Name, Type: p.Kind.String(), LogScale: p.LogScale}
+		switch p.Kind {
+		case Real, Integer:
+			lo, hi := p.Lo, p.Hi
+			pj.LowerBound = &lo
+			pj.UpperBound = &hi
+		case Categorical:
+			pj.Categories = p.Categories
+		}
+		out[i] = pj
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON parses a meta-description parameter list.
+func (s *Space) UnmarshalJSON(data []byte) error {
+	var raw []paramJSON
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return fmt.Errorf("space: invalid parameter list: %w", err)
+	}
+	params := make([]Param, len(raw))
+	for i, pj := range raw {
+		kind, err := ParseKind(pj.Type)
+		if err != nil {
+			return err
+		}
+		p := Param{Name: pj.Name, Kind: kind, Categories: pj.Categories, LogScale: pj.LogScale}
+		if kind != Categorical {
+			if pj.LowerBound == nil || pj.UpperBound == nil {
+				return fmt.Errorf("space: parameter %q: missing bounds", pj.Name)
+			}
+			p.Lo, p.Hi = *pj.LowerBound, *pj.UpperBound
+		}
+		if err := p.Validate(); err != nil {
+			return err
+		}
+		params[i] = p
+	}
+	ns, err := New(params...)
+	if err != nil {
+		return err
+	}
+	*s = *ns
+	return nil
+}
+
+// OutputParam describes one objective of the output space. Outputs need
+// no bounds; they carry only a name (e.g. runtime "y").
+type OutputParam struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+}
+
+// OutputSpace is the list of objectives. GPTuneCrowd tunes a single
+// objective in all the paper's experiments, but the representation keeps
+// the general list form of the meta description.
+type OutputSpace struct {
+	Outputs []OutputParam
+}
+
+// MarshalJSON renders the output space list.
+func (o OutputSpace) MarshalJSON() ([]byte, error) { return json.Marshal(o.Outputs) }
+
+// UnmarshalJSON parses the output space list.
+func (o *OutputSpace) UnmarshalJSON(data []byte) error {
+	o.Outputs = nil // do not let stale elements leak through partial decodes
+	if err := json.Unmarshal(data, &o.Outputs); err != nil {
+		return fmt.Errorf("space: invalid output space: %w", err)
+	}
+	for _, p := range o.Outputs {
+		if p.Name == "" {
+			return fmt.Errorf("space: output with empty name")
+		}
+	}
+	return nil
+}

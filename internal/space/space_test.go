@@ -1,0 +1,298 @@
+package space
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func testSpace(t *testing.T) *Space {
+	t.Helper()
+	s, err := New(
+		Param{Name: "mb", Kind: Integer, Lo: 1, Hi: 16},
+		Param{Name: "x", Kind: Real, Lo: 0, Hi: 10},
+		Param{Name: "colperm", Kind: Categorical, Categories: []string{"NATURAL", "MMD_AT_PLUS_A", "METIS"}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestDecodeRanges(t *testing.T) {
+	s := testSpace(t)
+	// Integer [1,16) has 15 levels: u=0 → 1, u→1 → 15.
+	if v := s.Params[0].Decode(0).(int); v != 1 {
+		t.Fatalf("int decode(0) = %v", v)
+	}
+	if v := s.Params[0].Decode(0.9999).(int); v != 15 {
+		t.Fatalf("int decode(~1) = %v", v)
+	}
+	if v := s.Params[0].Decode(1).(int); v != 15 {
+		t.Fatalf("int decode(1) = %v", v)
+	}
+	if v := s.Params[1].Decode(0.5).(float64); v != 5 {
+		t.Fatalf("real decode(0.5) = %v", v)
+	}
+	if v := s.Params[2].Decode(0.99).(string); v != "METIS" {
+		t.Fatalf("cat decode = %v", v)
+	}
+}
+
+func TestEncodeDecodeRoundTripProperty(t *testing.T) {
+	s := testSpace(t)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		u := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		cfg := s.Decode(u)
+		u2, err := s.Encode(cfg)
+		if err != nil {
+			return false
+		}
+		cfg2 := s.Decode(u2)
+		for k, v := range cfg {
+			if cfg2[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCanonicalizeIdempotent(t *testing.T) {
+	s := testSpace(t)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 100; i++ {
+		u := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		c1 := s.Canonicalize(u)
+		c2 := s.Canonicalize(c1)
+		for d := range c1 {
+			if c1[d] != c2[d] {
+				t.Fatalf("Canonicalize not idempotent at dim %d", d)
+			}
+		}
+		// Same decoded config.
+		a, b := s.Decode(u), s.Decode(c1)
+		for k := range a {
+			if k != "x" && a[k] != b[k] {
+				t.Fatalf("Canonicalize changed %s: %v -> %v", k, a[k], b[k])
+			}
+		}
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	s := testSpace(t)
+	if _, err := s.Encode(map[string]interface{}{"mb": 3, "x": 1.0}); err == nil {
+		t.Fatal("expected missing-parameter error")
+	}
+	if _, err := s.Encode(map[string]interface{}{"mb": 99, "x": 1.0, "colperm": "METIS"}); err == nil {
+		t.Fatal("expected out-of-range integer error")
+	}
+	if _, err := s.Encode(map[string]interface{}{"mb": 3, "x": 1.0, "colperm": "NOPE"}); err == nil {
+		t.Fatal("expected unknown-category error")
+	}
+	if _, err := s.Encode(map[string]interface{}{"mb": "three", "x": 1.0, "colperm": "METIS"}); err == nil {
+		t.Fatal("expected type error")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []Param{
+		{Name: "", Kind: Real, Lo: 0, Hi: 1},
+		{Name: "r", Kind: Real, Lo: 1, Hi: 1},
+		{Name: "i", Kind: Integer, Lo: 5, Hi: 5.5},
+		{Name: "c", Kind: Categorical},
+		{Name: "c2", Kind: Categorical, Categories: []string{"a", "a"}},
+		{Name: "lg", Kind: Real, Lo: 0, Hi: 1, LogScale: true},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Fatalf("expected validation failure for %+v", p)
+		}
+	}
+	if _, err := New(Param{Name: "a", Kind: Real, Lo: 0, Hi: 1}, Param{Name: "a", Kind: Real, Lo: 0, Hi: 1}); err == nil {
+		t.Fatal("expected duplicate-name error")
+	}
+}
+
+func TestLogScaleReal(t *testing.T) {
+	p := Param{Name: "lr", Kind: Real, Lo: 1e-4, Hi: 1, LogScale: true}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if v := p.Decode(0).(float64); v != 1e-4 {
+		t.Fatalf("decode(0) = %v", v)
+	}
+	if v := p.Decode(1).(float64); v < 0.999 || v > 1.001 {
+		t.Fatalf("decode(1) = %v", v)
+	}
+	mid := p.Decode(0.5).(float64)
+	if mid < 0.009 || mid > 0.011 { // geometric midpoint of 1e-4..1 is 1e-2
+		t.Fatalf("decode(0.5) = %v", mid)
+	}
+	u, err := p.Encode(mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := u - 0.5; d > 1e-9 || d < -1e-9 {
+		t.Fatalf("encode(decode(0.5)) = %v", u)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	s := testSpace(t)
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s2 Space
+	if err := json.Unmarshal(data, &s2); err != nil {
+		t.Fatal(err)
+	}
+	if s2.Dim() != s.Dim() {
+		t.Fatalf("dim mismatch after round trip")
+	}
+	for i := range s.Params {
+		a, b := s.Params[i], s2.Params[i]
+		if a.Name != b.Name || a.Kind != b.Kind || a.Lo != b.Lo || a.Hi != b.Hi {
+			t.Fatalf("param %d mismatch: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestJSONMetaExample(t *testing.T) {
+	// The exact wire shape from the paper's meta-description snippet.
+	raw := `[{"name":"t","type":"integer","lower_bound":1,"upper_bound":10},
+	         {"name":"x","type":"real","lower_bound":0,"upper_bound":10}]`
+	var s Space
+	if err := json.Unmarshal([]byte(raw), &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Dim() != 2 || s.Params[0].Kind != Integer || s.Params[1].Kind != Real {
+		t.Fatalf("parsed %+v", s.Params)
+	}
+	var bad Space
+	if err := json.Unmarshal([]byte(`[{"name":"x","type":"real"}]`), &bad); err == nil {
+		t.Fatal("expected missing-bounds error")
+	}
+	if err := json.Unmarshal([]byte(`[{"name":"x","type":"weird","lower_bound":0,"upper_bound":1}]`), &bad); err == nil {
+		t.Fatal("expected unknown-type error")
+	}
+}
+
+func TestOutputSpaceJSON(t *testing.T) {
+	raw := `[{"name":"y","type":"real"}]`
+	var o OutputSpace
+	if err := json.Unmarshal([]byte(raw), &o); err != nil {
+		t.Fatal(err)
+	}
+	if len(o.Outputs) != 1 || o.Outputs[0].Name != "y" {
+		t.Fatalf("parsed %+v", o)
+	}
+	if err := json.Unmarshal([]byte(`[{"type":"real"}]`), &o); err == nil {
+		t.Fatal("expected empty-name error")
+	}
+}
+
+func TestSubspace(t *testing.T) {
+	s := testSpace(t)
+	sub, err := s.Subspace("colperm", "mb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Dim() != 2 || sub.Params[0].Name != "colperm" || sub.Params[1].Name != "mb" {
+		t.Fatalf("subspace %+v", sub.Names())
+	}
+	if _, err := s.Subspace("nope"); err == nil {
+		t.Fatal("expected unknown-parameter error")
+	}
+}
+
+func TestIndexAndNames(t *testing.T) {
+	s := testSpace(t)
+	if s.Index("x") != 1 || s.Index("zzz") != -1 {
+		t.Fatal("Index wrong")
+	}
+	names := s.Names()
+	if names[0] != "mb" || names[2] != "colperm" {
+		t.Fatalf("Names = %v", names)
+	}
+	kinds := s.Kinds()
+	if kinds[2] != Categorical {
+		t.Fatal("Kinds wrong")
+	}
+}
+
+func TestIntegerLogScale(t *testing.T) {
+	p := Param{Name: "n", Kind: Integer, Lo: 1, Hi: 1025, LogScale: true}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if v := p.Decode(0).(int); v != 1 {
+		t.Fatalf("decode(0) = %v", v)
+	}
+	if v := p.Decode(1).(int); v != 1024 {
+		t.Fatalf("decode(1) = %v", v)
+	}
+	// Round trip at a few values.
+	for _, val := range []int{1, 2, 10, 100, 1024} {
+		u, err := p.Encode(val)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := p.Decode(u).(int); got != val {
+			t.Fatalf("round trip %d -> %v -> %d", val, u, got)
+		}
+	}
+}
+
+func TestOutputSpaceMarshal(t *testing.T) {
+	o := OutputSpace{Outputs: []OutputParam{{Name: "y", Type: "real"}}}
+	data, err := json.Marshal(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != `[{"name":"y","type":"real"}]` {
+		t.Fatalf("marshal = %s", data)
+	}
+}
+
+func TestMustNewPanicsOnBadSpace(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew should panic on invalid parameter")
+		}
+	}()
+	MustNew(Param{Name: "", Kind: Real, Lo: 0, Hi: 1})
+}
+
+func TestEncodeNumericTypes(t *testing.T) {
+	p := Param{Name: "n", Kind: Integer, Lo: 0, Hi: 10}
+	for _, v := range []interface{}{3, int32(3), int64(3), 3.0, float32(3), json.Number("3")} {
+		u, err := p.Encode(v)
+		if err != nil {
+			t.Fatalf("%T: %v", v, err)
+		}
+		if got := p.Decode(u).(int); got != 3 {
+			t.Fatalf("%T round trip = %d", v, got)
+		}
+	}
+	if _, err := p.Encode(json.Number("x")); err == nil {
+		t.Fatal("bad json.Number should fail")
+	}
+}
+
+func TestDecodeClampsOutOfRange(t *testing.T) {
+	p := Param{Name: "r", Kind: Real, Lo: 0, Hi: 2}
+	if v := p.Decode(-0.5).(float64); v != 0 {
+		t.Fatalf("decode(-0.5) = %v", v)
+	}
+	if v := p.Decode(1.5).(float64); v != 2 {
+		t.Fatalf("decode(1.5) = %v", v)
+	}
+}

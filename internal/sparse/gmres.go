@@ -1,0 +1,309 @@
+package sparse
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Preconditioner applies M⁻¹ to a vector.
+type Preconditioner interface {
+	Apply(r []float64, z []float64) // z = M⁻¹ r
+	Name() string
+}
+
+// IdentityPrec is the no-op preconditioner.
+type IdentityPrec struct{}
+
+// Apply copies r into z.
+func (IdentityPrec) Apply(r, z []float64) { copy(z, r) }
+
+// Name implements Preconditioner.
+func (IdentityPrec) Name() string { return "none" }
+
+// JacobiPrec is diagonal scaling.
+type JacobiPrec struct{ invDiag []float64 }
+
+// NewJacobi builds a Jacobi preconditioner for a.
+func NewJacobi(a *CSR) (*JacobiPrec, error) {
+	d := a.Diagonal()
+	inv := make([]float64, len(d))
+	for i, v := range d {
+		if v == 0 {
+			return nil, fmt.Errorf("sparse: zero diagonal at row %d", i)
+		}
+		inv[i] = 1 / v
+	}
+	return &JacobiPrec{invDiag: inv}, nil
+}
+
+// Apply implements Preconditioner.
+func (p *JacobiPrec) Apply(r, z []float64) {
+	for i := range r {
+		z[i] = r[i] * p.invDiag[i]
+	}
+}
+
+// Name implements Preconditioner.
+func (p *JacobiPrec) Name() string { return "jacobi" }
+
+// ILU0Prec is an incomplete LU factorization with zero fill, stored in
+// the sparsity pattern of A.
+type ILU0Prec struct {
+	lu   *CSR
+	diag []int // position of the diagonal entry in each row
+}
+
+// NewILU0 computes the ILU(0) factorization of a.
+func NewILU0(a *CSR) (*ILU0Prec, error) {
+	n := a.N
+	lu := &CSR{
+		N:      n,
+		RowPtr: append([]int(nil), a.RowPtr...),
+		ColIdx: append([]int(nil), a.ColIdx...),
+		Values: append([]float64(nil), a.Values...),
+	}
+	diag := make([]int, n)
+	for i := 0; i < n; i++ {
+		diag[i] = -1
+		for k := lu.RowPtr[i]; k < lu.RowPtr[i+1]; k++ {
+			if lu.ColIdx[k] == i {
+				diag[i] = k
+			}
+		}
+		if diag[i] < 0 {
+			return nil, fmt.Errorf("sparse: ILU0 needs a full diagonal (row %d)", i)
+		}
+	}
+	// IKJ-variant incomplete factorization.
+	colPos := make(map[int]int, 16)
+	for i := 0; i < n; i++ {
+		colPos = map[int]int{}
+		for k := lu.RowPtr[i]; k < lu.RowPtr[i+1]; k++ {
+			colPos[lu.ColIdx[k]] = k
+		}
+		for k := lu.RowPtr[i]; k < lu.RowPtr[i+1]; k++ {
+			j := lu.ColIdx[k]
+			if j >= i {
+				break // lower part only (column indices are sorted)
+			}
+			pivot := lu.Values[diag[j]]
+			if pivot == 0 {
+				return nil, errors.New("sparse: ILU0 zero pivot")
+			}
+			lik := lu.Values[k] / pivot
+			lu.Values[k] = lik
+			for kk := diag[j] + 1; kk < lu.RowPtr[j+1]; kk++ {
+				if pos, ok := colPos[lu.ColIdx[kk]]; ok {
+					lu.Values[pos] -= lik * lu.Values[kk]
+				}
+			}
+		}
+		if lu.Values[diag[i]] == 0 {
+			return nil, errors.New("sparse: ILU0 zero pivot")
+		}
+	}
+	return &ILU0Prec{lu: lu, diag: diag}, nil
+}
+
+// Apply implements Preconditioner: forward then backward substitution.
+func (p *ILU0Prec) Apply(r, z []float64) {
+	n := p.lu.N
+	// z = L⁻¹ r (unit diagonal L).
+	for i := 0; i < n; i++ {
+		s := r[i]
+		for k := p.lu.RowPtr[i]; k < p.diag[i]; k++ {
+			s -= p.lu.Values[k] * z[p.lu.ColIdx[k]]
+		}
+		z[i] = s
+	}
+	// z = U⁻¹ z.
+	for i := n - 1; i >= 0; i-- {
+		s := z[i]
+		for k := p.diag[i] + 1; k < p.lu.RowPtr[i+1]; k++ {
+			s -= p.lu.Values[k] * z[p.lu.ColIdx[k]]
+		}
+		z[i] = s / p.lu.Values[p.diag[i]]
+	}
+}
+
+// Name implements Preconditioner.
+func (p *ILU0Prec) Name() string { return "ilu0" }
+
+// GMRESOptions configures the solver.
+type GMRESOptions struct {
+	Restart int     // Krylov dimension m (default 30)
+	MaxIter int     // total iteration cap (default 1000)
+	Tol     float64 // relative residual tolerance (default 1e-8)
+	Prec    Preconditioner
+}
+
+// GMRESResult reports the outcome.
+type GMRESResult struct {
+	X          []float64
+	Iterations int
+	Residual   float64 // final relative residual
+	Converged  bool
+}
+
+// GMRES solves A·x = b with restarted, right-preconditioned GMRES(m).
+func GMRES(a *CSR, b []float64, opts GMRESOptions) (*GMRESResult, error) {
+	n := a.N
+	if len(b) != n {
+		return nil, fmt.Errorf("sparse: rhs length %d for %d-dim system", len(b), n)
+	}
+	m := opts.Restart
+	if m <= 0 {
+		m = 30
+	}
+	if m > n {
+		m = n
+	}
+	maxIter := opts.MaxIter
+	if maxIter <= 0 {
+		maxIter = 1000
+	}
+	tol := opts.Tol
+	if tol <= 0 {
+		tol = 1e-8
+	}
+	prec := opts.Prec
+	if prec == nil {
+		prec = IdentityPrec{}
+	}
+
+	x := make([]float64, n)
+	bnorm := norm2(b)
+	if bnorm == 0 {
+		return &GMRESResult{X: x, Converged: true}, nil
+	}
+
+	V := make([][]float64, m+1)
+	for i := range V {
+		V[i] = make([]float64, n)
+	}
+	H := make([][]float64, m+1)
+	for i := range H {
+		H[i] = make([]float64, m)
+	}
+	cs := make([]float64, m)
+	sn := make([]float64, m)
+	g := make([]float64, m+1)
+	z := make([]float64, n)
+	w := make([]float64, n)
+
+	iter := 0
+	relres := 1.0
+	for iter < maxIter {
+		// Residual r = b − A·x.
+		a.MulVec(x, w)
+		for i := 0; i < n; i++ {
+			V[0][i] = b[i] - w[i]
+		}
+		beta := norm2(V[0])
+		relres = beta / bnorm
+		if relres < tol {
+			return &GMRESResult{X: x, Iterations: iter, Residual: relres, Converged: true}, nil
+		}
+		inv := 1 / beta
+		for i := range V[0] {
+			V[0][i] *= inv
+		}
+		for i := range g {
+			g[i] = 0
+		}
+		g[0] = beta
+
+		k := 0
+		for ; k < m && iter < maxIter; k++ {
+			iter++
+			// w = A·M⁻¹·v_k
+			prec.Apply(V[k], z)
+			a.MulVec(z, w)
+			// Modified Gram–Schmidt.
+			for j := 0; j <= k; j++ {
+				h := dot(w, V[j])
+				H[j][k] = h
+				for i := range w {
+					w[i] -= h * V[j][i]
+				}
+			}
+			hk := norm2(w)
+			H[k+1][k] = hk
+			if hk > 1e-14 {
+				inv := 1 / hk
+				for i := range w {
+					V[k+1][i] = w[i] * inv
+				}
+			}
+			// Apply previous Givens rotations to the new column.
+			for j := 0; j < k; j++ {
+				t := cs[j]*H[j][k] + sn[j]*H[j+1][k]
+				H[j+1][k] = -sn[j]*H[j][k] + cs[j]*H[j+1][k]
+				H[j][k] = t
+			}
+			// New rotation.
+			r := math.Hypot(H[k][k], H[k+1][k])
+			if r == 0 {
+				cs[k], sn[k] = 1, 0
+			} else {
+				cs[k], sn[k] = H[k][k]/r, H[k+1][k]/r
+			}
+			H[k][k] = r
+			H[k+1][k] = 0
+			g[k+1] = -sn[k] * g[k]
+			g[k] = cs[k] * g[k]
+			relres = math.Abs(g[k+1]) / bnorm
+			if relres < tol || hk <= 1e-14 {
+				k++
+				break
+			}
+		}
+		// Solve the small triangular system H y = g.
+		y := make([]float64, k)
+		for i := k - 1; i >= 0; i-- {
+			s := g[i]
+			for j := i + 1; j < k; j++ {
+				s -= H[i][j] * y[j]
+			}
+			y[i] = s / H[i][i]
+		}
+		// x += M⁻¹ (V·y)
+		for i := range w {
+			w[i] = 0
+		}
+		for j := 0; j < k; j++ {
+			yj := y[j]
+			vj := V[j]
+			for i := range w {
+				w[i] += yj * vj[i]
+			}
+		}
+		prec.Apply(w, z)
+		for i := range x {
+			x[i] += z[i]
+		}
+		if relres < tol {
+			// Recompute the true residual to report honestly.
+			true_ := ResidualNorm(a, x, b) / bnorm
+			return &GMRESResult{X: x, Iterations: iter, Residual: true_, Converged: true_ < tol*10}, nil
+		}
+	}
+	return &GMRESResult{X: x, Iterations: iter, Residual: relres, Converged: false}, nil
+}
+
+func norm2(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}

@@ -1,0 +1,216 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func onesRHS(n int) []float64 {
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = 1
+	}
+	return b
+}
+
+func TestPoisson3DStructure(t *testing.T) {
+	a, err := Poisson3D(4, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.N != 64 {
+		t.Fatalf("N = %d", a.N)
+	}
+	// Interior rows have 7 entries; row sums of the Laplacian with
+	// Dirichlet boundaries are non-negative.
+	d := a.Diagonal()
+	for i := 0; i < a.N; i++ {
+		if d[i] != 6 {
+			t.Fatalf("diagonal[%d] = %v", i, d[i])
+		}
+		var rowSum float64
+		nnzRow := a.RowPtr[i+1] - a.RowPtr[i]
+		if nnzRow < 4 || nnzRow > 7 {
+			t.Fatalf("row %d has %d entries", i, nnzRow)
+		}
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			rowSum += a.Values[k]
+		}
+		if rowSum < 0 {
+			t.Fatalf("row %d sum %v", i, rowSum)
+		}
+	}
+	if _, err := Poisson3D(0, 1, 1); err == nil {
+		t.Fatal("expected error for empty grid")
+	}
+}
+
+func TestMulVecAgainstDense(t *testing.T) {
+	a, _ := Poisson3D(3, 3, 3)
+	rng := rand.New(rand.NewSource(1))
+	x := make([]float64, a.N)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	y := a.MulVec(x, nil)
+	// Check a handful of rows by explicit summation.
+	for _, i := range []int{0, 5, 13, 26} {
+		var s float64
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			s += a.Values[k] * x[a.ColIdx[k]]
+		}
+		if math.Abs(s-y[i]) > 1e-14 {
+			t.Fatalf("row %d mismatch", i)
+		}
+	}
+}
+
+func TestGMRESUnpreconditioned(t *testing.T) {
+	a, _ := Poisson3D(6, 6, 6)
+	b := onesRHS(a.N)
+	res, err := GMRES(a, b, GMRESOptions{Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("did not converge: %+v", res.Residual)
+	}
+	if rn := ResidualNorm(a, res.X, b) / norm2(b); rn > 1e-8 {
+		t.Fatalf("true residual %v", rn)
+	}
+}
+
+func TestGMRESWithJacobi(t *testing.T) {
+	a, _ := Poisson3D(6, 6, 6)
+	b := onesRHS(a.N)
+	p, err := NewJacobi(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := GMRES(a, b, GMRESOptions{Tol: 1e-10, Prec: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("Jacobi GMRES did not converge")
+	}
+}
+
+func TestGMRESWithILU0ConvergesFaster(t *testing.T) {
+	a, err := ConvectionDiffusion3D(8, 8, 8, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := onesRHS(a.N)
+	plain, err := GMRES(a, b, GMRESOptions{Tol: 1e-9, Restart: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ilu, err := NewILU0(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre, err := GMRES(a, b, GMRESOptions{Tol: 1e-9, Restart: 20, Prec: ilu})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pre.Converged {
+		t.Fatal("ILU0 GMRES did not converge")
+	}
+	if pre.Iterations >= plain.Iterations {
+		t.Fatalf("ILU0 (%d iters) should beat plain (%d iters)", pre.Iterations, plain.Iterations)
+	}
+	if rn := ResidualNorm(a, pre.X, b) / norm2(b); rn > 1e-7 {
+		t.Fatalf("true residual %v", rn)
+	}
+}
+
+func TestILU0ExactForTriangularPattern(t *testing.T) {
+	// For a lower-triangular matrix, ILU(0) is the exact factorization,
+	// so the preconditioned solve converges in one application.
+	entries := []coord{
+		{0, 0, 2},
+		{1, 0, 1}, {1, 1, 3},
+		{2, 1, 1}, {2, 2, 4},
+	}
+	a := fromCOO(3, entries)
+	ilu, err := NewILU0(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := []float64{2, 4, 5}
+	z := make([]float64, 3)
+	ilu.Apply(b, z)
+	if rn := ResidualNorm(a, z, b); rn > 1e-12 {
+		t.Fatalf("ILU0 not exact on triangular matrix: residual %v", rn)
+	}
+}
+
+func TestGMRESRestartVariants(t *testing.T) {
+	a, _ := Poisson3D(5, 5, 5)
+	b := onesRHS(a.N)
+	for _, m := range []int{5, 10, 50, 200} {
+		res, err := GMRES(a, b, GMRESOptions{Restart: m, Tol: 1e-8, MaxIter: 5000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Fatalf("restart=%d did not converge", m)
+		}
+	}
+}
+
+func TestGMRESZeroRHS(t *testing.T) {
+	a, _ := Poisson3D(3, 3, 3)
+	res, err := GMRES(a, make([]float64, a.N), GMRESOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || norm2(res.X) != 0 {
+		t.Fatal("zero RHS should give zero solution")
+	}
+}
+
+func TestGMRESValidation(t *testing.T) {
+	a, _ := Poisson3D(3, 3, 3)
+	if _, err := GMRES(a, []float64{1}, GMRESOptions{}); err == nil {
+		t.Fatal("expected rhs length error")
+	}
+}
+
+func TestJacobiRejectsZeroDiagonal(t *testing.T) {
+	a := fromCOO(2, []coord{{0, 1, 1}, {1, 0, 1}})
+	if _, err := NewJacobi(a); err == nil {
+		t.Fatal("expected zero-diagonal error")
+	}
+	if _, err := NewILU0(a); err == nil {
+		t.Fatal("ILU0 should reject missing diagonal")
+	}
+}
+
+func TestConvectionDiffusionNonsymmetric(t *testing.T) {
+	a, _ := ConvectionDiffusion3D(3, 3, 3, 0.8)
+	// Find entries (i,j) and (j,i) that differ.
+	asym := false
+	get := func(i, j int) float64 {
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			if a.ColIdx[k] == j {
+				return a.Values[k]
+			}
+		}
+		return 0
+	}
+	for i := 0; i < a.N && !asym; i++ {
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			j := a.ColIdx[k]
+			if get(i, j) != get(j, i) {
+				asym = true
+				break
+			}
+		}
+	}
+	if !asym {
+		t.Fatal("convection term should break symmetry")
+	}
+}

@@ -1,0 +1,192 @@
+package tla
+
+import (
+	"math"
+
+	"gptunecrowd/internal/core"
+	"gptunecrowd/internal/gp"
+	"gptunecrowd/internal/kernel"
+	"gptunecrowd/internal/linalg"
+)
+
+// WeightedSum is the HiPerBOt-style transfer proposer: a weighted
+// combination of per-task GP surrogates (paper Section V-B/V-C).
+//
+// With Dynamic=false it reproduces WeightedSum(static) when
+// StaticWeights is set — weights ordered [src_1 … src_n, target] — and
+// WeightedSum(equal) otherwise. With Dynamic=true the weights are
+// re-estimated before every proposal by the linear-regression scheme of
+// Section V-C (GPTuneCrowd's improvement).
+type WeightedSum struct {
+	Sources       []*Source
+	Dynamic       bool
+	StaticWeights []float64 // optional; length len(Sources)+1
+	Kernel        kernel.Type
+	Acquisition   core.Acquisition
+	// Ridge is the regularization of the dynamic weight solve
+	// (default 1e-6).
+	Ridge float64
+}
+
+// NewWeightedSumEqual returns the WeightedSum(equal) proposer.
+func NewWeightedSumEqual(sources []*Source) *WeightedSum {
+	return &WeightedSum{Sources: sources}
+}
+
+// NewWeightedSumDynamic returns the WeightedSum(dynamic) proposer.
+func NewWeightedSumDynamic(sources []*Source) *WeightedSum {
+	return &WeightedSum{Sources: sources, Dynamic: true}
+}
+
+// Name implements core.Proposer.
+func (w *WeightedSum) Name() string {
+	if w.Dynamic {
+		return "WeightedSum(dynamic)"
+	}
+	if w.StaticWeights != nil {
+		return "WeightedSum(static)"
+	}
+	return "WeightedSum(equal)"
+}
+
+// Propose implements core.Proposer.
+func (w *WeightedSum) Propose(ctx *core.ProposeContext) ([]float64, error) {
+	if len(w.Sources) == 0 {
+		return nil, ErrNoSources
+	}
+	X, Y := ctx.History.XY()
+	if len(X) == 0 {
+		return equalWeightFirstEval(ctx, w.Sources, w.Kernel)
+	}
+	mask := ctx.Problem.CategoricalMask()
+	srcModels, err := sourceModels(w.Sources, mask, w.Kernel, 1)
+	if err != nil {
+		return nil, err
+	}
+	// Target surrogate (needs >=2 samples to be meaningful).
+	var tgtModel *gp.GP
+	if len(X) >= 2 {
+		tgtModel, err = gp.Fit(X, Y, gp.Options{Kernel: w.Kernel, Categorical: mask, Seed: ctx.Rng.Int63()})
+		if err != nil {
+			tgtModel = nil // degrade gracefully to a source-only mix
+		}
+	}
+	models := make([]core.Surrogate, 0, len(srcModels)+1)
+	for _, m := range srcModels {
+		models = append(models, m)
+	}
+	meanModels := make([]*gp.GP, len(srcModels))
+	copy(meanModels, srcModels)
+	if tgtModel != nil {
+		models = append(models, tgtModel)
+		meanModels = append(meanModels, tgtModel)
+	}
+	weights := w.weightsFor(meanModels, tgtModel != nil, X, Y)
+	comb := &weightedSurrogate{models: models, weights: weights}
+	acq := w.Acquisition
+	if acq == nil {
+		acq = core.EI{}
+	}
+	return core.SearchNext(comb, ctx.Problem.ParamSpace, acq, ctx.History, ctx.Rng, ctx.Search), nil
+}
+
+// weightsFor produces normalized weights aligned with models
+// ([sources..., target?]).
+func (w *WeightedSum) weightsFor(models []*gp.GP, hasTarget bool, X [][]float64, Y []float64) []float64 {
+	n := len(models)
+	equal := make([]float64, n)
+	for i := range equal {
+		equal[i] = 1.0 / float64(n)
+	}
+	if !w.Dynamic {
+		if w.StaticWeights != nil && len(w.StaticWeights) >= n {
+			out := append([]float64(nil), w.StaticWeights[:n]...)
+			normalizeWeights(out)
+			return out
+		}
+		return equal
+	}
+	// Dynamic scheme (Section V-C). Needs at least two target samples to
+	// form non-trivial rows.
+	if len(X) < 2 {
+		return equal
+	}
+	// Incumbent.
+	bestIdx := 0
+	for i, v := range Y {
+		if v < Y[bestIdx] {
+			bestIdx = i
+		}
+	}
+	xStar, yStar := X[bestIdx], Y[bestIdx]
+	yScale := math.Abs(yStar)
+	if yScale < 1e-12 {
+		yScale = 1
+	}
+	// Per-model normalizers μ_i(x*).
+	muStar := make([]float64, n)
+	for i, m := range models {
+		muStar[i] = m.PredictMean(xStar)
+	}
+	// Design matrix: one row per observed target sample (excluding the
+	// incumbent row, which is identically zero).
+	rows := make([][]float64, 0, len(X)-1)
+	rhs := make([]float64, 0, len(X)-1)
+	for j := range X {
+		if j == bestIdx {
+			continue
+		}
+		row := make([]float64, n)
+		for i, m := range models {
+			scale := math.Abs(muStar[i])
+			if scale < 1e-12 {
+				scale = 1
+			}
+			row[i] = (muStar[i] - m.PredictMean(X[j])) / scale
+		}
+		rows = append(rows, row)
+		rhs = append(rhs, (yStar-Y[j])/yScale)
+	}
+	if len(rows) == 0 {
+		return equal
+	}
+	A := linalg.NewMatrix(len(rows), n)
+	for i, r := range rows {
+		copy(A.Row(i), r)
+	}
+	ridge := w.Ridge
+	if ridge == 0 {
+		ridge = 1e-6
+	}
+	sol, err := linalg.RidgeLeastSquares(A, rhs, ridge)
+	if err != nil {
+		return equal
+	}
+	// Clip negatives and renormalize (documented deviation: keeps the
+	// geometric-mean std of Eq. (2) well defined).
+	for i, v := range sol {
+		if v < 0 || math.IsNaN(v) {
+			sol[i] = 0
+		}
+	}
+	if !normalizeWeights(sol) {
+		return equal
+	}
+	return sol
+}
+
+// normalizeWeights scales weights to sum to one; returns false when the
+// sum is not positive.
+func normalizeWeights(w []float64) bool {
+	var s float64
+	for _, v := range w {
+		s += v
+	}
+	if s <= 1e-12 {
+		return false
+	}
+	for i := range w {
+		w[i] /= s
+	}
+	return true
+}
