@@ -24,6 +24,7 @@ import (
 	"gptunecrowd/internal/core"
 	"gptunecrowd/internal/experiments"
 	"gptunecrowd/internal/gp"
+	"gptunecrowd/internal/kernel"
 	"gptunecrowd/internal/lcm"
 	"gptunecrowd/internal/machine"
 	"gptunecrowd/internal/sample"
@@ -340,6 +341,75 @@ func BenchmarkSaltelliSensitivity(b *testing.B) {
 		if _, err := sensitivity.Analyze(f, 3, nil, sensitivity.Options{N: 256, NBoot: 20, Seed: 1}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- Parallel-engine benchmarks: the same kernels with explicit worker
+// counts. On a multicore machine the W{4,8} variants show the speedup;
+// on one core they bound the scheduling overhead of the worker pool.
+
+func BenchmarkKernelMatrixParallel(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	n, dim := 400, 6
+	X := make([][]float64, n)
+	for i := range X {
+		x := make([]float64, dim)
+		for d := range x {
+			x[d] = rng.Float64()
+		}
+		X[i] = x
+	}
+	k := kernel.New(kernel.Matern52, dim)
+	h := kernel.NewHyper(dim)
+	for _, w := range []int{1, 4, 8} {
+		b.Run("W"+itoa(w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				k.MatrixWorkers(X, h, w)
+			}
+		})
+	}
+}
+
+func BenchmarkGPFitParallel(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	n, dim := 100, 4
+	X := make([][]float64, n)
+	Y := make([]float64, n)
+	for i := range X {
+		x := make([]float64, dim)
+		for d := range x {
+			x[d] = rng.Float64()
+		}
+		X[i] = x
+		Y[i] = x[0]*x[0] + math.Sin(3*x[1]) + 0.1*rng.NormFloat64()
+	}
+	for _, w := range []int{1, 4, 8} {
+		b.Run("W"+itoa(w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := gp.Fit(X, Y, gp.Options{Seed: int64(i), Workers: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSaltelliParallel(b *testing.B) {
+	f := func(u []float64) float64 {
+		s := u[0] + 2*u[1]*u[2]
+		for j := 0; j < 200; j++ { // stand-in for a surrogate-prediction-cost objective
+			s += math.Sin(s) * 1e-9
+		}
+		return s
+	}
+	for _, w := range []int{1, 4, 8} {
+		b.Run("W"+itoa(w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sensitivity.Analyze(f, 3, nil, sensitivity.Options{N: 256, NBoot: 20, Seed: 1, Workers: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

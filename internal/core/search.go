@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"gptunecrowd/internal/optimize"
+	"gptunecrowd/internal/parallel"
 	"gptunecrowd/internal/sample"
 	"gptunecrowd/internal/space"
 )
@@ -15,6 +16,12 @@ type SearchOptions struct {
 	DEGens     int // differential-evolution generations (default 30)
 	DEPop      int // DE population (default 0 → heuristic)
 	DedupTol   float64
+	// Workers bounds the parallelism of candidate scoring (prescreen pool
+	// and DE seeding). <= 0 means the engine default: GPTUNE_WORKERS when
+	// set, else GOMAXPROCS. The surrogate's Predict must be safe for
+	// concurrent calls (the GP and LCM models are). Results are
+	// bit-identical for every worker count.
+	Workers int
 	// Feasible, when set, restricts the search to normalized points it
 	// accepts (populated by the loop from Problem.Constraints).
 	Feasible func(u []float64) bool
@@ -49,15 +56,22 @@ func SearchNext(surr Surrogate, sp *space.Space, acq Acquisition, h *History, rn
 		mean, std := surr.Predict(c)
 		return -acq.Score(mean, std, best)
 	}
-	// Prescreen a candidate pool for DE seeds.
+	// Prescreen a candidate pool for DE seeds: scores fan out over
+	// workers into per-candidate slots, then the top-8 selection scans
+	// them in pool order — the same order the serial loop used, so the
+	// seeds are identical for every worker count.
 	pool := sample.LatinHypercube(opts.Candidates, dim, rng)
+	scores := make([]float64, len(pool))
+	parallel.For(len(pool), opts.Workers, func(i int) {
+		scores[i] = neg(pool[i])
+	})
 	type scored struct {
 		u []float64
 		f float64
 	}
 	top := make([]scored, 0, 8)
-	for _, u := range pool {
-		f := neg(u)
+	for pi, u := range pool {
+		f := scores[pi]
 		if len(top) < 8 {
 			top = append(top, scored{u, f})
 			continue
@@ -88,6 +102,7 @@ func SearchNext(surr Surrogate, sp *space.Space, acq Acquisition, h *History, rn
 		Pop:     opts.DEPop,
 		Seeds:   seeds,
 		RandSrc: rng,
+		Workers: opts.Workers,
 	})
 	u := sp.Canonicalize(res.X)
 	if !h.Contains(u, opts.DedupTol) {

@@ -11,10 +11,12 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"gptunecrowd/internal/kernel"
 	"gptunecrowd/internal/linalg"
 	"gptunecrowd/internal/optimize"
+	"gptunecrowd/internal/parallel"
 )
 
 // ErrNoData is returned when fitting with zero observations.
@@ -28,6 +30,11 @@ type Options struct {
 	MaxIter     int         // L-BFGS iterations per start (default 60)
 	Seed        int64       // RNG seed for restarts
 	FixedNoise  float64     // if > 0, fixes the noise *standard deviation* (standardized units)
+	// Workers bounds the parallelism of the fit (restart fan-out, kernel
+	// matrix assembly, gradient reduction). <= 0 means the engine default:
+	// GPTUNE_WORKERS when set, else GOMAXPROCS. Results are bit-identical
+	// for every worker count at a fixed Seed.
+	Workers int
 }
 
 // GP is a fitted Gaussian-process model.
@@ -42,6 +49,15 @@ type GP struct {
 
 	meanY, stdY float64
 	nll         float64
+
+	// predictPool recycles per-call prediction buffers so that Predict is
+	// both allocation-light and safe to call from many goroutines.
+	predictPool sync.Pool
+}
+
+// predictScratch holds the reusable buffers of one Predict call.
+type predictScratch struct {
+	ks, v, tmp []float64
 }
 
 // hyperparameter box (log space, standardized targets, unit-cube inputs).
@@ -102,10 +118,8 @@ func Fit(X [][]float64, y []float64, opts Options) (*GP, error) {
 	g := &GP{kern: kern, x: X, meanY: mean, stdY: sd}
 
 	np := dim + 2 // log lengths, log var, log noise var
-	obj := func(theta []float64) (float64, []float64) {
-		return g.nllGrad(ys, theta, opts.FixedNoise)
-	}
-
+	// Start points are drawn up-front from a single seeded stream, so the
+	// restart fan-out below cannot perturb them.
 	rng := rand.New(rand.NewSource(opts.Seed))
 	starts := make([][]float64, 0, opts.Restarts)
 	base := make([]float64, np)
@@ -122,7 +136,13 @@ func Fit(X [][]float64, y []float64, opts Options) (*GP, error) {
 		starts = append(starts, s)
 	}
 
-	best := optimize.MultiStart(starts, func(x0 []float64) optimize.Result {
+	// Restarts run concurrently; each gets private scratch so objective
+	// evaluations never contend, and the argmin reduction is ordered.
+	best := optimize.MultiStartParallel(starts, opts.Workers, func(_ int, x0 []float64) optimize.Result {
+		sc := newFitScratch(dim, n)
+		obj := func(theta []float64) (float64, []float64) {
+			return g.nllGrad(ys, theta, opts.FixedNoise, opts.Workers, sc)
+		}
 		return optimize.LBFGS(obj, x0, optimize.LBFGSConfig{MaxIter: opts.MaxIter})
 	})
 
@@ -188,12 +208,33 @@ func clampHyper(h *kernel.Hyper) {
 	h.LogVar = clamp(h.LogVar, logVarLo, logVarHi)
 }
 
+// fitScratch holds the buffers one optimizer run reuses across
+// objective evaluations: the kernel Gram matrix and its per-parameter
+// derivative matrices dominate the fit loop's allocation churn.
+type fitScratch struct {
+	h   *kernel.Hyper
+	K   *linalg.Matrix
+	dKs []*linalg.Matrix
+}
+
+func newFitScratch(dim, n int) *fitScratch {
+	sc := &fitScratch{h: kernel.NewHyper(dim), K: linalg.NewMatrix(n, n)}
+	sc.dKs = make([]*linalg.Matrix, dim+1)
+	for p := range sc.dKs {
+		sc.dKs[p] = linalg.NewMatrix(n, n)
+	}
+	return sc
+}
+
 // nllGrad evaluates the penalized negative log marginal likelihood and
 // its gradient with respect to theta = [logLen..., logVar, logNoiseVar].
-func (g *GP) nllGrad(ys []float64, theta []float64, fixedNoise float64) (float64, []float64) {
+// The returned gradient slice is freshly allocated (the L-BFGS driver
+// retains it across iterations); all large intermediates live in sc,
+// which must be private to the calling goroutine.
+func (g *GP) nllGrad(ys []float64, theta []float64, fixedNoise float64, workers int, sc *fitScratch) (float64, []float64) {
 	dim := g.kern.Dim
 	n := len(ys)
-	h := kernel.NewHyper(dim)
+	h := sc.h
 	h.Unpack(theta[:dim+1])
 	logNoise := theta[dim+1]
 	if fixedNoise > 0 {
@@ -220,7 +261,8 @@ func (g *GP) nllGrad(ys []float64, theta []float64, fixedNoise float64) (float64
 	pen(dim, theta[dim], logVarLo, logVarHi)
 	pen(dim+1, logNoise, logNoiseLo, logNoiseHi)
 
-	K, dKs := g.kern.MatrixGrads(g.x, h)
+	K, dKs := sc.K, sc.dKs
+	g.kern.MatrixGradsInto(g.x, h, K, dKs, workers)
 	noiseVar := math.Exp(logNoise)
 	K.AddDiag(noiseVar)
 	ch, err := linalg.NewCholesky(K)
@@ -231,22 +273,28 @@ func (g *GP) nllGrad(ys []float64, theta []float64, fixedNoise float64) (float64
 	alpha := ch.SolveVec(ys)
 	nll := 0.5*linalg.Dot(ys, alpha) + 0.5*ch.LogDet() + 0.5*float64(n)*math.Log(2*math.Pi)
 
-	Kinv := ch.Inverse()
-	// d nll/dθ = 0.5·tr(K⁻¹ dK) − 0.5·αᵀ dK α
-	for p := 0; p <= dim; p++ {
+	Kinv := ch.InverseWorkers(workers)
+	// d nll/dθ = 0.5·tr(K⁻¹ dK) − 0.5·αᵀ dK α. Parameters are
+	// independent, so the reduction fans out over p; within one p the
+	// summation order is fixed, and both Kinv and dK are symmetric, so
+	// only the upper triangle is visited.
+	parallel.For(dim+1, workers, func(p int) {
 		dK := dKs[p]
 		var tr, quad float64
 		for i := 0; i < n; i++ {
 			rowK := Kinv.Row(i)
 			rowD := dK.Row(i)
 			ai := alpha[i]
-			for j := 0; j < n; j++ {
-				tr += rowK[j] * rowD[j]
-				quad += ai * rowD[j] * alpha[j]
+			var trOff, quadOff float64
+			for j := i + 1; j < n; j++ {
+				trOff += rowK[j] * rowD[j]
+				quadOff += rowD[j] * alpha[j]
 			}
+			tr += rowK[i]*rowD[i] + 2*trOff
+			quad += ai * (rowD[i]*ai + 2*quadOff)
 		}
 		grad[p] += 0.5*tr - 0.5*quad
-	}
+	})
 	// Noise gradient: dK/dlogNoiseVar = noiseVar·I.
 	if fixedNoise <= 0 {
 		var trInv, aa float64
@@ -270,6 +318,10 @@ func (g *GP) factorize(ys []float64) error {
 	}
 	g.chol = ch
 	g.alpha = ch.SolveVec(ys)
+	n := len(g.x)
+	g.predictPool.New = func() interface{} {
+		return &predictScratch{ks: make([]float64, n), v: make([]float64, n), tmp: make([]float64, n)}
+	}
 	return nil
 }
 
@@ -289,16 +341,19 @@ func (g *GP) Hyper() *kernel.Hyper { return g.hyper }
 func (g *GP) NoiseVar() float64 { return math.Exp(g.lnoise) }
 
 // Predict returns the posterior mean and standard deviation of the
-// latent function at x, in the original target units.
+// latent function at x, in the original target units. It is safe for
+// concurrent use; per-call buffers come from an internal pool.
 func (g *GP) Predict(x []float64) (mean, std float64) {
 	n := len(g.x)
-	ks := make([]float64, n)
+	sc := g.predictPool.Get().(*predictScratch)
+	defer g.predictPool.Put(sc)
+	ks := sc.ks
 	for i := 0; i < n; i++ {
 		ks[i] = g.kern.Eval(x, g.x[i], g.hyper)
 	}
 	mu := linalg.Dot(ks, g.alpha)
-	v := g.chol.SolveVec(ks)
-	variance := g.kern.Eval(x, x, g.hyper) - linalg.Dot(ks, v)
+	g.chol.SolveVecInto(ks, sc.v, sc.tmp)
+	variance := g.kern.Diag(g.hyper) - linalg.Dot(ks, sc.v)
 	if variance < 1e-12 {
 		variance = 1e-12
 	}
@@ -308,20 +363,31 @@ func (g *GP) Predict(x []float64) (mean, std float64) {
 // PredictMean returns only the posterior mean at x.
 func (g *GP) PredictMean(x []float64) float64 {
 	n := len(g.x)
-	ks := make([]float64, n)
+	sc := g.predictPool.Get().(*predictScratch)
+	defer g.predictPool.Put(sc)
+	ks := sc.ks
 	for i := 0; i < n; i++ {
 		ks[i] = g.kern.Eval(x, g.x[i], g.hyper)
 	}
 	return g.meanY + g.stdY*linalg.Dot(ks, g.alpha)
 }
 
-// PredictBatch evaluates Predict over many points.
+// PredictBatch evaluates Predict over many points with the default
+// worker count.
 func (g *GP) PredictBatch(X [][]float64) (means, stds []float64) {
+	return g.PredictBatchWorkers(X, 0)
+}
+
+// PredictBatchWorkers evaluates Predict over many points with an
+// explicit worker count (<= 0 means the engine default). Each output
+// slot is written by exactly one worker, so results are bit-identical
+// for every worker count.
+func (g *GP) PredictBatchWorkers(X [][]float64, workers int) (means, stds []float64) {
 	means = make([]float64, len(X))
 	stds = make([]float64, len(X))
-	for i, x := range X {
-		means[i], stds[i] = g.Predict(x)
-	}
+	parallel.For(len(X), workers, func(i int) {
+		means[i], stds[i] = g.Predict(X[i])
+	})
 	return means, stds
 }
 

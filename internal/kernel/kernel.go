@@ -10,6 +10,7 @@ import (
 	"math"
 
 	"gptunecrowd/internal/linalg"
+	"gptunecrowd/internal/parallel"
 )
 
 // Type selects the covariance family.
@@ -140,10 +141,20 @@ func (k *Kernel) Eval(x, y []float64, h *Hyper) float64 {
 	panic("kernel: unknown type")
 }
 
+// Diag returns k(x, x), which for every supported stationary family is
+// just the signal variance (r = 0) — a shortcut that skips the
+// per-dimension distance loop on the Gram diagonal.
+func (k *Kernel) Diag(h *Hyper) float64 { return math.Exp(h.LogVar) }
+
 // EvalGrad returns k(x, y) and its gradient with respect to the packed
 // hyperparameters [LogLength..., LogVar].
 func (k *Kernel) EvalGrad(x, y []float64, h *Hyper, grad []float64) float64 {
-	buf := make([]float64, k.Dim)
+	return k.evalGradBuf(x, y, h, grad, make([]float64, k.Dim))
+}
+
+// evalGradBuf is EvalGrad with a caller-provided scratch buffer of
+// length Dim, so hot loops avoid one allocation per pair.
+func (k *Kernel) evalGradBuf(x, y []float64, h *Hyper, grad, buf []float64) float64 {
 	r2, _ := k.scaledSq(x, y, h, buf)
 	sf2 := math.Exp(h.LogVar)
 	var val, lenFactor float64
@@ -185,30 +196,57 @@ func (k *Kernel) EvalGrad(x, y []float64, h *Hyper, grad []float64) float64 {
 	return val
 }
 
-// Matrix returns the n×n Gram matrix over the rows of X.
+// Matrix returns the n×n Gram matrix over the rows of X, using the
+// default worker count.
 func (k *Kernel) Matrix(X [][]float64, h *Hyper) *linalg.Matrix {
+	return k.MatrixWorkers(X, h, 0)
+}
+
+// MatrixWorkers is Matrix with an explicit worker count (<= 0 means the
+// package default). Rows are distributed dynamically so the triangular
+// workload stays balanced; each (i, j) pair is evaluated once and
+// mirrored, and the diagonal uses the closed form Diag. The result is
+// bit-identical for every worker count.
+func (k *Kernel) MatrixWorkers(X [][]float64, h *Hyper, workers int) *linalg.Matrix {
 	n := len(X)
 	m := linalg.NewMatrix(n, n)
-	for i := 0; i < n; i++ {
-		for j := i; j < n; j++ {
-			v := k.Eval(X[i], X[j], h)
-			m.Set(i, j, v)
-			m.Set(j, i, v)
-		}
-	}
+	k.MatrixInto(X, h, m, workers)
 	return m
 }
 
+// MatrixInto fills the preallocated n×n matrix m with the Gram matrix
+// (reused storage in fit loops).
+func (k *Kernel) MatrixInto(X [][]float64, h *Hyper, m *linalg.Matrix, workers int) {
+	n := len(X)
+	diag := k.Diag(h)
+	parallel.For(n, workers, func(i int) {
+		row := m.Row(i)
+		row[i] = diag
+		xi := X[i]
+		for j := i + 1; j < n; j++ {
+			v := k.Eval(xi, X[j], h)
+			row[j] = v
+			m.Set(j, i, v)
+		}
+	})
+}
+
 // CrossMatrix returns the len(A)×len(B) covariance matrix between two
-// point sets.
+// point sets, using the default worker count.
 func (k *Kernel) CrossMatrix(A, B [][]float64, h *Hyper) *linalg.Matrix {
+	return k.CrossMatrixWorkers(A, B, h, 0)
+}
+
+// CrossMatrixWorkers is CrossMatrix with an explicit worker count
+// (<= 0 means the package default).
+func (k *Kernel) CrossMatrixWorkers(A, B [][]float64, h *Hyper, workers int) *linalg.Matrix {
 	m := linalg.NewMatrix(len(A), len(B))
-	for i := range A {
+	parallel.For(len(A), workers, func(i int) {
 		row := m.Row(i)
 		for j := range B {
 			row[j] = k.Eval(A[i], B[j], h)
 		}
-	}
+	})
 	return m
 }
 
@@ -216,6 +254,11 @@ func (k *Kernel) CrossMatrix(A, B [][]float64, h *Hyper) *linalg.Matrix {
 // hyperparameter, the elementwise derivative matrix dK/dθ. The slices
 // share no storage with the Gram matrix.
 func (k *Kernel) MatrixGrads(X [][]float64, h *Hyper) (*linalg.Matrix, []*linalg.Matrix) {
+	return k.MatrixGradsWorkers(X, h, 0)
+}
+
+// MatrixGradsWorkers is MatrixGrads with an explicit worker count.
+func (k *Kernel) MatrixGradsWorkers(X [][]float64, h *Hyper, workers int) (*linalg.Matrix, []*linalg.Matrix) {
 	n := len(X)
 	np := h.NumParams()
 	K := linalg.NewMatrix(n, n)
@@ -223,17 +266,41 @@ func (k *Kernel) MatrixGrads(X [][]float64, h *Hyper) (*linalg.Matrix, []*linalg
 	for p := range grads {
 		grads[p] = linalg.NewMatrix(n, n)
 	}
-	g := make([]float64, np)
-	for i := 0; i < n; i++ {
-		for j := i; j < n; j++ {
-			v := k.EvalGrad(X[i], X[j], h, g)
+	k.MatrixGradsInto(X, h, K, grads, workers)
+	return K, grads
+}
+
+// gradScratch is the per-worker state of MatrixGradsInto.
+type gradScratch struct {
+	g, buf []float64
+}
+
+// MatrixGradsInto fills preallocated K and grads matrices. Each worker
+// carries its own scratch, so the hot pair loop performs no allocation;
+// each symmetric pair is evaluated once and mirrored. On the diagonal
+// (r = 0) the value is the signal variance, the length-scale gradients
+// vanish and dK/dlogσ² equals the value itself.
+func (k *Kernel) MatrixGradsInto(X [][]float64, h *Hyper, K *linalg.Matrix, grads []*linalg.Matrix, workers int) {
+	n := len(X)
+	np := h.NumParams()
+	diag := k.Diag(h)
+	parallel.ForEachWorker(n, workers, func() *gradScratch {
+		return &gradScratch{g: make([]float64, np), buf: make([]float64, k.Dim)}
+	}, func(sc *gradScratch, i int) {
+		K.Set(i, i, diag)
+		for p := 0; p < np-1; p++ {
+			grads[p].Set(i, i, 0)
+		}
+		grads[np-1].Set(i, i, diag)
+		xi := X[i]
+		for j := i + 1; j < n; j++ {
+			v := k.evalGradBuf(xi, X[j], h, sc.g, sc.buf)
 			K.Set(i, j, v)
 			K.Set(j, i, v)
 			for p := 0; p < np; p++ {
-				grads[p].Set(i, j, g[p])
-				grads[p].Set(j, i, g[p])
+				grads[p].Set(i, j, sc.g[p])
+				grads[p].Set(j, i, sc.g[p])
 			}
 		}
-	}
-	return K, grads
+	})
 }

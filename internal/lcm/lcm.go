@@ -18,6 +18,7 @@ import (
 	"gptunecrowd/internal/kernel"
 	"gptunecrowd/internal/linalg"
 	"gptunecrowd/internal/optimize"
+	"gptunecrowd/internal/parallel"
 )
 
 // ErrNoData is returned when every task is empty.
@@ -31,6 +32,11 @@ type Options struct {
 	Restarts    int         // multi-start count (default 2)
 	MaxIter     int         // L-BFGS iterations per start (default 50)
 	Seed        int64
+	// Workers bounds the parallelism of the fit (restart fan-out, stacked
+	// covariance assembly, gradient reduction). <= 0 means the engine
+	// default: GPTUNE_WORKERS when set, else GOMAXPROCS. Results are
+	// bit-identical for every worker count at a fixed Seed.
+	Workers int
 }
 
 // Model is a fitted LCM.
@@ -118,26 +124,29 @@ func Fit(X [][][]float64, Y [][]float64, opts Options) (*Model, error) {
 		}
 	}
 
-	np := m.numParams()
-	obj := func(theta []float64) (float64, []float64) {
-		return m.nllGrad(ys, theta)
-	}
+	// Start points are drawn up-front from a single seeded stream, so the
+	// restart fan-out below cannot perturb them.
 	rng := rand.New(rand.NewSource(opts.Seed))
 	starts := make([][]float64, 0, opts.Restarts)
 	for s := 0; s < opts.Restarts; s++ {
 		starts = append(starts, m.initTheta(rng, s == 0))
 	}
-	best := optimize.MultiStart(starts, func(x0 []float64) optimize.Result {
+	// Restarts run concurrently with private scratch each; the argmin
+	// reduction is ordered, so the winner is worker-count independent.
+	best := optimize.MultiStartParallel(starts, opts.Workers, func(_ int, x0 []float64) optimize.Result {
+		sc := m.newFitScratch()
+		obj := func(theta []float64) (float64, []float64) {
+			return m.nllGrad(ys, theta, opts.Workers, sc)
+		}
 		return optimize.LBFGS(obj, x0, optimize.LBFGSConfig{MaxIter: opts.MaxIter})
 	})
 	if math.IsInf(best.F, 1) {
 		return nil, errors.New("lcm: hyperparameter optimization failed to find a feasible point")
 	}
 	m.unpack(best.X)
-	if err := m.factorize(ys); err != nil {
+	if err := m.factorize(ys, opts.Workers); err != nil {
 		return nil, err
 	}
-	_ = np
 	return m, nil
 }
 
@@ -220,6 +229,77 @@ func (m *Model) unpack(theta []float64) {
 	m.logNoise = append([]float64(nil), theta[idx:idx+m.numTasks]...)
 }
 
+// lcmParams is a reusable unpacked view of a packed theta vector,
+// mirroring the Model's parameter layout without allocating per
+// objective evaluation.
+type lcmParams struct {
+	logLen   [][]float64 // [q][dim]
+	aq       [][]float64 // [q][task]
+	logKappa [][]float64 // [q][task]
+	logNoise []float64   // [task]
+}
+
+func newLCMParams(q, dim, tasks int) *lcmParams {
+	p := &lcmParams{
+		logLen:   make([][]float64, q),
+		aq:       make([][]float64, q),
+		logKappa: make([][]float64, q),
+		logNoise: make([]float64, tasks),
+	}
+	for i := 0; i < q; i++ {
+		p.logLen[i] = make([]float64, dim)
+		p.aq[i] = make([]float64, tasks)
+		p.logKappa[i] = make([]float64, tasks)
+	}
+	return p
+}
+
+// unpack fills p from theta following the Model packing order.
+func (p *lcmParams) unpack(theta []float64) {
+	idx := 0
+	for q := range p.logLen {
+		idx += copy(p.logLen[q], theta[idx:idx+len(p.logLen[q])])
+		idx += copy(p.aq[q], theta[idx:idx+len(p.aq[q])])
+		idx += copy(p.logKappa[q], theta[idx:idx+len(p.logKappa[q])])
+	}
+	copy(p.logNoise, theta[idx:idx+len(p.logNoise)])
+}
+
+// fitScratch holds the per-restart buffers of the LCM objective: latent
+// kernel matrices and their gradients, the stacked covariance and the
+// coregionalization blocks. Reusing them removes the dominant
+// allocations from the fit loop; each optimizer run owns one scratch,
+// so concurrent restarts never contend.
+type fitScratch struct {
+	params *lcmParams
+	hq     *kernel.Hyper
+	baseK  []*linalg.Matrix   // [q] latent Gram matrices
+	baseG  [][]*linalg.Matrix // [q][dim+1] derivative matrices (variance slot unused)
+	K      *linalg.Matrix     // stacked covariance
+	bq     []*linalg.Matrix   // [q] T×T coregionalization blocks
+}
+
+func (m *Model) newFitScratch() *fitScratch {
+	n := len(m.x)
+	sc := &fitScratch{
+		params: newLCMParams(m.q, m.dim, m.numTasks),
+		hq:     kernel.NewHyper(m.dim),
+		baseK:  make([]*linalg.Matrix, m.q),
+		baseG:  make([][]*linalg.Matrix, m.q),
+		K:      linalg.NewMatrix(n, n),
+		bq:     make([]*linalg.Matrix, m.q),
+	}
+	for q := 0; q < m.q; q++ {
+		sc.baseK[q] = linalg.NewMatrix(n, n)
+		sc.baseG[q] = make([]*linalg.Matrix, m.dim+1)
+		for d := range sc.baseG[q] {
+			sc.baseG[q][d] = linalg.NewMatrix(n, n)
+		}
+		sc.bq[q] = linalg.NewMatrix(m.numTasks, m.numTasks)
+	}
+	return sc
+}
+
 // bounds for the packed parameters.
 var (
 	lcmLogLenLo, lcmLogLenHi     = math.Log(0.01), math.Log(100.0)
@@ -228,9 +308,14 @@ var (
 	lcmLogNoiseLo, lcmLogNoiseHi = math.Log(1e-8), math.Log(1.0)
 )
 
-// nllGrad computes the penalized negative log marginal likelihood of the
-// stacked standardized targets plus its analytic gradient.
-func (m *Model) nllGrad(ys []float64, theta []float64) (float64, []float64) {
+// nllGrad computes the penalized negative log marginal likelihood of
+// the stacked standardized targets plus its analytic gradient. The
+// returned gradient slice is freshly allocated (the L-BFGS driver
+// retains it across iterations); all large intermediates live in sc,
+// which must be private to the calling goroutine. The parallel stages
+// write index-disjoint state with fixed per-index summation order, so
+// the result is bit-identical for every worker count.
+func (m *Model) nllGrad(ys []float64, theta []float64, workers int, sc *fitScratch) (float64, []float64) {
 	n := len(ys)
 	grad := make([]float64, len(theta))
 	penalty := 0.0
@@ -265,48 +350,52 @@ func (m *Model) nllGrad(ys []float64, theta []float64) (float64, []float64) {
 		idx++
 	}
 
-	// Unpack into locals.
-	tmp := &Model{numTasks: m.numTasks, dim: m.dim, q: m.q, kerns: m.kerns, x: m.x, task: m.task}
-	tmp.unpack(theta)
+	// Unpack into reusable locals.
+	ps := sc.params
+	ps.unpack(theta)
 
-	// Base latent kernel matrices and their length-scale gradients.
-	baseK := make([]*linalg.Matrix, m.q)   // k_q(x_a, x_b)
-	baseG := make([][]*linalg.Matrix, m.q) // per loglen dimension
-	hq := kernel.NewHyper(m.dim)           // unit variance: LogVar = 0
+	// Base latent kernel matrices and their length-scale gradients
+	// (row-parallel inside MatrixGradsInto).
+	baseK := sc.baseK // k_q(x_a, x_b)
+	baseG := sc.baseG // per loglen dimension (+ unused variance slot)
+	hq := sc.hq       // unit variance: LogVar = 0
 	for q := 0; q < m.q; q++ {
-		copy(hq.LogLength, tmp.logLen[q])
+		copy(hq.LogLength, ps.logLen[q])
 		hq.LogVar = 0
-		K, gs := m.kerns[q].MatrixGrads(m.x, hq)
-		baseK[q] = K
-		baseG[q] = gs[:m.dim] // drop the variance gradient
+		m.kerns[q].MatrixGradsInto(m.x, hq, baseK[q], baseG[q], workers)
 	}
-	// Assemble the joint covariance.
-	K := linalg.NewMatrix(n, n)
-	bq := make([]*linalg.Matrix, m.q)
+	// Coregionalization blocks B_q (tiny, serial).
+	bq := sc.bq
 	for q := 0; q < m.q; q++ {
-		B := linalg.NewMatrix(m.numTasks, m.numTasks)
+		B := bq[q]
 		for i := 0; i < m.numTasks; i++ {
 			for j := 0; j < m.numTasks; j++ {
-				v := tmp.aq[q][i] * tmp.aq[q][j]
+				v := ps.aq[q][i] * ps.aq[q][j]
 				if i == j {
-					v += math.Exp(tmp.logKappa[q][i])
+					v += math.Exp(ps.logKappa[q][i])
 				}
 				B.Set(i, j, v)
 			}
 		}
-		bq[q] = B
-		for a := 0; a < n; a++ {
+	}
+	// Assemble the stacked covariance row-parallel: each row is owned by
+	// one worker and accumulated in a fixed (q, b) order.
+	K := sc.K
+	parallel.For(n, workers, func(a int) {
+		krow := K.Row(a)
+		for b := range krow {
+			krow[b] = 0
+		}
+		ta := m.task[a]
+		for q := 0; q < m.q; q++ {
 			ka := baseK[q].Row(a)
-			krow := K.Row(a)
-			ta := m.task[a]
+			B := bq[q]
 			for b := 0; b < n; b++ {
 				krow[b] += B.At(ta, m.task[b]) * ka[b]
 			}
 		}
-	}
-	for a := 0; a < n; a++ {
-		K.Add(a, a, math.Exp(tmp.logNoise[m.task[a]]))
-	}
+		krow[a] += math.Exp(ps.logNoise[ta])
+	})
 	ch, err := linalg.NewCholesky(K)
 	if err != nil {
 		return math.Inf(1), grad
@@ -315,35 +404,56 @@ func (m *Model) nllGrad(ys []float64, theta []float64) (float64, []float64) {
 	nll := 0.5*linalg.Dot(ys, alpha) + 0.5*ch.LogDet() + 0.5*float64(n)*math.Log(2*math.Pi)
 
 	// W = K⁻¹ − α·αᵀ ; gradient g_p = 0.5 Σ_ab W[ab]·dK_p[ab].
-	W := ch.Inverse()
-	for a := 0; a < n; a++ {
+	W := ch.InverseWorkers(workers)
+	parallel.For(n, workers, func(a int) {
 		wa := W.Row(a)
 		aa := alpha[a]
 		for b := 0; b < n; b++ {
 			wa[b] -= aa * alpha[b]
 		}
-	}
+	})
 
-	idx = 0
-	for q := 0; q < m.q; q++ {
-		// Length scales.
-		for d := 0; d < m.dim; d++ {
+	// The packed parameters are independent reductions over W, so the
+	// fan-out is per parameter index; each one keeps the serial (a, b)
+	// summation order.
+	qBlock := m.dim + 2*m.numTasks
+	noiseBase := m.q * qBlock
+	parallel.For(len(theta), workers, func(p int) {
+		if p >= noiseBase {
+			// Noise: dK/dlogσ_t² = σ_t²·diag(task == t).
+			t := p - noiseBase
+			nv := math.Exp(ps.logNoise[t])
+			var s float64
+			for a := 0; a < n; a++ {
+				if m.task[a] == t {
+					s += W.At(a, a)
+				}
+			}
+			grad[p] += 0.5 * nv * s
+			return
+		}
+		q := p / qBlock
+		switch r := p % qBlock; {
+		case r < m.dim:
+			// Length scales.
+			d := r
 			var s float64
 			G := baseG[q][d]
+			B := bq[q]
 			for a := 0; a < n; a++ {
 				wa := W.Row(a)
 				ga := G.Row(a)
 				ta := m.task[a]
 				for b := 0; b < n; b++ {
-					s += wa[b] * bq[q].At(ta, m.task[b]) * ga[b]
+					s += wa[b] * B.At(ta, m.task[b]) * ga[b]
 				}
 			}
-			grad[idx] += 0.5 * s
-			idx++
-		}
-		// a_q weights: dB[i,j]/da[t] = δ(i=t)a[j] + δ(j=t)a[i];
-		// by symmetry of W and baseK, g = Σ_{a:ta=t} Σ_b W[ab]·a_q[tb]·k_q[ab].
-		for t := 0; t < m.numTasks; t++ {
+			grad[p] += 0.5 * s
+		case r < m.dim+m.numTasks:
+			// a_q weights: dB[i,j]/da[t] = δ(i=t)a[j] + δ(j=t)a[i];
+			// by symmetry of W and baseK,
+			// g = Σ_{a:ta=t} Σ_b W[ab]·a_q[tb]·k_q[ab].
+			t := r - m.dim
 			var s float64
 			for a := 0; a < n; a++ {
 				if m.task[a] != t {
@@ -352,15 +462,14 @@ func (m *Model) nllGrad(ys []float64, theta []float64) (float64, []float64) {
 				wa := W.Row(a)
 				ka := baseK[q].Row(a)
 				for b := 0; b < n; b++ {
-					s += wa[b] * tmp.aq[q][m.task[b]] * ka[b]
+					s += wa[b] * ps.aq[q][m.task[b]] * ka[b]
 				}
 			}
-			grad[idx] += s // the 0.5 cancels with the factor 2 from symmetry
-			idx++
-		}
-		// κ_q: dB[i,j]/dlogκ[t] = δ(i=j=t)·κ_t.
-		for t := 0; t < m.numTasks; t++ {
-			kap := math.Exp(tmp.logKappa[q][t])
+			grad[p] += s // the 0.5 cancels with the factor 2 from symmetry
+		default:
+			// κ_q: dB[i,j]/dlogκ[t] = δ(i=j=t)·κ_t.
+			t := r - m.dim - m.numTasks
+			kap := math.Exp(ps.logKappa[q][t])
 			var s float64
 			for a := 0; a < n; a++ {
 				if m.task[a] != t {
@@ -374,41 +483,28 @@ func (m *Model) nllGrad(ys []float64, theta []float64) (float64, []float64) {
 					}
 				}
 			}
-			grad[idx] += 0.5 * kap * s
-			idx++
+			grad[p] += 0.5 * kap * s
 		}
-	}
-	// Noise.
-	for t := 0; t < m.numTasks; t++ {
-		nv := math.Exp(tmp.logNoise[t])
-		var s float64
-		for a := 0; a < n; a++ {
-			if m.task[a] == t {
-				s += W.At(a, a)
-			}
-		}
-		grad[idx] += 0.5 * nv * s
-		idx++
-	}
+	})
 	return nll + penalty, grad
 }
 
-func (m *Model) factorize(ys []float64) error {
+func (m *Model) factorize(ys []float64, workers int) error {
 	n := len(ys)
 	K := linalg.NewMatrix(n, n)
 	hq := kernel.NewHyper(m.dim)
 	for q := 0; q < m.q; q++ {
 		copy(hq.LogLength, m.logLen[q])
 		hq.LogVar = 0
-		Kq := m.kerns[q].Matrix(m.x, hq)
-		for a := 0; a < n; a++ {
+		Kq := m.kerns[q].MatrixWorkers(m.x, hq, workers)
+		parallel.For(n, workers, func(a int) {
 			ta := m.task[a]
 			row := K.Row(a)
 			kqa := Kq.Row(a)
 			for b := 0; b < n; b++ {
 				row[b] += m.bAt(q, ta, m.task[b]) * kqa[b]
 			}
-		}
+		})
 	}
 	for a := 0; a < n; a++ {
 		K.Add(a, a, math.Exp(m.logNoise[m.task[a]]))

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"gptunecrowd/internal/parallel"
 )
 
 // ErrNotPositiveDefinite is returned when a Cholesky factorization fails
@@ -89,27 +91,47 @@ func tryCholesky(a *Matrix, jitter float64) (*Matrix, bool) {
 
 // SolveVec solves A·x = b given A = L·Lᵀ.
 func (c *Cholesky) SolveVec(b []float64) []float64 {
-	y := ForwardSubst(c.L, b)
-	return BackwardSubstT(c.L, y)
+	x := make([]float64, len(b))
+	tmp := make([]float64, len(b))
+	c.SolveVecInto(b, x, tmp)
+	return x
+}
+
+// SolveVecInto solves A·x = b into dst using tmp as scratch; all three
+// slices must have length n and dst/tmp must not alias b. Hot loops
+// (GP prediction, inverse columns) use it to avoid per-solve
+// allocations.
+func (c *Cholesky) SolveVecInto(b, dst, tmp []float64) {
+	forwardSubstInto(c.L, b, tmp)
+	backwardSubstTInto(c.L, tmp, dst)
 }
 
 // Solve solves A·X = B for every column of B.
 func (c *Cholesky) Solve(b *Matrix) *Matrix {
+	return c.SolveWorkers(b, 1)
+}
+
+// SolveWorkers solves A·X = B with columns distributed over workers
+// (<= 0 means the package default). Columns are independent, so the
+// result is bit-identical for every worker count.
+func (c *Cholesky) SolveWorkers(b *Matrix, workers int) *Matrix {
 	n := c.L.rows
 	if b.rows != n {
 		panic("linalg: Cholesky.Solve dimension mismatch")
 	}
 	x := NewMatrix(n, b.cols)
-	col := make([]float64, n)
-	for j := 0; j < b.cols; j++ {
+	type solveScratch struct{ col, sol, tmp []float64 }
+	parallel.ForEachWorker(b.cols, workers, func() *solveScratch {
+		return &solveScratch{col: make([]float64, n), sol: make([]float64, n), tmp: make([]float64, n)}
+	}, func(sc *solveScratch, j int) {
 		for i := 0; i < n; i++ {
-			col[i] = b.At(i, j)
+			sc.col[i] = b.At(i, j)
 		}
-		sol := c.SolveVec(col)
+		c.SolveVecInto(sc.col, sc.sol, sc.tmp)
 		for i := 0; i < n; i++ {
-			x.Set(i, j, sol[i])
+			x.Set(i, j, sc.sol[i])
 		}
-	}
+	})
 	return x
 }
 
@@ -123,19 +145,45 @@ func (c *Cholesky) LogDet() float64 {
 	return 2 * s
 }
 
-// Inverse returns A⁻¹ (used only for small matrices such as LCM
-// coregionalization blocks).
+// Inverse returns A⁻¹.
 func (c *Cholesky) Inverse() *Matrix {
-	return c.Solve(Identity(c.L.rows))
+	return c.InverseWorkers(1)
+}
+
+// InverseWorkers returns A⁻¹ with the independent unit-vector solves
+// distributed over workers (<= 0 means the package default) — the
+// per-iteration hot spot of the GP and LCM likelihood gradients.
+func (c *Cholesky) InverseWorkers(workers int) *Matrix {
+	n := c.L.rows
+	inv := NewMatrix(n, n)
+	type invScratch struct{ e, sol, tmp []float64 }
+	parallel.ForEachWorker(n, workers, func() *invScratch {
+		return &invScratch{e: make([]float64, n), sol: make([]float64, n), tmp: make([]float64, n)}
+	}, func(sc *invScratch, j int) {
+		for i := range sc.e {
+			sc.e[i] = 0
+		}
+		sc.e[j] = 1
+		c.SolveVecInto(sc.e, sc.sol, sc.tmp)
+		for i := 0; i < n; i++ {
+			inv.Set(i, j, sc.sol[i])
+		}
+	})
+	return inv
 }
 
 // ForwardSubst solves L·y = b for lower-triangular L.
 func ForwardSubst(l *Matrix, b []float64) []float64 {
+	y := make([]float64, len(b))
+	forwardSubstInto(l, b, y)
+	return y
+}
+
+func forwardSubstInto(l *Matrix, b, y []float64) {
 	n := l.rows
-	if len(b) != n {
+	if len(b) != n || len(y) != n {
 		panic("linalg: ForwardSubst dimension mismatch")
 	}
-	y := make([]float64, n)
 	for i := 0; i < n; i++ {
 		s := b[i]
 		row := l.Row(i)
@@ -144,16 +192,20 @@ func ForwardSubst(l *Matrix, b []float64) []float64 {
 		}
 		y[i] = s / row[i]
 	}
-	return y
 }
 
 // BackwardSubstT solves Lᵀ·x = y for lower-triangular L.
 func BackwardSubstT(l *Matrix, y []float64) []float64 {
+	x := make([]float64, len(y))
+	backwardSubstTInto(l, y, x)
+	return x
+}
+
+func backwardSubstTInto(l *Matrix, y, x []float64) {
 	n := l.rows
-	if len(y) != n {
+	if len(y) != n || len(x) != n {
 		panic("linalg: BackwardSubstT dimension mismatch")
 	}
-	x := make([]float64, n)
 	for i := n - 1; i >= 0; i-- {
 		s := y[i]
 		for k := i + 1; k < n; k++ {
@@ -161,7 +213,6 @@ func BackwardSubstT(l *Matrix, y []float64) []float64 {
 		}
 		x[i] = s / l.At(i, i)
 	}
-	return x
 }
 
 // SolveLowerMatrix solves L·Y = B columnwise for lower-triangular L,

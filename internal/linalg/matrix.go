@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"math"
 	"strings"
+
+	"gptunecrowd/internal/parallel"
 )
 
 // Matrix is a dense, row-major matrix of float64 values.
@@ -129,14 +131,31 @@ func (m *Matrix) String() string {
 	return b.String()
 }
 
-// MatMul returns a*b.
+// matMulParallelFlops is the flop count above which MatMul goes
+// multicore: below it the goroutine fan-out costs more than it saves on
+// the small covariance blocks that dominate this codebase.
+const matMulParallelFlops = 1 << 21
+
+// MatMul returns a*b, switching to row-parallel execution for large
+// products (see MatMulWorkers for the determinism argument).
 func MatMul(a, b *Matrix) *Matrix {
+	if a.rows*a.cols*b.cols >= matMulParallelFlops {
+		return MatMulWorkers(a, b, 0)
+	}
+	return MatMulWorkers(a, b, 1)
+}
+
+// MatMulWorkers returns a*b computed with the given worker count (<= 0
+// means the package default). Each output row is produced by exactly
+// one worker with an unchanged inner accumulation order, so the result
+// is bit-identical for every worker count.
+func MatMulWorkers(a, b *Matrix, workers int) *Matrix {
 	if a.cols != b.rows {
 		panic(fmt.Sprintf("linalg: MatMul dimension mismatch %dx%d * %dx%d", a.rows, a.cols, b.rows, b.cols))
 	}
 	c := NewMatrix(a.rows, b.cols)
 	// ikj loop order: stream through b's rows for cache friendliness.
-	for i := 0; i < a.rows; i++ {
+	parallel.For(a.rows, workers, func(i int) {
 		crow := c.Row(i)
 		arow := a.Row(i)
 		for k, av := range arow {
@@ -148,7 +167,7 @@ func MatMul(a, b *Matrix) *Matrix {
 				crow[j] += av * bv
 			}
 		}
-	}
+	})
 	return c
 }
 

@@ -3,6 +3,8 @@ package optimize
 import (
 	"math"
 	"math/rand"
+
+	"gptunecrowd/internal/parallel"
 )
 
 // DEConfig controls the differential-evolution global optimizer used for
@@ -16,6 +18,12 @@ type DEConfig struct {
 	Upper   []float64
 	Seeds   [][]float64 // optional points injected into the initial population
 	RandSrc *rand.Rand  // required
+	// Workers bounds the parallelism of the initial-population scoring
+	// (<= 0 means the engine default). f must then be safe for concurrent
+	// calls. Generations stay sequential — selection feedback within a
+	// generation is part of the DE/rand/1/bin semantics — so the search
+	// trajectory is identical for every worker count.
+	Workers int
 }
 
 // DifferentialEvolution minimizes f over the box [Lower, Upper] using
@@ -54,6 +62,9 @@ func DifferentialEvolution(f func([]float64) float64, cfg DEConfig) Result {
 		return v
 	}
 
+	// The initial population is drawn sequentially (fixed RNG stream),
+	// then scored in parallel into per-slot fitness values: evaluations
+	// consume no randomness, so this is bit-identical to serial scoring.
 	pop := make([][]float64, cfg.Pop)
 	fit := make([]float64, cfg.Pop)
 	for i := range pop {
@@ -67,8 +78,15 @@ func DifferentialEvolution(f func([]float64) float64, cfg DEConfig) Result {
 			}
 		}
 		pop[i] = x
-		fit[i] = eval(x)
 	}
+	parallel.For(cfg.Pop, cfg.Workers, func(i int) {
+		v := f(pop[i])
+		if math.IsNaN(v) {
+			v = math.Inf(1)
+		}
+		fit[i] = v
+	})
+	evals += cfg.Pop
 
 	trial := make([]float64, dim)
 	for gen := 0; gen < cfg.MaxGen; gen++ {

@@ -1,0 +1,80 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 100} {
+		n := 257
+		counts := make([]int32, n)
+		For(n, workers, func(i int) {
+			atomic.AddInt32(&counts[i], 1)
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d executed %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForZeroAndNegativeN(t *testing.T) {
+	called := false
+	For(0, 4, func(int) { called = true })
+	For(-3, 4, func(int) { called = true })
+	if called {
+		t.Fatal("For called fn for non-positive n")
+	}
+}
+
+func TestForEachWorkerDisjointScratch(t *testing.T) {
+	n := 64
+	out := make([]int, n)
+	var ctxs atomic.Int32
+	ForEachWorker(n, 4, func() *[]int {
+		ctxs.Add(1)
+		buf := make([]int, 1)
+		return &buf
+	}, func(ctx *[]int, i int) {
+		(*ctx)[0] = i * i // scratch usable without races
+		out[i] = (*ctx)[0]
+	})
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("index %d: got %d", i, v)
+		}
+	}
+	if c := ctxs.Load(); c < 1 || c > 4 {
+		t.Fatalf("expected 1..4 contexts, got %d", c)
+	}
+}
+
+func TestResolve(t *testing.T) {
+	if got := Resolve(7); got != 7 {
+		t.Fatalf("Resolve(7) = %d", got)
+	}
+	if got := Resolve(0); got != DefaultWorkers() {
+		t.Fatalf("Resolve(0) = %d, want default %d", got, DefaultWorkers())
+	}
+	if got := Resolve(-1); got != DefaultWorkers() {
+		t.Fatalf("Resolve(-1) = %d, want default %d", got, DefaultWorkers())
+	}
+}
+
+func TestEnvWorkersOverride(t *testing.T) {
+	t.Setenv(EnvWorkers, "3")
+	if got := DefaultWorkers(); got != 3 {
+		t.Fatalf("DefaultWorkers with %s=3 = %d", EnvWorkers, got)
+	}
+	t.Setenv(EnvWorkers, "not-a-number")
+	if got := DefaultWorkers(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("invalid %s should fall back to GOMAXPROCS, got %d", EnvWorkers, got)
+	}
+	t.Setenv(EnvWorkers, "0")
+	if got := DefaultWorkers(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("non-positive %s should fall back to GOMAXPROCS, got %d", EnvWorkers, got)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"gptunecrowd/internal/parallel"
 	"gptunecrowd/internal/sample"
 	"gptunecrowd/internal/space"
 	"gptunecrowd/internal/stat"
@@ -68,6 +69,14 @@ type Options struct {
 	Seed  int64   // bootstrap RNG seed
 	Skip  int     // Sobol' sequence skip (default 0)
 	Alpha float64 // confidence level complement (default 0.05 → 95%)
+	// Workers bounds the parallelism of the N·(dim+2) objective
+	// evaluations over the Saltelli design. <= 0 means the engine
+	// default: GPTUNE_WORKERS when set, else GOMAXPROCS. f must then be
+	// safe for concurrent calls (surrogate predictions and the analytic
+	// application models are). Each design point writes its own output
+	// slot and the estimators run serially afterwards, so results are
+	// bit-identical for every worker count.
+	Workers int
 }
 
 func (o *Options) defaults() {
@@ -101,19 +110,26 @@ func Analyze(f func(u []float64) float64, dim int, names []string, opts Options)
 	if err != nil {
 		return nil, err
 	}
+	// Fan the N·(dim+2) objective evaluations out over workers: flat
+	// index e enumerates [A | B | AB_0 … AB_{dim-1}] row-major, and every
+	// evaluation writes exactly one output slot.
 	yA := make([]float64, opts.N)
 	yB := make([]float64, opts.N)
 	yAB := make([][]float64, dim)
-	for i := 0; i < opts.N; i++ {
-		yA[i] = f(design.A[i])
-		yB[i] = f(design.B[i])
-	}
 	for d := 0; d < dim; d++ {
 		yAB[d] = make([]float64, opts.N)
-		for i := 0; i < opts.N; i++ {
-			yAB[d][i] = f(design.AB[d][i])
-		}
 	}
+	parallel.For(opts.N*(dim+2), opts.Workers, func(e int) {
+		i := e % opts.N
+		switch block := e / opts.N; {
+		case block == 0:
+			yA[i] = f(design.A[i])
+		case block == 1:
+			yB[i] = f(design.B[i])
+		default:
+			yAB[block-2][i] = f(design.AB[block-2][i])
+		}
+	})
 	return estimate(yA, yB, yAB, names, opts), nil
 }
 

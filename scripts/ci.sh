@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# CI gate: vet, build, race-enabled tests (serial and parallel worker
+# settings), and a benchmark smoke run. Mirrors what reviewers run by
+# hand; keep it fast enough for every push.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test -race (engine default workers)"
+go test -race ./...
+
+echo "== go test -race (GPTUNE_WORKERS=4)"
+GPTUNE_WORKERS=4 go test -race ./internal/parallel ./internal/kernel \
+    ./internal/linalg ./internal/gp ./internal/lcm ./internal/core \
+    ./internal/sensitivity ./internal/optimize
+
+echo "== bench smoke"
+go test -run '^$' -bench 'Parallel|GPFit100|LCMFitTwoTasks|SaltelliSensitivity' \
+    -benchtime 1x -benchmem .
+
+echo "CI gate passed."
