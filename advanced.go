@@ -1,6 +1,7 @@
 package gptunecrowd
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math/rand"
@@ -139,6 +140,13 @@ type SurrogateModelDoc = crowd.SurrogateModelDoc
 // problem/task, returning the stored id.
 func UploadSurrogateModel(c *CrowdClient, d *MetaDescription, task map[string]interface{}, h *History,
 	machine MachineConfiguration, accessibility string) (string, error) {
+	return UploadSurrogateModelContext(context.Background(), c, d, task, h, machine, accessibility)
+}
+
+// UploadSurrogateModelContext is UploadSurrogateModel with
+// request-scoped cancellation covering the upload and its retries.
+func UploadSurrogateModelContext(ctx context.Context, c *CrowdClient, d *MetaDescription, task map[string]interface{}, h *History,
+	machine MachineConfiguration, accessibility string) (string, error) {
 	X, Y := h.XY()
 	if len(X) < 2 {
 		return "", fmt.Errorf("gptunecrowd: need at least 2 successful samples to fit a model")
@@ -152,7 +160,7 @@ func UploadSurrogateModel(c *CrowdClient, d *MetaDescription, task map[string]in
 	if err != nil {
 		return "", err
 	}
-	ids, err := c.UploadModels([]SurrogateModelDoc{{
+	ids, err := c.UploadModelsContext(ctx, []SurrogateModelDoc{{
 		TuningProblemName: d.TuningProblemName,
 		TaskParams:        task,
 		Machine:           machine,
@@ -170,7 +178,13 @@ func UploadSurrogateModel(c *CrowdClient, d *MetaDescription, task map[string]in
 // model for the problem and returns it as a black-box SurrogateModel
 // over decoded configurations.
 func DownloadSurrogateModel(c *CrowdClient, d *MetaDescription) (SurrogateModel, error) {
-	models, err := c.QueryModels(d.TuningProblemName, 0)
+	return DownloadSurrogateModelContext(context.Background(), c, d)
+}
+
+// DownloadSurrogateModelContext is DownloadSurrogateModel with
+// request-scoped cancellation covering the query and its retries.
+func DownloadSurrogateModelContext(ctx context.Context, c *CrowdClient, d *MetaDescription) (SurrogateModel, error) {
+	models, err := c.QueryModelsContext(ctx, d.TuningProblemName, 0)
 	if err != nil {
 		return nil, err
 	}

@@ -1,7 +1,9 @@
 // Command crowdserver runs the shared performance database (the role of
 // gptune.lbl.gov in the paper): an HTTP API with user registration,
-// API-key authentication, access-controlled sample storage, and
-// JSONL persistence.
+// API-key authentication, access-controlled sample storage, bounded
+// concurrency with load shedding, per-request deadlines, and JSONL
+// persistence. SIGINT/SIGTERM drain in-flight requests and flush state
+// before exit.
 //
 // Usage:
 //
@@ -9,12 +11,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
+	"syscall"
 	"time"
 
 	"gptunecrowd/internal/crowd"
@@ -22,14 +27,24 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		dataDir  = flag.String("data", "", "directory for JSONL persistence (empty = in-memory only)")
-		interval = flag.Duration("flush", 30*time.Second, "persistence interval")
+		addr            = flag.String("addr", ":8080", "listen address")
+		dataDir         = flag.String("data", "", "directory for JSONL persistence (empty = in-memory only)")
+		interval        = flag.Duration("flush", 30*time.Second, "persistence interval")
+		maxInFlight     = flag.Int("max-inflight", crowd.DefaultMaxInFlight, "max concurrently served requests (excess get HTTP 429)")
+		requestTimeout  = flag.Duration("request-timeout", crowd.DefaultRequestTimeout, "per-request deadline")
+		shutdownTimeout = flag.Duration("shutdown-timeout", 10*time.Second, "drain deadline on SIGINT/SIGTERM")
+		quiet           = flag.Bool("quiet", false, "disable per-request access logging")
 	)
 	flag.Parse()
 
-	srv := crowd.NewServer()
-	collections := []string{"users", "func_evals"}
+	cfg := crowd.Config{MaxInFlight: *maxInFlight, RequestTimeout: *requestTimeout}
+	if !*quiet {
+		cfg.Logger = log.Default()
+	}
+	srv := crowd.NewServerWith(cfg)
+
+	collections := []string{"users", "func_evals", "surrogate_models"}
+	flush := func() {}
 	if *dataDir != "" {
 		if err := os.MkdirAll(*dataDir, 0o755); err != nil {
 			log.Fatalf("crowdserver: create data dir: %v", err)
@@ -43,7 +58,10 @@ func main() {
 				log.Printf("loaded %d documents into %s", srv.Store().Collection(name).Len(), name)
 			}
 		}
-		flush := func() {
+		if err := srv.RebuildUserIndex(); err != nil {
+			log.Fatalf("crowdserver: rebuild user index: %v", err)
+		}
+		flush = func() {
 			for _, name := range collections {
 				path := filepath.Join(*dataDir, name+".jsonl")
 				if err := srv.Store().Collection(name).SaveFile(path); err != nil {
@@ -51,26 +69,48 @@ func main() {
 				}
 			}
 		}
-		go func() {
-			t := time.NewTicker(*interval)
-			defer t.Stop()
-			for range t.C {
-				flush()
-			}
-		}()
-		// Flush on SIGINT.
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt)
-		go func() {
-			<-sig
-			flush()
-			log.Println("crowdserver: state flushed, exiting")
-			os.Exit(0)
-		}()
 	}
 
-	log.Printf("crowdserver listening on %s (data dir %q)", *addr, *dataDir)
-	if err := http.ListenAndServe(*addr, srv); err != nil {
-		log.Fatal(err)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
 	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	go func() {
+		t := time.NewTicker(*interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				flush()
+			}
+		}
+	}()
+
+	log.Printf("crowdserver listening on %s (data dir %q, max in-flight %d)", *addr, *dataDir, *maxInFlight)
+	select {
+	case err := <-errCh:
+		log.Fatalf("crowdserver: %v", err)
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop accepting, drain in-flight requests up to
+	// the deadline, then flush state.
+	stop()
+	log.Printf("crowdserver: signal received, draining (up to %s)", *shutdownTimeout)
+	sctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(sctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("crowdserver: shutdown: %v", err)
+	}
+	flush()
+	m := srv.Metrics()
+	log.Printf("crowdserver: state flushed (%d requests served, %d rejected), exiting", m.Requests, m.Rejected)
 }

@@ -1,6 +1,7 @@
 package gptunecrowd
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -26,6 +27,10 @@ type (
 	ConfigurationSpace = crowd.ConfigurationSpace
 	// QueryRequest is a crowd query.
 	QueryRequest = crowd.QueryRequest
+	// APIError is a typed crowd-server failure (status code + server
+	// message); use errors.As to distinguish auth, validation and
+	// overload errors.
+	APIError = crowd.APIError
 	// MetaDescription is a parsed Section IV-A meta description.
 	MetaDescription = meta.Description
 	// SurrogateModel predicts mean and standard deviation for a decoded
@@ -48,7 +53,14 @@ func ConnectMeta(d *MetaDescription) *CrowdClient {
 // QueryFunctionEvaluations downloads the samples selected by the meta
 // description — the paper's QueryFunctionEvaluations utility.
 func QueryFunctionEvaluations(c *CrowdClient, d *MetaDescription) ([]FuncEval, error) {
-	return c.Query(d.QueryRequest())
+	return QueryFunctionEvaluationsContext(context.Background(), c, d)
+}
+
+// QueryFunctionEvaluationsContext is QueryFunctionEvaluations with
+// request-scoped cancellation: the context bounds the whole download,
+// including the client's internal retries.
+func QueryFunctionEvaluationsContext(ctx context.Context, c *CrowdClient, d *MetaDescription) ([]FuncEval, error) {
+	return c.QueryContext(ctx, d.QueryRequest())
 }
 
 // SurrogateOptions selects the surrogate modeling technique for the
@@ -219,6 +231,14 @@ func SensitivityFromFunc(f func(cfg map[string]interface{}) float64, ps *Space, 
 // sync_crowd_repo="yes" path).
 func UploadHistory(c *CrowdClient, d *MetaDescription, task map[string]interface{}, h *History,
 	machine MachineConfiguration, software []SoftwareConfiguration, accessibility string) ([]string, error) {
+	return UploadHistoryContext(context.Background(), c, d, task, h, machine, software, accessibility)
+}
+
+// UploadHistoryContext is UploadHistory with request-scoped
+// cancellation. The upload is sent as one idempotent batch, so client
+// retries never store a sample twice.
+func UploadHistoryContext(ctx context.Context, c *CrowdClient, d *MetaDescription, task map[string]interface{}, h *History,
+	machine MachineConfiguration, software []SoftwareConfiguration, accessibility string) ([]string, error) {
 	if len(h.Samples) == 0 {
 		return nil, fmt.Errorf("gptunecrowd: empty history")
 	}
@@ -235,7 +255,7 @@ func UploadHistory(c *CrowdClient, d *MetaDescription, task map[string]interface
 			Accessibility:     accessibility,
 		})
 	}
-	return c.Upload(evals)
+	return c.UploadContext(ctx, evals)
 }
 
 // SourcesFromEvals groups downloaded crowd samples into one SourceTask

@@ -2,19 +2,58 @@ package crowd
 
 import (
 	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io"
+	"math"
+	mathrand "math/rand"
 	"net/http"
+	"sync"
+	"time"
 
 	"gptunecrowd/internal/historydb"
 )
 
+// Client retry/timeout defaults (overridable per client).
+const (
+	DefaultClientTimeout = 30 * time.Second
+	DefaultMaxRetries    = 3
+	DefaultBackoffBase   = 100 * time.Millisecond
+	DefaultBackoffMax    = 5 * time.Second
+)
+
 // Client talks to a crowd server. The zero HTTP client uses
-// http.DefaultClient.
+// http.DefaultClient. Failed requests are retried with exponential
+// backoff and jitter when the failure is retryable: connection errors,
+// per-attempt timeouts, HTTP 429 and 5xx. Uploads carry idempotency
+// batch ids, so a retried upload is applied at most once server-side.
+// Non-retryable failures surface as a typed *APIError.
 type Client struct {
 	BaseURL string
 	APIKey  string
 	HTTP    *http.Client
+
+	// Timeout bounds each individual HTTP attempt (not the whole retry
+	// loop); 0 means DefaultClientTimeout. Callers needing an overall
+	// deadline pass a context to the *Context methods.
+	Timeout time.Duration
+	// MaxRetries is the number of additional attempts after the first
+	// on retryable failures; 0 means DefaultMaxRetries, negative
+	// disables retries.
+	MaxRetries int
+	// BackoffBase and BackoffMax shape the exponential backoff between
+	// attempts: attempt n sleeps ~BackoffBase·2ⁿ (equal jitter), capped
+	// at BackoffMax. Zero values select the defaults.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+
+	// jitter returns a uniform value in [0, 1); tests may replace it
+	// for determinism via setJitter.
+	jitterMu sync.Mutex
+	jitter   func() float64
 }
 
 // NewClient returns a client bound to the server URL and API key.
@@ -29,15 +68,111 @@ func (c *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
-// post sends a JSON request and decodes the JSON response into out.
-func (c *Client) post(path string, in, out interface{}) error {
+func (c *Client) timeout() time.Duration {
+	if c.Timeout > 0 {
+		return c.Timeout
+	}
+	return DefaultClientTimeout
+}
+
+func (c *Client) maxRetries() int {
+	if c.MaxRetries > 0 {
+		return c.MaxRetries
+	}
+	if c.MaxRetries < 0 {
+		return 0
+	}
+	return DefaultMaxRetries
+}
+
+func (c *Client) setJitter(f func() float64) {
+	c.jitterMu.Lock()
+	c.jitter = f
+	c.jitterMu.Unlock()
+}
+
+func (c *Client) jitterValue() float64 {
+	c.jitterMu.Lock()
+	defer c.jitterMu.Unlock()
+	if c.jitter == nil {
+		c.jitter = mathrand.Float64
+	}
+	return c.jitter()
+}
+
+// backoff returns the sleep before retry number attempt+1: exponential
+// growth with equal jitter (half deterministic, half random), capped.
+func (c *Client) backoff(attempt int) time.Duration {
+	base := c.BackoffBase
+	if base <= 0 {
+		base = DefaultBackoffBase
+	}
+	max := c.BackoffMax
+	if max <= 0 {
+		max = DefaultBackoffMax
+	}
+	d := time.Duration(float64(base) * math.Pow(2, float64(attempt)))
+	if d > max || d <= 0 {
+		d = max
+	}
+	half := d / 2
+	return half + time.Duration(c.jitterValue()*float64(half))
+}
+
+// sleep waits for d or until ctx is done, whichever comes first.
+func sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// newBatchID generates a 128-bit idempotency key for an upload batch.
+func newBatchID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(err) // crypto/rand failure is unrecoverable
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// post sends a JSON request, retrying retryable failures with backoff,
+// and decodes the JSON response into out. The request body is marshaled
+// once, so every attempt (including its batch id, if any) is identical.
+func (c *Client) post(ctx context.Context, path string, in, out interface{}) error {
 	body, err := json.Marshal(in)
 	if err != nil {
 		return fmt.Errorf("crowd: encode request: %w", err)
 	}
-	req, err := http.NewRequest(http.MethodPost, c.BaseURL+path, bytes.NewReader(body))
+	for attempt := 0; ; attempt++ {
+		err, retryable := c.attempt(ctx, path, body, out)
+		if err == nil {
+			return nil
+		}
+		if !retryable || attempt >= c.maxRetries() {
+			return err
+		}
+		if ctx.Err() != nil {
+			return fmt.Errorf("crowd: request %s: %w", path, ctx.Err())
+		}
+		if serr := sleep(ctx, c.backoff(attempt)); serr != nil {
+			return fmt.Errorf("crowd: request %s: %w", path, serr)
+		}
+	}
+}
+
+// attempt performs one HTTP round trip under the per-attempt timeout
+// and reports whether its failure is worth retrying.
+func (c *Client) attempt(ctx context.Context, path string, body []byte, out interface{}) (error, bool) {
+	actx, cancel := context.WithTimeout(ctx, c.timeout())
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodPost, c.BaseURL+path, bytes.NewReader(body))
 	if err != nil {
-		return err
+		return err, false
 	}
 	req.Header.Set("Content-Type", "application/json")
 	if c.APIKey != "" {
@@ -45,27 +180,39 @@ func (c *Client) post(path string, in, out interface{}) error {
 	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
-		return fmt.Errorf("crowd: request %s: %w", path, err)
+		// Connection errors and per-attempt timeouts are retryable;
+		// the retry loop stops on its own when the parent ctx is done.
+		return fmt.Errorf("crowd: request %s: %w", path, err), true
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		apiErr := &APIError{StatusCode: resp.StatusCode, Path: path}
 		var e errorResponse
-		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
-			return fmt.Errorf("crowd: %s: %s (HTTP %d)", path, e.Error, resp.StatusCode)
+		if json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&e) == nil && e.Error != "" {
+			apiErr.Message = e.Error
 		}
-		return fmt.Errorf("crowd: %s: HTTP %d", path, resp.StatusCode)
+		return apiErr, apiErr.Temporary()
 	}
 	if out == nil {
-		return nil
+		io.Copy(io.Discard, resp.Body)
+		return nil, false
 	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("crowd: decode %s response: %w", path, err), false
+	}
+	return nil, false
 }
 
 // Register creates a user account and returns its API key. The client's
 // APIKey field is updated in place.
 func (c *Client) Register(username, email string) (string, error) {
+	return c.RegisterContext(context.Background(), username, email)
+}
+
+// RegisterContext is Register with request-scoped cancellation.
+func (c *Client) RegisterContext(ctx context.Context, username, email string) (string, error) {
 	var resp RegisterResponse
-	if err := c.post("/api/v1/register", RegisterRequest{Username: username, Email: email}, &resp); err != nil {
+	if err := c.post(ctx, "/api/v1/register", RegisterRequest{Username: username, Email: email}, &resp); err != nil {
 		return "", err
 	}
 	c.APIKey = resp.APIKey
@@ -74,8 +221,16 @@ func (c *Client) Register(username, email string) (string, error) {
 
 // Upload stores function evaluations on the server.
 func (c *Client) Upload(evals []FuncEval) ([]string, error) {
+	return c.UploadContext(context.Background(), evals)
+}
+
+// UploadContext is Upload with request-scoped cancellation. The batch
+// carries a fresh idempotency id reused across internal retries, so the
+// server applies it exactly once even if a response is lost mid-flight.
+func (c *Client) UploadContext(ctx context.Context, evals []FuncEval) ([]string, error) {
 	var resp UploadResponse
-	if err := c.post("/api/v1/func_eval/upload", UploadRequest{FuncEvals: evals}, &resp); err != nil {
+	req := UploadRequest{FuncEvals: evals, BatchID: newBatchID()}
+	if err := c.post(ctx, "/api/v1/func_eval/upload", req, &resp); err != nil {
 		return nil, err
 	}
 	return resp.IDs, nil
@@ -83,8 +238,13 @@ func (c *Client) Upload(evals []FuncEval) ([]string, error) {
 
 // Query downloads the samples matching the request.
 func (c *Client) Query(req QueryRequest) ([]FuncEval, error) {
+	return c.QueryContext(context.Background(), req)
+}
+
+// QueryContext is Query with request-scoped cancellation.
+func (c *Client) QueryContext(ctx context.Context, req QueryRequest) ([]FuncEval, error) {
 	var resp QueryResponse
-	if err := c.post("/api/v1/func_eval/query", req, &resp); err != nil {
+	if err := c.post(ctx, "/api/v1/func_eval/query", req, &resp); err != nil {
 		return nil, err
 	}
 	return resp.FuncEvals, nil
@@ -111,9 +271,21 @@ func (c *Client) QueryWithParamFilter(problem string, cfg ConfigurationSpace, fi
 
 // Problems lists tuning problems visible to the caller.
 func (c *Client) Problems() ([]string, error) {
+	return c.ProblemsContext(context.Background())
+}
+
+// ProblemsContext is Problems with request-scoped cancellation.
+func (c *Client) ProblemsContext(ctx context.Context) ([]string, error) {
 	var resp ProblemsResponse
-	if err := c.post("/api/v1/problems", struct{}{}, &resp); err != nil {
+	if err := c.post(ctx, "/api/v1/problems", struct{}{}, &resp); err != nil {
 		return nil, err
 	}
 	return resp.Problems, nil
+}
+
+// Stats fetches the server's request-counter snapshot.
+func (c *Client) Stats(ctx context.Context) (MetricsSnapshot, error) {
+	var resp MetricsSnapshot
+	err := c.post(ctx, "/api/v1/stats", struct{}{}, &resp)
+	return resp, err
 }

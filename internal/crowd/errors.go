@@ -1,0 +1,52 @@
+package crowd
+
+import "fmt"
+
+// APIError is a server-reported failure: the HTTP status code plus the
+// error message from the response body. Callers distinguish failure
+// classes with errors.As and the Is* helpers instead of parsing error
+// strings:
+//
+//	var apiErr *crowd.APIError
+//	if errors.As(err, &apiErr) && apiErr.IsAuth() { ... }
+type APIError struct {
+	// StatusCode is the HTTP status the server answered with.
+	StatusCode int
+	// Message is the server's error string (empty if the body carried
+	// none).
+	Message string
+	// Path is the API path of the failed request.
+	Path string
+}
+
+// Error implements the error interface.
+func (e *APIError) Error() string {
+	if e.Message == "" {
+		return fmt.Sprintf("crowd: %s: HTTP %d", e.Path, e.StatusCode)
+	}
+	return fmt.Sprintf("crowd: %s: %s (HTTP %d)", e.Path, e.Message, e.StatusCode)
+}
+
+// IsAuth reports an authentication/authorization failure (401/403):
+// the API key is missing, wrong, or lacks access.
+func (e *APIError) IsAuth() bool {
+	return e.StatusCode == 401 || e.StatusCode == 403
+}
+
+// IsValidation reports a request-content failure (400/404/405/409/413):
+// retrying the identical request cannot succeed.
+func (e *APIError) IsValidation() bool {
+	return e.StatusCode >= 400 && e.StatusCode < 500 && !e.IsAuth() && e.StatusCode != 429
+}
+
+// IsOverload reports load shedding (429) or temporary unavailability
+// (503): the request was fine, the server was not.
+func (e *APIError) IsOverload() bool {
+	return e.StatusCode == 429 || e.StatusCode == 503
+}
+
+// Temporary reports whether a retry with backoff may succeed (429 and
+// all 5xx).
+func (e *APIError) Temporary() bool {
+	return e.StatusCode == 429 || e.StatusCode >= 500
+}

@@ -1,0 +1,112 @@
+package crowd
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Fault is one scripted transport failure for tests. Exactly one of
+// Err or Status should be set; a zero Fault passes the request through
+// untouched.
+type Fault struct {
+	// Err, when set, is returned as the transport error (a dropped
+	// connection from the client's point of view).
+	Err error
+	// AfterDelivery delivers the request to the underlying transport
+	// first — the server processes it — then discards the response and
+	// returns Err: a connection that died after the write was applied.
+	// This is the failure mode idempotent upload batches exist for.
+	AfterDelivery bool
+	// Status, when nonzero, short-circuits with a synthesized HTTP
+	// response of this status carrying Body (or a default JSON error).
+	Status int
+	Body   string
+	// Delay sleeps before acting, or until the request context is
+	// done — for exercising timeouts and cancellation.
+	Delay time.Duration
+}
+
+// FaultTransport is a scriptable http.RoundTripper: each request
+// consumes the next Fault from the script; once the script is spent,
+// requests pass through to the underlying transport. Safe for
+// concurrent use.
+type FaultTransport struct {
+	mu       sync.Mutex
+	script   []Fault
+	next     http.RoundTripper
+	attempts int
+}
+
+// NewFaultTransport wraps next (nil means http.DefaultTransport) with
+// the given fault script.
+func NewFaultTransport(next http.RoundTripper, script ...Fault) *FaultTransport {
+	return &FaultTransport{script: script, next: next}
+}
+
+// Attempts returns how many requests have passed through the transport.
+func (t *FaultTransport) Attempts() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.attempts
+}
+
+func (t *FaultTransport) nextRT() http.RoundTripper {
+	if t.next != nil {
+		return t.next
+	}
+	return http.DefaultTransport
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *FaultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.mu.Lock()
+	t.attempts++
+	var f *Fault
+	if len(t.script) > 0 {
+		f = &t.script[0]
+		t.script = t.script[1:]
+	}
+	t.mu.Unlock()
+	if f == nil {
+		return t.nextRT().RoundTrip(req)
+	}
+	if f.Delay > 0 {
+		timer := time.NewTimer(f.Delay)
+		select {
+		case <-req.Context().Done():
+			timer.Stop()
+			return nil, req.Context().Err()
+		case <-timer.C:
+		}
+	}
+	if f.Err != nil {
+		if f.AfterDelivery {
+			if resp, err := t.nextRT().RoundTrip(req); err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}
+		return nil, f.Err
+	}
+	if f.Status != 0 {
+		body := f.Body
+		if body == "" {
+			body = fmt.Sprintf(`{"error":"injected fault (HTTP %d)"}`, f.Status)
+		}
+		return &http.Response{
+			StatusCode: f.Status,
+			Status:     fmt.Sprintf("%d %s", f.Status, http.StatusText(f.Status)),
+			Proto:      "HTTP/1.1",
+			ProtoMajor: 1,
+			ProtoMinor: 1,
+			Header:     http.Header{"Content-Type": []string{"application/json"}},
+			Body:       io.NopCloser(strings.NewReader(body)),
+			Request:    req,
+		}, nil
+	}
+	return t.nextRT().RoundTrip(req)
+}

@@ -1,0 +1,385 @@
+package crowd
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// fastRetry configures a client for millisecond-scale backoff so fault
+// tests stay quick, with deterministic jitter.
+func fastRetry(c *Client) {
+	c.BackoffBase = time.Millisecond
+	c.BackoffMax = 8 * time.Millisecond
+	c.setJitter(func() float64 { return 0.5 })
+}
+
+func faultServer(t *testing.T) (*httptest.Server, *Client) {
+	t.Helper()
+	ts := httptest.NewServer(NewServer())
+	t.Cleanup(ts.Close)
+	c := NewClient(ts.URL, "")
+	fastRetry(c)
+	if _, err := c.Register("alice", "alice@example.com"); err != nil {
+		t.Fatal(err)
+	}
+	return ts, c
+}
+
+func threeEvals() []FuncEval {
+	evals := make([]FuncEval, 3)
+	for i := range evals {
+		evals[i] = FuncEval{
+			TuningProblemName: "fault",
+			TuningParams:      map[string]interface{}{"i": i},
+			Output:            float64(i),
+		}
+	}
+	return evals
+}
+
+// TestUploadExactlyOnceAcrossInjectedFailures is the acceptance
+// scenario: three injected failures — a connection that dies *after*
+// the server applied the batch, a 503 burst, and a 429 — and the upload
+// still lands exactly once, with the client's retries replaying the
+// idempotent batch.
+func TestUploadExactlyOnceAcrossInjectedFailures(t *testing.T) {
+	_, alice := faultServer(t)
+	ft := NewFaultTransport(nil,
+		// The worst case: the server stores the batch, then the
+		// connection drops before the response arrives.
+		Fault{AfterDelivery: true, Err: errors.New("connection reset by peer")},
+		Fault{Status: http.StatusServiceUnavailable},
+		Fault{Status: http.StatusTooManyRequests},
+	)
+	alice.HTTP = &http.Client{Transport: ft}
+	alice.MaxRetries = 5
+
+	ids, err := alice.Upload(threeEvals())
+	if err != nil {
+		t.Fatalf("upload should survive 3 injected failures: %v", err)
+	}
+	if len(ids) != 3 {
+		t.Fatalf("got %d ids, want 3", len(ids))
+	}
+	if got := ft.Attempts(); got != 4 {
+		t.Fatalf("transport saw %d attempts, want 4 (1 initial + 3 retries)", got)
+	}
+
+	// Exactly once: the server must hold 3 samples, not 6, and the ids
+	// handed back must be the ones assigned by the first application.
+	clean := NewClient(alice.BaseURL, alice.APIKey)
+	evals, err := clean.Query(QueryRequest{TuningProblemName: "fault"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evals) != 3 {
+		t.Fatalf("server stored %d samples, want exactly 3 (batch double-applied)", len(evals))
+	}
+	stored := map[string]bool{}
+	for _, e := range evals {
+		stored[e.ID] = true
+	}
+	for _, id := range ids {
+		if !stored[id] {
+			t.Fatalf("replayed response id %q does not match stored batch %v", id, evals)
+		}
+	}
+}
+
+// TestRetryBackoffOnServerErrors verifies the client keeps retrying
+// through a 5xx burst and that retries actually back off.
+func TestRetryBackoffOnServerErrors(t *testing.T) {
+	_, alice := faultServer(t)
+	ft := NewFaultTransport(nil,
+		Fault{Status: 500}, Fault{Status: 502}, Fault{Status: 503},
+	)
+	alice.HTTP = &http.Client{Transport: ft}
+	alice.MaxRetries = 4
+	alice.BackoffBase = 4 * time.Millisecond
+
+	start := time.Now()
+	if _, err := alice.Upload(threeEvals()); err != nil {
+		t.Fatalf("upload should survive the 5xx burst: %v", err)
+	}
+	// Equal jitter with jitter=0.5 sleeps 3/4·base·2ⁿ: 3+6+12 = 21ms.
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Fatalf("4 attempts finished in %s; backoff not applied", elapsed)
+	}
+	if got := ft.Attempts(); got != 4 {
+		t.Fatalf("transport saw %d attempts, want 4", got)
+	}
+}
+
+// TestRetryExhaustionSurfacesAPIError verifies that when the failure
+// outlives the retry budget, the final typed error comes back.
+func TestRetryExhaustionSurfacesAPIError(t *testing.T) {
+	_, alice := faultServer(t)
+	ft := NewFaultTransport(nil,
+		Fault{Status: 503}, Fault{Status: 503}, Fault{Status: 503}, Fault{Status: 503},
+	)
+	alice.HTTP = &http.Client{Transport: ft}
+	alice.MaxRetries = 2
+
+	_, err := alice.Upload(threeEvals())
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("want *APIError, got %T: %v", err, err)
+	}
+	if apiErr.StatusCode != 503 || !apiErr.IsOverload() || !apiErr.Temporary() {
+		t.Fatalf("wrong classification: %+v", apiErr)
+	}
+	if got := ft.Attempts(); got != 3 {
+		t.Fatalf("transport saw %d attempts, want 3 (1 + MaxRetries)", got)
+	}
+	// Nothing may have been stored.
+	clean := NewClient(alice.BaseURL, alice.APIKey)
+	evals, err := clean.Query(QueryRequest{TuningProblemName: "fault"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evals) != 0 {
+		t.Fatalf("failed upload stored %d samples", len(evals))
+	}
+}
+
+// TestNoRetryOnValidationError: 4xx responses are final — retrying an
+// invalid request cannot help, and must not happen.
+func TestNoRetryOnValidationError(t *testing.T) {
+	_, alice := faultServer(t)
+	ft := NewFaultTransport(nil)
+	alice.HTTP = &http.Client{Transport: ft}
+
+	bad := threeEvals()
+	bad[1].Accessibility = "everyone"
+	_, err := alice.Upload(bad)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || !apiErr.IsValidation() {
+		t.Fatalf("want validation APIError, got %v", err)
+	}
+	if got := ft.Attempts(); got != 1 {
+		t.Fatalf("validation error was retried: %d attempts", got)
+	}
+}
+
+// TestAPIErrorDistinguishesClasses checks the error taxonomy the issue
+// asks for: auth vs validation vs overload are distinguishable without
+// string matching.
+func TestAPIErrorDistinguishesClasses(t *testing.T) {
+	ts, _ := faultServer(t)
+
+	anon := NewClient(ts.URL, "wrong-key")
+	fastRetry(anon)
+	_, err := anon.Query(QueryRequest{TuningProblemName: "p"})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || !apiErr.IsAuth() || apiErr.StatusCode != 401 {
+		t.Fatalf("want auth error, got %v", err)
+	}
+	if apiErr.IsValidation() || apiErr.IsOverload() || apiErr.Temporary() {
+		t.Fatalf("auth error misclassified: %+v", apiErr)
+	}
+	if apiErr.Message == "" {
+		t.Fatal("server message not surfaced")
+	}
+
+	overloaded := NewClient(ts.URL, "k")
+	fastRetry(overloaded)
+	overloaded.MaxRetries = -1 // observe the 429 instead of retrying it
+	overloaded.HTTP = &http.Client{Transport: NewFaultTransport(nil, Fault{Status: 429})}
+	_, err = overloaded.Problems()
+	if !errors.As(err, &apiErr) || !apiErr.IsOverload() || !apiErr.Temporary() {
+		t.Fatalf("want overload error, got %v", err)
+	}
+}
+
+// TestClientRespectsContextCancellation: a canceled caller context
+// aborts the in-flight attempt immediately and suppresses retries.
+func TestClientRespectsContextCancellation(t *testing.T) {
+	_, alice := faultServer(t)
+	ft := NewFaultTransport(nil,
+		Fault{Delay: 10 * time.Second, Err: errors.New("unreachable")},
+	)
+	alice.HTTP = &http.Client{Transport: ft}
+	alice.MaxRetries = 5
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := alice.UploadContext(ctx, threeEvals())
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancellation took %s", elapsed)
+	}
+	if got := ft.Attempts(); got != 1 {
+		t.Fatalf("canceled request was retried: %d attempts", got)
+	}
+}
+
+// TestClientCancelDuringBackoff: cancellation between attempts (while
+// the client is sleeping) must also end the retry loop.
+func TestClientCancelDuringBackoff(t *testing.T) {
+	_, alice := faultServer(t)
+	ft := NewFaultTransport(nil, Fault{Status: 503}, Fault{Status: 503})
+	alice.HTTP = &http.Client{Transport: ft}
+	alice.MaxRetries = 5
+	alice.BackoffBase = time.Hour // park the client in its backoff sleep
+	alice.BackoffMax = time.Hour
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := alice.UploadContext(ctx, threeEvals())
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("backoff ignored cancellation for %s", elapsed)
+	}
+	if got := ft.Attempts(); got != 1 {
+		t.Fatalf("want 1 attempt before the canceled backoff, got %d", got)
+	}
+}
+
+// TestPerAttemptTimeoutRetries: a hung attempt times out via the
+// client's per-attempt deadline and the next attempt succeeds.
+func TestPerAttemptTimeoutRetries(t *testing.T) {
+	_, alice := faultServer(t)
+	ft := NewFaultTransport(nil,
+		Fault{Delay: 10 * time.Second, Err: errors.New("unreachable")},
+	)
+	alice.HTTP = &http.Client{Transport: ft}
+	alice.Timeout = 25 * time.Millisecond
+	alice.MaxRetries = 2
+
+	ids, err := alice.Upload(threeEvals())
+	if err != nil {
+		t.Fatalf("upload should recover from a hung attempt: %v", err)
+	}
+	if len(ids) != 3 {
+		t.Fatalf("got %d ids", len(ids))
+	}
+	if got := ft.Attempts(); got != 2 {
+		t.Fatalf("want 2 attempts (timeout + success), got %d", got)
+	}
+}
+
+// TestServerShedsLoadWith429 drives the server's concurrency limiter
+// directly: with MaxInFlight=1 and a request parked in a handler, the
+// next request is rejected with 429 and a Retry-After header.
+func TestServerShedsLoadWith429(t *testing.T) {
+	ts := httptest.NewServer(NewServerWith(Config{MaxInFlight: 1}))
+	t.Cleanup(ts.Close)
+	c := NewClient(ts.URL, "")
+	fastRetry(c)
+	if _, err := c.Register("alice", ""); err != nil {
+		t.Fatal(err)
+	}
+
+	// Park one request inside the handler by streaming its body slowly.
+	pr, pw := io.Pipe()
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/api/v1/func_eval/upload", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Api-Key", c.APIKey)
+	parked := make(chan struct{})
+	go func() {
+		defer close(parked)
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	// Give the parked request time to occupy the semaphore.
+	time.Sleep(100 * time.Millisecond)
+
+	blocked := NewClient(ts.URL, c.APIKey)
+	fastRetry(blocked)
+	blocked.MaxRetries = -1
+	_, err = blocked.Problems()
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("want 429 from the limiter, got %v", err)
+	}
+	pw.Close() // release the parked request
+	<-parked
+
+	// With the semaphore free again the same call succeeds, and the
+	// rejection shows up in the metrics.
+	if _, err := blocked.Problems(); err != nil {
+		t.Fatalf("after release: %v", err)
+	}
+	var snap MetricsSnapshot
+	snap, err = blocked.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Rejected < 1 {
+		t.Fatalf("limiter rejection not counted: %+v", snap)
+	}
+}
+
+// TestServerRequestDeadline: an already-expired request deadline turns
+// store scans into 503s (clients may retry), counted in TimedOut.
+func TestServerRequestDeadline(t *testing.T) {
+	srv := NewServerWith(Config{RequestTimeout: time.Nanosecond})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	c := NewClient(ts.URL, "")
+	fastRetry(c)
+	if _, err := c.Register("alice", ""); err != nil {
+		t.Fatal(err) // register does not touch FindContext, so it survives
+	}
+	c.MaxRetries = -1
+	_, err := c.Query(QueryRequest{TuningProblemName: "p"})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("want 503 deadline error, got %v", err)
+	}
+	if snap := srv.Metrics(); snap.TimedOut < 1 {
+		t.Fatalf("timeout not counted: %+v", snap)
+	}
+}
+
+// TestFaultTransportPassThrough: a spent or empty script is a plain
+// transport — the hook must be invisible when not scripting faults.
+func TestFaultTransportPassThrough(t *testing.T) {
+	_, alice := faultServer(t)
+	ft := NewFaultTransport(nil)
+	alice.HTTP = &http.Client{Transport: ft}
+	if _, err := alice.Upload(threeEvals()); err != nil {
+		t.Fatal(err)
+	}
+	if ft.Attempts() != 1 {
+		t.Fatalf("attempts = %d", ft.Attempts())
+	}
+}
+
+// TestRegisterConflictMessage: the typed error carries the server's
+// message for conflicts too.
+func TestRegisterConflictMessage(t *testing.T) {
+	ts, _ := faultServer(t)
+	c := NewClient(ts.URL, "")
+	fastRetry(c)
+	_, err := c.Register("alice", "")
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusConflict {
+		t.Fatalf("want 409, got %v", err)
+	}
+	if want := fmt.Sprintf("username %q taken", "alice"); apiErr.Message != want {
+		t.Fatalf("message %q, want %q", apiErr.Message, want)
+	}
+}

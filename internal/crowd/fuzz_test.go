@@ -1,0 +1,116 @@
+package crowd
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+)
+
+// fuzzServer returns a server plus a valid API key, for driving handlers
+// through ServeHTTP without a network listener.
+func fuzzServer(f *testing.F) (*Server, string) {
+	srv := NewServer()
+	body, _ := json.Marshal(RegisterRequest{Username: "fuzz"})
+	req := httptest.NewRequest("POST", "/api/v1/register", bytes.NewReader(body))
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	var resp RegisterResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil || resp.APIKey == "" {
+		f.Fatalf("fuzz setup: register failed: status=%d body=%s", rec.Code, rec.Body.String())
+	}
+	return srv, resp.APIKey
+}
+
+// post drives one request through the full middleware chain and checks
+// the invariants every endpoint must hold for arbitrary input: no panic
+// (the fuzzer catches those), never a 5xx (malformed input is the
+// client's fault), and a response body that is itself valid JSON.
+func fuzzPost(t *testing.T, srv *Server, path, apiKey string, body []byte) *httptest.ResponseRecorder {
+	req := httptest.NewRequest("POST", path, bytes.NewReader(body))
+	if apiKey != "" {
+		req.Header.Set("X-Api-Key", apiKey)
+	}
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code >= 500 {
+		t.Fatalf("%s: input %q produced %d: %s", path, body, rec.Code, rec.Body.String())
+	}
+	if !json.Valid(rec.Body.Bytes()) {
+		t.Fatalf("%s: input %q produced non-JSON response %q", path, body, rec.Body.String())
+	}
+	return rec
+}
+
+func FuzzUploadDecode(f *testing.F) {
+	srv, key := fuzzServer(f)
+	f.Add([]byte(`{"func_evals":[{"tuning_problem_name":"p","tuning_parameters":{"x":1},"evaluation_result":1.5}]}`))
+	f.Add([]byte(`{"batch_id":"b1","func_evals":[{"tuning_problem_name":"p","tuning_parameters":{},"evaluation_result":0}]}`))
+	f.Add([]byte(`{"func_evals":[]}`))
+	f.Add([]byte(`{"func_evals":[{"evaluation_result":"not a number"}]}`))
+	f.Add([]byte(`{"func_evals":[{"tuning_problem_name":"p","tuning_parameters":{"x":{"deep":{"er":[1,2,3]}}},"evaluation_result":1e308}]}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		rec := fuzzPost(t, srv, "/api/v1/func_eval/upload", key, body)
+		if rec.Code == 200 {
+			var resp UploadResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+				t.Fatalf("200 upload with undecodable response: %v", err)
+			}
+			if len(resp.IDs) == 0 {
+				t.Fatalf("200 upload assigned no ids for input %q", body)
+			}
+		}
+	})
+}
+
+func FuzzQueryDecode(f *testing.F) {
+	srv, key := fuzzServer(f)
+	// One stored sample so the match path (not just the decode path) runs.
+	upload, _ := json.Marshal(UploadRequest{FuncEvals: []FuncEval{{
+		TuningProblemName: "p",
+		TuningParams:      map[string]interface{}{"x": 1.0},
+		Output:            2.0,
+	}}})
+	req := httptest.NewRequest("POST", "/api/v1/func_eval/upload", bytes.NewReader(upload))
+	req.Header.Set("X-Api-Key", key)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != 200 {
+		f.Fatalf("fuzz setup: seed upload failed: %s", rec.Body.String())
+	}
+
+	f.Add([]byte(`{"tuning_problem_name":"p"}`))
+	f.Add([]byte(`{"tuning_problem_name":"p","limit":1}`))
+	f.Add([]byte(`{"tuning_problem_name":"p","param_query":{"op":"eq","field":"tuning_parameters.x","value":1}}`))
+	f.Add([]byte(`{"tuning_problem_name":"p","param_query":{"op":"and","subs":[{"op":"range","field":"evaluation_result","lo":0,"hi":10}]}}`))
+	f.Add([]byte(`{"tuning_problem_name":"p","param_query":{"op":"nope"}}`))
+	f.Add([]byte(`{"tuning_problem_name":"p","param_query":[1,2]}`))
+	f.Add([]byte(`{"tuning_problem_name":""}`))
+	f.Add([]byte(`{"configuration_space":{"machine_configurations":[{"machine_name":"Cori","num_nodes":1}]}}`))
+	f.Add([]byte(`{`))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		fuzzPost(t, srv, "/api/v1/func_eval/query", key, body)
+	})
+}
+
+func FuzzRegisterDecode(f *testing.F) {
+	srv, _ := fuzzServer(f)
+	f.Add([]byte(`{"username":"alice","email":"a@b.c"}`))
+	f.Add([]byte(`{"username":""}`))
+	f.Add([]byte(`{"username":12}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{"username":" "}`))
+	f.Add([]byte("{\"username\":\"a\\u0000b\"}"))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		rec := fuzzPost(t, srv, "/api/v1/register", "", body)
+		if rec.Code == 200 {
+			var resp RegisterResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil || resp.APIKey == "" {
+				t.Fatalf("200 register without usable API key: %s", rec.Body.String())
+			}
+		}
+	})
+}

@@ -1,7 +1,9 @@
 package crowd
 
 import (
+	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 
 	"gptunecrowd/internal/historydb"
@@ -48,6 +50,9 @@ func errBadAccess(a string) error { return fieldError("crowd: unknown accessibil
 // ModelUploadRequest / ModelQueryRequest are the wire forms.
 type ModelUploadRequest struct {
 	Models []SurrogateModelDoc `json:"models"`
+	// BatchID is an optional client-generated idempotency key; see
+	// UploadRequest.BatchID.
+	BatchID string `json:"batch_id,omitempty"`
 }
 
 // ModelUploadResponse reports assigned ids.
@@ -68,6 +73,8 @@ type ModelQueryResponse struct {
 
 func (s *Server) models() *historydb.Collection { return s.store.Collection("surrogate_models") }
 
+// handleModelUpload stores surrogate models atomically, with the same
+// batch-id idempotency as function-evaluation uploads.
 func (s *Server) handleModelUpload(w http.ResponseWriter, r *http.Request, user string) {
 	if r.Method != http.MethodPost {
 		writeErr(w, http.StatusMethodNotAllowed, "POST required")
@@ -78,16 +85,26 @@ func (s *Server) handleModelUpload(w http.ResponseWriter, r *http.Request, user 
 		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
-	if len(req.Models) == 0 {
-		writeErr(w, http.StatusBadRequest, "no models in upload")
+	entry, owner := s.claimBatch("surrogate", user, req.BatchID)
+	if !owner {
+		s.metrics.add(func(m *MetricsSnapshot) { m.Replays++ })
+		writeJSON(w, entry.status, entry.payload)
 		return
 	}
-	var resp ModelUploadResponse
+	status, payload := s.applyModelUpload(&req, user)
+	finishBatch(entry, status, payload)
+	writeJSON(w, status, payload)
+}
+
+func (s *Server) applyModelUpload(req *ModelUploadRequest, user string) (int, interface{}) {
+	if len(req.Models) == 0 {
+		return http.StatusBadRequest, errorResponse{Error: "no models in upload"}
+	}
+	docs := make([]historydb.Document, len(req.Models))
 	for i := range req.Models {
 		m := &req.Models[i]
 		if err := m.Validate(); err != nil {
-			writeErr(w, http.StatusBadRequest, "model %d: %v", i, err)
-			return
+			return http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("model %d: %v", i, err)}
 		}
 		m.Owner = user
 		if m.Accessibility == "" {
@@ -96,23 +113,21 @@ func (s *Server) handleModelUpload(w http.ResponseWriter, r *http.Request, user 
 		m.Machine = m.Machine.Normalize()
 		b, err := json.Marshal(m)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, "model %d: %v", i, err)
-			return
+			return http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("model %d: %v", i, err)}
 		}
 		var doc historydb.Document
 		if err := json.Unmarshal(b, &doc); err != nil {
-			writeErr(w, http.StatusInternalServerError, "model %d: %v", i, err)
-			return
+			return http.StatusInternalServerError, errorResponse{Error: fmt.Sprintf("model %d: %v", i, err)}
 		}
 		delete(doc, "_id")
-		id, err := s.models().Insert(doc)
-		if err != nil {
-			writeErr(w, http.StatusInternalServerError, "store error: %v", err)
-			return
-		}
-		resp.IDs = append(resp.IDs, id)
+		docs[i] = doc
 	}
-	writeJSON(w, http.StatusOK, resp)
+	ids, err := s.models().InsertMany(docs)
+	if err != nil {
+		return http.StatusInternalServerError, errorResponse{Error: fmt.Sprintf("store error: %v", err)}
+	}
+	s.metrics.add(func(m *MetricsSnapshot) { m.Uploads++ })
+	return http.StatusOK, ModelUploadResponse{IDs: ids}
 }
 
 func (s *Server) handleModelQuery(w http.ResponseWriter, r *http.Request, user string) {
@@ -129,9 +144,9 @@ func (s *Server) handleModelQuery(w http.ResponseWriter, r *http.Request, user s
 		writeErr(w, http.StatusBadRequest, "tuning_problem_name required")
 		return
 	}
-	docs, err := s.models().Find(historydb.Eq("tuning_problem_name", req.TuningProblemName))
+	docs, err := s.models().FindContext(r.Context(), historydb.Eq("tuning_problem_name", req.TuningProblemName))
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, "store error: %v", err)
+		writeStoreErr(w, err)
 		return
 	}
 	var resp ModelQueryResponse
@@ -157,8 +172,16 @@ func (s *Server) handleModelQuery(w http.ResponseWriter, r *http.Request, user s
 
 // UploadModels stores pre-trained surrogate models on the server.
 func (c *Client) UploadModels(models []SurrogateModelDoc) ([]string, error) {
+	return c.UploadModelsContext(context.Background(), models)
+}
+
+// UploadModelsContext is UploadModels with request-scoped cancellation.
+// The batch carries a fresh idempotency id, so retried attempts are
+// applied at most once by the server.
+func (c *Client) UploadModelsContext(ctx context.Context, models []SurrogateModelDoc) ([]string, error) {
 	var resp ModelUploadResponse
-	if err := c.post("/api/v1/surrogate/upload", ModelUploadRequest{Models: models}, &resp); err != nil {
+	req := ModelUploadRequest{Models: models, BatchID: newBatchID()}
+	if err := c.post(ctx, "/api/v1/surrogate/upload", req, &resp); err != nil {
 		return nil, err
 	}
 	return resp.IDs, nil
@@ -166,8 +189,13 @@ func (c *Client) UploadModels(models []SurrogateModelDoc) ([]string, error) {
 
 // QueryModels downloads stored surrogate models for a problem.
 func (c *Client) QueryModels(problem string, limit int) ([]SurrogateModelDoc, error) {
+	return c.QueryModelsContext(context.Background(), problem, limit)
+}
+
+// QueryModelsContext is QueryModels with request-scoped cancellation.
+func (c *Client) QueryModelsContext(ctx context.Context, problem string, limit int) ([]SurrogateModelDoc, error) {
 	var resp ModelQueryResponse
-	if err := c.post("/api/v1/surrogate/query", ModelQueryRequest{TuningProblemName: problem, Limit: limit}, &resp); err != nil {
+	if err := c.post(ctx, "/api/v1/surrogate/query", ModelQueryRequest{TuningProblemName: problem, Limit: limit}, &resp); err != nil {
 		return nil, err
 	}
 	return resp.Models, nil

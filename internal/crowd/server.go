@@ -1,29 +1,145 @@
 package crowd
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"gptunecrowd/internal/historydb"
 )
 
-// Server is the shared-database HTTP server. Construct with NewServer
-// and mount via Handler (it is an http.Handler).
-type Server struct {
-	mu    sync.Mutex
-	store *historydb.Store
-	mux   *http.ServeMux
+// Config tunes the server's concurrency and overload behavior. The zero
+// value selects the defaults below.
+type Config struct {
+	// MaxInFlight bounds the number of requests served concurrently;
+	// excess requests are rejected immediately with HTTP 429 and a
+	// Retry-After header rather than queued (load shedding).
+	MaxInFlight int
+	// RequestTimeout is the per-request deadline installed on every
+	// request context. Store scans that outlive it abort with HTTP 503.
+	RequestTimeout time.Duration
+	// MaxRememberedBatches bounds the idempotency cache of completed
+	// upload batch ids (oldest completed entries are evicted first).
+	MaxRememberedBatches int
+	// Logger receives one line per served request:
+	// "method path status bytes duration". nil disables request logging.
+	Logger *log.Logger
 }
 
-// NewServer returns a server with an empty store.
-func NewServer() *Server {
-	s := &Server{store: historydb.NewStore()}
+// Defaults for the zero Config.
+const (
+	DefaultMaxInFlight          = 256
+	DefaultRequestTimeout       = 30 * time.Second
+	DefaultMaxRememberedBatches = 4096
+)
+
+func (c Config) maxInFlight() int {
+	if c.MaxInFlight > 0 {
+		return c.MaxInFlight
+	}
+	return DefaultMaxInFlight
+}
+
+func (c Config) requestTimeout() time.Duration {
+	if c.RequestTimeout > 0 {
+		return c.RequestTimeout
+	}
+	return DefaultRequestTimeout
+}
+
+func (c Config) maxBatches() int {
+	if c.MaxRememberedBatches > 0 {
+		return c.MaxRememberedBatches
+	}
+	return DefaultMaxRememberedBatches
+}
+
+// MetricsSnapshot is a point-in-time copy of the server's request
+// counters, served on /api/v1/stats.
+type MetricsSnapshot struct {
+	Requests  int64 `json:"requests"`
+	InFlight  int64 `json:"in_flight"`
+	Rejected  int64 `json:"rejected"`  // 429s from the concurrency limiter
+	TimedOut  int64 `json:"timed_out"` // 503s from the request deadline
+	Status2xx int64 `json:"status_2xx"`
+	Status4xx int64 `json:"status_4xx"`
+	Status5xx int64 `json:"status_5xx"`
+	Uploads   int64 `json:"uploads"`        // successfully stored upload batches
+	Replays   int64 `json:"upload_replays"` // idempotent batch replays
+	Queries   int64 `json:"queries"`
+}
+
+type metrics struct {
+	mu sync.Mutex
+	MetricsSnapshot
+}
+
+func (m *metrics) add(f func(*MetricsSnapshot)) {
+	m.mu.Lock()
+	f(&m.MetricsSnapshot)
+	m.mu.Unlock()
+}
+
+func (m *metrics) snapshot() MetricsSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.MetricsSnapshot
+}
+
+// batchEntry is one remembered upload batch: the first request to claim
+// a (user, batch id) pair processes it and publishes the outcome here;
+// concurrent or later duplicates wait on done and replay the outcome.
+type batchEntry struct {
+	done    chan struct{}
+	status  int
+	payload interface{}
+}
+
+// Server is the shared-database HTTP server. Construct with NewServer
+// or NewServerWith and mount via ServeHTTP (it is an http.Handler).
+type Server struct {
+	store   *historydb.Store
+	mux     *http.ServeMux
+	handler http.Handler
+	cfg     Config
+	sem     chan struct{}
+	metrics metrics
+
+	// API-key index: auth is an O(1) map lookup instead of a scan of
+	// the users collection on every authenticated request.
+	idxMu     sync.RWMutex
+	keyToUser map[string]string
+	usernames map[string]bool
+
+	// Idempotency cache for upload batches, FIFO-evicted.
+	batchMu    sync.Mutex
+	batches    map[string]*batchEntry
+	batchOrder []string
+}
+
+// NewServer returns a server with an empty store and default Config.
+func NewServer() *Server { return NewServerWith(Config{}) }
+
+// NewServerWith returns a server with an empty store and the given
+// concurrency/overload configuration.
+func NewServerWith(cfg Config) *Server {
+	s := &Server{
+		store:     historydb.NewStore(),
+		cfg:       cfg,
+		sem:       make(chan struct{}, cfg.maxInFlight()),
+		keyToUser: make(map[string]string),
+		usernames: make(map[string]bool),
+		batches:   make(map[string]*batchEntry),
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/api/v1/register", s.handleRegister)
 	mux.HandleFunc("/api/v1/func_eval/upload", s.auth(s.handleUpload))
@@ -31,7 +147,10 @@ func NewServer() *Server {
 	mux.HandleFunc("/api/v1/problems", s.auth(s.handleProblems))
 	mux.HandleFunc("/api/v1/surrogate/upload", s.auth(s.handleModelUpload))
 	mux.HandleFunc("/api/v1/surrogate/query", s.auth(s.handleModelQuery))
+	mux.HandleFunc("/api/v1/stats", s.handleStats)
+	mux.HandleFunc("/api/v1/healthz", s.handleHealthz)
 	s.mux = mux
+	s.handler = s.observe(s.limit(s.withDeadline(mux)))
 	return s
 }
 
@@ -39,11 +158,101 @@ func NewServer() *Server {
 // in cmd/crowdserver).
 func (s *Server) Store() *historydb.Store { return s.store }
 
+// Metrics returns a snapshot of the request counters.
+func (s *Server) Metrics() MetricsSnapshot { return s.metrics.snapshot() }
+
 // ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
 
 func (s *Server) users() *historydb.Collection     { return s.store.Collection("users") }
 func (s *Server) funcEvals() *historydb.Collection { return s.store.Collection("func_evals") }
+
+// statusRecorder captures the response status and size for logging and
+// metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if r.status == 0 {
+		r.status = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	n, err := r.ResponseWriter.Write(b)
+	r.bytes += n
+	return n, err
+}
+
+// observe is the outermost middleware: request counters and structured
+// access logging for every request, including limiter rejections.
+func (s *Server) observe(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w}
+		next.ServeHTTP(rec, r)
+		if rec.status == 0 {
+			rec.status = http.StatusOK
+		}
+		s.metrics.add(func(m *MetricsSnapshot) {
+			m.Requests++
+			switch {
+			case rec.status >= 500:
+				m.Status5xx++
+			case rec.status >= 400:
+				m.Status4xx++
+			default:
+				m.Status2xx++
+			}
+			if rec.status == http.StatusTooManyRequests {
+				m.Rejected++
+			}
+			if rec.status == http.StatusServiceUnavailable {
+				m.TimedOut++
+			}
+		})
+		if s.cfg.Logger != nil {
+			s.cfg.Logger.Printf("%s %s status=%d bytes=%d dur=%s",
+				r.Method, r.URL.Path, rec.status, rec.bytes, time.Since(start).Round(time.Microsecond))
+		}
+	})
+}
+
+// limit is the bounded-concurrency middleware: at most MaxInFlight
+// requests run at once; the rest are shed with 429 so overload degrades
+// into fast rejections instead of pile-ups.
+func (s *Server) limit(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.sem <- struct{}{}:
+			s.metrics.add(func(m *MetricsSnapshot) { m.InFlight++ })
+			defer func() {
+				<-s.sem
+				s.metrics.add(func(m *MetricsSnapshot) { m.InFlight-- })
+			}()
+			next.ServeHTTP(w, r)
+		default:
+			w.Header().Set("Retry-After", "1")
+			writeErr(w, http.StatusTooManyRequests, "server overloaded, retry later")
+		}
+	})
+}
+
+// withDeadline installs the per-request deadline on the request context.
+func (s *Server) withDeadline(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.requestTimeout())
+		defer cancel()
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
@@ -53,6 +262,16 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 
 func writeErr(w http.ResponseWriter, status int, format string, args ...interface{}) {
 	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// writeStoreErr maps store/scan failures to a status: an expired request
+// deadline becomes 503 (the client may retry), anything else 500.
+func writeStoreErr(w http.ResponseWriter, err error) {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		writeErr(w, http.StatusServiceUnavailable, "request deadline exceeded")
+		return
+	}
+	writeErr(w, http.StatusInternalServerError, "store error: %v", err)
 }
 
 // newAPIKey generates the paper's default API-key form: a random string
@@ -65,8 +284,17 @@ func newAPIKey() string {
 	return hex.EncodeToString(b[:])
 }
 
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Metrics())
+}
+
 // handleRegister creates a user and returns a fresh API key. Usernames
-// are unique.
+// are unique; uniqueness and the key index are maintained under one
+// write lock so concurrent registrations cannot race.
 func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeErr(w, http.StatusMethodNotAllowed, "POST required")
@@ -82,9 +310,9 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "username required")
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if n := s.users().Count(historydb.Eq("username", req.Username)); n > 0 {
+	s.idxMu.Lock()
+	defer s.idxMu.Unlock()
+	if s.usernames[req.Username] {
 		writeErr(w, http.StatusConflict, "username %q taken", req.Username)
 		return
 	}
@@ -98,11 +326,43 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusInternalServerError, "store error: %v", err)
 		return
 	}
+	s.usernames[req.Username] = true
+	s.keyToUser[key] = req.Username
 	writeJSON(w, http.StatusOK, RegisterResponse{APIKey: key})
 }
 
+// RebuildUserIndex rebuilds the in-memory API-key index from the users
+// collection. Call it after loading persisted collections into the
+// store (cmd/crowdserver does).
+func (s *Server) RebuildUserIndex() error {
+	docs, err := s.users().Find(nil)
+	if err != nil {
+		return err
+	}
+	keyToUser := make(map[string]string)
+	usernames := make(map[string]bool)
+	for _, d := range docs {
+		name, _ := d["username"].(string)
+		if name == "" {
+			continue
+		}
+		usernames[name] = true
+		keys, _ := d["api_keys"].([]interface{})
+		for _, k := range keys {
+			if ks, ok := k.(string); ok && ks != "" {
+				keyToUser[ks] = name
+			}
+		}
+	}
+	s.idxMu.Lock()
+	s.keyToUser = keyToUser
+	s.usernames = usernames
+	s.idxMu.Unlock()
+	return nil
+}
+
 // auth wraps a handler with API-key authentication; the resolved
-// username is passed through the request header "X-Resolved-User".
+// username is passed as the third argument.
 func (s *Server) auth(next func(http.ResponseWriter, *http.Request, string)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		key := r.Header.Get("X-Api-Key")
@@ -110,8 +370,10 @@ func (s *Server) auth(next func(http.ResponseWriter, *http.Request, string)) htt
 			writeErr(w, http.StatusUnauthorized, "missing X-Api-Key header")
 			return
 		}
-		user, err := s.userForKey(key)
-		if err != nil {
+		s.idxMu.RLock()
+		user, ok := s.keyToUser[key]
+		s.idxMu.RUnlock()
+		if !ok {
 			writeErr(w, http.StatusUnauthorized, "invalid API key")
 			return
 		}
@@ -119,23 +381,56 @@ func (s *Server) auth(next func(http.ResponseWriter, *http.Request, string)) htt
 	}
 }
 
-func (s *Server) userForKey(key string) (string, error) {
-	docs, err := s.users().Find(nil)
-	if err != nil {
-		return "", err
+// claimBatch resolves an upload batch id. For an empty id it returns
+// (nil, true): no idempotency tracking, the caller just processes the
+// request. Otherwise the first claimant gets (entry, true) and must
+// publish the outcome with finishBatch; duplicates block until the
+// owner finishes and get (entry, false) to replay the stored outcome.
+func (s *Server) claimBatch(kind, user, id string) (*batchEntry, bool) {
+	if id == "" {
+		return nil, true
 	}
-	for _, d := range docs {
-		keys, _ := d["api_keys"].([]interface{})
-		for _, k := range keys {
-			if ks, ok := k.(string); ok && ks == key {
-				return d["username"].(string), nil
-			}
+	key := kind + "\x00" + user + "\x00" + id
+	s.batchMu.Lock()
+	if e, ok := s.batches[key]; ok {
+		s.batchMu.Unlock()
+		<-e.done
+		return e, false
+	}
+	e := &batchEntry{done: make(chan struct{})}
+	s.batches[key] = e
+	s.batchOrder = append(s.batchOrder, key)
+	for len(s.batchOrder) > s.cfg.maxBatches() {
+		oldest := s.batches[s.batchOrder[0]]
+		finished := false
+		select {
+		case <-oldest.done:
+			finished = true
+		default:
 		}
+		if !finished {
+			break // never evict an in-progress batch
+		}
+		delete(s.batches, s.batchOrder[0])
+		s.batchOrder = s.batchOrder[1:]
 	}
-	return "", fmt.Errorf("crowd: unknown API key")
+	s.batchMu.Unlock()
+	return e, true
+}
+
+func finishBatch(e *batchEntry, status int, payload interface{}) {
+	if e == nil {
+		return
+	}
+	e.status = status
+	e.payload = payload
+	close(e.done)
 }
 
 // handleUpload stores function evaluations under the caller's identity.
+// A batch either fully validates and is applied atomically, or nothing
+// is stored; batches carrying a batch_id are applied at most once per
+// user no matter how often the client retries.
 func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request, user string) {
 	if r.Method != http.MethodPost {
 		writeErr(w, http.StatusMethodNotAllowed, "POST required")
@@ -146,16 +441,26 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request, user strin
 		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
-	if len(req.FuncEvals) == 0 {
-		writeErr(w, http.StatusBadRequest, "no function evaluations in upload")
+	entry, owner := s.claimBatch("func_eval", user, req.BatchID)
+	if !owner {
+		s.metrics.add(func(m *MetricsSnapshot) { m.Replays++ })
+		writeJSON(w, entry.status, entry.payload)
 		return
 	}
-	resp := UploadResponse{}
+	status, payload := s.applyUpload(&req, user)
+	finishBatch(entry, status, payload)
+	writeJSON(w, status, payload)
+}
+
+func (s *Server) applyUpload(req *UploadRequest, user string) (int, interface{}) {
+	if len(req.FuncEvals) == 0 {
+		return http.StatusBadRequest, errorResponse{Error: "no function evaluations in upload"}
+	}
+	docs := make([]historydb.Document, len(req.FuncEvals))
 	for i := range req.FuncEvals {
 		fe := &req.FuncEvals[i]
 		if err := fe.Validate(); err != nil {
-			writeErr(w, http.StatusBadRequest, "sample %d: %v", i, err)
-			return
+			return http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("sample %d: %v", i, err)}
 		}
 		fe.Owner = user
 		if fe.Accessibility == "" {
@@ -164,17 +469,16 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request, user strin
 		fe.Machine = fe.Machine.Normalize()
 		doc, err := toDocument(fe)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, "sample %d: %v", i, err)
-			return
+			return http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("sample %d: %v", i, err)}
 		}
-		id, err := s.funcEvals().Insert(doc)
-		if err != nil {
-			writeErr(w, http.StatusInternalServerError, "store error: %v", err)
-			return
-		}
-		resp.IDs = append(resp.IDs, id)
+		docs[i] = doc
 	}
-	writeJSON(w, http.StatusOK, resp)
+	ids, err := s.funcEvals().InsertMany(docs)
+	if err != nil {
+		return http.StatusInternalServerError, errorResponse{Error: fmt.Sprintf("store error: %v", err)}
+	}
+	s.metrics.add(func(m *MetricsSnapshot) { m.Uploads++ })
+	return http.StatusOK, UploadResponse{IDs: ids}
 }
 
 // handleQuery returns samples matching the problem name, environment
@@ -206,11 +510,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, user string
 	base := historydb.And(
 		historydb.Eq("tuning_problem_name", req.TuningProblemName),
 	)
-	docs, err := s.funcEvals().Find(base)
+	docs, err := s.funcEvals().FindContext(r.Context(), base)
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, "store error: %v", err)
+		writeStoreErr(w, err)
 		return
 	}
+	s.metrics.add(func(m *MetricsSnapshot) { m.Queries++ })
 	resp := QueryResponse{}
 	for _, d := range docs {
 		fe, err := fromDocument(d)
@@ -241,9 +546,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, user string
 // handleProblems lists problem names with at least one sample visible
 // to the caller.
 func (s *Server) handleProblems(w http.ResponseWriter, r *http.Request, user string) {
-	docs, err := s.funcEvals().Find(nil)
+	docs, err := s.funcEvals().FindContext(r.Context(), nil)
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, "store error: %v", err)
+		writeStoreErr(w, err)
 		return
 	}
 	set := map[string]bool{}

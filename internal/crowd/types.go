@@ -123,6 +123,11 @@ type QueryResponse struct {
 // UploadRequest carries samples to store.
 type UploadRequest struct {
 	FuncEvals []FuncEval `json:"func_evals"`
+	// BatchID is an optional client-generated idempotency key. The
+	// server applies each (user, batch_id) pair at most once and
+	// replays the original response on retries, so a batch that was
+	// stored just before the connection dropped is never duplicated.
+	BatchID string `json:"batch_id,omitempty"`
 }
 
 // UploadResponse reports assigned ids.

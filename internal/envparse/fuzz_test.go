@@ -1,0 +1,80 @@
+package envparse
+
+import "testing"
+
+// FuzzParseSpackSpec checks the parser never panics and that every
+// accepted spec yields a named package.
+func FuzzParseSpackSpec(f *testing.F) {
+	f.Add("scalapack@2.1.0%gcc@9.3.0+shared~static arch=cray-cnl7-haswell")
+	f.Add("superlu-dist@6.4.0")
+	f.Add("hypre %clang@11.0.0+mpi")
+	f.Add("pkg+a~b+c")
+	f.Add("@1.2.3")
+	f.Add("%gcc")
+	f.Add("+")
+	f.Add("name@")
+	f.Add("  ")
+	f.Add("a@1.2.3.4.5 b=c +d ~e")
+	f.Fuzz(func(t *testing.T, spec string) {
+		cfg, err := ParseSpackSpec(spec)
+		if err != nil {
+			return
+		}
+		if cfg.Name == "" {
+			t.Fatalf("accepted spec %q with empty package name", spec)
+		}
+		if cfg.Source != "spack" {
+			t.Fatalf("accepted spec %q with source %q", spec, cfg.Source)
+		}
+	})
+}
+
+// FuzzParseVersion checks that accepted versions survive a
+// String/re-parse round trip unchanged.
+func FuzzParseVersion(f *testing.F) {
+	f.Add("2.1.0")
+	f.Add("10")
+	f.Add("1.2.3.4")
+	f.Add("-1.0")
+	f.Add("1..2")
+	f.Add("")
+	f.Add("1.2.x")
+	f.Add("999999999999999999999")
+	f.Fuzz(func(t *testing.T, s string) {
+		v, err := ParseVersion(s)
+		if err != nil {
+			return
+		}
+		v2, err := ParseVersion(v.String())
+		if err != nil {
+			t.Fatalf("String() form %q of accepted version %q does not re-parse: %v", v.String(), s, err)
+		}
+		if v.Compare(v2) != 0 {
+			t.Fatalf("version %q changed across round trip: %v -> %v", s, v, v2)
+		}
+	})
+}
+
+// FuzzParseCKMeta checks the CK meta.json parser never panics and that
+// every accepted blob yields a named package tagged as CK-sourced.
+func FuzzParseCKMeta(f *testing.F) {
+	f.Add([]byte(`{"data_name":"openblas","version":"0.3.10","deps":{"compiler":{"name":"gcc","version":"9.3.0"}}}`))
+	f.Add([]byte(`{"data_name":"fftw"}`))
+	f.Add([]byte(`{"data_name":"x","version":"bad.version"}`))
+	f.Add([]byte(`{"version":"1.0"}`))
+	f.Add([]byte(`{"data_name":"x","deps":{"compiler":{"name":"icc","version":"?"}}}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfg, err := ParseCKMeta(data)
+		if err != nil {
+			return
+		}
+		if cfg.Name == "" {
+			t.Fatalf("accepted CK meta %q with empty name", data)
+		}
+		if cfg.Source != "ck" {
+			t.Fatalf("accepted CK meta %q with source %q", data, cfg.Source)
+		}
+	})
+}

@@ -7,6 +7,7 @@ package historydb
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -23,11 +24,28 @@ type Document = map[string]interface{}
 
 // Collection is a set of documents with insert/find/delete operations.
 // All methods are safe for concurrent use.
+//
+// Concurrency model: stored documents are immutable — Insert stores a
+// deep copy, Update replaces a document with a mutated copy, and Delete
+// rebuilds the slice. Readers therefore only need the lock long enough
+// to snapshot the slice header; matching and result copying run outside
+// the lock, so large scans never starve writers.
 type Collection struct {
 	mu     sync.RWMutex
 	name   string
 	docs   []Document
 	nextID int64
+}
+
+// snapshot returns the current document slice. The header copy is done
+// under the read lock; the documents themselves are immutable, and
+// appends past the snapshot's length are invisible to it, so the caller
+// may iterate without holding any lock.
+func (c *Collection) snapshot() []Document {
+	c.mu.RLock()
+	docs := c.docs
+	c.mu.RUnlock()
+	return docs
 }
 
 // NewCollection returns an empty collection.
@@ -60,13 +78,54 @@ func (c *Collection) Insert(doc Document) (string, error) {
 	return id, nil
 }
 
+// InsertMany stores deep copies of docs atomically: either every
+// document is inserted (with consecutive ids, in order) or none is, and
+// no concurrent reader ever observes a partially applied batch. The
+// deep copies are taken before the write lock so serialization cost is
+// not paid under contention.
+func (c *Collection) InsertMany(docs []Document) ([]string, error) {
+	cps := make([]Document, len(docs))
+	for i, d := range docs {
+		cp, err := deepCopy(d)
+		if err != nil {
+			return nil, fmt.Errorf("historydb: insert into %s: %w", c.name, err)
+		}
+		cps[i] = cp
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ids := make([]string, len(cps))
+	for i, cp := range cps {
+		id := fmt.Sprintf("%d", c.nextID)
+		c.nextID++
+		cp["_id"] = id
+		ids[i] = id
+		c.docs = append(c.docs, cp)
+	}
+	return ids, nil
+}
+
 // Find returns deep copies of all documents matching q, in insertion
 // order. A nil query matches everything.
 func (c *Collection) Find(q Query) ([]Document, error) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
+	return c.FindContext(context.Background(), q)
+}
+
+// FindContext is Find with cancellation: the scan checks ctx
+// periodically so an expired request deadline aborts instead of
+// copying the rest of a large collection. The whole scan runs on an
+// immutable snapshot, outside the collection lock.
+func (c *Collection) FindContext(ctx context.Context, q Query) ([]Document, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	var out []Document
-	for _, d := range c.docs {
+	for i, d := range c.snapshot() {
+		if i&255 == 255 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		if q == nil || q.Match(d) {
 			cp, err := deepCopy(d)
 			if err != nil {
@@ -89,10 +148,8 @@ func (c *Collection) FindOne(q Query) (Document, error) {
 
 // Count returns the number of matching documents.
 func (c *Collection) Count(q Query) int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
 	n := 0
-	for _, d := range c.docs {
+	for _, d := range c.snapshot() {
 		if q == nil || q.Match(d) {
 			n++
 		}
@@ -101,10 +158,12 @@ func (c *Collection) Count(q Query) int {
 }
 
 // Delete removes matching documents and returns how many were removed.
+// The kept documents move to a fresh slice so concurrent snapshot
+// readers keep seeing the pre-delete state.
 func (c *Collection) Delete(q Query) int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	kept := c.docs[:0]
+	kept := make([]Document, 0, len(c.docs))
 	removed := 0
 	for _, d := range c.docs {
 		if q != nil && q.Match(d) {
@@ -117,28 +176,39 @@ func (c *Collection) Delete(q Query) int {
 	return removed
 }
 
-// Update applies fn to every matching document (in place, under the
-// write lock) and returns the number updated.
+// Update applies fn to a copy of every matching document and swaps the
+// copy in (copy-on-write), returning the number updated. Stored
+// documents stay immutable, so concurrent snapshot readers see either
+// the old or the new version, never a half-applied mutation.
 func (c *Collection) Update(q Query, fn func(Document)) int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	// A fresh slice, not in-place writes: outstanding snapshots share
+	// the old backing array and must not observe element swaps.
+	next := make([]Document, len(c.docs))
+	copy(next, c.docs)
 	n := 0
-	for _, d := range c.docs {
+	for i, d := range next {
 		if q == nil || q.Match(d) {
-			fn(d)
+			cp, err := deepCopy(d)
+			if err != nil {
+				continue
+			}
+			fn(cp)
+			next[i] = cp
 			n++
 		}
 	}
+	c.docs = next
 	return n
 }
 
-// WriteJSONL serializes the collection, one document per line.
+// WriteJSONL serializes the collection, one document per line. It
+// serializes a snapshot, so a persistence flush never blocks traffic.
 func (c *Collection) WriteJSONL(w io.Writer) error {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
-	for _, d := range c.docs {
+	for _, d := range c.snapshot() {
 		if err := enc.Encode(d); err != nil {
 			return err
 		}
@@ -201,9 +271,11 @@ func (c *Collection) LoadFile(path string) error {
 	return c.ReadJSONL(f)
 }
 
-// Store is a set of named collections.
+// Store is a set of named collections. Each collection carries its own
+// RW lock, so traffic against different collections never contends; the
+// store-level lock only guards the name → collection map.
 type Store struct {
-	mu          sync.Mutex
+	mu          sync.RWMutex
 	collections map[string]*Collection
 }
 
@@ -212,22 +284,29 @@ func NewStore() *Store {
 	return &Store{collections: make(map[string]*Collection)}
 }
 
-// Collection returns (creating if needed) the named collection.
+// Collection returns (creating if needed) the named collection. The
+// common lookup path takes only a read lock.
 func (s *Store) Collection(name string) *Collection {
+	s.mu.RLock()
+	c, ok := s.collections[name]
+	s.mu.RUnlock()
+	if ok {
+		return c
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	c, ok := s.collections[name]
-	if !ok {
-		c = NewCollection(name)
-		s.collections[name] = c
+	if c, ok := s.collections[name]; ok {
+		return c
 	}
+	c = NewCollection(name)
+	s.collections[name] = c
 	return c
 }
 
 // Names lists the collection names, sorted.
 func (s *Store) Names() []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	out := make([]string, 0, len(s.collections))
 	for n := range s.collections {
 		out = append(out, n)

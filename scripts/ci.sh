@@ -19,6 +19,34 @@ GPTUNE_WORKERS=4 go test -race ./internal/parallel ./internal/kernel \
     ./internal/linalg ./internal/gp ./internal/lcm ./internal/core \
     ./internal/sensitivity ./internal/optimize
 
+echo "== crowd race-stress suite"
+go test -race -run 'Stress' -count=1 ./internal/crowd
+
+echo "== fuzz smoke (10s per target)"
+fuzz_targets="
+FuzzUploadDecode ./internal/crowd
+FuzzQueryDecode ./internal/crowd
+FuzzRegisterDecode ./internal/crowd
+FuzzUnmarshalQuery ./internal/historydb
+FuzzReadJSONL ./internal/historydb
+FuzzParseSpackSpec ./internal/envparse
+FuzzParseVersion ./internal/envparse
+FuzzParseCKMeta ./internal/envparse
+"
+echo "$fuzz_targets" | while read -r target pkg; do
+    [ -n "$target" ] || continue
+    go test -run "^${target}\$" -fuzz "^${target}\$" -fuzztime=10s "$pkg"
+done
+
+echo "== coverage floor (crowd + historydb >= 80%)"
+go test -count=1 -cover ./internal/crowd ./internal/historydb | tee /tmp/cover.txt
+awk '
+/coverage:/ {
+    for (i = 1; i <= NF; i++) if ($i == "coverage:") pct = $(i+1) + 0
+    if (pct < 80) { print "FAIL: " $2 " coverage " pct "% < 80%"; bad = 1 }
+}
+END { exit bad }' /tmp/cover.txt
+
 echo "== bench smoke"
 go test -run '^$' -bench 'Parallel|GPFit100|LCMFitTwoTasks|SaltelliSensitivity' \
     -benchtime 1x -benchmem .
