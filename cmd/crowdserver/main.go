@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"gptunecrowd/internal/crowd"
+	"gptunecrowd/internal/taskpool"
 )
 
 func main() {
@@ -33,11 +34,18 @@ func main() {
 		maxInFlight     = flag.Int("max-inflight", crowd.DefaultMaxInFlight, "max concurrently served requests (excess get HTTP 429)")
 		requestTimeout  = flag.Duration("request-timeout", crowd.DefaultRequestTimeout, "per-request deadline")
 		shutdownTimeout = flag.Duration("shutdown-timeout", 10*time.Second, "drain deadline on SIGINT/SIGTERM")
+		leaseTTL        = flag.Duration("task-lease-ttl", taskpool.DefaultLeaseTTL, "task lease TTL without a heartbeat")
+		maxAttempts     = flag.Int("task-max-attempts", taskpool.DefaultMaxAttempts, "lease attempts before a task is dead-lettered")
 		quiet           = flag.Bool("quiet", false, "disable per-request access logging")
 	)
 	flag.Parse()
 
-	cfg := crowd.Config{MaxInFlight: *maxInFlight, RequestTimeout: *requestTimeout}
+	cfg := crowd.Config{
+		MaxInFlight:     *maxInFlight,
+		RequestTimeout:  *requestTimeout,
+		TaskLeaseTTL:    *leaseTTL,
+		TaskMaxAttempts: *maxAttempts,
+	}
 	if !*quiet {
 		cfg.Logger = log.Default()
 	}
@@ -45,6 +53,7 @@ func main() {
 
 	collections := []string{"users", "func_evals", "surrogate_models"}
 	flush := func() {}
+	var poolFile *os.File
 	if *dataDir != "" {
 		if err := os.MkdirAll(*dataDir, 0o755); err != nil {
 			log.Fatalf("crowdserver: create data dir: %v", err)
@@ -61,6 +70,17 @@ func main() {
 		if err := srv.RebuildUserIndex(); err != nil {
 			log.Fatalf("crowdserver: rebuild user index: %v", err)
 		}
+		// The task pool appends each mutation to its write-ahead log as
+		// it happens; flush compacts the log down to a snapshot.
+		poolPath := filepath.Join(*dataDir, "taskpool.jsonl")
+		f, err := srv.TaskPool().OpenFile(poolPath)
+		if err != nil {
+			log.Fatalf("crowdserver: load %s: %v", poolPath, err)
+		}
+		poolFile = f
+		if n := srv.TaskPool().Len(); n > 0 {
+			log.Printf("loaded %d tasks into the task pool", n)
+		}
 		flush = func() {
 			for _, name := range collections {
 				path := filepath.Join(*dataDir, name+".jsonl")
@@ -68,6 +88,16 @@ func main() {
 					log.Printf("crowdserver: save %s: %v", path, err)
 				}
 			}
+			if err := srv.TaskPool().WALError(); err != nil {
+				log.Printf("crowdserver: task pool WAL: %v", err)
+			}
+			f, err := srv.TaskPool().Compact(poolPath)
+			if err != nil {
+				log.Printf("crowdserver: compact %s: %v", poolPath, err)
+				return
+			}
+			poolFile.Close()
+			poolFile = f
 		}
 	}
 
@@ -93,6 +123,23 @@ func main() {
 			}
 		}
 	}()
+	// Lease-expiry sweeper: crashed workers' tasks are requeued at most
+	// half a TTL after their lease lapses (leases are also swept lazily
+	// on every pool mutation).
+	go func() {
+		t := time.NewTicker(*leaseTTL / 2)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				if n := srv.TaskPool().ExpireLeases(); n > 0 {
+					log.Printf("crowdserver: requeued %d expired task leases", n)
+				}
+			}
+		}
+	}()
 
 	log.Printf("crowdserver listening on %s (data dir %q, max in-flight %d)", *addr, *dataDir, *maxInFlight)
 	select {
@@ -111,6 +158,10 @@ func main() {
 		log.Printf("crowdserver: shutdown: %v", err)
 	}
 	flush()
+	if poolFile != nil {
+		poolFile.Close()
+	}
 	m := srv.Metrics()
-	log.Printf("crowdserver: state flushed (%d requests served, %d rejected), exiting", m.Requests, m.Rejected)
+	log.Printf("crowdserver: state flushed (%d requests served, %d rejected, %d tasks completed), exiting",
+		m.Requests, m.Rejected, m.TaskPool.Completions)
 }

@@ -1,0 +1,84 @@
+// Command crowdworker is the volunteer daemon of the crowd-tuning
+// workflow: it registers with (or authenticates to) a crowdserver,
+// leases tuning tasks from the shared pool, runs them against the
+// built-in application simulators, uploads the measured samples, and
+// reports results. SIGINT/SIGTERM drain gracefully: the task in flight
+// stops after its current evaluation, checkpoints, and is handed back
+// to the pool so another worker resumes it where this one stopped.
+//
+// Usage:
+//
+//	crowdworker -server http://localhost:8080 -register alice
+//	crowdworker -server http://localhost:8080 -api-key KEY -machine-name cori -partition knl
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gptunecrowd/internal/crowd"
+	"gptunecrowd/internal/taskpool"
+	"gptunecrowd/internal/worker"
+)
+
+func main() {
+	var (
+		server      = flag.String("server", "http://localhost:8080", "crowdserver base URL")
+		apiKey      = flag.String("api-key", "", "API key (or use -register)")
+		register    = flag.String("register", "", "register this username and use the returned key")
+		name        = flag.String("name", "", "worker name in lease records (default: hostname)")
+		poll        = flag.Duration("poll", 2*time.Second, "sleep between lease attempts when the pool is empty")
+		machineName = flag.String("machine-name", "", "machine tag matched against task constraints")
+		partition   = flag.String("partition", "", "partition tag matched against task constraints")
+		access      = flag.String("accessibility", "public", "accessibility of uploaded samples")
+		quiet       = flag.Bool("quiet", false, "disable progress logging")
+	)
+	flag.Parse()
+
+	c := crowd.NewClient(*server, *apiKey)
+	if *register != "" {
+		if _, err := c.Register(*register, ""); err != nil {
+			log.Fatalf("crowdworker: register %q: %v", *register, err)
+		}
+		log.Printf("crowdworker: registered as %q", *register)
+	}
+	if c.APIKey == "" {
+		log.Fatal("crowdworker: need -api-key or -register")
+	}
+	if *name == "" {
+		if h, err := os.Hostname(); err == nil {
+			*name = h
+		} else {
+			*name = "worker"
+		}
+	}
+
+	opts := worker.Options{
+		Client:        c,
+		Name:          *name,
+		Machine:       taskpool.MachineConstraint{MachineName: *machineName, Partition: *partition},
+		PollInterval:  *poll,
+		Accessibility: *access,
+	}
+	if !*quiet {
+		opts.Logger = log.Default()
+	}
+	w, err := worker.New(opts)
+	if err != nil {
+		log.Fatalf("crowdworker: %v", err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	log.Printf("crowdworker %s polling %s (machine=%q partition=%q)", *name, *server, *machineName, *partition)
+	w.Run(ctx)
+
+	st := w.Stats()
+	log.Printf("crowdworker %s draining: %d completed, %d suspended, %d failed, %d evaluations",
+		*name, st.Completed, st.Suspended, st.Failed, st.Evals)
+}

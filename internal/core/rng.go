@@ -1,0 +1,53 @@
+package core
+
+// CheckpointableSource is a serializable rand.Source64 (SplitMix64).
+// Checkpointable tuning sessions use it instead of math/rand's default
+// source, whose state cannot be extracted: capturing the single uint64
+// state word is enough to resume a run bit-identically.
+//
+// SplitMix64 passes BigCrush, has a full 2^64 period, and — unlike the
+// default Go source — costs one word to snapshot.
+type CheckpointableSource struct {
+	state uint64
+}
+
+// NewCheckpointableSource returns a source seeded like rand.NewSource.
+func NewCheckpointableSource(seed int64) *CheckpointableSource {
+	s := &CheckpointableSource{}
+	s.Seed(seed)
+	return s
+}
+
+// Seed resets the source to a seed-derived state.
+func (s *CheckpointableSource) Seed(seed int64) {
+	// One mixing round separates small consecutive seeds.
+	s.state = uint64(seed)
+	s.state = mix64(s.state + 0x9E3779B97F4A7C15)
+}
+
+// Uint64 implements rand.Source64.
+func (s *CheckpointableSource) Uint64() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	return mix64(s.state)
+}
+
+// Int63 implements rand.Source.
+func (s *CheckpointableSource) Int63() int64 {
+	return int64(s.Uint64() >> 1)
+}
+
+// State returns the current state word for checkpointing.
+func (s *CheckpointableSource) State() uint64 { return s.state }
+
+// SetState restores a state captured with State.
+func (s *CheckpointableSource) SetState(v uint64) { s.state = v }
+
+// mix64 is the SplitMix64 output function.
+func mix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
+}

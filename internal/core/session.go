@@ -1,0 +1,300 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// SessionOptions configures a checkpointable tuning session.
+type SessionOptions struct {
+	Budget int   // total function evaluations
+	Seed   int64 // RNG seed; runs are deterministic given the seed
+	Search SearchOptions
+	// OnSample observes every recorded evaluation.
+	OnSample func(i int, s Sample)
+}
+
+// Session is a suspendable tuning run: the propose → evaluate → record
+// loop of RunLoop, decomposed into explicit Propose/Observe steps whose
+// full state (history, iteration, RNG, outstanding proposal) can be
+// serialized with Checkpoint and restored with ResumeSession, resuming
+// bit-identically to an uninterrupted run.
+//
+// Decoupling Propose from Observe is also what lets a driver hand
+// individual function evaluations to remote workers: call Propose, ship
+// the configuration out, and Observe the result whenever it lands.
+//
+// The surrogate (GP/LCM hyperparameters, evaluated points) is refit
+// deterministically from the history and the RNG stream on every
+// Propose, so the checkpoint never stores model weights — history +
+// RNG state + iteration is the complete search state.
+type Session struct {
+	problem  *Problem
+	task     map[string]interface{}
+	proposer Proposer
+	opts     SessionOptions
+	search   SearchOptions
+
+	src     *CheckpointableSource
+	rng     *rand.Rand
+	h       *History
+	iter    int       // evaluations recorded so far
+	pending []float64 // outstanding canonical proposal, nil when none
+}
+
+// NewSession validates the problem and returns a fresh session. Unlike
+// RunLoop, the problem's Evaluator may be nil as long as only
+// Propose/Observe (not Step/Run) are used — the remote-evaluation mode.
+func NewSession(p *Problem, task map[string]interface{}, proposer Proposer, opts SessionOptions) (*Session, error) {
+	if err := validateSessionProblem(p); err != nil {
+		return nil, err
+	}
+	if proposer == nil {
+		return nil, errors.New("core: session needs a proposer")
+	}
+	if opts.Budget <= 0 {
+		return nil, fmt.Errorf("core: non-positive budget %d", opts.Budget)
+	}
+	s := &Session{
+		problem:  p,
+		task:     task,
+		proposer: proposer,
+		opts:     opts,
+		h:        &History{},
+		src:      NewCheckpointableSource(opts.Seed),
+	}
+	s.rng = rand.New(s.src)
+	s.search = opts.Search
+	if len(p.Constraints) > 0 {
+		s.search.Feasible = func(u []float64) bool {
+			return p.Feasible(task, p.ParamSpace.Decode(u))
+		}
+	}
+	return s, nil
+}
+
+// validateSessionProblem is Problem.Validate minus the evaluator
+// requirement (remote sessions evaluate elsewhere).
+func validateSessionProblem(p *Problem) error {
+	if p == nil {
+		return errors.New("core: nil problem")
+	}
+	if p.Name == "" {
+		return errors.New("core: problem needs a name")
+	}
+	if p.ParamSpace == nil || p.ParamSpace.Dim() == 0 {
+		return fmt.Errorf("core: problem %q needs a non-empty parameter space", p.Name)
+	}
+	return nil
+}
+
+// Done reports whether the budget is consumed.
+func (s *Session) Done() bool { return s.iter >= s.opts.Budget }
+
+// Iter returns the number of recorded evaluations.
+func (s *Session) Iter() int { return s.iter }
+
+// Budget returns the session's evaluation budget.
+func (s *Session) Budget() int { return s.opts.Budget }
+
+// History returns the session's evaluation history (live, not a copy).
+func (s *Session) History() *History { return s.h }
+
+// Propose returns the next configuration to evaluate. It is idempotent
+// while a proposal is outstanding: calling it again (e.g. after a
+// resume) returns the same configuration without consuming randomness.
+func (s *Session) Propose() (map[string]interface{}, error) {
+	if s.Done() {
+		return nil, fmt.Errorf("core: session budget of %d consumed", s.opts.Budget)
+	}
+	if s.pending != nil {
+		return s.problem.ParamSpace.Decode(s.pending), nil
+	}
+	ctx := &ProposeContext{
+		Problem: s.problem,
+		Task:    s.task,
+		History: s.h,
+		Rng:     s.rng,
+		Iter:    s.iter,
+		Search:  s.search,
+	}
+	u, err := s.proposer.Propose(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("core: proposer %s failed at iteration %d: %w", s.proposer.Name(), s.iter, err)
+	}
+	if len(u) != s.problem.ParamSpace.Dim() {
+		return nil, fmt.Errorf("core: proposer %s returned a %d-dim point, want %d",
+			s.proposer.Name(), len(u), s.problem.ParamSpace.Dim())
+	}
+	s.pending = s.problem.ParamSpace.Canonicalize(u)
+	return s.problem.ParamSpace.Decode(s.pending), nil
+}
+
+// Observe records the result of the outstanding proposal. Pass a
+// non-nil evalErr to record a failed evaluation (it consumes budget but
+// is invisible to surrogate fits, like in RunLoop).
+func (s *Session) Observe(y float64, evalErr error) error {
+	if s.pending == nil {
+		return errors.New("core: Observe without an outstanding proposal")
+	}
+	smp := Sample{
+		ParamU:   s.pending,
+		Params:   s.problem.ParamSpace.Decode(s.pending),
+		Proposer: s.proposer.Name(),
+	}
+	if evalErr != nil {
+		smp.Failed = true
+		smp.Err = evalErr.Error()
+	} else {
+		smp.Y = y
+	}
+	s.h.Append(smp)
+	s.pending = nil
+	if s.opts.OnSample != nil {
+		s.opts.OnSample(s.iter, smp)
+	}
+	s.iter++
+	return nil
+}
+
+// Step proposes the next point and evaluates it inline with the
+// problem's Evaluator.
+func (s *Session) Step() error {
+	if s.problem.Evaluator == nil {
+		return fmt.Errorf("core: problem %q has no evaluator; use Propose/Observe", s.problem.Name)
+	}
+	params, err := s.Propose()
+	if err != nil {
+		return err
+	}
+	y, evalErr := s.problem.Evaluator.Evaluate(s.task, params)
+	return s.Observe(y, evalErr)
+}
+
+// Run steps until the budget is consumed and returns the history. A
+// session that was partially run (or resumed from a checkpoint) simply
+// continues.
+func (s *Session) Run() (*History, error) {
+	for !s.Done() {
+		if err := s.Step(); err != nil {
+			return s.h, err
+		}
+	}
+	return s.h, nil
+}
+
+// sessionCheckpoint is the serialized session state. Decoded parameter
+// maps are not stored: they are reconstructed from the canonical points
+// via Space.Decode, which restores the exact typed values and keeps the
+// checkpoint compact.
+type sessionCheckpoint struct {
+	Version  int                `json:"version"`
+	Problem  string             `json:"problem"`
+	Proposer string             `json:"proposer"`
+	Budget   int                `json:"budget"`
+	Seed     int64              `json:"seed"`
+	Iter     int                `json:"iter"`
+	RNGState uint64             `json:"rng_state"`
+	Pending  []float64          `json:"pending,omitempty"`
+	Samples  []checkpointSample `json:"samples,omitempty"`
+}
+
+type checkpointSample struct {
+	U        []float64 `json:"u"`
+	Y        float64   `json:"y"`
+	Failed   bool      `json:"failed,omitempty"`
+	Err      string    `json:"err,omitempty"`
+	Proposer string    `json:"proposer,omitempty"`
+}
+
+const sessionCheckpointVersion = 1
+
+// Checkpoint serializes the session's complete state. The session stays
+// usable; checkpointing is a read-only operation.
+func (s *Session) Checkpoint() ([]byte, error) {
+	cp := sessionCheckpoint{
+		Version:  sessionCheckpointVersion,
+		Problem:  s.problem.Name,
+		Proposer: s.proposer.Name(),
+		Budget:   s.opts.Budget,
+		Seed:     s.opts.Seed,
+		Iter:     s.iter,
+		RNGState: s.src.State(),
+		Pending:  s.pending,
+	}
+	cp.Samples = make([]checkpointSample, len(s.h.Samples))
+	for i, smp := range s.h.Samples {
+		cp.Samples[i] = checkpointSample{
+			U: smp.ParamU, Y: smp.Y, Failed: smp.Failed, Err: smp.Err, Proposer: smp.Proposer,
+		}
+	}
+	return json.Marshal(cp)
+}
+
+// ResumeSession restores a session from a checkpoint. The problem and
+// proposer must match the ones the checkpoint was taken with (compared
+// by name); opts.Budget, when larger than the checkpoint's, extends the
+// run — otherwise the checkpointed budget is kept, so passing the
+// original options verbatim resumes exactly.
+//
+// Resume is bit-identical for proposers whose state is a deterministic
+// function of the history and the RNG stream (the GP tuner and every
+// stateless TLA algorithm): the continued run produces exactly the
+// samples the uninterrupted run would have.
+func ResumeSession(p *Problem, task map[string]interface{}, proposer Proposer, opts SessionOptions, checkpoint []byte) (*Session, error) {
+	var cp sessionCheckpoint
+	if err := json.Unmarshal(checkpoint, &cp); err != nil {
+		return nil, fmt.Errorf("core: bad session checkpoint: %w", err)
+	}
+	if cp.Version != sessionCheckpointVersion {
+		return nil, fmt.Errorf("core: unsupported checkpoint version %d", cp.Version)
+	}
+	if err := validateSessionProblem(p); err != nil {
+		return nil, err
+	}
+	if cp.Problem != "" && cp.Problem != p.Name {
+		return nil, fmt.Errorf("core: checkpoint is for problem %q, not %q", cp.Problem, p.Name)
+	}
+	if proposer == nil {
+		return nil, errors.New("core: session needs a proposer")
+	}
+	if cp.Proposer != "" && cp.Proposer != proposer.Name() {
+		return nil, fmt.Errorf("core: checkpoint was taken with proposer %q, not %q", cp.Proposer, proposer.Name())
+	}
+	if opts.Budget < cp.Budget {
+		opts.Budget = cp.Budget
+	}
+	opts.Seed = cp.Seed
+	s, err := NewSession(p, task, proposer, opts)
+	if err != nil {
+		return nil, err
+	}
+	dim := p.ParamSpace.Dim()
+	for i, smp := range cp.Samples {
+		if len(smp.U) != dim {
+			return nil, fmt.Errorf("core: checkpoint sample %d has dimension %d, want %d", i, len(smp.U), dim)
+		}
+		s.h.Append(Sample{
+			ParamU:   smp.U,
+			Params:   p.ParamSpace.Decode(smp.U),
+			Y:        smp.Y,
+			Failed:   smp.Failed,
+			Err:      smp.Err,
+			Proposer: smp.Proposer,
+		})
+	}
+	if cp.Iter != len(cp.Samples) {
+		return nil, fmt.Errorf("core: checkpoint iter %d does not match %d samples", cp.Iter, len(cp.Samples))
+	}
+	s.iter = cp.Iter
+	if cp.Pending != nil {
+		if len(cp.Pending) != dim {
+			return nil, fmt.Errorf("core: checkpoint pending point has dimension %d, want %d", len(cp.Pending), dim)
+		}
+		s.pending = cp.Pending
+	}
+	s.src.SetState(cp.RNGState)
+	return s, nil
+}

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"gptunecrowd/internal/historydb"
+	"gptunecrowd/internal/taskpool"
 )
 
 // Config tunes the server's concurrency and overload behavior. The zero
@@ -33,6 +34,12 @@ type Config struct {
 	// Logger receives one line per served request:
 	// "method path status bytes duration". nil disables request logging.
 	Logger *log.Logger
+	// TaskLeaseTTL is how long a task lease lives without a heartbeat
+	// (taskpool.DefaultLeaseTTL when zero).
+	TaskLeaseTTL time.Duration
+	// TaskMaxAttempts caps how often a task may be leased before it is
+	// dead-lettered (taskpool.DefaultMaxAttempts when zero).
+	TaskMaxAttempts int
 }
 
 // Defaults for the zero Config.
@@ -76,6 +83,11 @@ type MetricsSnapshot struct {
 	Uploads   int64 `json:"uploads"`        // successfully stored upload batches
 	Replays   int64 `json:"upload_replays"` // idempotent batch replays
 	Queries   int64 `json:"queries"`
+
+	// TaskPool is the task-pool view: queued/leased/completed/dead
+	// gauges plus cumulative lease-lifecycle counters. Filled from the
+	// pool at snapshot time, not maintained by the middleware.
+	TaskPool taskpool.Stats `json:"task_pool"`
 }
 
 type metrics struct {
@@ -108,6 +120,7 @@ type batchEntry struct {
 // or NewServerWith and mount via ServeHTTP (it is an http.Handler).
 type Server struct {
 	store   *historydb.Store
+	tasks   *taskpool.Pool
 	mux     *http.ServeMux
 	handler http.Handler
 	cfg     Config
@@ -134,6 +147,7 @@ func NewServer() *Server { return NewServerWith(Config{}) }
 func NewServerWith(cfg Config) *Server {
 	s := &Server{
 		store:     historydb.NewStore(),
+		tasks:     taskpool.New(taskpool.Config{LeaseTTL: cfg.TaskLeaseTTL, MaxAttempts: cfg.TaskMaxAttempts}),
 		cfg:       cfg,
 		sem:       make(chan struct{}, cfg.maxInFlight()),
 		keyToUser: make(map[string]string),
@@ -147,6 +161,12 @@ func NewServerWith(cfg Config) *Server {
 	mux.HandleFunc("/api/v1/problems", s.auth(s.handleProblems))
 	mux.HandleFunc("/api/v1/surrogate/upload", s.auth(s.handleModelUpload))
 	mux.HandleFunc("/api/v1/surrogate/query", s.auth(s.handleModelQuery))
+	mux.HandleFunc("/api/v1/tasks/submit", s.auth(s.handleTaskSubmit))
+	mux.HandleFunc("/api/v1/tasks/lease", s.auth(s.handleTaskLease))
+	mux.HandleFunc("/api/v1/tasks/heartbeat", s.auth(s.handleTaskHeartbeat))
+	mux.HandleFunc("/api/v1/tasks/complete", s.auth(s.handleTaskComplete))
+	mux.HandleFunc("/api/v1/tasks/fail", s.auth(s.handleTaskFail))
+	mux.HandleFunc("/api/v1/tasks/list", s.auth(s.handleTaskList))
 	mux.HandleFunc("/api/v1/stats", s.handleStats)
 	mux.HandleFunc("/api/v1/healthz", s.handleHealthz)
 	s.mux = mux
@@ -158,8 +178,13 @@ func NewServerWith(cfg Config) *Server {
 // in cmd/crowdserver).
 func (s *Server) Store() *historydb.Store { return s.store }
 
-// Metrics returns a snapshot of the request counters.
-func (s *Server) Metrics() MetricsSnapshot { return s.metrics.snapshot() }
+// Metrics returns a snapshot of the request counters and task-pool
+// gauges.
+func (s *Server) Metrics() MetricsSnapshot {
+	m := s.metrics.snapshot()
+	m.TaskPool = s.tasks.Stats()
+	return m
+}
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }

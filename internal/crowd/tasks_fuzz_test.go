@@ -1,0 +1,85 @@
+package crowd
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+)
+
+// taskFuzzServer is fuzzServer plus a few queued tasks, so lease
+// requests exercise the success path and complete/heartbeat requests
+// can hit real (if unlucky-token) tasks, not just the 404 path.
+func taskFuzzServer(f *testing.F) (*Server, string) {
+	srv, key := fuzzServer(f)
+	for i := 0; i < 4; i++ {
+		body, _ := json.Marshal(TaskSubmitRequest{Spec: demoTaskSpec(int64(i))})
+		req := httptest.NewRequest("POST", "/api/v1/tasks/submit", bytes.NewReader(body))
+		req.Header.Set("X-Api-Key", key)
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		if rec.Code != 200 {
+			f.Fatalf("fuzz setup: submit failed: %s", rec.Body.String())
+		}
+	}
+	return srv, key
+}
+
+func FuzzTaskLeaseDecode(f *testing.F) {
+	srv, key := taskFuzzServer(f)
+	f.Add([]byte(`{"worker":"w1"}`))
+	f.Add([]byte(`{"worker":"w1","machine":{"machine_name":"cori","partition":"knl"}}`))
+	f.Add([]byte(`{"machine":{"machine_name":12}}`))
+	f.Add([]byte(`{"worker":""}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		rec := fuzzPost(t, srv, "/api/v1/tasks/lease", key, body)
+		if rec.Code == 200 {
+			var resp TaskLeaseResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+				t.Fatalf("200 lease with undecodable response: %v", err)
+			}
+			if resp.Task != nil && resp.Task.LeaseToken == "" {
+				t.Fatalf("leased task without token for input %q", body)
+			}
+		}
+	})
+}
+
+func FuzzTaskCompleteDecode(f *testing.F) {
+	srv, key := taskFuzzServer(f)
+	f.Add([]byte(`{"id":"t1","lease_token":"tok","result":{"best_y":1.5,"num_evals":4}}`))
+	f.Add([]byte(`{"id":"t1","lease_token":"","result":{}}`))
+	f.Add([]byte(`{"id":"","lease_token":"tok"}`))
+	f.Add([]byte(`{"id":"t99","lease_token":"tok","result":{"best_parameters":{"x":[1,2]}}}`))
+	f.Add([]byte(`{"id":"t1","result":{"best_y":"not a number"}}`))
+	f.Add([]byte(`{"id":"t1","lease_token":"tok","result":{"checkpoint":{"deep":{"er":1}}}}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`null`))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		fuzzPost(t, srv, "/api/v1/tasks/complete", key, body)
+	})
+}
+
+func FuzzTaskHeartbeatDecode(f *testing.F) {
+	srv, key := taskFuzzServer(f)
+	f.Add([]byte(`{"id":"t1","lease_token":"tok"}`))
+	f.Add([]byte(`{"id":"t1"}`))
+	f.Add([]byte(`{"id":99,"lease_token":true}`))
+	f.Add([]byte(`{"id":"","lease_token":""}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		rec := fuzzPost(t, srv, "/api/v1/tasks/heartbeat", key, body)
+		if rec.Code == 200 {
+			var resp TaskHeartbeatResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+				t.Fatalf("200 heartbeat with undecodable response: %v", err)
+			}
+		}
+	})
+}

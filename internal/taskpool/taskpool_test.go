@@ -1,0 +1,282 @@
+package taskpool
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for deterministic TTL tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func testPool(clk *fakeClock, ttl time.Duration, maxAttempts int) *Pool {
+	return New(Config{LeaseTTL: ttl, MaxAttempts: maxAttempts, Now: clk.Now})
+}
+
+func mustSubmit(t *testing.T, p *Pool, owner string, spec Spec) string {
+	t.Helper()
+	id, err := p.Submit(owner, spec)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	return id
+}
+
+func demoSpec(seed int64) Spec {
+	return Spec{App: "demo", Budget: 4, Seed: seed}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	p := New(Config{})
+	if _, err := p.Submit("u", Spec{Budget: 1}); err == nil {
+		t.Fatal("expected app error")
+	}
+	if _, err := p.Submit("u", Spec{App: "demo"}); err == nil {
+		t.Fatal("expected budget error")
+	}
+}
+
+func TestLeaseLifecycle(t *testing.T) {
+	clk := newFakeClock()
+	p := testPool(clk, time.Minute, 3)
+	id := mustSubmit(t, p, "alice", demoSpec(1))
+
+	lease, err := p.Lease("w1", MachineConstraint{})
+	if err != nil || lease == nil {
+		t.Fatalf("lease: %v %v", lease, err)
+	}
+	if lease.ID != id || lease.State != StateLeased || lease.Worker != "w1" || lease.Attempts != 1 {
+		t.Fatalf("bad lease: %+v", lease)
+	}
+	if lease.LeaseToken == "" {
+		t.Fatal("no lease token")
+	}
+	// Pool is now empty for other workers.
+	if l2, _ := p.Lease("w2", MachineConstraint{}); l2 != nil {
+		t.Fatalf("second lease should find nothing, got %+v", l2)
+	}
+	// Heartbeat extends the lease.
+	clk.Advance(30 * time.Second)
+	exp, err := p.Heartbeat(id, lease.LeaseToken)
+	if err != nil {
+		t.Fatalf("heartbeat: %v", err)
+	}
+	if want := clk.Now().Add(time.Minute); !exp.Equal(want) {
+		t.Fatalf("heartbeat expiry %v want %v", exp, want)
+	}
+	// Complete stores the result.
+	res := Result{BestY: 1.5, NumEvals: 4}
+	if err := p.Complete(id, lease.LeaseToken, res); err != nil {
+		t.Fatalf("complete: %v", err)
+	}
+	got, ok := p.Get(id)
+	if !ok || got.State != StateCompleted || got.Result == nil || got.Result.BestY != 1.5 {
+		t.Fatalf("completed task: %+v", got)
+	}
+	st := p.Stats()
+	if st.Completed != 1 || st.Completions != 1 || st.Leases != 1 || st.Submitted != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestCompleteExactlyOnce(t *testing.T) {
+	clk := newFakeClock()
+	p := testPool(clk, time.Minute, 3)
+	id := mustSubmit(t, p, "alice", demoSpec(1))
+	lease, _ := p.Lease("w1", MachineConstraint{})
+
+	if err := p.Complete(id, lease.LeaseToken, Result{BestY: 1}); err != nil {
+		t.Fatalf("complete: %v", err)
+	}
+	// Idempotent replay with the winning token.
+	if err := p.Complete(id, lease.LeaseToken, Result{BestY: 99}); err != nil {
+		t.Fatalf("replay complete: %v", err)
+	}
+	got, _ := p.Get(id)
+	if got.Result.BestY != 1 {
+		t.Fatalf("replay overwrote result: %+v", got.Result)
+	}
+	// A different token is rejected.
+	if err := p.Complete(id, "stale-token", Result{}); err != ErrLeaseLost {
+		t.Fatalf("stale complete: %v, want ErrLeaseLost", err)
+	}
+	if st := p.Stats(); st.Completions != 1 {
+		t.Fatalf("completions counted %d times", st.Completions)
+	}
+}
+
+func TestLeaseExpiryRequeuesInOrder(t *testing.T) {
+	clk := newFakeClock()
+	p := testPool(clk, time.Minute, 3)
+	a := mustSubmit(t, p, "alice", demoSpec(1))
+	b := mustSubmit(t, p, "alice", demoSpec(2))
+
+	la, _ := p.Lease("w1", MachineConstraint{})
+	lb, _ := p.Lease("w1", MachineConstraint{})
+	if la.ID != a || lb.ID != b {
+		t.Fatalf("FIFO violated: %s %s", la.ID, lb.ID)
+	}
+	clk.Advance(61 * time.Second)
+	if n := p.ExpireLeases(); n != 2 {
+		t.Fatalf("expired %d leases, want 2", n)
+	}
+	st := p.Stats()
+	if st.Queued != 2 || st.ExpiredRequeues != 2 {
+		t.Fatalf("stats after expiry: %+v", st)
+	}
+	// The stale tokens are dead.
+	if _, err := p.Heartbeat(a, la.LeaseToken); err != ErrLeaseLost {
+		t.Fatalf("stale heartbeat: %v", err)
+	}
+	if err := p.Complete(a, la.LeaseToken, Result{}); err != ErrLeaseLost {
+		t.Fatalf("stale complete: %v", err)
+	}
+	// Requeue preserved submission order.
+	l1, _ := p.Lease("w2", MachineConstraint{})
+	l2, _ := p.Lease("w2", MachineConstraint{})
+	if l1.ID != a || l2.ID != b {
+		t.Fatalf("requeue order: %s then %s, want %s then %s", l1.ID, l2.ID, a, b)
+	}
+	if l1.Attempts != 2 {
+		t.Fatalf("attempts after requeue: %d", l1.Attempts)
+	}
+}
+
+func TestAttemptCapDeadLetters(t *testing.T) {
+	clk := newFakeClock()
+	p := testPool(clk, time.Minute, 2)
+	id := mustSubmit(t, p, "alice", demoSpec(1))
+	for i := 0; i < 2; i++ {
+		l, _ := p.Lease("w", MachineConstraint{})
+		if l == nil {
+			t.Fatalf("lease %d: pool empty", i)
+		}
+		clk.Advance(2 * time.Minute)
+	}
+	p.ExpireLeases()
+	got, _ := p.Get(id)
+	if got.State != StateDead {
+		t.Fatalf("state %s, want dead", got.State)
+	}
+	if l, _ := p.Lease("w", MachineConstraint{}); l != nil {
+		t.Fatalf("dead task leased: %+v", l)
+	}
+	st := p.Stats()
+	if st.Dead != 1 || st.DeadLettered != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestFailRequeuesAndCarriesCheckpoint(t *testing.T) {
+	clk := newFakeClock()
+	p := testPool(clk, time.Minute, 3)
+	id := mustSubmit(t, p, "alice", demoSpec(1))
+	l, _ := p.Lease("w1", MachineConstraint{})
+
+	cp := json.RawMessage(`{"iter":3}`)
+	state, err := p.Fail(id, l.LeaseToken, "worker draining", cp)
+	if err != nil || state != StateQueued {
+		t.Fatalf("fail: %v %v", state, err)
+	}
+	l2, _ := p.Lease("w2", MachineConstraint{})
+	if string(l2.Spec.Checkpoint) != `{"iter":3}` {
+		t.Fatalf("checkpoint not carried: %s", l2.Spec.Checkpoint)
+	}
+	if l2.LastError != "worker draining" {
+		t.Fatalf("last error: %q", l2.LastError)
+	}
+	// Failing with a stale token is rejected.
+	if _, err := p.Fail(id, l.LeaseToken, "late", nil); err != ErrLeaseLost {
+		t.Fatalf("stale fail: %v", err)
+	}
+	// Exhausting attempts via Fail dead-letters.
+	if s, _ := p.Fail(id, l2.LeaseToken, "boom", nil); s != StateQueued {
+		t.Fatalf("second fail state: %v", s)
+	}
+	l3, _ := p.Lease("w3", MachineConstraint{})
+	if s, _ := p.Fail(id, l3.LeaseToken, "boom again", nil); s != StateDead {
+		t.Fatalf("third fail state: %v, want dead", s)
+	}
+}
+
+func TestMachineConstraintFiltersLeases(t *testing.T) {
+	clk := newFakeClock()
+	p := testPool(clk, time.Minute, 3)
+	knl := demoSpec(1)
+	knl.Machine = MachineConstraint{MachineName: "cori", Partition: "knl"}
+	idKNL := mustSubmit(t, p, "alice", knl)
+	idAny := mustSubmit(t, p, "alice", demoSpec(2))
+
+	// A haswell worker skips the KNL-constrained task and gets the
+	// unconstrained one, even though it queued later.
+	l, _ := p.Lease("w1", MachineConstraint{MachineName: "cori", Partition: "haswell"})
+	if l == nil || l.ID != idAny {
+		t.Fatalf("haswell lease: %+v", l)
+	}
+	l2, _ := p.Lease("w2", MachineConstraint{MachineName: "cori", Partition: "knl"})
+	if l2 == nil || l2.ID != idKNL {
+		t.Fatalf("knl lease: %+v", l2)
+	}
+}
+
+func TestNotFoundErrors(t *testing.T) {
+	p := New(Config{})
+	if _, err := p.Heartbeat("t99", "tok"); err != ErrNotFound {
+		t.Fatalf("heartbeat: %v", err)
+	}
+	if err := p.Complete("t99", "tok", Result{}); err != ErrNotFound {
+		t.Fatalf("complete: %v", err)
+	}
+	if _, err := p.Fail("t99", "tok", "r", nil); err != ErrNotFound {
+		t.Fatalf("fail: %v", err)
+	}
+	if _, ok := p.Get("t99"); ok {
+		t.Fatal("get of missing task")
+	}
+}
+
+func TestListOrdersAndFilters(t *testing.T) {
+	clk := newFakeClock()
+	p := testPool(clk, time.Minute, 3)
+	for i := 0; i < 12; i++ {
+		mustSubmit(t, p, "alice", demoSpec(int64(i)))
+	}
+	l, _ := p.Lease("w", MachineConstraint{})
+	p.Complete(l.ID, l.LeaseToken, Result{})
+
+	all := p.List("")
+	if len(all) != 12 {
+		t.Fatalf("list all: %d", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if taskNum(all[i-1].ID) >= taskNum(all[i].ID) {
+			t.Fatalf("list unsorted at %d: %s >= %s", i, all[i-1].ID, all[i].ID)
+		}
+	}
+	if got := p.List(StateCompleted); len(got) != 1 || got[0].ID != l.ID {
+		t.Fatalf("completed filter: %+v", got)
+	}
+	if got := p.List(StateQueued); len(got) != 11 {
+		t.Fatalf("queued filter: %d", len(got))
+	}
+}

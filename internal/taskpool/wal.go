@@ -1,0 +1,240 @@
+package taskpool
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// walRecord is one persisted line. Every mutation appends the full
+// updated task (op "task") followed by the cumulative counters (op
+// "counters"); replay is a plain upsert, so a snapshot — one "task"
+// record per task plus the final counters — and a WAL are read by the
+// same code.
+type walRecord struct {
+	Op       string    `json:"op"`
+	Task     *Task     `json:"task,omitempty"`
+	Counters *Counters `json:"counters,omitempty"`
+}
+
+// logLocked appends the task's current state (and the counters) to the
+// attached WAL. Called with p.mu held, so records land in mutation
+// order. The first write error sticks and disables further writes.
+func (p *Pool) logLocked(t *Task) {
+	if p.wal == nil || p.walErr != nil {
+		return
+	}
+	if err := writeRecords(p.wal, t, &p.counters); err != nil {
+		p.walErr = err
+	}
+}
+
+func writeRecords(w io.Writer, t *Task, c *Counters) error {
+	enc := json.NewEncoder(w)
+	if t != nil {
+		if err := enc.Encode(walRecord{Op: "task", Task: t}); err != nil {
+			return err
+		}
+	}
+	if c != nil {
+		if err := enc.Encode(walRecord{Op: "counters", Counters: c}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SetWAL attaches (or with nil detaches) a write-ahead log: every
+// subsequent mutation appends its records to w. The caller owns w and
+// any buffering/syncing policy.
+func (p *Pool) SetWAL(w io.Writer) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.wal = w
+	p.walErr = nil
+}
+
+// WALError returns the first write error the attached WAL produced, if
+// any. Persistence failure does not block the pool; the operator is
+// expected to surface this.
+func (p *Pool) WALError() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.walErr
+}
+
+// WriteJSONL writes a snapshot: one "task" record per task (in id
+// order) and one final "counters" record.
+func (p *Pool) WriteJSONL(w io.Writer) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	bw := bufio.NewWriter(w)
+	for _, t := range p.snapshotLocked() {
+		if err := writeRecords(bw, t, nil); err != nil {
+			return err
+		}
+	}
+	if err := writeRecords(bw, nil, &p.counters); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func (p *Pool) snapshotLocked() []*Task {
+	out := make([]*Task, 0, len(p.tasks))
+	for _, t := range p.tasks {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return taskNum(out[i].ID) < taskNum(out[j].ID) })
+	return out
+}
+
+// ReadJSONL replaces the pool contents from a snapshot or WAL stream
+// (or a snapshot followed by a WAL — the formats are identical): "task"
+// records upsert by id, last record wins; the last "counters" record
+// wins. A torn final line (a crash mid-append) is tolerated; corruption
+// anywhere else is an error.
+func (p *Pool) ReadJSONL(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var lines []string
+	for sc.Scan() {
+		if s := strings.TrimSpace(sc.Text()); s != "" {
+			lines = append(lines, s)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	tasks := make(map[string]*Task)
+	var counters Counters
+	for i, line := range lines {
+		var rec walRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			if i == len(lines)-1 {
+				break // torn final append from a crash; drop it
+			}
+			return fmt.Errorf("taskpool: bad WAL line %d: %w", i+1, err)
+		}
+		switch rec.Op {
+		case "task":
+			if rec.Task != nil && rec.Task.ID != "" {
+				tasks[rec.Task.ID] = rec.Task
+			}
+		case "counters":
+			if rec.Counters != nil {
+				counters = *rec.Counters
+			}
+		}
+	}
+	// Rebuild derived state: id/seq watermarks and the FIFO queue in
+	// QueueSeq order.
+	var queued []*Task
+	nextID, nextSeq := int64(1), int64(1)
+	for _, t := range tasks {
+		if n := taskNum(t.ID); n >= nextID {
+			nextID = n + 1
+		}
+		if t.QueueSeq >= nextSeq {
+			nextSeq = t.QueueSeq + 1
+		}
+		if t.State == StateQueued {
+			queued = append(queued, t)
+		}
+	}
+	sort.Slice(queued, func(i, j int) bool { return queued[i].QueueSeq < queued[j].QueueSeq })
+	queue := make([]string, len(queued))
+	for i, t := range queued {
+		queue[i] = t.ID
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.tasks = tasks
+	p.queue = queue
+	p.nextID = nextID
+	p.nextSeq = nextSeq
+	p.counters = counters
+	return nil
+}
+
+// OpenFile loads the pool from path (snapshot + trailing WAL records,
+// if the file exists) and attaches the file as the live WAL, returning
+// the handle so the caller can close it on shutdown. Missing files are
+// fine: the pool starts empty and the file is created.
+func (p *Pool) OpenFile(path string) (*os.File, error) {
+	if f, err := os.Open(path); err == nil {
+		err = p.ReadJSONL(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("taskpool: load %s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	p.SetWAL(f)
+	return f, nil
+}
+
+// Compact rewrites path as a fresh snapshot (via a temp file and
+// rename, so a crash mid-compaction leaves the old log intact) and
+// re-attaches the renamed file as the live WAL. It returns the new WAL
+// handle; the caller should close the previous one.
+func (p *Pool) Compact(path string) (*os.File, error) {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	// Snapshot and WAL switch happen under one lock acquisition so no
+	// mutation can slip between the snapshot and the new log.
+	bw := bufio.NewWriter(tmp)
+	werr := error(nil)
+	for _, t := range p.snapshotLocked() {
+		if err := writeRecords(bw, t, nil); err != nil {
+			werr = err
+			break
+		}
+	}
+	if werr == nil {
+		werr = writeRecords(bw, nil, &p.counters)
+	}
+	if werr == nil {
+		werr = bw.Flush()
+	}
+	if werr == nil {
+		werr = tmp.Sync()
+	}
+	if werr != nil {
+		p.mu.Unlock()
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return nil, werr
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		p.mu.Unlock()
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return nil, err
+	}
+	// Reopen in append mode: tmp's handle is positioned correctly, but
+	// an O_APPEND handle keeps semantics obvious.
+	tmp.Close()
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		p.mu.Unlock()
+		return nil, err
+	}
+	p.wal = f
+	p.walErr = nil
+	p.mu.Unlock()
+	return f, nil
+}

@@ -1,0 +1,204 @@
+package taskpool
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// replay round-trips a pool through its JSONL form and returns the
+// restored pool.
+func replay(t *testing.T, p *Pool, clk *fakeClock) *Pool {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := p.WriteJSONL(&buf); err != nil {
+		t.Fatalf("write snapshot: %v", err)
+	}
+	q := New(Config{LeaseTTL: p.cfg.LeaseTTL, MaxAttempts: p.cfg.MaxAttempts, Now: clk.Now})
+	if err := q.ReadJSONL(&buf); err != nil {
+		t.Fatalf("read snapshot: %v", err)
+	}
+	return q
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	clk := newFakeClock()
+	p := testPool(clk, time.Minute, 3)
+	a := mustSubmit(t, p, "alice", demoSpec(1))
+	mustSubmit(t, p, "bob", demoSpec(2))
+	l, _ := p.Lease("w1", MachineConstraint{})
+	p.Complete(l.ID, l.LeaseToken, Result{BestY: 2.5, NumEvals: 4})
+
+	q := replay(t, p, clk)
+	if q.Len() != 2 {
+		t.Fatalf("restored %d tasks", q.Len())
+	}
+	got, ok := q.Get(a)
+	if !ok || got.State != StateCompleted || got.Result.BestY != 2.5 {
+		t.Fatalf("restored task: %+v", got)
+	}
+	if ps, qs := p.Stats(), q.Stats(); ps != qs {
+		t.Fatalf("stats drift: %+v vs %+v", ps, qs)
+	}
+	// The restored pool keeps serving: next id must not collide.
+	id3 := mustSubmit(t, q, "carol", demoSpec(3))
+	if id3 != "t3" {
+		t.Fatalf("next id after restore: %s", id3)
+	}
+}
+
+func TestWALReplayEqualsLiveState(t *testing.T) {
+	clk := newFakeClock()
+	p := testPool(clk, 30*time.Second, 3)
+	var wal bytes.Buffer
+	p.SetWAL(&wal)
+
+	for i := 0; i < 5; i++ {
+		mustSubmit(t, p, "alice", demoSpec(int64(i)))
+	}
+	l1, _ := p.Lease("w1", MachineConstraint{})
+	l2, _ := p.Lease("w2", MachineConstraint{})
+	p.Complete(l1.ID, l1.LeaseToken, Result{BestY: 1})
+	p.Fail(l2.ID, l2.LeaseToken, "oom", nil)
+	l3, _ := p.Lease("w3", MachineConstraint{})
+	clk.Advance(31 * time.Second)
+	p.ExpireLeases() // l3 expires, requeued
+	if err := p.WALError(); err != nil {
+		t.Fatalf("wal error: %v", err)
+	}
+
+	q := New(Config{LeaseTTL: 30 * time.Second, MaxAttempts: 3, Now: clk.Now})
+	if err := q.ReadJSONL(&wal); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if ps, qs := p.Stats(), q.Stats(); ps != qs {
+		t.Fatalf("stats drift: live %+v replay %+v", ps, qs)
+	}
+	// Queue order must survive replay: drain both pools and compare.
+	var live, replayed []string
+	for {
+		l, _ := p.Lease("x", MachineConstraint{})
+		if l == nil {
+			break
+		}
+		live = append(live, l.ID)
+	}
+	for {
+		l, _ := q.Lease("x", MachineConstraint{})
+		if l == nil {
+			break
+		}
+		replayed = append(replayed, l.ID)
+	}
+	if strings.Join(live, ",") != strings.Join(replayed, ",") {
+		t.Fatalf("queue order drift: live %v replay %v", live, replayed)
+	}
+	if _, ok := q.Get(l3.ID); !ok {
+		t.Fatal("expired task lost in replay")
+	}
+}
+
+func TestReadJSONLToleratesTornTail(t *testing.T) {
+	clk := newFakeClock()
+	p := testPool(clk, time.Minute, 3)
+	mustSubmit(t, p, "alice", demoSpec(1))
+	var buf bytes.Buffer
+	if err := p.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString(`{"op":"task","task":{"id":"t2","st`) // torn append
+	q := New(Config{})
+	if err := q.ReadJSONL(&buf); err != nil {
+		t.Fatalf("torn tail rejected: %v", err)
+	}
+	if q.Len() != 1 {
+		t.Fatalf("restored %d tasks, want 1", q.Len())
+	}
+}
+
+func TestReadJSONLRejectsMidStreamCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString("{\"op\":\"task\",\"task\":{\"id\":\"t1\",\"state\":\"queued\",\"spec\":{\"app\":\"demo\",\"budget\":1}}}\n")
+	buf.WriteString("not json at all\n")
+	buf.WriteString("{\"op\":\"counters\",\"counters\":{}}\n")
+	q := New(Config{})
+	if err := q.ReadJSONL(&buf); err == nil {
+		t.Fatal("mid-stream corruption accepted")
+	}
+}
+
+func TestOpenFileAndCompact(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "taskpool.jsonl")
+	clk := newFakeClock()
+
+	p := testPool(clk, time.Minute, 3)
+	f, err := p.OpenFile(path)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	id := mustSubmit(t, p, "alice", demoSpec(1))
+	mustSubmit(t, p, "alice", demoSpec(2))
+	l, _ := p.Lease("w1", MachineConstraint{})
+	p.Complete(l.ID, l.LeaseToken, Result{BestY: 7})
+	if err := p.WALError(); err != nil {
+		t.Fatalf("wal: %v", err)
+	}
+
+	// Simulate restart: a fresh pool loads the WAL file.
+	q := testPool(clk, time.Minute, 3)
+	f2, err := q.OpenFile(path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	got, ok := q.Get(id)
+	if !ok || got.State != StateCompleted || got.Result.BestY != 7 {
+		t.Fatalf("restart lost state: %+v", got)
+	}
+
+	// Compact rewrites the file to one record per task.
+	before, _ := os.ReadFile(path)
+	f3, err := q.Compact(path)
+	if err != nil {
+		t.Fatalf("compact: %v", err)
+	}
+	after, _ := os.ReadFile(path)
+	if len(after) >= len(before) {
+		t.Fatalf("compaction did not shrink the log: %d -> %d bytes", len(before), len(after))
+	}
+	// Mutations after compaction append to the new file.
+	mustSubmit(t, q, "bob", demoSpec(3))
+	if err := q.WALError(); err != nil {
+		t.Fatalf("wal after compact: %v", err)
+	}
+	r := testPool(clk, time.Minute, 3)
+	rf, err := r.OpenFile(path)
+	if err != nil {
+		t.Fatalf("open after compact: %v", err)
+	}
+	if r.Len() != 3 {
+		t.Fatalf("post-compact replay has %d tasks, want 3", r.Len())
+	}
+	for _, h := range []*os.File{f, f2, f3, rf} {
+		h.Close()
+	}
+}
+
+func TestWALRecordsAreValidJSONLines(t *testing.T) {
+	clk := newFakeClock()
+	p := testPool(clk, time.Minute, 3)
+	var wal bytes.Buffer
+	p.SetWAL(&wal)
+	mustSubmit(t, p, "alice", demoSpec(1))
+	l, _ := p.Lease("w", MachineConstraint{})
+	p.Complete(l.ID, l.LeaseToken, Result{})
+	for i, line := range strings.Split(strings.TrimSpace(wal.String()), "\n") {
+		if !json.Valid([]byte(line)) {
+			t.Fatalf("WAL line %d is not valid JSON: %q", i, line)
+		}
+	}
+}

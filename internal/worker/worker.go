@@ -1,0 +1,337 @@
+// Package worker implements the crowd volunteer daemon's core loop:
+// lease a tuning task from the shared server, run it against the
+// built-in application simulators, keep the lease alive with
+// heartbeats, upload the measured samples, and report the result —
+// checkpointing and handing the task back if asked to drain mid-run.
+package worker
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"sync/atomic"
+	"time"
+
+	"gptunecrowd"
+	"gptunecrowd/internal/apps"
+	"gptunecrowd/internal/crowd"
+	"gptunecrowd/internal/taskpool"
+)
+
+// Options configures a Worker.
+type Options struct {
+	// Client is the authenticated crowd client (required).
+	Client *crowd.Client
+	// Name identifies the worker in lease records; defaults to "worker".
+	Name string
+	// Machine are the worker's machine tags, matched against each
+	// task's machine constraint.
+	Machine taskpool.MachineConstraint
+	// PollInterval is the sleep between lease attempts when the pool is
+	// empty or the server unreachable. Default 2s.
+	PollInterval time.Duration
+	// Logger receives progress lines; nil disables logging.
+	Logger *log.Logger
+	// Accessibility marks uploaded samples ("" = public).
+	Accessibility string
+	// OnSample observes every evaluation the worker records (tests).
+	OnSample func(taskID string, iter int, y float64)
+}
+
+// Stats are a worker's cumulative counters.
+type Stats struct {
+	Completed int64 // tasks finished with Complete
+	Suspended int64 // tasks handed back with a checkpoint (drain)
+	Failed    int64 // tasks handed back after an error
+	LeaseLost int64 // tasks abandoned because the lease expired
+	Evals     int64 // function evaluations run
+}
+
+// Worker runs the lease → tune → upload → complete loop.
+type Worker struct {
+	opts Options
+
+	completed atomic.Int64
+	suspended atomic.Int64
+	failed    atomic.Int64
+	leaseLost atomic.Int64
+	evals     atomic.Int64
+}
+
+// New validates the options and returns a Worker.
+func New(opts Options) (*Worker, error) {
+	if opts.Client == nil {
+		return nil, errors.New("worker: options need a crowd client")
+	}
+	if opts.Name == "" {
+		opts.Name = "worker"
+	}
+	if opts.PollInterval <= 0 {
+		opts.PollInterval = 2 * time.Second
+	}
+	return &Worker{opts: opts}, nil
+}
+
+// Stats returns the worker's counters.
+func (w *Worker) Stats() Stats {
+	return Stats{
+		Completed: w.completed.Load(),
+		Suspended: w.suspended.Load(),
+		Failed:    w.failed.Load(),
+		LeaseLost: w.leaseLost.Load(),
+		Evals:     w.evals.Load(),
+	}
+}
+
+func (w *Worker) logf(format string, args ...interface{}) {
+	if w.opts.Logger != nil {
+		w.opts.Logger.Printf("worker %s: "+format, append([]interface{}{w.opts.Name}, args...)...)
+	}
+}
+
+// Run leases and executes tasks until ctx is cancelled. Cancellation
+// is a graceful drain: a task in flight stops after its current
+// evaluation, checkpoints, and is handed back to the pool so another
+// worker can resume it. Run returns nil on drain.
+func (w *Worker) Run(ctx context.Context) error {
+	for {
+		if ctx.Err() != nil {
+			return nil
+		}
+		task, ttl, err := w.opts.Client.LeaseTaskContext(ctx, w.opts.Name, w.opts.Machine)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			w.logf("lease failed: %v", err)
+			if serr := sleep(ctx, w.opts.PollInterval); serr != nil {
+				return nil
+			}
+			continue
+		}
+		if task == nil {
+			if serr := sleep(ctx, w.opts.PollInterval); serr != nil {
+				return nil
+			}
+			continue
+		}
+		w.runTask(ctx, task, ttl)
+	}
+}
+
+// DrainOne leases and runs at most one task, returning whether a task
+// was leased. Tests use it to drive the loop deterministically.
+func (w *Worker) DrainOne(ctx context.Context) (bool, error) {
+	task, ttl, err := w.opts.Client.LeaseTaskContext(ctx, w.opts.Name, w.opts.Machine)
+	if err != nil || task == nil {
+		return false, err
+	}
+	w.runTask(ctx, task, ttl)
+	return true, nil
+}
+
+func sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// runTask executes one leased task to completion, drain, or failure.
+func (w *Worker) runTask(ctx context.Context, task *taskpool.Task, ttl time.Duration) {
+	w.logf("leased %s (app=%s budget=%d attempt=%d/%d)",
+		task.ID, task.Spec.App, task.Spec.Budget, task.Attempts, task.MaxAttempts)
+
+	// leaseCtx dies when the heartbeat loop learns the lease is lost;
+	// the step loop checks it between evaluations.
+	leaseCtx, cancelLease := context.WithCancel(context.Background())
+	defer cancelLease()
+	hbDone := make(chan struct{})
+	go func() {
+		defer close(hbDone)
+		w.heartbeatLoop(leaseCtx, task, ttl, cancelLease)
+	}()
+	defer func() { cancelLease(); <-hbDone }()
+
+	sess, taskParams, err := w.openSession(task)
+	if err != nil {
+		w.failTask(task, fmt.Sprintf("setup: %v", err), nil)
+		w.failed.Add(1)
+		return
+	}
+	startIter := sess.Iter()
+
+	for !sess.Done() {
+		if leaseCtx.Err() != nil {
+			w.leaseLost.Add(1)
+			w.logf("lease on %s lost, abandoning", task.ID)
+			return
+		}
+		if ctx.Err() != nil {
+			w.suspend(leaseCtx, task, taskParams, sess, startIter)
+			return
+		}
+		if err := sess.Step(); err != nil {
+			cp, _ := sess.Checkpoint()
+			w.failTask(task, fmt.Sprintf("evaluation %d: %v", sess.Iter(), err), cp)
+			w.failed.Add(1)
+			return
+		}
+		w.evals.Add(1)
+		if w.opts.OnSample != nil {
+			i := sess.Iter() - 1
+			w.opts.OnSample(task.ID, i, sess.History().Samples[i].Y)
+		}
+	}
+
+	ids, err := w.uploadSamples(leaseCtx, task, taskParams, sess, startIter)
+	if err != nil {
+		// The samples are reproducible from the checkpoint; hand the
+		// task back rather than completing with lost data.
+		cp, _ := sess.Checkpoint()
+		w.failTask(task, fmt.Sprintf("upload: %v", err), cp)
+		w.failed.Add(1)
+		return
+	}
+	res, err := sess.Run() // already done: reports best
+	if err != nil {
+		cp, _ := sess.Checkpoint()
+		w.failTask(task, fmt.Sprintf("no successful evaluation: %v", err), cp)
+		w.failed.Add(1)
+		return
+	}
+	cp, _ := sess.Checkpoint()
+	err = w.opts.Client.CompleteTaskContext(leaseCtx, task.ID, task.LeaseToken, taskpool.Result{
+		BestParams:  res.BestParams,
+		BestY:       res.BestY,
+		NumEvals:    sess.Iter(),
+		FuncEvalIDs: ids,
+		Checkpoint:  cp,
+	})
+	if err != nil {
+		w.logf("complete %s failed: %v", task.ID, err)
+		w.failed.Add(1)
+		return
+	}
+	w.completed.Add(1)
+	w.logf("completed %s (best %.6g in %d evals)", task.ID, res.BestY, sess.Iter())
+}
+
+// openSession builds the task's application problem and a fresh or
+// resumed tuning session.
+func (w *Worker) openSession(task *taskpool.Task) (*gptunecrowd.TuningSession, map[string]interface{}, error) {
+	inst, err := apps.Build(task.Spec.App, apps.Options{Seed: task.Spec.Seed})
+	if err != nil {
+		return nil, nil, err
+	}
+	taskParams := task.Spec.TaskParams
+	if taskParams == nil {
+		taskParams = inst.DefaultTask
+	}
+	opts := gptunecrowd.TuneOptions{
+		Budget:    task.Spec.Budget,
+		Seed:      task.Spec.Seed,
+		Algorithm: task.Spec.Algorithm,
+	}
+	if len(task.Spec.Checkpoint) > 0 {
+		s, err := gptunecrowd.ResumeTuningSession(inst.Problem, taskParams, opts, task.Spec.Checkpoint)
+		if err != nil {
+			return nil, nil, fmt.Errorf("resume checkpoint: %w", err)
+		}
+		w.logf("resuming %s from checkpoint at evaluation %d", task.ID, s.Iter())
+		return s, taskParams, nil
+	}
+	s, err := gptunecrowd.NewTuningSession(inst.Problem, taskParams, opts)
+	return s, taskParams, err
+}
+
+// heartbeatLoop renews the lease at a third of its TTL until ctx dies.
+// A lost lease (409) cancels via cancelLease so the step loop stops.
+func (w *Worker) heartbeatLoop(ctx context.Context, task *taskpool.Task, ttl time.Duration, cancelLease context.CancelFunc) {
+	interval := ttl / 3
+	if interval <= 0 {
+		interval = time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			_, err := w.opts.Client.HeartbeatTaskContext(ctx, task.ID, task.LeaseToken)
+			var apiErr *crowd.APIError
+			if errors.As(err, &apiErr) && !apiErr.Temporary() {
+				cancelLease()
+				return
+			}
+			if err != nil {
+				w.logf("heartbeat %s: %v", task.ID, err)
+			}
+		}
+	}
+}
+
+// suspend checkpoints the session and hands the task back (drain). The
+// evaluations this lease already ran are uploaded best-effort first, so
+// a drained worker's measurements are not lost; the resumed session
+// uploads only from its own start iteration, so nothing is duplicated.
+func (w *Worker) suspend(ctx context.Context, task *taskpool.Task, taskParams map[string]interface{}, sess *gptunecrowd.TuningSession, startIter int) {
+	cp, err := sess.Checkpoint()
+	if err != nil {
+		w.failTask(task, fmt.Sprintf("checkpoint: %v", err), nil)
+		w.failed.Add(1)
+		return
+	}
+	if _, err := w.uploadSamples(ctx, task, taskParams, sess, startIter); err != nil {
+		w.logf("upload on suspend of %s: %v", task.ID, err)
+	}
+	w.failTask(task, "worker draining", cp)
+	w.suspended.Add(1)
+	w.logf("suspended %s at evaluation %d/%d", task.ID, sess.Iter(), sess.Budget())
+}
+
+// failTask reports a failure with its own deadline: the parent context
+// is typically already cancelled when draining.
+func (w *Worker) failTask(task *taskpool.Task, reason string, checkpoint []byte) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := w.opts.Client.FailTaskContext(ctx, task.ID, task.LeaseToken, reason, checkpoint); err != nil {
+		w.logf("fail %s: %v", task.ID, err)
+	}
+}
+
+// uploadSamples pushes the evaluations this lease ran (history indices
+// from startIter on) to the shared database and returns their ids.
+func (w *Worker) uploadSamples(ctx context.Context, task *taskpool.Task, taskParams map[string]interface{}, sess *gptunecrowd.TuningSession, startIter int) ([]string, error) {
+	problem := task.Spec.TuningProblemName
+	if problem == "" {
+		problem = task.Spec.App
+	}
+	samples := sess.History().Samples
+	var evals []crowd.FuncEval
+	for i := startIter; i < len(samples); i++ {
+		s := samples[i]
+		evals = append(evals, crowd.FuncEval{
+			TuningProblemName: problem,
+			TaskParams:        taskParams,
+			TuningParams:      s.Params,
+			Output:            s.Y,
+			Failed:            s.Failed,
+			Machine: crowd.MachineConfiguration{
+				MachineName: w.opts.Machine.MachineName,
+				Partition:   w.opts.Machine.Partition,
+			},
+			Accessibility: w.opts.Accessibility,
+		})
+	}
+	if len(evals) == 0 {
+		return nil, nil
+	}
+	return w.opts.Client.UploadContext(ctx, evals)
+}

@@ -5,6 +5,14 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "FAIL: gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
 echo "== go vet"
 go vet ./...
 
@@ -27,6 +35,9 @@ fuzz_targets="
 FuzzUploadDecode ./internal/crowd
 FuzzQueryDecode ./internal/crowd
 FuzzRegisterDecode ./internal/crowd
+FuzzTaskLeaseDecode ./internal/crowd
+FuzzTaskCompleteDecode ./internal/crowd
+FuzzTaskHeartbeatDecode ./internal/crowd
 FuzzUnmarshalQuery ./internal/historydb
 FuzzReadJSONL ./internal/historydb
 FuzzParseSpackSpec ./internal/envparse
@@ -38,8 +49,8 @@ echo "$fuzz_targets" | while read -r target pkg; do
     go test -run "^${target}\$" -fuzz "^${target}\$" -fuzztime=10s "$pkg"
 done
 
-echo "== coverage floor (crowd + historydb >= 80%)"
-go test -count=1 -cover ./internal/crowd ./internal/historydb | tee /tmp/cover.txt
+echo "== coverage floor (crowd + historydb + taskpool >= 80%)"
+go test -count=1 -cover ./internal/crowd ./internal/historydb ./internal/taskpool | tee /tmp/cover.txt
 awk '
 /coverage:/ {
     for (i = 1; i <= NF; i++) if ($i == "coverage:") pct = $(i+1) + 0

@@ -1,0 +1,124 @@
+package gptunecrowd
+
+import (
+	"fmt"
+
+	"gptunecrowd/internal/core"
+)
+
+// TuningSession is a suspendable tuning run. It exposes the same
+// propose → evaluate → record loop as Tune, but decomposed into
+// explicit steps whose complete state — history, iteration, RNG,
+// outstanding proposal — serializes with Checkpoint and restores with
+// ResumeTuningSession, continuing bit-identically to an uninterrupted
+// run. That makes two things possible:
+//
+//   - stop/resume: a worker can be killed after any evaluation and a
+//     different worker can pick the run up from the checkpoint;
+//   - remote evaluation: call Propose, ship the configuration to
+//     wherever the application runs, and Observe the measurement when
+//     it lands (the Problem's Evaluator may be nil in this mode).
+type TuningSession struct {
+	inner     *core.Session
+	algorithm string
+}
+
+// NewTuningSession starts a checkpointable tuning run. Algorithm
+// resolution matches Tune: empty means NoTLA without sources and
+// Ensemble(proposed) with them.
+func NewTuningSession(p *Problem, task map[string]interface{}, opts TuneOptions) (*TuningSession, error) {
+	alg, prop, err := resolveProposer(opts)
+	if err != nil {
+		return nil, err
+	}
+	s, err := core.NewSession(p, task, prop, core.SessionOptions{
+		Budget:   opts.Budget,
+		Seed:     opts.Seed,
+		OnSample: opts.OnSample,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &TuningSession{inner: s, algorithm: alg}, nil
+}
+
+// ResumeTuningSession restores a session from a checkpoint taken with
+// Checkpoint. The problem and options must describe the same run (the
+// checkpoint records the problem and algorithm names and rejects
+// mismatches); a larger opts.Budget extends the run.
+func ResumeTuningSession(p *Problem, task map[string]interface{}, opts TuneOptions, checkpoint []byte) (*TuningSession, error) {
+	alg, prop, err := resolveProposer(opts)
+	if err != nil {
+		return nil, err
+	}
+	s, err := core.ResumeSession(p, task, prop, core.SessionOptions{
+		Budget:   opts.Budget,
+		Seed:     opts.Seed,
+		OnSample: opts.OnSample,
+	}, checkpoint)
+	if err != nil {
+		return nil, err
+	}
+	return &TuningSession{inner: s, algorithm: alg}, nil
+}
+
+func resolveProposer(opts TuneOptions) (string, Proposer, error) {
+	alg := opts.Algorithm
+	if alg == "" {
+		if len(opts.Sources) > 0 {
+			alg = "Ensemble(proposed)"
+		} else {
+			alg = "NoTLA"
+		}
+	}
+	prop, err := NewProposer(alg, opts.Sources, opts.MaxSourceSamples)
+	return alg, prop, err
+}
+
+// Propose returns the next configuration to evaluate. It is idempotent
+// while a proposal is outstanding: calling it again (e.g. after a
+// resume) returns the same configuration without consuming randomness.
+func (s *TuningSession) Propose() (map[string]interface{}, error) { return s.inner.Propose() }
+
+// Observe records the measurement for the outstanding proposal. A
+// non-nil evalErr records a failed evaluation, which consumes budget
+// but is invisible to surrogate fits.
+func (s *TuningSession) Observe(y float64, evalErr error) error { return s.inner.Observe(y, evalErr) }
+
+// Step proposes and evaluates one point with the problem's Evaluator.
+func (s *TuningSession) Step() error { return s.inner.Step() }
+
+// Run steps until the budget is consumed, then reports the result like
+// Tune. A partially run or resumed session simply continues.
+func (s *TuningSession) Run() (*Result, error) {
+	h, err := s.inner.Run()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{History: h, Algorithm: s.algorithm}
+	if best, ok := h.Best(); ok {
+		res.BestParams = best.Params
+		res.BestY = best.Y
+		return res, nil
+	}
+	return res, fmt.Errorf("gptunecrowd: no successful evaluation within the budget of %d", s.inner.Budget())
+}
+
+// Checkpoint serializes the session's complete state. The session
+// stays usable; checkpointing is read-only.
+func (s *TuningSession) Checkpoint() ([]byte, error) { return s.inner.Checkpoint() }
+
+// Done reports whether the budget is consumed.
+func (s *TuningSession) Done() bool { return s.inner.Done() }
+
+// Iter returns the number of recorded evaluations.
+func (s *TuningSession) Iter() int { return s.inner.Iter() }
+
+// Budget returns the evaluation budget.
+func (s *TuningSession) Budget() int { return s.inner.Budget() }
+
+// History returns the live evaluation history.
+func (s *TuningSession) History() *History { return s.inner.History() }
+
+// Algorithm returns the resolved proposer name.
+func (s *TuningSession) Algorithm() string { return s.algorithm }
