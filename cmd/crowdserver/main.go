@@ -19,12 +19,33 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
+	"gptunecrowd/internal/apps"
 	"gptunecrowd/internal/crowd"
 	"gptunecrowd/internal/taskpool"
 )
+
+// registerAppPolicies declares a validation policy for every built-in
+// application so uploads are checked against the real tuning space. The
+// performance-model apps measure runtimes, which are strictly positive;
+// the synthetic functions legitimately go negative.
+func registerAppPolicies(srv *crowd.Server) {
+	positive := map[string]bool{"pdgeqrf": true, "nimrod": true, "superlu": true, "hypre": true}
+	for _, name := range apps.Names() {
+		inst, err := apps.Build(name, apps.Options{})
+		if err != nil {
+			log.Printf("crowdserver: no policy for %s: %v", name, err)
+			continue
+		}
+		srv.RegisterProblemPolicy(name, crowd.ProblemPolicy{
+			Space:                 inst.Problem.ParamSpace,
+			RequirePositiveOutput: positive[name],
+		})
+	}
+}
 
 func main() {
 	var (
@@ -36,6 +57,7 @@ func main() {
 		shutdownTimeout = flag.Duration("shutdown-timeout", 10*time.Second, "drain deadline on SIGINT/SIGTERM")
 		leaseTTL        = flag.Duration("task-lease-ttl", taskpool.DefaultLeaseTTL, "task lease TTL without a heartbeat")
 		maxAttempts     = flag.Int("task-max-attempts", taskpool.DefaultMaxAttempts, "lease attempts before a task is dead-lettered")
+		admins          = flag.String("admin", "", "comma-separated usernames allowed to list/release quarantined samples (empty = every authenticated user)")
 		quiet           = flag.Bool("quiet", false, "disable per-request access logging")
 	)
 	flag.Parse()
@@ -46,12 +68,20 @@ func main() {
 		TaskLeaseTTL:    *leaseTTL,
 		TaskMaxAttempts: *maxAttempts,
 	}
+	if *admins != "" {
+		for _, u := range strings.Split(*admins, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				cfg.AdminUsers = append(cfg.AdminUsers, u)
+			}
+		}
+	}
 	if !*quiet {
 		cfg.Logger = log.Default()
 	}
 	srv := crowd.NewServerWith(cfg)
+	registerAppPolicies(srv)
 
-	collections := []string{"users", "func_evals", "surrogate_models"}
+	collections := []string{"users", "func_evals", "surrogate_models", "quarantine"}
 	flush := func() {}
 	var poolFile *os.File
 	if *dataDir != "" {
@@ -69,6 +99,11 @@ func main() {
 		}
 		if err := srv.RebuildUserIndex(); err != nil {
 			log.Fatalf("crowdserver: rebuild user index: %v", err)
+		}
+		// Quarantine gauges and uploader reputation are derived state:
+		// recompute them from the loaded collections.
+		if err := srv.RebuildTrustState(); err != nil {
+			log.Fatalf("crowdserver: rebuild trust state: %v", err)
 		}
 		// The task pool appends each mutation to its write-ahead log as
 		// it happens; flush compacts the log down to a snapshot.

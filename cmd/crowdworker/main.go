@@ -36,6 +36,7 @@ func main() {
 		machineName = flag.String("machine-name", "", "machine tag matched against task constraints")
 		partition   = flag.String("partition", "", "partition tag matched against task constraints")
 		access      = flag.String("accessibility", "public", "accessibility of uploaded samples")
+		evalTimeout = flag.Duration("eval-timeout", 0, "abort a single function evaluation after this long and impute a penalty (0 = no timeout)")
 		quiet       = flag.Bool("quiet", false, "disable progress logging")
 	)
 	flag.Parse()
@@ -64,6 +65,7 @@ func main() {
 		Machine:       taskpool.MachineConstraint{MachineName: *machineName, Partition: *partition},
 		PollInterval:  *poll,
 		Accessibility: *access,
+		EvalTimeout:   *evalTimeout,
 	}
 	if !*quiet {
 		opts.Logger = log.Default()
@@ -79,6 +81,6 @@ func main() {
 	w.Run(ctx)
 
 	st := w.Stats()
-	log.Printf("crowdworker %s draining: %d completed, %d suspended, %d failed, %d evaluations",
-		*name, st.Completed, st.Suspended, st.Failed, st.Evals)
+	log.Printf("crowdworker %s draining: %d completed, %d suspended, %d failed, %d evaluations (%d panics recovered, %d timeouts, %d imputed)",
+		*name, st.Completed, st.Suspended, st.Failed, st.Evals, st.PanicsRecovered, st.Timeouts, st.Imputed)
 }

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// FaultyEvaluator wraps an Evaluator with deterministic fault
+// injection: a seeded hash of the evaluated configuration decides, per
+// call, whether the evaluation misbehaves and how. It simulates the
+// hostile end of a volunteer crowd — NaN results, application errors,
+// panics, hangs, and adversarially fabricated measurements — and is the
+// workload behind the hostile-crowd end-to-end test.
+//
+// The rates are cumulative probabilities checked in the order NaN,
+// error, panic, hang, adversarial; their sum must be ≤ 1. The same
+// configuration always draws the same fault, so runs are reproducible
+// given the seed.
+type FaultyEvaluator struct {
+	Inner Evaluator
+	Seed  int64
+
+	NaNRate         float64 // return NaN with no error
+	ErrorRate       float64 // return an evaluation error
+	PanicRate       float64 // panic mid-evaluation
+	HangRate        float64 // block for HangFor before answering
+	AdversarialRate float64 // report AdversarialValue instead of the truth
+
+	// AdversarialValue is the fabricated measurement reported on an
+	// adversarial draw (default 1e6; for minimization, a large value
+	// that cannot masquerade as a new optimum).
+	AdversarialValue float64
+	// HangFor is how long a hang blocks (default 1 minute — far past
+	// any sane evaluation timeout).
+	HangFor time.Duration
+
+	// Injection counters, by fault kind.
+	NaNs        atomic.Int64
+	Errors      atomic.Int64
+	Panics      atomic.Int64
+	Hangs       atomic.Int64
+	Adversarial atomic.Int64
+}
+
+// Evaluate implements Evaluator.
+func (f *FaultyEvaluator) Evaluate(task, params map[string]interface{}) (float64, error) {
+	u := f.roll(task, params)
+	edge := f.NaNRate
+	if u < edge {
+		f.NaNs.Add(1)
+		return math.NaN(), nil
+	}
+	if edge += f.ErrorRate; u < edge {
+		f.Errors.Add(1)
+		return 0, fmt.Errorf("faulty evaluator: injected failure")
+	}
+	if edge += f.PanicRate; u < edge {
+		f.Panics.Add(1)
+		panic("faulty evaluator: injected panic")
+	}
+	if edge += f.HangRate; u < edge {
+		f.Hangs.Add(1)
+		d := f.HangFor
+		if d <= 0 {
+			d = time.Minute
+		}
+		time.Sleep(d)
+		return f.Inner.Evaluate(task, params)
+	}
+	if edge += f.AdversarialRate; u < edge {
+		f.Adversarial.Add(1)
+		v := f.AdversarialValue
+		if v == 0 {
+			v = 1e6
+		}
+		return v, nil
+	}
+	return f.Inner.Evaluate(task, params)
+}
+
+// roll hashes the (task, params) pair with the seed into [0,1). Map
+// iteration order must not leak into the draw, so keys are sorted.
+func (f *FaultyEvaluator) roll(task, params map[string]interface{}) float64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|", f.Seed)
+	writeSorted(h, task)
+	fmt.Fprint(h, "|")
+	writeSorted(h, params)
+	return float64(h.Sum64()>>11) / float64(1<<53)
+}
+
+func writeSorted(h interface{ Write([]byte) (int, error) }, m map[string]interface{}) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(h, "%s=%v;", k, m[k])
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 )
 
@@ -23,6 +24,41 @@ type ProposeContext struct {
 	Rng     *rand.Rand
 	Iter    int // 0-based evaluation index
 	Search  SearchOptions
+
+	// Stats, when non-nil, accumulates the session's robustness
+	// counters (fit failures survived, space-filling fallbacks, robust
+	// ingestion gauges). Proposers report through the helpers below.
+	Stats *RobustStats
+	// Logf, when non-nil, receives degradation log lines.
+	Logf func(format string, args ...interface{})
+}
+
+// DegradeToSpaceFill records that a surrogate fit failed and the
+// proposer is answering this iteration with space-filling sampling
+// instead of aborting the session, then draws the fallback point.
+func (ctx *ProposeContext) DegradeToSpaceFill(proposer string, fitErr error) []float64 {
+	if ctx.Stats != nil {
+		ctx.Stats.FitFailures++
+		ctx.Stats.SpaceFill++
+	}
+	if ctx.Logf != nil {
+		ctx.Logf("%s: surrogate fit failed at iteration %d, degrading to space-filling sampling: %v",
+			proposer, ctx.Iter, fitErr)
+	}
+	return ctx.RandomFeasible()
+}
+
+// NoteRobustIngestion records what the robust sample filter did before
+// the current fit.
+func (ctx *ProposeContext) NoteRobustIngestion(info RobustInfo) {
+	if ctx.Stats != nil {
+		ctx.Stats.LastOutliers = int64(info.Outliers)
+		ctx.Stats.LastImputed = int64(info.Imputed)
+	}
+	if ctx.Logf != nil && (info.Outliers > 0 || info.NonFinite > 0) {
+		ctx.Logf("robust ingestion at iteration %d: kept %d, excluded %d outliers, imputed %d failures, dropped %d non-finite",
+			ctx.Iter, info.OK, info.Outliers, info.Imputed, info.NonFinite)
+	}
 }
 
 // RandomFeasible draws a random canonical point satisfying the
@@ -88,10 +124,16 @@ func RunLoop(p *Problem, task map[string]interface{}, proposer Proposer, opts Lo
 		params := p.ParamSpace.Decode(u)
 		s := Sample{ParamU: u, Params: params, Proposer: proposer.Name()}
 		y, err := p.Evaluator.Evaluate(task, params)
-		if err != nil {
+		switch {
+		case err != nil:
 			s.Failed = true
 			s.Err = err.Error()
-		} else {
+		case math.IsNaN(y) || math.IsInf(y, 0):
+			// Mirror Session.Observe: a non-finite objective is recorded
+			// as a failure so it can never reach a surrogate fit.
+			s.Failed = true
+			s.Err = fmt.Sprintf("non-finite objective %v", y)
+		default:
 			s.Y = y
 		}
 		h.Append(s)

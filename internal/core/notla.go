@@ -15,7 +15,13 @@ type GPTuner struct {
 	Acquisition Acquisition
 	MinSamples  int // successful samples required before modeling (default 2)
 	Restarts    int // GP fit restarts (default 2)
-	label       string
+	// Robust tunes the outlier filter / failure imputation applied to
+	// the history before each fit (zero value = defaults).
+	Robust RobustOptions
+	label  string
+
+	// fitFn substitutes the GP fit in tests (nil = gp.Fit).
+	fitFn func(X [][]float64, Y []float64, opts gp.Options) (*gp.GP, error)
 }
 
 // NewGPTuner returns the default NoTLA proposer.
@@ -37,19 +43,27 @@ func (t *GPTuner) Propose(ctx *ProposeContext) ([]float64, error) {
 	if minSamples < 2 {
 		minSamples = 2
 	}
-	X, Y := ctx.History.XY()
-	if len(X) < minSamples {
+	// Robust ingestion: MAD-filter outliers, impute failures at a
+	// penalty, and keep anything non-finite away from the fit.
+	X, Y, info := ctx.History.RobustXY(t.Robust)
+	ctx.NoteRobustIngestion(info)
+	if info.OK < minSamples {
 		return ctx.RandomFeasible(), nil
 	}
-	model, err := gp.Fit(X, Y, gp.Options{
+	fit := t.fitFn
+	if fit == nil {
+		fit = gp.Fit
+	}
+	model, err := fit(X, Y, gp.Options{
 		Kernel:      t.Kernel,
 		Categorical: ctx.Problem.CategoricalMask(),
 		Restarts:    t.Restarts,
 		Seed:        ctx.Rng.Int63(),
 	})
 	if err != nil {
-		// Surrogate trouble should not kill the run; explore instead.
-		return ctx.RandomFeasible(), nil
+		// Surrogate trouble should not kill the run; degrade to
+		// space-filling sampling for this iteration (logged + counted).
+		return ctx.DegradeToSpaceFill(t.Name(), err), nil
 	}
 	acq := t.Acquisition
 	if acq == nil {

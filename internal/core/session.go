@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 )
 
@@ -14,6 +15,10 @@ type SessionOptions struct {
 	Search SearchOptions
 	// OnSample observes every recorded evaluation.
 	OnSample func(i int, s Sample)
+	// Logf, when set, receives degradation log lines (fit failures,
+	// robust-ingestion notes). Diagnostics only — never part of the
+	// checkpointed state.
+	Logf func(format string, args ...interface{})
 }
 
 // Session is a suspendable tuning run: the propose → evaluate → record
@@ -42,6 +47,7 @@ type Session struct {
 	h       *History
 	iter    int       // evaluations recorded so far
 	pending []float64 // outstanding canonical proposal, nil when none
+	stats   RobustStats
 }
 
 // NewSession validates the problem and returns a fresh session. Unlike
@@ -102,6 +108,12 @@ func (s *Session) Budget() int { return s.opts.Budget }
 // History returns the session's evaluation history (live, not a copy).
 func (s *Session) History() *History { return s.h }
 
+// Stats returns the session's robustness counters: surrogate-fit
+// failures survived, space-filling fallbacks, and the most recent
+// robust-ingestion gauges. Diagnostics only — not checkpointed, so a
+// resumed session starts its counters at zero.
+func (s *Session) Stats() RobustStats { return s.stats }
+
 // Propose returns the next configuration to evaluate. It is idempotent
 // while a proposal is outstanding: calling it again (e.g. after a
 // resume) returns the same configuration without consuming randomness.
@@ -119,6 +131,8 @@ func (s *Session) Propose() (map[string]interface{}, error) {
 		Rng:     s.rng,
 		Iter:    s.iter,
 		Search:  s.search,
+		Stats:   &s.stats,
+		Logf:    s.opts.Logf,
 	}
 	u, err := s.proposer.Propose(ctx)
 	if err != nil {
@@ -144,10 +158,17 @@ func (s *Session) Observe(y float64, evalErr error) error {
 		Params:   s.problem.ParamSpace.Decode(s.pending),
 		Proposer: s.proposer.Name(),
 	}
-	if evalErr != nil {
+	switch {
+	case evalErr != nil:
 		smp.Failed = true
 		smp.Err = evalErr.Error()
-	} else {
+	case math.IsNaN(y) || math.IsInf(y, 0):
+		// A non-finite "success" is a failure in disguise: recording it
+		// as Failed (with Y zeroed) keeps NaN/Inf out of every surrogate
+		// fit and keeps the history/checkpoint JSON-serializable.
+		smp.Failed = true
+		smp.Err = fmt.Sprintf("non-finite objective %v", y)
+	default:
 		smp.Y = y
 	}
 	s.h.Append(smp)
@@ -276,6 +297,17 @@ func ResumeSession(p *Problem, task map[string]interface{}, proposer Proposer, o
 		if len(smp.U) != dim {
 			return nil, fmt.Errorf("core: checkpoint sample %d has dimension %d, want %d", i, len(smp.U), dim)
 		}
+		// Checkpoints can arrive through the crowd task pool, so their
+		// numeric content is untrusted: a NaN coordinate would corrupt
+		// Decode and every later fit.
+		for d, u := range smp.U {
+			if math.IsNaN(u) || math.IsInf(u, 0) {
+				return nil, fmt.Errorf("core: checkpoint sample %d has non-finite coordinate %v at dim %d", i, u, d)
+			}
+		}
+		if !smp.Failed && (math.IsNaN(smp.Y) || math.IsInf(smp.Y, 0)) {
+			return nil, fmt.Errorf("core: checkpoint sample %d has non-finite objective %v", i, smp.Y)
+		}
 		s.h.Append(Sample{
 			ParamU:   smp.U,
 			Params:   p.ParamSpace.Decode(smp.U),
@@ -292,6 +324,11 @@ func ResumeSession(p *Problem, task map[string]interface{}, proposer Proposer, o
 	if cp.Pending != nil {
 		if len(cp.Pending) != dim {
 			return nil, fmt.Errorf("core: checkpoint pending point has dimension %d, want %d", len(cp.Pending), dim)
+		}
+		for d, u := range cp.Pending {
+			if math.IsNaN(u) || math.IsInf(u, 0) {
+				return nil, fmt.Errorf("core: checkpoint pending point has non-finite coordinate %v at dim %d", u, d)
+			}
 		}
 		s.pending = cp.Pending
 	}

@@ -190,6 +190,7 @@ func (c *Client) attempt(ctx context.Context, path string, body []byte, out inte
 		var e errorResponse
 		if json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&e) == nil && e.Error != "" {
 			apiErr.Message = e.Error
+			apiErr.Code = e.Code
 		}
 		return apiErr, apiErr.Temporary()
 	}
@@ -234,6 +235,36 @@ func (c *Client) UploadContext(ctx context.Context, evals []FuncEval) ([]string,
 		return nil, err
 	}
 	return resp.IDs, nil
+}
+
+// UploadReportContext is UploadContext returning the full server
+// response, including which batch positions were quarantined and why.
+func (c *Client) UploadReportContext(ctx context.Context, evals []FuncEval) (*UploadResponse, error) {
+	var resp UploadResponse
+	req := UploadRequest{FuncEvals: evals, BatchID: newBatchID()}
+	if err := c.post(ctx, "/api/v1/func_eval/upload", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// QuarantineList fetches quarantined samples (admin).
+func (c *Client) QuarantineList(ctx context.Context, req QuarantineListRequest) ([]QuarantinedSample, error) {
+	var resp QuarantineListResponse
+	if err := c.post(ctx, "/api/v1/quarantine", req, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Items, nil
+}
+
+// QuarantineRelease releases one quarantined sample into the main
+// store (admin) and returns its new func_eval id.
+func (c *Client) QuarantineRelease(ctx context.Context, id string) (string, error) {
+	var resp QuarantineReleaseResponse
+	if err := c.post(ctx, "/api/v1/quarantine/release", QuarantineReleaseRequest{ID: id}, &resp); err != nil {
+		return "", err
+	}
+	return resp.FuncEvalID, nil
 }
 
 // Query downloads the samples matching the request.

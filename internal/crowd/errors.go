@@ -15,6 +15,9 @@ type APIError struct {
 	// Message is the server's error string (empty if the body carried
 	// none).
 	Message string
+	// Code is the server's machine-readable failure class, when it sent
+	// one (e.g. "duplicate_ids").
+	Code string
 	// Path is the API path of the failed request.
 	Path string
 }

@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"net/http/httptest"
 	"testing"
+
+	"gptunecrowd/internal/space"
 )
 
 // fuzzServer returns a server plus a valid API key, for driving handlers
@@ -59,8 +61,78 @@ func FuzzUploadDecode(f *testing.F) {
 			if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
 				t.Fatalf("200 upload with undecodable response: %v", err)
 			}
-			if len(resp.IDs) == 0 {
-				t.Fatalf("200 upload assigned no ids for input %q", body)
+			if len(resp.IDs)+len(resp.Quarantined) == 0 {
+				t.Fatalf("200 upload neither stored nor quarantined anything for input %q", body)
+			}
+		}
+	})
+}
+
+// FuzzValidateSample drives arbitrary upload bodies against a server
+// with a registered problem policy, so the whole per-sample trust path
+// (decode → structural checks → space validation → output checks →
+// quarantine) runs on hostile input. Invariants on top of fuzzPost's:
+// every sample of a 200 batch is either stored or quarantined with a
+// known reason code and an in-range batch index.
+func FuzzValidateSample(f *testing.F) {
+	srv, key := fuzzServer(f)
+	sp, err := space.New(
+		space.Param{Name: "x", Kind: space.Real, Lo: 0, Hi: 1},
+		space.Param{Name: "n", Kind: space.Integer, Lo: 1, Hi: 16},
+		space.Param{Name: "alg", Kind: space.Categorical, Categories: []string{"a", "b"}},
+	)
+	if err != nil {
+		f.Fatal(err)
+	}
+	srv.RegisterProblemPolicy("p", ProblemPolicy{
+		Space:                 sp,
+		RequirePositiveOutput: true,
+		OutputLo:              1e-3,
+		OutputHi:              1e4,
+	})
+	ok := `"tuning_problem_name":"p","tuning_parameters":{"x":0.5,"n":4,"alg":"a"}`
+	f.Add([]byte(`{"func_evals":[{` + ok + `,"evaluation_result":1.5}]}`))
+	f.Add([]byte(`{"func_evals":[{` + ok + `,"evaluation_result":-2}]}`))
+	f.Add([]byte(`{"func_evals":[{` + ok + `,"evaluation_result":1e300}]}`))
+	f.Add([]byte(`{"func_evals":[{` + ok + `,"evaluation_result":0.5,"failed":true}]}`))
+	f.Add([]byte(`{"func_evals":[{"tuning_problem_name":"p","tuning_parameters":{"x":"half","n":4,"alg":"a"},"evaluation_result":1}]}`))
+	f.Add([]byte(`{"func_evals":[{"tuning_problem_name":"p","tuning_parameters":{"x":5,"n":4,"alg":"a"},"evaluation_result":1}]}`))
+	f.Add([]byte(`{"func_evals":[{"tuning_problem_name":"p","tuning_parameters":{"x":0.5,"n":4.5,"alg":"a"},"evaluation_result":1}]}`))
+	f.Add([]byte(`{"func_evals":[{"tuning_problem_name":"p","tuning_parameters":{"x":0.5,"n":4,"alg":"z"},"evaluation_result":1}]}`))
+	f.Add([]byte(`{"func_evals":[{"tuning_problem_name":"p","tuning_parameters":{"x":0.5,"alg":"a"},"evaluation_result":1}]}`))
+	f.Add([]byte(`{"func_evals":[{"tuning_problem_name":"p","tuning_parameters":{"x":0.5,"n":4,"alg":"a","extra":1},"evaluation_result":1}]}`))
+	f.Add([]byte(`{"func_evals":[{"_id":"d","tuning_problem_name":"p","evaluation_result":1},{"_id":"d","tuning_problem_name":"p","evaluation_result":2}]}`))
+	f.Add([]byte(`{"func_evals":[{"tuning_problem_name":"other","tuning_parameters":{"whatever":true},"evaluation_result":1}]}`))
+	known := make(map[QuarantineReason]bool)
+	for _, r := range KnownQuarantineReasons() {
+		known[r] = true
+	}
+	f.Fuzz(func(t *testing.T, body []byte) {
+		// The batch-size invariant only holds for non-idempotent
+		// uploads: a reused batch_id replays the first outcome, whatever
+		// the current body says.
+		var req UploadRequest
+		batchLen := -1
+		if json.Unmarshal(body, &req) == nil && req.BatchID == "" {
+			batchLen = len(req.FuncEvals)
+		}
+		rec := fuzzPost(t, srv, "/api/v1/func_eval/upload", key, body)
+		if rec.Code != 200 {
+			return
+		}
+		var resp UploadResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatalf("200 upload with undecodable response: %v", err)
+		}
+		if batchLen >= 0 && len(resp.IDs)+len(resp.Quarantined) != batchLen {
+			t.Fatalf("batch of %d: %d stored + %d quarantined", batchLen, len(resp.IDs), len(resp.Quarantined))
+		}
+		for _, q := range resp.Quarantined {
+			if !known[q.Reason] {
+				t.Fatalf("unknown quarantine reason %q for input %q", q.Reason, body)
+			}
+			if q.Index < 0 || (batchLen >= 0 && q.Index >= batchLen) {
+				t.Fatalf("quarantine index %d out of range for batch of %d", q.Index, batchLen)
 			}
 		}
 	})

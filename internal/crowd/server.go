@@ -40,6 +40,9 @@ type Config struct {
 	// TaskMaxAttempts caps how often a task may be leased before it is
 	// dead-lettered (taskpool.DefaultMaxAttempts when zero).
 	TaskMaxAttempts int
+	// AdminUsers may list and release quarantined samples. Empty means
+	// every authenticated user may (the single-operator deployment).
+	AdminUsers []string
 }
 
 // Defaults for the zero Config.
@@ -84,10 +87,20 @@ type MetricsSnapshot struct {
 	Replays   int64 `json:"upload_replays"` // idempotent batch replays
 	Queries   int64 `json:"queries"`
 
+	// SamplesAccepted/SamplesQuarantined count individual samples
+	// through the trust layer (a batch can contribute to both).
+	SamplesAccepted    int64 `json:"samples_accepted"`
+	SamplesQuarantined int64 `json:"samples_quarantined"`
+
 	// TaskPool is the task-pool view: queued/leased/completed/dead
 	// gauges plus cumulative lease-lifecycle counters. Filled from the
 	// pool at snapshot time, not maintained by the middleware.
 	TaskPool taskpool.Stats `json:"task_pool"`
+
+	// Quarantine gauges and per-uploader reputation, filled at snapshot
+	// time from the trust layer.
+	Quarantine QuarantineStats       `json:"quarantine"`
+	Reputation map[string]Reputation `json:"reputation,omitempty"`
 }
 
 type metrics struct {
@@ -137,6 +150,13 @@ type Server struct {
 	batchMu    sync.Mutex
 	batches    map[string]*batchEntry
 	batchOrder []string
+
+	// Trust layer: per-problem validation policies, quarantine gauges,
+	// uploader reputation, and the release serialization lock.
+	policies   policyStore
+	qCounters  quarantineCounters
+	reputation *reputationStore
+	releaseMu  sync.Mutex
 }
 
 // NewServer returns a server with an empty store and default Config.
@@ -146,13 +166,14 @@ func NewServer() *Server { return NewServerWith(Config{}) }
 // concurrency/overload configuration.
 func NewServerWith(cfg Config) *Server {
 	s := &Server{
-		store:     historydb.NewStore(),
-		tasks:     taskpool.New(taskpool.Config{LeaseTTL: cfg.TaskLeaseTTL, MaxAttempts: cfg.TaskMaxAttempts}),
-		cfg:       cfg,
-		sem:       make(chan struct{}, cfg.maxInFlight()),
-		keyToUser: make(map[string]string),
-		usernames: make(map[string]bool),
-		batches:   make(map[string]*batchEntry),
+		store:      historydb.NewStore(),
+		tasks:      taskpool.New(taskpool.Config{LeaseTTL: cfg.TaskLeaseTTL, MaxAttempts: cfg.TaskMaxAttempts}),
+		cfg:        cfg,
+		sem:        make(chan struct{}, cfg.maxInFlight()),
+		keyToUser:  make(map[string]string),
+		usernames:  make(map[string]bool),
+		batches:    make(map[string]*batchEntry),
+		reputation: newReputationStore(),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/api/v1/register", s.handleRegister)
@@ -167,6 +188,8 @@ func NewServerWith(cfg Config) *Server {
 	mux.HandleFunc("/api/v1/tasks/complete", s.auth(s.handleTaskComplete))
 	mux.HandleFunc("/api/v1/tasks/fail", s.auth(s.handleTaskFail))
 	mux.HandleFunc("/api/v1/tasks/list", s.auth(s.handleTaskList))
+	mux.HandleFunc("/api/v1/quarantine", s.auth(s.handleQuarantineList))
+	mux.HandleFunc("/api/v1/quarantine/release", s.auth(s.handleQuarantineRelease))
 	mux.HandleFunc("/api/v1/stats", s.handleStats)
 	mux.HandleFunc("/api/v1/healthz", s.handleHealthz)
 	s.mux = mux
@@ -183,6 +206,8 @@ func (s *Server) Store() *historydb.Store { return s.store }
 func (s *Server) Metrics() MetricsSnapshot {
 	m := s.metrics.snapshot()
 	m.TaskPool = s.tasks.Stats()
+	m.Quarantine = s.qCounters.snapshot()
+	m.Reputation = s.reputation.snapshot()
 	return m
 }
 
@@ -477,11 +502,21 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request, user strin
 	writeJSON(w, status, payload)
 }
 
+// applyUpload is the trust boundary for crowd data. Structural defects
+// (empty batch, missing problem name, bad accessibility, duplicate ids)
+// reject the whole batch with 400 — nothing sensible can be stored.
+// Samples that are structurally fine but fail the content checks (space
+// membership, finite/plausible output) are routed to quarantine
+// individually: the rest of the batch is stored, the response reports
+// which positions were held and why, and the uploader's reputation
+// records both outcomes.
 func (s *Server) applyUpload(req *UploadRequest, user string) (int, interface{}) {
 	if len(req.FuncEvals) == 0 {
 		return http.StatusBadRequest, errorResponse{Error: "no function evaluations in upload"}
 	}
-	docs := make([]historydb.Document, len(req.FuncEvals))
+	if dup := checkDuplicateIDs(req.FuncEvals); dup != nil {
+		return http.StatusBadRequest, errorResponse{Error: dup.Error(), Code: "duplicate_ids"}
+	}
 	for i := range req.FuncEvals {
 		fe := &req.FuncEvals[i]
 		if err := fe.Validate(); err != nil {
@@ -492,18 +527,52 @@ func (s *Server) applyUpload(req *UploadRequest, user string) (int, interface{})
 			fe.Accessibility = "public"
 		}
 		fe.Machine = fe.Machine.Normalize()
+	}
+
+	var (
+		docs        []historydb.Document
+		accepted    []*FuncEval
+		quarantined []QuarantineReport
+	)
+	for i := range req.FuncEvals {
+		fe := &req.FuncEvals[i]
+		policy, hasPolicy := s.policies.get(fe.TuningProblemName)
+		if reason, detail := validateSample(fe, policy, hasPolicy); reason != "" {
+			if err := s.quarantineSample(fe, user, reason, detail); err != nil {
+				return http.StatusInternalServerError, errorResponse{Error: fmt.Sprintf("store error: %v", err)}
+			}
+			quarantined = append(quarantined, QuarantineReport{Index: i, Reason: reason, Detail: detail})
+			continue
+		}
 		doc, err := toDocument(fe)
 		if err != nil {
 			return http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("sample %d: %v", i, err)}
 		}
-		docs[i] = doc
+		docs = append(docs, doc)
+		accepted = append(accepted, fe)
 	}
-	ids, err := s.funcEvals().InsertMany(docs)
-	if err != nil {
-		return http.StatusInternalServerError, errorResponse{Error: fmt.Sprintf("store error: %v", err)}
+	var ids []string
+	if len(docs) > 0 {
+		// Consensus runs before the insert so a sample is compared
+		// against its peers, not against itself or its batch siblings.
+		for _, fe := range accepted {
+			s.consensusCheck(fe, user)
+		}
+		var err error
+		ids, err = s.funcEvals().InsertMany(docs)
+		if err != nil {
+			return http.StatusInternalServerError, errorResponse{Error: fmt.Sprintf("store error: %v", err)}
+		}
+		for range accepted {
+			s.reputation.recordAccepted(user)
+		}
 	}
-	s.metrics.add(func(m *MetricsSnapshot) { m.Uploads++ })
-	return http.StatusOK, UploadResponse{IDs: ids}
+	s.metrics.add(func(m *MetricsSnapshot) {
+		m.Uploads++
+		m.SamplesAccepted += int64(len(ids))
+		m.SamplesQuarantined += int64(len(quarantined))
+	})
+	return http.StatusOK, UploadResponse{IDs: ids, Quarantined: quarantined}
 }
 
 // handleQuery returns samples matching the problem name, environment

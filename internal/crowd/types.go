@@ -130,9 +130,21 @@ type UploadRequest struct {
 	BatchID string `json:"batch_id,omitempty"`
 }
 
-// UploadResponse reports assigned ids.
+// QuarantineReport tells an uploader that one sample of their batch was
+// quarantined rather than stored.
+type QuarantineReport struct {
+	// Index is the sample's position in the uploaded batch.
+	Index  int              `json:"index"`
+	Reason QuarantineReason `json:"reason"`
+	Detail string           `json:"detail,omitempty"`
+}
+
+// UploadResponse reports the ids assigned to stored samples and which
+// batch positions were quarantined instead. IDs align with the accepted
+// samples in batch order, not with batch positions.
 type UploadResponse struct {
-	IDs []string `json:"ids"`
+	IDs         []string           `json:"ids"`
+	Quarantined []QuarantineReport `json:"quarantined,omitempty"`
 }
 
 // RegisterRequest creates a user account.
@@ -155,4 +167,8 @@ type ProblemsResponse struct {
 
 type errorResponse struct {
 	Error string `json:"error"`
+	// Code optionally machine-classifies the failure (e.g.
+	// "duplicate_ids" for intra-batch id collisions); it surfaces on
+	// the client as APIError.Code.
+	Code string `json:"code,omitempty"`
 }

@@ -1,0 +1,254 @@
+package crowd
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+
+	"gptunecrowd/internal/space"
+)
+
+// QuarantineReason classifies why a sample was quarantined instead of
+// stored. The codes are stable wire values: they appear in upload
+// responses, quarantine documents, and the per-reason gauges on
+// /api/v1/stats.
+type QuarantineReason string
+
+const (
+	// ReasonNonFiniteOutput marks a successful sample whose
+	// evaluation_result is NaN or ±Inf.
+	ReasonNonFiniteOutput QuarantineReason = "non_finite_output"
+	// ReasonNonPositiveOutput marks a runtime-like objective that is
+	// zero or negative (only for problems whose policy requires a
+	// positive output).
+	ReasonNonPositiveOutput QuarantineReason = "non_positive_output"
+	// ReasonOutputOutOfRange marks an objective outside the policy's
+	// plausible [OutputLo, OutputHi] window — the adversarial-runtime
+	// case.
+	ReasonOutputOutOfRange QuarantineReason = "output_out_of_range"
+	// ReasonBadParamType marks a tuning parameter whose JSON type does
+	// not match the declared space (string where a number is declared,
+	// non-integral integer, ...).
+	ReasonBadParamType QuarantineReason = "bad_param_type"
+	// ReasonParamOutOfRange marks a numeric tuning parameter outside its
+	// declared bounds.
+	ReasonParamOutOfRange QuarantineReason = "param_out_of_range"
+	// ReasonUnknownCategory marks a categorical value not in the
+	// declared category list.
+	ReasonUnknownCategory QuarantineReason = "unknown_category"
+	// ReasonMissingParam marks a sample missing a declared tuning
+	// parameter.
+	ReasonMissingParam QuarantineReason = "missing_param"
+	// ReasonUnknownParam marks a sample carrying a tuning parameter the
+	// declared space does not know.
+	ReasonUnknownParam QuarantineReason = "unknown_param"
+)
+
+// KnownQuarantineReasons lists every reason code (for validation and
+// docs).
+func KnownQuarantineReasons() []QuarantineReason {
+	return []QuarantineReason{
+		ReasonNonFiniteOutput, ReasonNonPositiveOutput, ReasonOutputOutOfRange,
+		ReasonBadParamType, ReasonParamOutOfRange, ReasonUnknownCategory,
+		ReasonMissingParam, ReasonUnknownParam,
+	}
+}
+
+// DuplicateIDError is the typed validation error for an upload batch
+// that names the same function-evaluation _id more than once. The whole
+// batch is rejected: silently keeping one copy would make the upload
+// outcome depend on slice order.
+type DuplicateIDError struct {
+	ID      string // the colliding id
+	Indices []int  // batch positions carrying it
+}
+
+// Error implements the error interface.
+func (e *DuplicateIDError) Error() string {
+	return fmt.Sprintf("crowd: duplicate function-evaluation id %q at batch positions %v", e.ID, e.Indices)
+}
+
+// checkDuplicateIDs scans a batch for repeated non-empty _id fields.
+func checkDuplicateIDs(evals []FuncEval) *DuplicateIDError {
+	seen := make(map[string]int, len(evals))
+	for i := range evals {
+		id := evals[i].ID
+		if id == "" {
+			continue
+		}
+		if first, ok := seen[id]; ok {
+			return &DuplicateIDError{ID: id, Indices: []int{first, i}}
+		}
+		seen[id] = i
+	}
+	return nil
+}
+
+// ProblemPolicy declares what the server will believe about samples of
+// one tuning problem. A registered policy turns on per-sample space and
+// output validation; unregistered problems get only the universal
+// finiteness check.
+type ProblemPolicy struct {
+	// Space is the declared tuning-parameter space; every sample's
+	// tuning_parameters must type-check and range-check against it.
+	// nil disables parameter validation.
+	Space *space.Space
+	// RequirePositiveOutput rejects outputs <= 0 — set it for
+	// runtime-like objectives, leave it off for synthetic functions
+	// that legitimately go negative.
+	RequirePositiveOutput bool
+	// OutputLo/OutputHi bound plausible objective values; both zero
+	// disables the range check. Samples outside are quarantined as
+	// adversarial/implausible.
+	OutputLo, OutputHi float64
+}
+
+func (p ProblemPolicy) hasOutputRange() bool { return p.OutputLo != 0 || p.OutputHi != 0 }
+
+// policyStore holds registered per-problem policies.
+type policyStore struct {
+	mu       sync.RWMutex
+	policies map[string]ProblemPolicy
+}
+
+func (ps *policyStore) get(problem string) (ProblemPolicy, bool) {
+	ps.mu.RLock()
+	defer ps.mu.RUnlock()
+	p, ok := ps.policies[problem]
+	return p, ok
+}
+
+func (ps *policyStore) set(problem string, p ProblemPolicy) {
+	ps.mu.Lock()
+	if ps.policies == nil {
+		ps.policies = make(map[string]ProblemPolicy)
+	}
+	ps.policies[problem] = p
+	ps.mu.Unlock()
+}
+
+// RegisterProblemPolicy declares the tuning space and output rules for
+// a problem. Uploads for the problem are validated per sample against
+// the policy; violations are quarantined with a reason code instead of
+// stored.
+func (s *Server) RegisterProblemPolicy(problem string, p ProblemPolicy) {
+	s.policies.set(problem, p)
+}
+
+// validateSample runs the trust checks on one structurally valid
+// sample. It returns the quarantine reason and a human-readable detail,
+// or ("", "") when the sample may be stored. Failed samples skip the
+// output checks (their evaluation_result is not a measurement) but
+// still have their parameters validated.
+func validateSample(fe *FuncEval, policy ProblemPolicy, hasPolicy bool) (QuarantineReason, string) {
+	if !fe.Failed {
+		if math.IsNaN(fe.Output) || math.IsInf(fe.Output, 0) {
+			return ReasonNonFiniteOutput, fmt.Sprintf("evaluation_result is %v", fe.Output)
+		}
+		if hasPolicy {
+			if policy.RequirePositiveOutput && fe.Output <= 0 {
+				return ReasonNonPositiveOutput, fmt.Sprintf("evaluation_result %v is not positive", fe.Output)
+			}
+			if policy.hasOutputRange() && (fe.Output < policy.OutputLo || fe.Output > policy.OutputHi) {
+				return ReasonOutputOutOfRange,
+					fmt.Sprintf("evaluation_result %v outside plausible [%v, %v]", fe.Output, policy.OutputLo, policy.OutputHi)
+			}
+		}
+	}
+	if hasPolicy && policy.Space != nil {
+		if reason, detail := validateParams(fe.TuningParams, policy.Space); reason != "" {
+			return reason, detail
+		}
+	}
+	return "", ""
+}
+
+// validateParams checks a tuning-parameter map against a declared
+// space: every declared parameter present with the right type and
+// range, no undeclared extras. Parameters are checked in declaration
+// order (then extras sorted by name) so the reported violation is
+// deterministic.
+func validateParams(params map[string]interface{}, sp *space.Space) (QuarantineReason, string) {
+	for _, p := range sp.Params {
+		v, ok := params[p.Name]
+		if !ok {
+			return ReasonMissingParam, fmt.Sprintf("tuning parameter %q missing", p.Name)
+		}
+		if reason, detail := validateParamValue(p, v); reason != "" {
+			return reason, detail
+		}
+	}
+	if len(params) > len(sp.Params) {
+		extras := make([]string, 0, len(params)-len(sp.Params))
+		for name := range params {
+			if sp.Index(name) < 0 {
+				extras = append(extras, name)
+			}
+		}
+		if len(extras) > 0 {
+			sort.Strings(extras)
+			return ReasonUnknownParam, fmt.Sprintf("undeclared tuning parameters: %s", strings.Join(extras, ", "))
+		}
+	}
+	return "", ""
+}
+
+// validateParamValue checks one value against its declared parameter.
+func validateParamValue(p space.Param, v interface{}) (QuarantineReason, string) {
+	switch p.Kind {
+	case space.Real:
+		f, ok := asFloat(v)
+		if !ok {
+			return ReasonBadParamType, fmt.Sprintf("parameter %q: expected number, got %T", p.Name, v)
+		}
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return ReasonBadParamType, fmt.Sprintf("parameter %q: non-finite value %v", p.Name, f)
+		}
+		if f < p.Lo || f > p.Hi {
+			return ReasonParamOutOfRange, fmt.Sprintf("parameter %q: %v outside [%v, %v]", p.Name, f, p.Lo, p.Hi)
+		}
+	case space.Integer:
+		f, ok := asFloat(v)
+		if !ok {
+			return ReasonBadParamType, fmt.Sprintf("parameter %q: expected integer, got %T", p.Name, v)
+		}
+		if math.IsNaN(f) || math.IsInf(f, 0) || f != math.Trunc(f) {
+			return ReasonBadParamType, fmt.Sprintf("parameter %q: %v is not an integer", p.Name, f)
+		}
+		if f < math.Ceil(p.Lo) || f >= p.Hi {
+			return ReasonParamOutOfRange, fmt.Sprintf("parameter %q: %v outside [%v, %v)", p.Name, f, p.Lo, p.Hi)
+		}
+	case space.Categorical:
+		s, ok := v.(string)
+		if !ok {
+			return ReasonBadParamType, fmt.Sprintf("parameter %q: expected string, got %T", p.Name, v)
+		}
+		for _, c := range p.Categories {
+			if c == s {
+				return "", ""
+			}
+		}
+		return ReasonUnknownCategory, fmt.Sprintf("parameter %q: unknown category %q", p.Name, s)
+	}
+	return "", ""
+}
+
+// asFloat accepts the numeric types a sample can arrive with: float64
+// from JSON decoding, int/int64 from in-process construction.
+func asFloat(v interface{}) (float64, bool) {
+	switch x := v.(type) {
+	case float64:
+		return x, true
+	case float32:
+		return float64(x), true
+	case int:
+		return float64(x), true
+	case int64:
+		return float64(x), true
+	case int32:
+		return float64(x), true
+	}
+	return 0, false
+}

@@ -76,17 +76,10 @@ func Fit(X [][]float64, y []float64, opts Options) (*GP, error) {
 	if len(y) != n {
 		return nil, fmt.Errorf("gp: %d inputs but %d targets", n, len(y))
 	}
+	if err := checkFinite(X, y); err != nil {
+		return nil, err
+	}
 	dim := len(X[0])
-	for i, x := range X {
-		if len(x) != dim {
-			return nil, fmt.Errorf("gp: input %d has dimension %d, want %d", i, len(x), dim)
-		}
-	}
-	for i, v := range y {
-		if math.IsNaN(v) || math.IsInf(v, 0) {
-			return nil, fmt.Errorf("gp: target %d is not finite (%v)", i, v)
-		}
-	}
 	if opts.Restarts <= 0 {
 		opts.Restarts = 2
 	}
@@ -168,6 +161,12 @@ func FitFixed(X [][]float64, y []float64, kern *kernel.Kernel, hyper *kernel.Hyp
 	if n == 0 {
 		return nil, ErrNoData
 	}
+	if len(y) != n {
+		return nil, fmt.Errorf("gp: %d inputs but %d targets", n, len(y))
+	}
+	if err := checkFinite(X, y); err != nil {
+		return nil, err
+	}
 	var mean, sd float64
 	for _, v := range y {
 		mean += v
@@ -189,6 +188,28 @@ func FitFixed(X [][]float64, y []float64, kern *kernel.Kernel, hyper *kernel.Hyp
 		return nil, err
 	}
 	return g, nil
+}
+
+// checkFinite rejects ragged or non-finite training data — crowd-fed
+// histories can carry NaN/Inf that would silently poison the Cholesky.
+func checkFinite(X [][]float64, y []float64) error {
+	dim := len(X[0])
+	for i, x := range X {
+		if len(x) != dim {
+			return fmt.Errorf("gp: input %d has dimension %d, want %d", i, len(x), dim)
+		}
+		for j, c := range x {
+			if math.IsNaN(c) || math.IsInf(c, 0) {
+				return fmt.Errorf("gp: input %d coordinate %d is not finite (%v)", i, j, c)
+			}
+		}
+	}
+	for i, v := range y {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("gp: target %d is not finite (%v)", i, v)
+		}
+	}
+	return nil
 }
 
 func clamp(v, lo, hi float64) float64 {

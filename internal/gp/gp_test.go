@@ -84,6 +84,15 @@ func TestFitErrors(t *testing.T) {
 	if _, err := Fit([][]float64{{0}}, []float64{math.NaN()}, Options{}); err == nil {
 		t.Fatal("expected non-finite target error")
 	}
+	if _, err := Fit([][]float64{{0}, {math.Inf(1)}}, []float64{1, 2}, Options{}); err == nil {
+		t.Fatal("expected non-finite input error")
+	}
+	if _, err := Fit([][]float64{{math.NaN()}}, []float64{1}, Options{}); err == nil {
+		t.Fatal("expected NaN input error")
+	}
+	// Crowd-fed histories are the source of these values; Fit must
+	// return a recoverable error (the degradation path's trigger), never
+	// panic or produce a poisoned model.
 }
 
 func TestFitSingleSample(t *testing.T) {
@@ -192,6 +201,13 @@ func TestFitFixed(t *testing.T) {
 	}
 	if g.NumSamples() != 6 || g.Dim() != 1 {
 		t.Fatal("metadata wrong")
+	}
+	if _, err := FitFixed(X, y[:3], kern, h, 1e-6); err == nil {
+		t.Fatal("expected length-mismatch error")
+	}
+	bad := append(append([][]float64(nil), X[:5]...), []float64{math.NaN()})
+	if _, err := FitFixed(bad, y, kern, h, 1e-6); err == nil {
+		t.Fatal("expected non-finite input error")
 	}
 }
 

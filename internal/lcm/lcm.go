@@ -82,6 +82,16 @@ func Fit(X [][][]float64, Y [][]float64, opts Options) (*Model, error) {
 			if len(x) != dim {
 				return nil, fmt.Errorf("lcm: inconsistent input dimension in task %d", t)
 			}
+			for _, v := range x {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					return nil, fmt.Errorf("lcm: task %d has a non-finite input coordinate (%v)", t, v)
+				}
+			}
+		}
+		for i, y := range Y[t] {
+			if math.IsNaN(y) || math.IsInf(y, 0) {
+				return nil, fmt.Errorf("lcm: task %d target %d is not finite (%v)", t, i, y)
+			}
 		}
 	}
 	if total == 0 {
@@ -533,10 +543,15 @@ func (m *Model) NumTasks() int { return m.numTasks }
 func (m *Model) Dim() int { return m.dim }
 
 // Predict returns the posterior mean and standard deviation for task t
-// at input x, in the task's original output units.
-func (m *Model) Predict(t int, x []float64) (mean, std float64) {
+// at input x, in the task's original output units. A task index outside
+// the trained range returns an error — crowd-supplied indices must not
+// be able to crash a long tuning session.
+func (m *Model) Predict(t int, x []float64) (mean, std float64, err error) {
 	if t < 0 || t >= m.numTasks {
-		panic(fmt.Sprintf("lcm: task %d out of range", t))
+		return 0, 0, fmt.Errorf("lcm: task %d out of range [0, %d)", t, m.numTasks)
+	}
+	if len(x) != m.dim {
+		return 0, 0, fmt.Errorf("lcm: input has dimension %d, want %d", len(x), m.dim)
 	}
 	n := len(m.x)
 	ks := make([]float64, n)
@@ -556,7 +571,7 @@ func (m *Model) Predict(t int, x []float64) (mean, std float64) {
 	if variance < 1e-12 {
 		variance = 1e-12
 	}
-	return m.meanY[t] + m.stdY[t]*mu, m.stdY[t] * math.Sqrt(variance)
+	return m.meanY[t] + m.stdY[t]*mu, m.stdY[t] * math.Sqrt(variance), nil
 }
 
 // TaskCorrelation returns the model-implied correlation between tasks i

@@ -58,8 +58,8 @@ func TestLCMFitDeterministicAcrossWorkers(t *testing.T) {
 		}
 		for task := 0; task < 2; task++ {
 			for _, x := range probe {
-				m1, s1 := ref.Predict(task, x)
-				m2, s2 := m.Predict(task, x)
+				m1, s1, _ := ref.Predict(task, x)
+				m2, s2, _ := m.Predict(task, x)
 				if m1 != m2 || s1 != s2 {
 					t.Fatalf("workers=%d task %d: prediction differs", w, task)
 				}

@@ -41,6 +41,14 @@ func TestFitValidation(t *testing.T) {
 	if _, err := Fit([][][]float64{{{0.5}, {0.1, 0.2}}}, [][]float64{{1, 2}}, Options{}); err == nil {
 		t.Fatal("expected dim mismatch error")
 	}
+	// Crowd-fed histories can carry NaN/Inf; Fit must reject them with a
+	// recoverable error (the degradation trigger), never factorize them.
+	if _, err := Fit([][][]float64{{{math.NaN()}}}, [][]float64{{1}}, Options{}); err == nil {
+		t.Fatal("expected non-finite input error")
+	}
+	if _, err := Fit([][][]float64{{{0.5}}}, [][]float64{{math.Inf(1)}}, Options{}); err == nil {
+		t.Fatal("expected non-finite target error")
+	}
 }
 
 func TestSingleTaskBehavesLikeGP(t *testing.T) {
@@ -58,7 +66,7 @@ func TestSingleTaskBehavesLikeGP(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, x := range []float64{0.2, 0.5, 0.8} {
-		mean, _ := m.Predict(0, []float64{x})
+		mean, _, _ := m.Predict(0, []float64{x})
 		if math.Abs(mean-x*x) > 0.1 {
 			t.Fatalf("predict(%v) = %v, want ~%v", x, mean, x*x)
 		}
@@ -76,7 +84,7 @@ func TestTransferImprovesSparseTarget(t *testing.T) {
 	var mseLCM float64
 	probe := []float64{0.1, 0.3, 0.5, 0.7, 0.9}
 	for _, x := range probe {
-		mean, _ := m.Predict(1, []float64{x})
+		mean, _, _ := m.Predict(1, []float64{x})
 		mseLCM += (mean - f(x)) * (mean - f(x))
 	}
 	mseLCM /= float64(len(probe))
@@ -105,7 +113,7 @@ func TestEmptyTargetTask(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mean, std := m.Predict(1, []float64{0.5})
+	mean, std, _ := m.Predict(1, []float64{0.5})
 	if math.IsNaN(mean) || math.IsNaN(std) || std <= 0 {
 		t.Fatalf("empty-target prediction invalid: %v ± %v", mean, std)
 	}
@@ -122,7 +130,7 @@ func TestUnequalSampleCounts(t *testing.T) {
 	}
 	// Predictions for both tasks must be finite with positive std.
 	for task := 0; task < 2; task++ {
-		mean, std := m.Predict(task, []float64{0.42})
+		mean, std, _ := m.Predict(task, []float64{0.42})
 		if math.IsNaN(mean) || std <= 0 {
 			t.Fatalf("task %d: invalid prediction", task)
 		}
@@ -166,16 +174,22 @@ func TestNLLGradientMatchesNumeric(t *testing.T) {
 	}
 }
 
-func TestPredictPanicsOnBadTask(t *testing.T) {
+func TestPredictErrorsOnBadTask(t *testing.T) {
+	// Out-of-range task indices and wrong-dimension inputs can arrive
+	// from crowd-supplied data; they must come back as errors, never as
+	// a panic that takes down a session.
 	X, Y := makeCorrelatedTasks(5, 5, 6)
 	m, err := Fit(X, Y, Options{Seed: 6, Restarts: 1, MaxIter: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic for out-of-range task")
-		}
-	}()
-	m.Predict(5, []float64{0.5})
+	if _, _, err := m.Predict(5, []float64{0.5}); err == nil {
+		t.Fatal("expected error for out-of-range task")
+	}
+	if _, _, err := m.Predict(-1, []float64{0.5}); err == nil {
+		t.Fatal("expected error for negative task")
+	}
+	if _, _, err := m.Predict(0, []float64{0.5, 0.5}); err == nil {
+		t.Fatal("expected error for wrong input dimension")
+	}
 }

@@ -1,6 +1,7 @@
 package linalg
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -109,6 +110,34 @@ func TestCholeskyRejectsNegativeDefinite(t *testing.T) {
 	a := NewMatrixFrom(2, 2, []float64{-5, 0, 0, -5})
 	if _, err := NewCholesky(a); err == nil {
 		t.Fatal("expected failure on negative definite matrix")
+	}
+}
+
+func TestCholeskyJitterExhaustion(t *testing.T) {
+	// Matrices that escalating jitter cannot rescue must surface the
+	// sentinel error (the recoverable signal gp.Fit and lcm.Fit degrade
+	// on), not a panic or a garbage factorization. NaN entries — the
+	// shape crowd-fed data corruption takes — defeat every jitter level
+	// because jitter only perturbs the diagonal.
+	cases := map[string]*Matrix{
+		"nan diagonal":     NewMatrixFrom(2, 2, []float64{math.NaN(), 0, 0, 1}),
+		"nan off-diagonal": NewMatrixFrom(2, 2, []float64{1, math.NaN(), math.NaN(), 1}),
+		"all nan":          NewMatrixFrom(3, 3, []float64{math.NaN(), math.NaN(), math.NaN(), math.NaN(), math.NaN(), math.NaN(), math.NaN(), math.NaN(), math.NaN()}),
+	}
+	for name, a := range cases {
+		t.Run(name, func(t *testing.T) {
+			ch, err := NewCholeskyJitter(a, 0)
+			if err == nil {
+				t.Fatalf("factorized a non-factorizable matrix: %+v", ch)
+			}
+			if !errors.Is(err, ErrNotPositiveDefinite) {
+				t.Fatalf("error %v is not ErrNotPositiveDefinite", err)
+			}
+		})
+	}
+	// The plain (no-jitter) path reports the same sentinel.
+	if _, err := NewCholesky(NewMatrixFrom(2, 2, []float64{-5, 0, 0, -5})); !errors.Is(err, ErrNotPositiveDefinite) {
+		t.Fatalf("negative definite error %v is not ErrNotPositiveDefinite", err)
 	}
 }
 

@@ -115,6 +115,13 @@ func (p Param) NumLevels() int {
 // Decode maps a normalized coordinate u ∈ [0,1] to the parameter's value:
 // float64 for Real, int for Integer, string for Categorical.
 func (p Param) Decode(u float64) interface{} {
+	if math.IsNaN(u) {
+		// NaN survives both clamps below (every comparison is false)
+		// and would index Categories with a huge negative value. Crowd
+		// checkpoints make NaN reachable here; map it to the lower
+		// bound instead of panicking.
+		u = 0
+	}
 	if u < 0 {
 		u = 0
 	}

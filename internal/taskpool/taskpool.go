@@ -123,6 +123,35 @@ type Result struct {
 	// Checkpoint is the final serialized session state (resumable if
 	// the submitter wants to extend the budget later).
 	Checkpoint json.RawMessage `json:"checkpoint,omitempty"`
+	// Faults counts the faults the worker absorbed while running this
+	// task (recovered panics, timed-out evaluations, imputed failures,
+	// surrogate-fit fallbacks).
+	Faults FaultStats `json:"faults,omitempty"`
+}
+
+// FaultStats counts the evaluation faults a worker survived while
+// running a task. Completed tasks' stats aggregate into
+// Counters.WorkerFaults.
+type FaultStats struct {
+	// PanicsRecovered counts evaluations that panicked and were
+	// converted into failed samples.
+	PanicsRecovered int64 `json:"panics_recovered,omitempty"`
+	// Timeouts counts evaluations abandoned at the worker's deadline.
+	Timeouts int64 `json:"timeouts,omitempty"`
+	// ImputedEvals counts failed evaluations recorded into the history
+	// (the tuner penalty-imputes them before each surrogate fit).
+	ImputedEvals int64 `json:"imputed_evals,omitempty"`
+	// FitFallbacks counts iterations answered by space-filling sampling
+	// because a surrogate fit failed.
+	FitFallbacks int64 `json:"fit_fallbacks,omitempty"`
+}
+
+// Add accumulates o into f.
+func (f *FaultStats) Add(o FaultStats) {
+	f.PanicsRecovered += o.PanicsRecovered
+	f.Timeouts += o.Timeouts
+	f.ImputedEvals += o.ImputedEvals
+	f.FitFallbacks += o.FitFallbacks
 }
 
 // Task is one pool entry. Pool methods return copies; the maps and
@@ -168,6 +197,8 @@ type Counters struct {
 	Failures        int64 `json:"failures"` // explicit Fail calls
 	ExpiredRequeues int64 `json:"expired_requeues"`
 	DeadLettered    int64 `json:"dead_lettered"`
+	// WorkerFaults aggregates the FaultStats of every completed task.
+	WorkerFaults FaultStats `json:"worker_faults"`
 }
 
 // Stats is a point-in-time view of the pool: state gauges plus the
@@ -350,6 +381,7 @@ func (p *Pool) Complete(id, token string, res Result) error {
 	t.CompletedAt = p.now()
 	t.LastError = ""
 	p.counters.Completions++
+	p.counters.WorkerFaults.Add(res.Faults)
 	p.logLocked(t)
 	return nil
 }

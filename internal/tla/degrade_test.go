@@ -1,0 +1,98 @@
+package tla
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"gptunecrowd/internal/core"
+	"gptunecrowd/internal/lcm"
+)
+
+// TestMultitaskDegradesOnLCMFitFailure drives the multitask proposers
+// through a session whose LCM fit always fails: the run must complete on
+// space-filling fallbacks (counted and logged), never abort.
+func TestMultitaskDegradesOnLCMFitFailure(t *testing.T) {
+	orig := lcmFit
+	lcmFit = func(X [][][]float64, Y [][]float64, opts lcm.Options) (*lcm.Model, error) {
+		return nil, errors.New("injected lcm failure")
+	}
+	defer func() { lcmFit = orig }()
+
+	p, task, sources := demoSetup(t, 20, 5)
+	for _, prop := range []core.Proposer{NewMultitaskTS(sources), NewMultitaskPS(sources)} {
+		prop := prop
+		t.Run(prop.Name(), func(t *testing.T) {
+			const budget = 5
+			var logs []string
+			sess, err := core.NewSession(p, task, prop, core.SessionOptions{
+				Budget: budget,
+				Seed:   9,
+				Search: core.SearchOptions{Candidates: 64, DEGens: 5},
+				Logf: func(format string, args ...interface{}) {
+					logs = append(logs, fmt.Sprintf(format, args...))
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			h, err := sess.Run()
+			if err != nil {
+				t.Fatalf("session died on LCM fit failure: %v", err)
+			}
+			if h.Len() != budget {
+				t.Fatalf("consumed %d of %d budget", h.Len(), budget)
+			}
+			st := sess.Stats()
+			if st.FitFailures == 0 || st.SpaceFill == 0 {
+				t.Fatalf("stats %+v: degradations were not counted", st)
+			}
+			found := false
+			for _, l := range logs {
+				if strings.Contains(l, "injected lcm failure") {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("no degradation log line mentioned the fit error: %q", logs)
+			}
+		})
+	}
+}
+
+// TestMultitaskRecoversAfterTransientLCMFailure flips the fit back to
+// the real implementation mid-run and checks the proposer resumes
+// modeling instead of staying degraded.
+func TestMultitaskRecoversAfterTransientLCMFailure(t *testing.T) {
+	orig := lcmFit
+	calls := 0
+	lcmFit = func(X [][][]float64, Y [][]float64, opts lcm.Options) (*lcm.Model, error) {
+		calls++
+		if calls == 1 {
+			return nil, errors.New("transient lcm failure")
+		}
+		return orig(X, Y, opts)
+	}
+	defer func() { lcmFit = orig }()
+
+	p, task, sources := demoSetup(t, 20, 6)
+	sess, err := core.NewSession(p, task, NewMultitaskTS(sources), core.SessionOptions{
+		Budget: 4,
+		Seed:   13,
+		Search: core.SearchOptions{Candidates: 64, DEGens: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := sess.Stats()
+	if st.FitFailures != 1 || st.SpaceFill != 1 {
+		t.Fatalf("stats %+v, want exactly one degradation", st)
+	}
+	if calls < 2 {
+		t.Fatalf("lcm fit called %d times; proposer never resumed modeling", calls)
+	}
+}

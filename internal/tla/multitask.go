@@ -1,7 +1,7 @@
 package tla
 
 import (
-	"fmt"
+	"math"
 	"math/rand"
 
 	"gptunecrowd/internal/core"
@@ -11,14 +11,25 @@ import (
 	"gptunecrowd/internal/sample"
 )
 
+// lcmFit substitutes the LCM fit in tests (fit-degradation coverage).
+var lcmFit = lcm.Fit
+
 // lcmSlice exposes one task of a fitted LCM as a core.Surrogate.
 type lcmSlice struct {
 	m    *lcm.Model
 	task int
 }
 
-// Predict implements core.Surrogate.
-func (s lcmSlice) Predict(x []float64) (float64, float64) { return s.m.Predict(s.task, x) }
+// Predict implements core.Surrogate. A prediction error (out-of-range
+// task, bad input) answers +Inf mean so the acquisition search never
+// selects the point, instead of crashing the session.
+func (s lcmSlice) Predict(x []float64) (float64, float64) {
+	mean, std, err := s.m.Predict(s.task, x)
+	if err != nil {
+		return math.Inf(1), 0
+	}
+	return mean, std
+}
 
 // MultitaskTS is GPTuneCrowd's improved multitask proposer
 // (Section V-A-2): it feeds the true source samples into the LCM,
@@ -52,7 +63,8 @@ func (m *MultitaskTS) Propose(ctx *core.ProposeContext) ([]float64, error) {
 	if len(m.Sources) == 0 {
 		return nil, ErrNoSources
 	}
-	X, Y := ctx.History.XY()
+	X, Y, info := ctx.History.RobustXY(core.RobustOptions{})
+	ctx.NoteRobustIngestion(info)
 	if len(X) == 0 {
 		return equalWeightFirstEval(ctx, m.Sources, m.Kernel)
 	}
@@ -71,7 +83,7 @@ func (m *MultitaskTS) Propose(ctx *core.ProposeContext) ([]float64, error) {
 	}
 	tasksX[nTasks-1] = X
 	tasksY[nTasks-1] = Y
-	model, err := lcm.Fit(tasksX, tasksY, lcm.Options{
+	model, err := lcmFit(tasksX, tasksY, lcm.Options{
 		Q:           m.Q,
 		Kernel:      m.Kernel,
 		Categorical: ctx.Problem.CategoricalMask(),
@@ -79,7 +91,7 @@ func (m *MultitaskTS) Propose(ctx *core.ProposeContext) ([]float64, error) {
 		Seed:        ctx.Rng.Int63(),
 	})
 	if err != nil {
-		return nil, fmt.Errorf("tla: Multitask(TS) LCM fit: %w", err)
+		return ctx.DegradeToSpaceFill(m.Name(), err), nil
 	}
 	acq := m.Acquisition
 	if acq == nil {
@@ -122,7 +134,8 @@ func (m *MultitaskPS) Propose(ctx *core.ProposeContext) ([]float64, error) {
 	if len(m.Sources) == 0 {
 		return nil, ErrNoSources
 	}
-	X, Y := ctx.History.XY()
+	X, Y, info := ctx.History.RobustXY(core.RobustOptions{})
+	ctx.NoteRobustIngestion(info)
 	if len(X) == 0 {
 		return equalWeightFirstEval(ctx, m.Sources, m.Kernel)
 	}
@@ -144,7 +157,7 @@ func (m *MultitaskPS) Propose(ctx *core.ProposeContext) ([]float64, error) {
 	}
 	tasksX[nTasks-1] = X
 	tasksY[nTasks-1] = Y
-	model, err := lcm.Fit(tasksX, tasksY, lcm.Options{
+	model, err := lcmFit(tasksX, tasksY, lcm.Options{
 		Q:           m.Q,
 		Kernel:      m.Kernel,
 		Categorical: mask,
@@ -152,7 +165,7 @@ func (m *MultitaskPS) Propose(ctx *core.ProposeContext) ([]float64, error) {
 		Seed:        ctx.Rng.Int63(),
 	})
 	if err != nil {
-		return nil, fmt.Errorf("tla: Multitask(PS) LCM fit: %w", err)
+		return ctx.DegradeToSpaceFill(m.Name(), err), nil
 	}
 	acq := m.Acquisition
 	if acq == nil {

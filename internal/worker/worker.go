@@ -10,11 +10,13 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"math"
 	"sync/atomic"
 	"time"
 
 	"gptunecrowd"
 	"gptunecrowd/internal/apps"
+	"gptunecrowd/internal/core"
 	"gptunecrowd/internal/crowd"
 	"gptunecrowd/internal/taskpool"
 )
@@ -37,6 +39,14 @@ type Options struct {
 	Accessibility string
 	// OnSample observes every evaluation the worker records (tests).
 	OnSample func(taskID string, iter int, y float64)
+	// EvalTimeout bounds one function evaluation. An evaluation
+	// exceeding it is recorded as a failed sample and the worker moves
+	// on, keeping its lease alive. 0 disables the deadline (a hung
+	// application then blocks the task until the lease expires).
+	EvalTimeout time.Duration
+	// WrapEvaluator, when set, wraps each task's application evaluator
+	// before the session runs (fault injection in tests).
+	WrapEvaluator func(core.Evaluator) core.Evaluator
 }
 
 // Stats are a worker's cumulative counters.
@@ -46,6 +56,11 @@ type Stats struct {
 	Failed    int64 // tasks handed back after an error
 	LeaseLost int64 // tasks abandoned because the lease expired
 	Evals     int64 // function evaluations run
+
+	PanicsRecovered int64 // evaluations that panicked, recorded as failures
+	Timeouts        int64 // evaluations abandoned at EvalTimeout
+	Imputed         int64 // failed evaluations recorded for imputation
+	FitFallbacks    int64 // iterations degraded to space-filling sampling
 }
 
 // Worker runs the lease → tune → upload → complete loop.
@@ -57,6 +72,11 @@ type Worker struct {
 	failed    atomic.Int64
 	leaseLost atomic.Int64
 	evals     atomic.Int64
+
+	panics       atomic.Int64
+	timeouts     atomic.Int64
+	imputed      atomic.Int64
+	fitFallbacks atomic.Int64
 }
 
 // New validates the options and returns a Worker.
@@ -76,11 +96,15 @@ func New(opts Options) (*Worker, error) {
 // Stats returns the worker's counters.
 func (w *Worker) Stats() Stats {
 	return Stats{
-		Completed: w.completed.Load(),
-		Suspended: w.suspended.Load(),
-		Failed:    w.failed.Load(),
-		LeaseLost: w.leaseLost.Load(),
-		Evals:     w.evals.Load(),
+		Completed:       w.completed.Load(),
+		Suspended:       w.suspended.Load(),
+		Failed:          w.failed.Load(),
+		LeaseLost:       w.leaseLost.Load(),
+		Evals:           w.evals.Load(),
+		PanicsRecovered: w.panics.Load(),
+		Timeouts:        w.timeouts.Load(),
+		Imputed:         w.imputed.Load(),
+		FitFallbacks:    w.fitFallbacks.Load(),
 	}
 }
 
@@ -158,13 +182,24 @@ func (w *Worker) runTask(ctx context.Context, task *taskpool.Task, ttl time.Dura
 	}()
 	defer func() { cancelLease(); <-hbDone }()
 
-	sess, taskParams, err := w.openSession(task)
+	sess, taskParams, eval, err := w.openSession(task)
 	if err != nil {
 		w.failTask(task, fmt.Sprintf("setup: %v", err), nil)
 		w.failed.Add(1)
 		return
 	}
 	startIter := sess.Iter()
+
+	// Per-task fault counters: reported in the task Result on Complete
+	// and folded into the worker's cumulative stats on every exit path.
+	var faults taskpool.FaultStats
+	defer func() {
+		faults.FitFallbacks = sess.Stats().SpaceFill
+		w.panics.Add(faults.PanicsRecovered)
+		w.timeouts.Add(faults.Timeouts)
+		w.imputed.Add(faults.ImputedEvals)
+		w.fitFallbacks.Add(faults.FitFallbacks)
+	}()
 
 	for !sess.Done() {
 		if leaseCtx.Err() != nil {
@@ -176,7 +211,20 @@ func (w *Worker) runTask(ctx context.Context, task *taskpool.Task, ttl time.Dura
 			w.suspend(leaseCtx, task, taskParams, sess, startIter)
 			return
 		}
-		if err := sess.Step(); err != nil {
+		params, err := sess.Propose()
+		if err != nil {
+			cp, _ := sess.Checkpoint()
+			w.failTask(task, fmt.Sprintf("propose %d: %v", sess.Iter(), err), cp)
+			w.failed.Add(1)
+			return
+		}
+		y, evalErr := w.evaluate(task.ID, eval, taskParams, params, &faults)
+		if evalErr != nil || math.IsNaN(y) || math.IsInf(y, 0) {
+			// The session records these as failed samples; the tuner
+			// penalty-imputes them before each surrogate fit.
+			faults.ImputedEvals++
+		}
+		if err := sess.Observe(y, evalErr); err != nil {
 			cp, _ := sess.Checkpoint()
 			w.failTask(task, fmt.Sprintf("evaluation %d: %v", sess.Iter(), err), cp)
 			w.failed.Add(1)
@@ -206,12 +254,14 @@ func (w *Worker) runTask(ctx context.Context, task *taskpool.Task, ttl time.Dura
 		return
 	}
 	cp, _ := sess.Checkpoint()
+	faults.FitFallbacks = sess.Stats().SpaceFill
 	err = w.opts.Client.CompleteTaskContext(leaseCtx, task.ID, task.LeaseToken, taskpool.Result{
 		BestParams:  res.BestParams,
 		BestY:       res.BestY,
 		NumEvals:    sess.Iter(),
 		FuncEvalIDs: ids,
 		Checkpoint:  cp,
+		Faults:      faults,
 	})
 	if err != nil {
 		w.logf("complete %s failed: %v", task.ID, err)
@@ -223,11 +273,18 @@ func (w *Worker) runTask(ctx context.Context, task *taskpool.Task, ttl time.Dura
 }
 
 // openSession builds the task's application problem and a fresh or
-// resumed tuning session.
-func (w *Worker) openSession(task *taskpool.Task) (*gptunecrowd.TuningSession, map[string]interface{}, error) {
+// resumed tuning session. The returned evaluator is the problem's,
+// optionally wrapped by Options.WrapEvaluator; the worker drives it
+// itself (Propose → evaluate → Observe) so faults stay containable.
+func (w *Worker) openSession(task *taskpool.Task) (*gptunecrowd.TuningSession, map[string]interface{}, core.Evaluator, error) {
 	inst, err := apps.Build(task.Spec.App, apps.Options{Seed: task.Spec.Seed})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
+	}
+	eval := inst.Problem.Evaluator
+	if w.opts.WrapEvaluator != nil {
+		eval = w.opts.WrapEvaluator(eval)
+		inst.Problem.Evaluator = eval
 	}
 	taskParams := task.Spec.TaskParams
 	if taskParams == nil {
@@ -241,13 +298,55 @@ func (w *Worker) openSession(task *taskpool.Task) (*gptunecrowd.TuningSession, m
 	if len(task.Spec.Checkpoint) > 0 {
 		s, err := gptunecrowd.ResumeTuningSession(inst.Problem, taskParams, opts, task.Spec.Checkpoint)
 		if err != nil {
-			return nil, nil, fmt.Errorf("resume checkpoint: %w", err)
+			return nil, nil, nil, fmt.Errorf("resume checkpoint: %w", err)
 		}
 		w.logf("resuming %s from checkpoint at evaluation %d", task.ID, s.Iter())
-		return s, taskParams, nil
+		return s, taskParams, eval, nil
 	}
 	s, err := gptunecrowd.NewTuningSession(inst.Problem, taskParams, opts)
-	return s, taskParams, err
+	return s, taskParams, eval, err
+}
+
+// evaluate runs one function evaluation with panic recovery and the
+// optional EvalTimeout deadline, so a hostile or buggy application can
+// neither crash the worker nor hang its lease. Panics and timeouts come
+// back as ordinary evaluation errors, recorded as failed samples.
+func (w *Worker) evaluate(taskID string, eval core.Evaluator, taskParams, params map[string]interface{}, faults *taskpool.FaultStats) (float64, error) {
+	type evalResult struct {
+		y        float64
+		err      error
+		panicked bool
+	}
+	// Buffered: a timed-out evaluation that finishes (or panics) later
+	// must not leak its goroutine on the send.
+	ch := make(chan evalResult, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				ch <- evalResult{err: fmt.Errorf("panic during evaluation: %v", r), panicked: true}
+			}
+		}()
+		y, err := eval.Evaluate(taskParams, params)
+		ch <- evalResult{y: y, err: err}
+	}()
+	var deadline <-chan time.Time
+	if w.opts.EvalTimeout > 0 {
+		t := time.NewTimer(w.opts.EvalTimeout)
+		defer t.Stop()
+		deadline = t.C
+	}
+	select {
+	case r := <-ch:
+		if r.panicked {
+			faults.PanicsRecovered++
+			w.logf("recovered evaluation panic on %s: %v", taskID, r.err)
+		}
+		return r.y, r.err
+	case <-deadline:
+		faults.Timeouts++
+		w.logf("evaluation on %s timed out after %v", taskID, w.opts.EvalTimeout)
+		return 0, fmt.Errorf("evaluation timed out after %v", w.opts.EvalTimeout)
+	}
 }
 
 // heartbeatLoop renews the lease at a third of its TTL until ctx dies.

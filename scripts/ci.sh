@@ -33,6 +33,7 @@ go test -race -run 'Stress' -count=1 ./internal/crowd
 echo "== fuzz smoke (10s per target)"
 fuzz_targets="
 FuzzUploadDecode ./internal/crowd
+FuzzValidateSample ./internal/crowd
 FuzzQueryDecode ./internal/crowd
 FuzzRegisterDecode ./internal/crowd
 FuzzTaskLeaseDecode ./internal/crowd
@@ -49,8 +50,8 @@ echo "$fuzz_targets" | while read -r target pkg; do
     go test -run "^${target}\$" -fuzz "^${target}\$" -fuzztime=10s "$pkg"
 done
 
-echo "== coverage floor (crowd + historydb + taskpool >= 80%)"
-go test -count=1 -cover ./internal/crowd ./internal/historydb ./internal/taskpool | tee /tmp/cover.txt
+echo "== coverage floor (crowd + historydb + taskpool + core >= 80%)"
+go test -count=1 -cover ./internal/crowd ./internal/historydb ./internal/taskpool ./internal/core | tee /tmp/cover.txt
 awk '
 /coverage:/ {
     for (i = 1; i <= NF; i++) if ($i == "coverage:") pct = $(i+1) + 0

@@ -108,6 +108,28 @@ func (s *TuningSession) Run() (*Result, error) {
 // stays usable; checkpointing is read-only.
 func (s *TuningSession) Checkpoint() ([]byte, error) { return s.inner.Checkpoint() }
 
+// SessionStats are a session's robustness counters: surrogate-fit
+// failures survived, iterations answered by space-filling sampling
+// instead, and the most recent robust-ingestion gauges. They are not
+// part of the checkpoint; a resumed session restarts them at zero.
+type SessionStats struct {
+	FitFailures  int64 // surrogate fits that failed and were degraded
+	SpaceFill    int64 // iterations answered by space-filling sampling
+	LastOutliers int64 // outliers excluded before the most recent fit
+	LastImputed  int64 // failures penalty-imputed before the most recent fit
+}
+
+// Stats returns the robustness counters accumulated so far.
+func (s *TuningSession) Stats() SessionStats {
+	st := s.inner.Stats()
+	return SessionStats{
+		FitFailures:  st.FitFailures,
+		SpaceFill:    st.SpaceFill,
+		LastOutliers: st.LastOutliers,
+		LastImputed:  st.LastImputed,
+	}
+}
+
 // Done reports whether the budget is consumed.
 func (s *TuningSession) Done() bool { return s.inner.Done() }
 
