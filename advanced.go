@@ -17,8 +17,17 @@ import (
 // SuggestNext proposes the next configuration to evaluate for the given
 // history, without evaluating anything — for users who run their
 // application out-of-band (batch queues, manual runs) and feed results
-// back via ReportResult.
+// back via ReportResult. Thin wrapper over SuggestNextContext with
+// context.Background().
 func SuggestNext(p *Problem, h *History, algorithm string, sources []*SourceTask, seed int64) (map[string]interface{}, error) {
+	return SuggestNextContext(context.Background(), p, h, algorithm, sources, seed)
+}
+
+// SuggestNextContext is SuggestNext with cooperative cancellation: the
+// context threads into surrogate fitting and acquisition search, so a
+// cancel interrupts even an expensive multi-source fit and surfaces as
+// the wrapped context error.
+func SuggestNextContext(ctx context.Context, p *Problem, h *History, algorithm string, sources []*SourceTask, seed int64) (map[string]interface{}, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -29,13 +38,14 @@ func SuggestNext(p *Problem, h *History, algorithm string, sources []*SourceTask
 	if err != nil {
 		return nil, err
 	}
-	ctx := &core.ProposeContext{
+	pctx := &core.ProposeContext{
+		Ctx:     ctx,
 		Problem: p,
 		History: h,
 		Rng:     rand.New(rand.NewSource(seed)),
 		Iter:    h.Len(),
 	}
-	u, err := prop.Propose(ctx)
+	u, err := prop.Propose(pctx)
 	if err != nil {
 		return nil, err
 	}

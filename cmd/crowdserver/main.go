@@ -5,9 +5,14 @@
 // persistence. SIGINT/SIGTERM drain in-flight requests and flush state
 // before exit.
 //
+// The API serves Prometheus metrics on /metrics; -debug-addr starts a
+// separate pprof + /metrics listener, and -log-format/-log-level shape
+// the structured (trace-aware) request logs.
+//
 // Usage:
 //
 //	crowdserver -addr :8080 -data /var/lib/gptunecrowd
+//	crowdserver -addr :8080 -debug-addr localhost:6060 -log-format json
 package main
 
 import (
@@ -25,6 +30,7 @@ import (
 
 	"gptunecrowd/internal/apps"
 	"gptunecrowd/internal/crowd"
+	"gptunecrowd/internal/obs"
 	"gptunecrowd/internal/taskpool"
 )
 
@@ -59,8 +65,20 @@ func main() {
 		maxAttempts     = flag.Int("task-max-attempts", taskpool.DefaultMaxAttempts, "lease attempts before a task is dead-lettered")
 		admins          = flag.String("admin", "", "comma-separated usernames allowed to list/release quarantined samples (empty = every authenticated user)")
 		quiet           = flag.Bool("quiet", false, "disable per-request access logging")
+		debugAddr       = flag.String("debug-addr", "", "listen address for the pprof + /metrics debug server (empty = disabled)")
+		logFormat       = flag.String("log-format", "text", "structured log format: text or json")
+		logLevel        = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 	)
 	flag.Parse()
+
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		log.Fatalf("crowdserver: %v", err)
+	}
+	if *logFormat != "text" && *logFormat != "json" {
+		log.Fatalf("crowdserver: unknown -log-format %q (want text or json)", *logFormat)
+	}
+	logger := obs.NewLogger(os.Stderr, obs.LogOptions{Level: level, JSON: *logFormat == "json"})
 
 	cfg := crowd.Config{
 		MaxInFlight:     *maxInFlight,
@@ -76,10 +94,17 @@ func main() {
 		}
 	}
 	if !*quiet {
-		cfg.Logger = log.Default()
+		cfg.Slog = logger
 	}
 	srv := crowd.NewServerWith(cfg)
 	registerAppPolicies(srv)
+
+	if dbg, err := obs.ServeDebug(*debugAddr, srv.Registry(), logger); err != nil {
+		log.Fatalf("crowdserver: debug server: %v", err)
+	} else if dbg != nil {
+		defer dbg.Close()
+		log.Printf("crowdserver debug server (pprof + /metrics) on %s", dbg.Addr)
+	}
 
 	collections := []string{"users", "func_evals", "surrogate_models", "quarantine"}
 	flush := func() {}

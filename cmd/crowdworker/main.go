@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"gptunecrowd/internal/crowd"
+	"gptunecrowd/internal/obs"
 	"gptunecrowd/internal/taskpool"
 	"gptunecrowd/internal/worker"
 )
@@ -38,10 +39,23 @@ func main() {
 		access      = flag.String("accessibility", "public", "accessibility of uploaded samples")
 		evalTimeout = flag.Duration("eval-timeout", 0, "abort a single function evaluation after this long and impute a penalty (0 = no timeout)")
 		quiet       = flag.Bool("quiet", false, "disable progress logging")
+		debugAddr   = flag.String("debug-addr", "", "listen address for the pprof + /metrics debug server (empty = disabled)")
+		logFormat   = flag.String("log-format", "text", "structured log format: text or json")
+		logLevel    = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 	)
 	flag.Parse()
 
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		log.Fatalf("crowdworker: %v", err)
+	}
+	if *logFormat != "text" && *logFormat != "json" {
+		log.Fatalf("crowdworker: unknown -log-format %q (want text or json)", *logFormat)
+	}
+	logger := obs.NewLogger(os.Stderr, obs.LogOptions{Level: level, JSON: *logFormat == "json"})
+
 	c := crowd.NewClient(*server, *apiKey)
+	c.Logger = logger
 	if *register != "" {
 		if _, err := c.Register(*register, ""); err != nil {
 			log.Fatalf("crowdworker: register %q: %v", *register, err)
@@ -59,6 +73,7 @@ func main() {
 		}
 	}
 
+	reg := obs.NewRegistry()
 	opts := worker.Options{
 		Client:        c,
 		Name:          *name,
@@ -66,13 +81,21 @@ func main() {
 		PollInterval:  *poll,
 		Accessibility: *access,
 		EvalTimeout:   *evalTimeout,
+		Registry:      reg,
 	}
 	if !*quiet {
-		opts.Logger = log.Default()
+		opts.Slog = logger
 	}
 	w, err := worker.New(opts)
 	if err != nil {
 		log.Fatalf("crowdworker: %v", err)
+	}
+
+	if dbg, err := obs.ServeDebug(*debugAddr, reg, logger); err != nil {
+		log.Fatalf("crowdworker: debug server: %v", err)
+	} else if dbg != nil {
+		defer dbg.Close()
+		log.Printf("crowdworker debug server (pprof + /metrics) on %s", dbg.Addr)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -14,14 +14,19 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 
 	gptunecrowd "gptunecrowd"
 	"gptunecrowd/internal/apps"
+	"gptunecrowd/internal/obs"
 )
 
 func main() {
@@ -37,8 +42,27 @@ func main() {
 		metaPath  = flag.String("meta", "", "meta-description file for crowd integration")
 		maxSrc    = flag.Int("max-source-samples", 100, "per-source sample cap for LCM algorithms")
 		batch     = flag.Int("batch", 0, "evaluate N proposals per round concurrently (constant liar)")
+		logFormat = flag.String("log-format", "text", "structured log format: text or json")
+		logLevel  = flag.String("log-level", "warn", "minimum log level: debug, info, warn or error")
+		dumpStats = flag.Bool("dump-metrics", false, "print the tuner's Prometheus metrics to stderr after the run")
 	)
 	flag.Parse()
+
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *logFormat != "text" && *logFormat != "json" {
+		log.Fatalf("unknown -log-format %q (want text or json)", *logFormat)
+	}
+	logger := obs.NewLogger(os.Stderr, obs.LogOptions{Level: level, JSON: *logFormat == "json"})
+	metrics := gptunecrowd.NewMetrics()
+
+	// Ctrl-C cancels the run cooperatively: the tuner stops at the next
+	// cancellation point and reports the best configuration found so far.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	ctx = gptunecrowd.WithTraceID(ctx, gptunecrowd.NewTraceID())
 
 	inst, err := apps.Build(*appName, apps.Options{
 		Nodes: *nodes, Partition: *partition, Matrix: *matrix, Seed: *seed,
@@ -59,6 +83,8 @@ func main() {
 		Seed:             *seed,
 		Algorithm:        *algorithm,
 		MaxSourceSamples: *maxSrc,
+		Metrics:          metrics,
+		Logger:           logger,
 		OnSample: func(i int, s gptunecrowd.Sample) {
 			if s.Failed {
 				fmt.Printf("eval %2d [%s]: FAILED (%s)\n", i+1, s.Proposer, s.Err)
@@ -76,7 +102,8 @@ func main() {
 			log.Fatal(err)
 		}
 		client = gptunecrowd.ConnectMeta(desc)
-		evals, err := gptunecrowd.QueryFunctionEvaluations(client, desc)
+		client.Logger = logger
+		evals, err := gptunecrowd.QueryFunctionEvaluationsContext(ctx, client, desc)
 		if err != nil {
 			log.Fatalf("crowd query: %v", err)
 		}
@@ -98,13 +125,22 @@ func main() {
 			TuneOptions: opts, BatchSize: *batch,
 		})
 	} else {
-		res, err = gptunecrowd.Tune(inst.Problem, task, opts)
+		res, err = gptunecrowd.TuneContext(ctx, inst.Problem, task, opts)
 	}
 	if err != nil {
-		log.Fatal(err)
+		if errors.Is(err, context.Canceled) && res != nil {
+			fmt.Printf("\ninterrupted after %d evaluation(s); reporting the best so far\n", res.History.Len())
+		} else {
+			log.Fatal(err)
+		}
 	}
 	fmt.Printf("\nalgorithm: %s\nbest y: %.6g\nbest configuration: %v\n",
 		res.Algorithm, res.BestY, res.BestParams)
+	if *dumpStats {
+		if werr := metrics.WritePrometheus(os.Stderr); werr != nil {
+			log.Printf("dump metrics: %v", werr)
+		}
+	}
 
 	if desc != nil && desc.Sync() {
 		machineCfg, err := desc.ResolveMachine(os.Getenv)
@@ -120,7 +156,11 @@ func main() {
 		if err != nil {
 			log.Printf("software auto-parse failed (continuing without): %v", err)
 		}
-		ids, err := gptunecrowd.UploadHistory(client, desc, task, res.History, machineCfg, software, "public")
+		// Upload even after an interrupt (the partial history is still
+		// valuable), under the run's trace ID so the server logs connect
+		// the upload to this tuning run.
+		upCtx := gptunecrowd.WithTraceID(context.Background(), gptunecrowd.TraceIDFrom(ctx))
+		ids, err := gptunecrowd.UploadHistoryContext(upCtx, client, desc, task, res.History, machineCfg, software, "public")
 		if err != nil {
 			log.Fatalf("crowd upload: %v", err)
 		}

@@ -3,7 +3,10 @@ package gptunecrowd
 import (
 	"context"
 	"fmt"
+	"log/slog"
+	"net/http"
 	"sort"
+	"time"
 
 	"gptunecrowd/internal/crowd"
 	"gptunecrowd/internal/gp"
@@ -42,8 +45,51 @@ type (
 	SensitivityResult = sensitivity.Result
 )
 
-// Connect returns a client for the shared database at url.
-func Connect(url, apiKey string) *CrowdClient { return crowd.NewClient(url, apiKey) }
+// Connect returns a client for the shared database at url with default
+// timeout and retry behaviour. It is a compatibility wrapper over
+// ConnectWith; use ConnectWith when any knob needs turning.
+func Connect(url, apiKey string) *CrowdClient {
+	return ConnectWith(ConnectOptions{URL: url, APIKey: apiKey})
+}
+
+// ConnectOptions configures a crowd-database client. The zero value of
+// every field selects the library default, so populating only URL and
+// APIKey reproduces Connect.
+type ConnectOptions struct {
+	// URL is the server base URL (required).
+	URL string
+	// APIKey authenticates every request; empty is accepted only by
+	// servers running without access control.
+	APIKey string
+	// Timeout bounds each individual HTTP attempt (not the whole retry
+	// loop); 0 means the library default. For an overall deadline pass
+	// a context to the *Context methods.
+	Timeout time.Duration
+	// MaxRetries is the number of additional attempts after the first
+	// on retryable failures (429/5xx/network); 0 means the library
+	// default, negative disables retries.
+	MaxRetries int
+	// Logger, when non-nil, receives one structured record per retried
+	// attempt and per final failure, stamped with the context's trace
+	// ID. Nil logs nothing.
+	Logger *slog.Logger
+	// Transport, when non-nil, replaces the HTTP transport (for
+	// proxies, custom TLS, or request capture in tests).
+	Transport http.RoundTripper
+}
+
+// ConnectWith returns a client for the shared database configured by
+// opts.
+func ConnectWith(opts ConnectOptions) *CrowdClient {
+	c := crowd.NewClient(opts.URL, opts.APIKey)
+	c.Timeout = opts.Timeout
+	c.MaxRetries = opts.MaxRetries
+	c.Logger = opts.Logger
+	if opts.Transport != nil {
+		c.HTTP = &http.Client{Transport: opts.Transport}
+	}
+	return c
+}
 
 // ConnectMeta returns a client configured from a meta description.
 func ConnectMeta(d *MetaDescription) *CrowdClient {

@@ -1,0 +1,45 @@
+package gptunecrowd
+
+import (
+	"gptunecrowd/internal/core"
+	"gptunecrowd/internal/crowd"
+)
+
+// Error taxonomy. Failures surface in three layers, from coarse to
+// fine:
+//
+//  1. Sentinels (below), matched with errors.Is — the common classes a
+//     caller branches on: bad credentials, an overloaded server, an
+//     upload swallowed by the trust layer, a consumed budget.
+//  2. *APIError, matched with errors.As — the full server response
+//     (status code, message, machine-readable code, path) when a
+//     branch needs more than the class.
+//  3. The error string — diagnostics only; never parse it.
+//
+// Every sentinel is wrapped, not returned bare, so errors.Is works
+// through whatever context the failing call added:
+//
+//	_, err := client.UploadContext(ctx, evals)
+//	switch {
+//	case errors.Is(err, gptunecrowd.ErrUnauthorized):
+//		// refresh the API key
+//	case errors.Is(err, gptunecrowd.ErrOverloaded):
+//		// back off and retry
+//	case errors.Is(err, gptunecrowd.ErrQuarantined):
+//		// inspect the batch with UploadReportContext
+//	}
+var (
+	// ErrUnauthorized reports an authentication/authorization failure
+	// (HTTP 401/403): the API key is missing, wrong, or lacks access.
+	ErrUnauthorized = crowd.ErrUnauthorized
+	// ErrOverloaded reports load shedding (HTTP 429) or temporary
+	// unavailability (HTTP 503): the request was fine, the server was
+	// not. Retry with backoff.
+	ErrOverloaded = crowd.ErrOverloaded
+	// ErrQuarantined reports an upload whose samples were all routed to
+	// quarantine by the trust layer — nothing entered the main store.
+	ErrQuarantined = crowd.ErrQuarantined
+	// ErrBudgetExhausted reports a Propose/Step on a tuning session
+	// whose evaluation budget is consumed.
+	ErrBudgetExhausted = core.ErrBudgetExhausted
+)

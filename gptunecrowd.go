@@ -21,7 +21,9 @@
 package gptunecrowd
 
 import (
+	"context"
 	"fmt"
+	"log/slog"
 
 	"gptunecrowd/internal/core"
 	"gptunecrowd/internal/meta"
@@ -119,6 +121,13 @@ type TuneOptions struct {
 	MaxSourceSamples int
 	// OnSample observes evaluations as they land.
 	OnSample func(i int, s Sample)
+	// Metrics, when non-nil, receives the tuner's per-stage duration
+	// histograms (tuner_fit_seconds, tuner_search_seconds,
+	// tuner_propose_seconds, tuner_evaluate_seconds).
+	Metrics *Metrics
+	// Logger, when non-nil, receives structured diagnostics (surrogate
+	// degradations, robust-ingestion notes). Nil logs nothing.
+	Logger *slog.Logger
 }
 
 // Result reports a tuning run.
@@ -127,6 +136,10 @@ type Result struct {
 	BestY      float64
 	History    *History
 	Algorithm  string
+	// Checkpoint is set when a context-cancelled TuneContext returns a
+	// partial result: pass it to ResumeTuningSession (with the same
+	// problem and options) to continue the run where it stopped.
+	Checkpoint []byte
 }
 
 // Algorithms lists the supported algorithm names (Table I plus the
@@ -192,36 +205,28 @@ func NewProposer(algorithm string, sources []*SourceTask, maxSourceSamples int) 
 }
 
 // Tune runs the tuning loop for the given task and returns the best
-// configuration found.
+// configuration found. It is a thin wrapper over TuneContext with
+// context.Background(); prefer TuneContext when the run should be
+// cancellable.
 func Tune(p *Problem, task map[string]interface{}, opts TuneOptions) (*Result, error) {
-	alg := opts.Algorithm
-	if alg == "" {
-		if len(opts.Sources) > 0 {
-			alg = "Ensemble(proposed)"
-		} else {
-			alg = "NoTLA"
-		}
+	return TuneContext(context.Background(), p, task, opts)
+}
+
+// TuneContext is Tune with cooperative cancellation. The context is
+// checked between iterations, threaded into surrogate fitting and
+// acquisition search, and raced against the application evaluation, so
+// a cancel takes effect even mid-evaluation. On cancellation it returns
+// the wrapped context error together with a partial Result whose
+// Checkpoint field resumes the run via ResumeTuningSession.
+func TuneContext(ctx context.Context, p *Problem, task map[string]interface{}, opts TuneOptions) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
 	}
-	prop, err := NewProposer(alg, opts.Sources, opts.MaxSourceSamples)
+	s, err := NewTuningSession(p, task, opts)
 	if err != nil {
 		return nil, err
 	}
-	h, err := core.RunLoop(p, task, prop, core.LoopOptions{
-		Budget:   opts.Budget,
-		Seed:     opts.Seed,
-		OnSample: opts.OnSample,
-	})
-	if err != nil {
-		return nil, err
-	}
-	res := &Result{History: h, Algorithm: alg}
-	if best, ok := h.Best(); ok {
-		res.BestParams = best.Params
-		res.BestY = best.Y
-	} else {
-		return res, fmt.Errorf("gptunecrowd: no successful evaluation within the budget of %d", opts.Budget)
-	}
-	return res, nil
+	return s.RunContext(ctx)
 }
 
 // LoadMeta parses a meta-description file (Section IV-A of the paper).

@@ -1,9 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
+
+	"gptunecrowd/internal/obs"
 )
 
 // Proposer suggests the next tuning-parameter point given the target
@@ -31,6 +35,24 @@ type ProposeContext struct {
 	Stats *RobustStats
 	// Logf, when non-nil, receives degradation log lines.
 	Logf func(format string, args ...interface{})
+
+	// Ctx, when non-nil, allows cancelling a proposal between its
+	// stages (before the surrogate fit, between fit and acquisition
+	// search). Proposers check it with Cancelled; a nil Ctx never
+	// cancels.
+	Ctx context.Context
+	// Timers, when non-nil, receives per-stage durations (surrogate
+	// fit, acquisition search). All methods are nil-safe.
+	Timers *Timers
+}
+
+// Cancelled returns the context's error when the proposal should stop,
+// nil otherwise (including when no context was supplied).
+func (ctx *ProposeContext) Cancelled() error {
+	if ctx.Ctx == nil {
+		return nil
+	}
+	return ctx.Ctx.Err()
 }
 
 // DegradeToSpaceFill records that a surrogate fit failed and the
@@ -83,6 +105,9 @@ type LoopOptions struct {
 	Search SearchOptions
 	// OnSample, when set, observes every evaluation as it lands.
 	OnSample func(i int, s Sample)
+	// Metrics, when non-nil, receives the tuner_* stage histograms
+	// (fit, search, propose, evaluate durations).
+	Metrics *obs.Registry
 }
 
 // RunLoop executes the iterative tuning loop: propose → evaluate →
@@ -90,6 +115,14 @@ type LoopOptions struct {
 // count against the budget but are invisible to surrogate fits (the
 // History.XY accessor skips them).
 func RunLoop(p *Problem, task map[string]interface{}, proposer Proposer, opts LoopOptions) (*History, error) {
+	return RunLoopContext(context.Background(), p, task, proposer, opts)
+}
+
+// RunLoopContext is RunLoop with cooperative cancellation: the context
+// is checked before every iteration and between proposal stages, and
+// cancellation returns the history accumulated so far alongside the
+// context's error.
+func RunLoopContext(rctx context.Context, p *Problem, task map[string]interface{}, proposer Proposer, opts LoopOptions) (*History, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -98,6 +131,7 @@ func RunLoop(p *Problem, task map[string]interface{}, proposer Proposer, opts Lo
 	}
 	rng := rand.New(rand.NewSource(opts.Seed))
 	h := &History{}
+	timers := NewTimers(opts.Metrics)
 	search := opts.Search
 	if len(p.Constraints) > 0 {
 		search.Feasible = func(u []float64) bool {
@@ -105,6 +139,9 @@ func RunLoop(p *Problem, task map[string]interface{}, proposer Proposer, opts Lo
 		}
 	}
 	for i := 0; i < opts.Budget; i++ {
+		if err := rctx.Err(); err != nil {
+			return h, fmt.Errorf("core: tuning loop cancelled at iteration %d: %w", i, err)
+		}
 		ctx := &ProposeContext{
 			Problem: p,
 			Task:    task,
@@ -112,8 +149,12 @@ func RunLoop(p *Problem, task map[string]interface{}, proposer Proposer, opts Lo
 			Rng:     rng,
 			Iter:    i,
 			Search:  search,
+			Ctx:     rctx,
+			Timers:  timers,
 		}
+		proposeStart := time.Now()
 		u, err := proposer.Propose(ctx)
+		timers.ObservePropose(time.Since(proposeStart))
 		if err != nil {
 			return h, fmt.Errorf("core: proposer %s failed at iteration %d: %w", proposer.Name(), i, err)
 		}
@@ -123,7 +164,9 @@ func RunLoop(p *Problem, task map[string]interface{}, proposer Proposer, opts Lo
 		u = p.ParamSpace.Canonicalize(u)
 		params := p.ParamSpace.Decode(u)
 		s := Sample{ParamU: u, Params: params, Proposer: proposer.Name()}
+		evalStart := time.Now()
 		y, err := p.Evaluator.Evaluate(task, params)
+		timers.ObserveEvaluate(time.Since(evalStart))
 		switch {
 		case err != nil:
 			s.Failed = true

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"gptunecrowd/internal/gp"
 	"gptunecrowd/internal/kernel"
 )
@@ -39,6 +41,9 @@ func (t *GPTuner) Name() string {
 
 // Propose implements Proposer.
 func (t *GPTuner) Propose(ctx *ProposeContext) ([]float64, error) {
+	if err := ctx.Cancelled(); err != nil {
+		return nil, err
+	}
 	minSamples := t.MinSamples
 	if minSamples < 2 {
 		minSamples = 2
@@ -54,12 +59,20 @@ func (t *GPTuner) Propose(ctx *ProposeContext) ([]float64, error) {
 	if fit == nil {
 		fit = gp.Fit
 	}
+	fitStart := time.Now()
 	model, err := fit(X, Y, gp.Options{
 		Kernel:      t.Kernel,
 		Categorical: ctx.Problem.CategoricalMask(),
 		Restarts:    t.Restarts,
 		Seed:        ctx.Rng.Int63(),
+		Ctx:         ctx.Ctx,
 	})
+	ctx.Timers.ObserveFit(time.Since(fitStart))
+	if cerr := ctx.Cancelled(); cerr != nil {
+		// A cancelled fit must not be mistaken for surrogate trouble:
+		// surface the cancellation instead of degrading.
+		return nil, cerr
+	}
 	if err != nil {
 		// Surrogate trouble should not kill the run; degrade to
 		// space-filling sampling for this iteration (logged + counted).
@@ -69,6 +82,8 @@ func (t *GPTuner) Propose(ctx *ProposeContext) ([]float64, error) {
 	if acq == nil {
 		acq = EI{}
 	}
+	searchStart := time.Now()
 	u := SearchNext(model, ctx.Problem.ParamSpace, acq, ctx.History, ctx.Rng, ctx.Search)
+	ctx.Timers.ObserveSearch(time.Since(searchStart))
 	return u, nil
 }

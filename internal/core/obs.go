@@ -1,0 +1,69 @@
+package core
+
+import (
+	"errors"
+	"time"
+
+	"gptunecrowd/internal/obs"
+)
+
+// ErrBudgetExhausted is wrapped by Propose/Step when the session's
+// evaluation budget is consumed; match with errors.Is. The root package
+// re-exports it.
+var ErrBudgetExhausted = errors.New("core: evaluation budget exhausted")
+
+// Timers are the tuner's per-stage duration histograms. A nil *Timers
+// (and nil individual histograms) is valid and records nothing, so the
+// instrumentation adds no branches to callers.
+type Timers struct {
+	Fit      *obs.Histogram // tuner_fit_seconds: one surrogate fit
+	Search   *obs.Histogram // tuner_search_seconds: one acquisition maximization
+	Propose  *obs.Histogram // tuner_propose_seconds: one whole Propose call
+	Evaluate *obs.Histogram // tuner_evaluate_seconds: one function evaluation
+}
+
+// NewTimers registers the tuner_* histograms on reg (nil reg returns
+// nil Timers — observability off).
+func NewTimers(reg *obs.Registry) *Timers {
+	if reg == nil {
+		return nil
+	}
+	return &Timers{
+		Fit: reg.Histogram("tuner_fit_seconds",
+			"Wall time of one surrogate-model fit.", nil),
+		Search: reg.Histogram("tuner_search_seconds",
+			"Wall time of one acquisition-function maximization.", nil),
+		Propose: reg.Histogram("tuner_propose_seconds",
+			"Wall time of one Propose call (fit + search + fallbacks).", nil),
+		Evaluate: reg.Histogram("tuner_evaluate_seconds",
+			"Wall time of one function evaluation.", nil),
+	}
+}
+
+// ObserveFit records a surrogate-fit duration (nil-safe).
+func (t *Timers) ObserveFit(d time.Duration) {
+	if t != nil && t.Fit != nil {
+		t.Fit.Observe(d.Seconds())
+	}
+}
+
+// ObserveSearch records an acquisition-search duration (nil-safe).
+func (t *Timers) ObserveSearch(d time.Duration) {
+	if t != nil && t.Search != nil {
+		t.Search.Observe(d.Seconds())
+	}
+}
+
+// ObservePropose records a whole-Propose duration (nil-safe).
+func (t *Timers) ObservePropose(d time.Duration) {
+	if t != nil && t.Propose != nil {
+		t.Propose.Observe(d.Seconds())
+	}
+}
+
+// ObserveEvaluate records a function-evaluation duration (nil-safe).
+func (t *Timers) ObserveEvaluate(d time.Duration) {
+	if t != nil && t.Evaluate != nil {
+		t.Evaluate.Observe(d.Seconds())
+	}
+}

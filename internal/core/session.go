@@ -1,11 +1,15 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
+
+	"gptunecrowd/internal/obs"
 )
 
 // SessionOptions configures a checkpointable tuning session.
@@ -19,6 +23,10 @@ type SessionOptions struct {
 	// robust-ingestion notes). Diagnostics only — never part of the
 	// checkpointed state.
 	Logf func(format string, args ...interface{})
+	// Metrics, when non-nil, receives the tuner_* stage histograms
+	// (fit, search, propose, evaluate durations). Diagnostics only —
+	// never part of the checkpointed state.
+	Metrics *obs.Registry
 }
 
 // Session is a suspendable tuning run: the propose → evaluate → record
@@ -48,6 +56,7 @@ type Session struct {
 	iter    int       // evaluations recorded so far
 	pending []float64 // outstanding canonical proposal, nil when none
 	stats   RobustStats
+	timers  *Timers
 }
 
 // NewSession validates the problem and returns a fresh session. Unlike
@@ -70,6 +79,7 @@ func NewSession(p *Problem, task map[string]interface{}, proposer Proposer, opts
 		opts:     opts,
 		h:        &History{},
 		src:      NewCheckpointableSource(opts.Seed),
+		timers:   NewTimers(opts.Metrics),
 	}
 	s.rng = rand.New(s.src)
 	s.search = opts.Search
@@ -118,11 +128,23 @@ func (s *Session) Stats() RobustStats { return s.stats }
 // while a proposal is outstanding: calling it again (e.g. after a
 // resume) returns the same configuration without consuming randomness.
 func (s *Session) Propose() (map[string]interface{}, error) {
+	return s.ProposeContext(context.Background())
+}
+
+// ProposeContext is Propose with cooperative cancellation: the context
+// is checked between the proposal's stages (before the surrogate fit,
+// between fit and acquisition search), so a cancelled context stops the
+// proposal without corrupting the session — no randomness beyond the
+// interrupted stage is consumed and Checkpoint stays valid.
+func (s *Session) ProposeContext(rctx context.Context) (map[string]interface{}, error) {
 	if s.Done() {
-		return nil, fmt.Errorf("core: session budget of %d consumed", s.opts.Budget)
+		return nil, fmt.Errorf("core: session budget of %d consumed: %w", s.opts.Budget, ErrBudgetExhausted)
 	}
 	if s.pending != nil {
 		return s.problem.ParamSpace.Decode(s.pending), nil
+	}
+	if err := rctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: proposal cancelled at iteration %d: %w", s.iter, err)
 	}
 	ctx := &ProposeContext{
 		Problem: s.problem,
@@ -133,8 +155,12 @@ func (s *Session) Propose() (map[string]interface{}, error) {
 		Search:  s.search,
 		Stats:   &s.stats,
 		Logf:    s.opts.Logf,
+		Ctx:     rctx,
+		Timers:  s.timers,
 	}
+	proposeStart := time.Now()
 	u, err := s.proposer.Propose(ctx)
+	s.timers.ObservePropose(time.Since(proposeStart))
 	if err != nil {
 		return nil, fmt.Errorf("core: proposer %s failed at iteration %d: %w", s.proposer.Name(), s.iter, err)
 	}
@@ -183,23 +209,72 @@ func (s *Session) Observe(y float64, evalErr error) error {
 // Step proposes the next point and evaluates it inline with the
 // problem's Evaluator.
 func (s *Session) Step() error {
+	return s.StepContext(context.Background())
+}
+
+// StepContext is Step with cooperative cancellation. Cancellation
+// during the proposal stops between stages; cancellation during the
+// evaluation abandons the in-flight Evaluate call (its goroutine may
+// finish in the background, but its result is discarded) and leaves the
+// proposal outstanding, so a resumed session re-evaluates the same
+// point instead of losing it.
+func (s *Session) StepContext(ctx context.Context) error {
 	if s.problem.Evaluator == nil {
 		return fmt.Errorf("core: problem %q has no evaluator; use Propose/Observe", s.problem.Name)
 	}
-	params, err := s.Propose()
+	params, err := s.ProposeContext(ctx)
 	if err != nil {
 		return err
 	}
-	y, evalErr := s.problem.Evaluator.Evaluate(s.task, params)
+	evalStart := time.Now()
+	y, evalErr, err := s.evaluate(ctx, params)
+	s.timers.ObserveEvaluate(time.Since(evalStart))
+	if err != nil {
+		return err
+	}
 	return s.Observe(y, evalErr)
+}
+
+// evaluate runs the problem's Evaluator, racing it against the context
+// so a hung or slow evaluation cannot outlive a cancelled session. The
+// channel is buffered: a late result is dropped, not leaked on.
+func (s *Session) evaluate(ctx context.Context, params map[string]interface{}) (float64, error, error) {
+	if ctx.Done() == nil {
+		// No cancellation possible (context.Background()): evaluate
+		// inline and skip the goroutine handoff.
+		y, evalErr := s.problem.Evaluator.Evaluate(s.task, params)
+		return y, evalErr, nil
+	}
+	type result struct {
+		y   float64
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		y, evalErr := s.problem.Evaluator.Evaluate(s.task, params)
+		ch <- result{y, evalErr}
+	}()
+	select {
+	case r := <-ch:
+		return r.y, r.err, nil
+	case <-ctx.Done():
+		return 0, nil, fmt.Errorf("core: evaluation cancelled at iteration %d: %w", s.iter, ctx.Err())
+	}
 }
 
 // Run steps until the budget is consumed and returns the history. A
 // session that was partially run (or resumed from a checkpoint) simply
 // continues.
 func (s *Session) Run() (*History, error) {
+	return s.RunContext(context.Background())
+}
+
+// RunContext is Run with cooperative cancellation; on cancellation it
+// returns the history accumulated so far with the wrapped context
+// error, and the session remains checkpointable and resumable.
+func (s *Session) RunContext(ctx context.Context) (*History, error) {
 	for !s.Done() {
-		if err := s.Step(); err != nil {
+		if err := s.StepContext(ctx); err != nil {
 			return s.h, err
 		}
 	}

@@ -8,6 +8,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	mathrand "math/rand"
 	"net/http"
@@ -15,6 +16,7 @@ import (
 	"time"
 
 	"gptunecrowd/internal/historydb"
+	"gptunecrowd/internal/obs"
 )
 
 // Client retry/timeout defaults (overridable per client).
@@ -49,6 +51,11 @@ type Client struct {
 	// at BackoffMax. Zero values select the defaults.
 	BackoffBase time.Duration
 	BackoffMax  time.Duration
+
+	// Logger receives one structured record per retried attempt and per
+	// final failure, stamped with the context's trace ID. nil disables
+	// client logging.
+	Logger *slog.Logger
 
 	// jitter returns a uniform value in [0, 1); tests may replace it
 	// for determinism via setJitter.
@@ -148,17 +155,20 @@ func (c *Client) post(ctx context.Context, path string, in, out interface{}) err
 	if err != nil {
 		return fmt.Errorf("crowd: encode request: %w", err)
 	}
+	log := obs.Or(c.Logger)
 	for attempt := 0; ; attempt++ {
 		err, retryable := c.attempt(ctx, path, body, out)
 		if err == nil {
 			return nil
 		}
 		if !retryable || attempt >= c.maxRetries() {
+			log.ErrorContext(ctx, "request failed", "path", path, "attempt", attempt+1, "err", err)
 			return err
 		}
 		if ctx.Err() != nil {
 			return fmt.Errorf("crowd: request %s: %w", path, ctx.Err())
 		}
+		log.WarnContext(ctx, "retrying request", "path", path, "attempt", attempt+1, "err", err)
 		if serr := sleep(ctx, c.backoff(attempt)); serr != nil {
 			return fmt.Errorf("crowd: request %s: %w", path, serr)
 		}
@@ -177,6 +187,9 @@ func (c *Client) attempt(ctx context.Context, path string, body []byte, out inte
 	req.Header.Set("Content-Type", "application/json")
 	if c.APIKey != "" {
 		req.Header.Set("X-Api-Key", c.APIKey)
+	}
+	if id := obs.TraceID(ctx); id != "" {
+		req.Header.Set(obs.TraceHeader, id)
 	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
@@ -228,11 +241,18 @@ func (c *Client) Upload(evals []FuncEval) ([]string, error) {
 // UploadContext is Upload with request-scoped cancellation. The batch
 // carries a fresh idempotency id reused across internal retries, so the
 // server applies it exactly once even if a response is lost mid-flight.
+// When the trust layer holds every sample, the returned error wraps
+// ErrQuarantined (use UploadReportContext to see the per-sample
+// reasons).
 func (c *Client) UploadContext(ctx context.Context, evals []FuncEval) ([]string, error) {
 	var resp UploadResponse
 	req := UploadRequest{FuncEvals: evals, BatchID: newBatchID()}
 	if err := c.post(ctx, "/api/v1/func_eval/upload", req, &resp); err != nil {
 		return nil, err
+	}
+	if len(resp.IDs) == 0 && len(resp.Quarantined) > 0 {
+		return nil, fmt.Errorf("%w: all %d samples held (first: %s)",
+			ErrQuarantined, len(resp.Quarantined), resp.Quarantined[0].Reason)
 	}
 	return resp.IDs, nil
 }

@@ -1,6 +1,26 @@
 package crowd
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors for the common failure classes. They are matched with
+// errors.Is against any error returned by the client: *APIError maps
+// itself onto them via its Is method, and UploadContext wraps
+// ErrQuarantined when a batch is held in its entirety. The root
+// gptunecrowd package re-exports these for public consumption.
+var (
+	// ErrUnauthorized: the API key is missing, wrong, or lacks access
+	// (HTTP 401/403).
+	ErrUnauthorized = errors.New("crowd: unauthorized")
+	// ErrOverloaded: the server shed the request (HTTP 429) or was
+	// temporarily unavailable (HTTP 503); retry with backoff.
+	ErrOverloaded = errors.New("crowd: server overloaded")
+	// ErrQuarantined: every sample in the upload was routed to
+	// quarantine by the trust layer — nothing entered the main store.
+	ErrQuarantined = errors.New("crowd: upload quarantined")
+)
 
 // APIError is a server-reported failure: the HTTP status code plus the
 // error message from the response body. Callers distinguish failure
@@ -52,4 +72,20 @@ func (e *APIError) IsOverload() bool {
 // all 5xx).
 func (e *APIError) Temporary() bool {
 	return e.StatusCode == 429 || e.StatusCode >= 500
+}
+
+// Is maps the error onto the package sentinels so callers can use
+// errors.Is without inspecting status codes:
+//
+//	if errors.Is(err, crowd.ErrUnauthorized) { ... }
+func (e *APIError) Is(target error) bool {
+	switch target {
+	case ErrUnauthorized:
+		return e.IsAuth()
+	case ErrOverloaded:
+		return e.IsOverload()
+	case ErrQuarantined:
+		return e.Code == "quarantined"
+	}
+	return false
 }

@@ -87,7 +87,7 @@ func (s *Server) handleModelUpload(w http.ResponseWriter, r *http.Request, user 
 	}
 	entry, owner := s.claimBatch("surrogate", user, req.BatchID)
 	if !owner {
-		s.metrics.add(func(m *MetricsSnapshot) { m.Replays++ })
+		s.metrics.replays.Inc()
 		writeJSON(w, entry.status, entry.payload)
 		return
 	}
@@ -126,7 +126,7 @@ func (s *Server) applyModelUpload(req *ModelUploadRequest, user string) (int, in
 	if err != nil {
 		return http.StatusInternalServerError, errorResponse{Error: fmt.Sprintf("store error: %v", err)}
 	}
-	s.metrics.add(func(m *MetricsSnapshot) { m.Uploads++ })
+	s.metrics.uploads.Inc()
 	return http.StatusOK, ModelUploadResponse{IDs: ids}
 }
 

@@ -1,0 +1,123 @@
+package crowd
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"gptunecrowd/internal/obs"
+)
+
+// TestMetricsEndpoint drives traffic through the server and checks that
+// /metrics exposes Prometheus text covering the request, taskpool,
+// quarantine and reputation families.
+func TestMetricsEndpoint(t *testing.T) {
+	srv, alice, _ := testServer(t)
+
+	if _, err := alice.Upload([]FuncEval{sampleEval("PDGEQRF", 1000, 1.5, "public")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := alice.Query(QueryRequest{TuningProblemName: "PDGEQRF"}); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(body)
+	for _, want := range []string{
+		"# TYPE crowd_http_requests_total counter",
+		`crowd_http_requests_total{code="2xx"}`,
+		"crowd_http_in_flight",
+		"crowd_http_request_duration_seconds_bucket",
+		"crowd_uploads_total 1",
+		"crowd_queries_total 1",
+		"crowd_samples_accepted_total 1",
+		`taskpool_tasks{state="queued"} 0`,
+		"taskpool_submitted_total 0",
+		"quarantine_samples_total 0",
+		"quarantine_held 0",
+		"reputation_tracked_users 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestStatsMatchesRegistry checks the legacy /api/v1/stats JSON is
+// still assembled correctly from the registry-backed counters.
+func TestStatsMatchesRegistry(t *testing.T) {
+	_, alice, _ := testServer(t)
+	if _, err := alice.Upload([]FuncEval{sampleEval("PDGEQRF", 1000, 1.5, "public")}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := alice.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Uploads != 1 || st.SamplesAccepted != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.Requests != st.Status2xx+st.Status4xx+st.Status5xx {
+		t.Fatalf("request total %d != status-class sum", st.Requests)
+	}
+	if st.Requests < 3 { // register, upload, stats at minimum
+		t.Fatalf("requests %d, want >= 3", st.Requests)
+	}
+}
+
+// TestTraceHeaderEcho checks the trace middleware: a valid incoming
+// X-Trace-ID is adopted and echoed; an invalid one is replaced; and the
+// structured request log carries the trace attribute.
+func TestTraceHeaderEcho(t *testing.T) {
+	var buf bytes.Buffer
+	srv := httptest.NewServer(NewServerWith(Config{
+		Slog: obs.NewLogger(&buf, obs.LogOptions{JSON: true, Level: slog.LevelInfo}),
+	}))
+	defer srv.Close()
+
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+"/api/v1/healthz", nil)
+	req.Header.Set(obs.TraceHeader, "run-42.alpha")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get(obs.TraceHeader); got != "run-42.alpha" {
+		t.Fatalf("echoed trace %q, want run-42.alpha", got)
+	}
+
+	req, _ = http.NewRequest(http.MethodGet, srv.URL+"/api/v1/healthz", nil)
+	req.Header.Set(obs.TraceHeader, "bad id with spaces")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	got := resp.Header.Get(obs.TraceHeader)
+	if got == "" || got == "bad id with spaces" || !obs.ValidTraceID(got) {
+		t.Fatalf("invalid incoming trace not replaced: %q", got)
+	}
+
+	if !strings.Contains(buf.String(), `"trace":"run-42.alpha"`) {
+		t.Fatalf("request log missing trace attr:\n%s", buf.String())
+	}
+}

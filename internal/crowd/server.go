@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strings"
@@ -15,6 +16,7 @@ import (
 	"time"
 
 	"gptunecrowd/internal/historydb"
+	"gptunecrowd/internal/obs"
 	"gptunecrowd/internal/taskpool"
 )
 
@@ -33,7 +35,18 @@ type Config struct {
 	MaxRememberedBatches int
 	// Logger receives one line per served request:
 	// "method path status bytes duration". nil disables request logging.
+	//
+	// Deprecated: prefer Slog; Logger is kept for compatibility and
+	// still receives the same lines when set.
 	Logger *log.Logger
+	// Slog receives one structured record per served request (method,
+	// path, status, bytes, duration, trace). nil disables structured
+	// request logging.
+	Slog *slog.Logger
+	// Registry receives the server's metrics families. nil allocates a
+	// private registry; pass a shared one to co-expose daemon-level
+	// metrics on the same /metrics endpoint.
+	Registry *obs.Registry
 	// TaskLeaseTTL is how long a task lease lives without a heartbeat
 	// (taskpool.DefaultLeaseTTL when zero).
 	TaskLeaseTTL time.Duration
@@ -103,23 +116,6 @@ type MetricsSnapshot struct {
 	Reputation map[string]Reputation `json:"reputation,omitempty"`
 }
 
-type metrics struct {
-	mu sync.Mutex
-	MetricsSnapshot
-}
-
-func (m *metrics) add(f func(*MetricsSnapshot)) {
-	m.mu.Lock()
-	f(&m.MetricsSnapshot)
-	m.mu.Unlock()
-}
-
-func (m *metrics) snapshot() MetricsSnapshot {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.MetricsSnapshot
-}
-
 // batchEntry is one remembered upload batch: the first request to claim
 // a (user, batch id) pair processes it and publishes the outcome here;
 // concurrent or later duplicates wait on done and replay the outcome.
@@ -138,7 +134,8 @@ type Server struct {
 	handler http.Handler
 	cfg     Config
 	sem     chan struct{}
-	metrics metrics
+	metrics *serverMetrics
+	slog    *slog.Logger
 
 	// API-key index: auth is an O(1) map lookup instead of a scan of
 	// the users collection on every authenticated request.
@@ -174,7 +171,10 @@ func NewServerWith(cfg Config) *Server {
 		usernames:  make(map[string]bool),
 		batches:    make(map[string]*batchEntry),
 		reputation: newReputationStore(),
+		metrics:    newServerMetrics(cfg.Registry),
+		slog:       obs.Or(cfg.Slog),
 	}
+	s.registerDerivedMetrics()
 	mux := http.NewServeMux()
 	mux.HandleFunc("/api/v1/register", s.handleRegister)
 	mux.HandleFunc("/api/v1/func_eval/upload", s.auth(s.handleUpload))
@@ -192,10 +192,16 @@ func NewServerWith(cfg Config) *Server {
 	mux.HandleFunc("/api/v1/quarantine/release", s.auth(s.handleQuarantineRelease))
 	mux.HandleFunc("/api/v1/stats", s.handleStats)
 	mux.HandleFunc("/api/v1/healthz", s.handleHealthz)
+	mux.Handle("/metrics", s.metrics.reg.Handler())
 	s.mux = mux
-	s.handler = s.observe(s.limit(s.withDeadline(mux)))
+	s.handler = s.trace(s.observe(s.limit(s.withDeadline(mux))))
 	return s
 }
+
+// Registry exposes the server's metrics registry (for daemon wiring:
+// cmd/crowdserver co-registers process-level families and serves the
+// same registry on its -debug-addr listener).
+func (s *Server) Registry() *obs.Registry { return s.metrics.reg }
 
 // Store exposes the underlying document store (for persistence wiring
 // in cmd/crowdserver).
@@ -241,8 +247,24 @@ func (r *statusRecorder) Write(b []byte) (int, error) {
 	return n, err
 }
 
-// observe is the outermost middleware: request counters and structured
-// access logging for every request, including limiter rejections.
+// trace is the outermost middleware: it adopts a valid incoming
+// X-Trace-ID (so one tuning run's uploads, queries and task operations
+// share a trace across client retries), generates a fresh ID otherwise,
+// installs it on the request context, and echoes it on the response so
+// callers can correlate their logs with the server's.
+func (s *Server) trace(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(obs.TraceHeader)
+		if !obs.ValidTraceID(id) {
+			id = obs.NewTraceID()
+		}
+		w.Header().Set(obs.TraceHeader, id)
+		next.ServeHTTP(w, r.WithContext(obs.WithTrace(r.Context(), id)))
+	})
+}
+
+// observe sits inside trace: request counters, the latency histogram
+// and access logging for every request, including limiter rejections.
 func (s *Server) observe(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
@@ -251,26 +273,14 @@ func (s *Server) observe(next http.Handler) http.Handler {
 		if rec.status == 0 {
 			rec.status = http.StatusOK
 		}
-		s.metrics.add(func(m *MetricsSnapshot) {
-			m.Requests++
-			switch {
-			case rec.status >= 500:
-				m.Status5xx++
-			case rec.status >= 400:
-				m.Status4xx++
-			default:
-				m.Status2xx++
-			}
-			if rec.status == http.StatusTooManyRequests {
-				m.Rejected++
-			}
-			if rec.status == http.StatusServiceUnavailable {
-				m.TimedOut++
-			}
-		})
+		dur := time.Since(start)
+		s.metrics.observeStatus(rec.status, dur.Seconds())
+		s.slog.InfoContext(r.Context(), "request",
+			"method", r.Method, "path", r.URL.Path, "status", rec.status,
+			"bytes", rec.bytes, "dur", dur.Round(time.Microsecond))
 		if s.cfg.Logger != nil {
 			s.cfg.Logger.Printf("%s %s status=%d bytes=%d dur=%s",
-				r.Method, r.URL.Path, rec.status, rec.bytes, time.Since(start).Round(time.Microsecond))
+				r.Method, r.URL.Path, rec.status, rec.bytes, dur.Round(time.Microsecond))
 		}
 	})
 }
@@ -282,10 +292,10 @@ func (s *Server) limit(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		select {
 		case s.sem <- struct{}{}:
-			s.metrics.add(func(m *MetricsSnapshot) { m.InFlight++ })
+			s.metrics.inFlight.Inc()
 			defer func() {
 				<-s.sem
-				s.metrics.add(func(m *MetricsSnapshot) { m.InFlight-- })
+				s.metrics.inFlight.Dec()
 			}()
 			next.ServeHTTP(w, r)
 		default:
@@ -493,7 +503,7 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request, user strin
 	}
 	entry, owner := s.claimBatch("func_eval", user, req.BatchID)
 	if !owner {
-		s.metrics.add(func(m *MetricsSnapshot) { m.Replays++ })
+		s.metrics.replays.Inc()
 		writeJSON(w, entry.status, entry.payload)
 		return
 	}
@@ -567,11 +577,9 @@ func (s *Server) applyUpload(req *UploadRequest, user string) (int, interface{})
 			s.reputation.recordAccepted(user)
 		}
 	}
-	s.metrics.add(func(m *MetricsSnapshot) {
-		m.Uploads++
-		m.SamplesAccepted += int64(len(ids))
-		m.SamplesQuarantined += int64(len(quarantined))
-	})
+	s.metrics.uploads.Inc()
+	s.metrics.samplesAccepted.Add(int64(len(ids)))
+	s.metrics.samplesQuarantined.Add(int64(len(quarantined)))
 	return http.StatusOK, UploadResponse{IDs: ids, Quarantined: quarantined}
 }
 
@@ -609,7 +617,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, user string
 		writeStoreErr(w, err)
 		return
 	}
-	s.metrics.add(func(m *MetricsSnapshot) { m.Queries++ })
+	s.metrics.queries.Inc()
 	resp := QueryResponse{}
 	for _, d := range docs {
 		fe, err := fromDocument(d)

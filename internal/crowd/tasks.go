@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"time"
 
+	"gptunecrowd/internal/obs"
 	"gptunecrowd/internal/taskpool"
 )
 
@@ -121,6 +122,11 @@ func (s *Server) handleTaskSubmit(w http.ResponseWriter, r *http.Request, user s
 	var req TaskSubmitRequest
 	if !decodeTask(w, r, &req) {
 		return
+	}
+	// Stamp the submitting request's trace onto the spec (unless the
+	// submitter pinned one), so workers join the same trace.
+	if req.Spec.TraceID == "" {
+		req.Spec.TraceID = obs.TraceID(r.Context())
 	}
 	id, err := s.tasks.Submit(user, req.Spec)
 	if err != nil {

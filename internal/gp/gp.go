@@ -7,6 +7,7 @@
 package gp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -35,6 +36,10 @@ type Options struct {
 	// GPTUNE_WORKERS when set, else GOMAXPROCS. Results are bit-identical
 	// for every worker count at a fixed Seed.
 	Workers int
+	// Ctx, when non-nil, allows cancelling the fit between restarts: a
+	// restart that begins after cancellation is skipped and Fit returns
+	// the context's error instead of a model. A nil Ctx never cancels.
+	Ctx context.Context
 }
 
 // GP is a fitted Gaussian-process model.
@@ -129,15 +134,27 @@ func Fit(X [][]float64, y []float64, opts Options) (*GP, error) {
 		starts = append(starts, s)
 	}
 
+	if opts.Ctx != nil && opts.Ctx.Err() != nil {
+		return nil, opts.Ctx.Err()
+	}
+
 	// Restarts run concurrently; each gets private scratch so objective
 	// evaluations never contend, and the argmin reduction is ordered.
 	best := optimize.MultiStartParallel(starts, opts.Workers, func(_ int, x0 []float64) optimize.Result {
+		if opts.Ctx != nil && opts.Ctx.Err() != nil {
+			// Cancelled before this restart began: report an unusable
+			// result so the argmin ignores it (Fit re-checks below).
+			return optimize.Result{X: x0, F: math.Inf(1)}
+		}
 		sc := newFitScratch(dim, n)
 		obj := func(theta []float64) (float64, []float64) {
 			return g.nllGrad(ys, theta, opts.FixedNoise, opts.Workers, sc)
 		}
 		return optimize.LBFGS(obj, x0, optimize.LBFGSConfig{MaxIter: opts.MaxIter})
 	})
+	if opts.Ctx != nil && opts.Ctx.Err() != nil {
+		return nil, opts.Ctx.Err()
+	}
 
 	g.hyper = kernel.NewHyper(dim)
 	g.hyper.Unpack(best.X[:dim+1])

@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// DebugMux returns the daemons' debug mux: the net/http/pprof handlers
+// under /debug/pprof/ and, when reg is non-nil, the Prometheus
+// exposition under /metrics. Served behind the -debug-addr flag of
+// crowdserver and crowdworker — never on the public API listener.
+func DebugMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if reg != nil {
+		mux.Handle("/metrics", reg.Handler())
+	}
+	return mux
+}
+
+// ServeDebug starts the debug listener on addr in a background
+// goroutine and returns the server (Close/Shutdown to stop it). An
+// empty addr is a no-op returning (nil, nil), so callers can pass the
+// flag value straight through.
+func ServeDebug(addr string, reg *Registry, logger *slog.Logger) (*http.Server, error) {
+	if addr == "" {
+		return nil, nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           DebugMux(reg),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	logger = Or(logger)
+	logger.Info("debug server listening", "addr", ln.Addr().String())
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			logger.Error("debug server failed", "err", err)
+		}
+	}()
+	return srv, nil
+}

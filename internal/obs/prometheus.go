@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+)
+
+// WritePrometheus renders every registered family in the Prometheus
+// text exposition format (version 0.0.4): a # HELP and # TYPE line per
+// family followed by one sample line per series, families in
+// registration order, series in registration order within a family.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var sb strings.Builder
+	for _, name := range r.order {
+		fam := r.families[name]
+		if fam.help != "" {
+			sb.WriteString("# HELP ")
+			sb.WriteString(fam.name)
+			sb.WriteByte(' ')
+			sb.WriteString(escapeHelp(fam.help))
+			sb.WriteByte('\n')
+		}
+		sb.WriteString("# TYPE ")
+		sb.WriteString(fam.name)
+		sb.WriteByte(' ')
+		sb.WriteString(string(fam.kind))
+		sb.WriteByte('\n')
+		for _, key := range fam.order {
+			fam.series[key].expose(&sb, fam.name, key)
+		}
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// Handler serves the registry in Prometheus text format (the /metrics
+// endpoint). GET and HEAD only.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			http.Error(w, "GET required", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if req.Method == http.MethodHead {
+			return
+		}
+		r.WritePrometheus(w)
+	})
+}

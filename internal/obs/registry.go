@@ -1,0 +1,333 @@
+// Package obs is the zero-dependency observability layer shared by the
+// crowd server, client, task pool, volunteer workers and the tuner
+// core. It bundles four concerns that every production deployment
+// needs and that were previously scattered across ad-hoc stat maps:
+//
+//   - a typed metrics registry (counters, gauges, histograms) with
+//     lock-free atomic hot paths and Prometheus text exposition;
+//   - trace/span IDs with context propagation (client→server via the
+//     X-Trace-ID header, submitter→worker via task lease metadata);
+//   - log/slog helpers that stamp every record with the trace ID found
+//     in its context;
+//   - a debug HTTP mux (net/http/pprof + /metrics) served behind the
+//     daemons' -debug-addr flag.
+//
+// Everything here uses only the standard library, so the tuner keeps
+// its zero-external-dependency property.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one constant key=value pair attached to a metric series at
+// registration time (e.g. the status class of a request counter).
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// metricKind is the Prometheus exposition type of a family.
+type metricKind string
+
+const (
+	kindCounter   metricKind = "counter"
+	kindGauge     metricKind = "gauge"
+	kindHistogram metricKind = "histogram"
+)
+
+// series is one registered time series (a family member with a fixed
+// label set).
+type series interface {
+	// expose appends exposition lines for this series. name is the
+	// family name, labels the rendered label string ("" or `k="v",...`).
+	expose(sb *strings.Builder, name, labels string)
+}
+
+// family groups the series sharing one metric name.
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	order  []string // label-set keys in registration order
+	series map[string]series
+}
+
+// Registry holds metric families and renders them in Prometheus text
+// format. Registration is idempotent: asking for an already-registered
+// (name, labels) pair returns the existing collector, so independent
+// subsystems (several tuning sessions, server middleware, the task
+// pool) can share one registry without coordination. Registering the
+// same name with a different type or help string panics — that is a
+// programming error, not an operational condition.
+//
+// The hot paths (Counter.Add, Gauge.Set, Histogram.Observe) are
+// lock-free atomics; the registry lock is only taken at registration
+// and exposition time.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []string // family names in registration order
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	parts := make([]string, len(labels))
+	for i, l := range labels {
+		parts[i] = fmt.Sprintf("%s=%q", l.Key, l.Value)
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+// register resolves (name, labels) to its series, creating family and
+// series as needed. make is called under the registry lock to build a
+// missing series.
+func (r *Registry) register(name, help string, kind metricKind, labels []Label, make func() series) series {
+	if name == "" {
+		panic("obs: metric name must not be empty")
+	}
+	key := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fam := r.families[name]
+	if fam == nil {
+		fam = &family{name: name, help: help, kind: kind, series: map[string]series{}}
+		r.families[name] = fam
+		r.order = append(r.order, name)
+	}
+	if fam.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)", name, kind, fam.kind))
+	}
+	s := fam.series[key]
+	if s == nil {
+		s = make()
+		fam.series[key] = s
+		fam.order = append(fam.order, key)
+	}
+	return s
+}
+
+// --- Counter
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must not be negative; counters only go up).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+func (c *Counter) expose(sb *strings.Builder, name, labels string) {
+	writeSample(sb, name, labels, float64(c.v.Load()))
+}
+
+// Counter registers (or returns the existing) counter under name with
+// the given constant labels.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	s := r.register(name, help, kindCounter, labels, func() series { return &Counter{} })
+	c, ok := s.(*Counter)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q is not a plain counter", name))
+	}
+	return c
+}
+
+// counterFunc samples a callback at exposition time — for counters
+// maintained elsewhere (e.g. the task pool's cumulative counters).
+type counterFunc struct{ f func() float64 }
+
+func (c counterFunc) expose(sb *strings.Builder, name, labels string) {
+	writeSample(sb, name, labels, c.f())
+}
+
+// CounterFunc registers a counter whose value is read from f at
+// exposition time. Re-registering the same (name, labels) keeps the
+// first callback.
+func (r *Registry) CounterFunc(name, help string, f func() float64, labels ...Label) {
+	r.register(name, help, kindCounter, labels, func() series { return counterFunc{f: f} })
+}
+
+// --- Gauge
+
+// Gauge is an integer metric that can go up and down (in-flight
+// requests, queue depths).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (negative allowed).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+func (g *Gauge) expose(sb *strings.Builder, name, labels string) {
+	writeSample(sb, name, labels, float64(g.v.Load()))
+}
+
+// Gauge registers (or returns the existing) gauge.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	s := r.register(name, help, kindGauge, labels, func() series { return &Gauge{} })
+	g, ok := s.(*Gauge)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q is not a plain gauge", name))
+	}
+	return g
+}
+
+// gaugeFunc samples a callback at exposition time.
+type gaugeFunc struct{ f func() float64 }
+
+func (g gaugeFunc) expose(sb *strings.Builder, name, labels string) {
+	writeSample(sb, name, labels, g.f())
+}
+
+// GaugeFunc registers a gauge whose value is read from f at exposition
+// time (point-in-time views like queue depth or held quarantine size).
+func (r *Registry) GaugeFunc(name, help string, f func() float64, labels ...Label) {
+	r.register(name, help, kindGauge, labels, func() series { return gaugeFunc{f: f} })
+}
+
+// --- Histogram
+
+// DefDurationBuckets are the default histogram buckets for durations in
+// seconds: 100µs .. 10s in roughly 2.5× steps, matching the Prometheus
+// client defaults shifted one decade down (tuner stages are fast).
+var DefDurationBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+	0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bucket cumulative histogram with an atomic
+// Observe path: one atomic add on the bucket, one on the count, and a
+// CAS loop on the float sum.
+type Histogram struct {
+	bounds []float64 // upper bounds, ascending; +Inf is implicit
+	counts []atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		new := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+func (h *Histogram) expose(sb *strings.Builder, name, labels string) {
+	var cum int64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		writeSample(sb, name+"_bucket", joinLabels(labels, fmt.Sprintf("le=%q", formatBound(b))), float64(cum))
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	writeSample(sb, name+"_bucket", joinLabels(labels, `le="+Inf"`), float64(cum))
+	writeSample(sb, name+"_sum", labels, h.Sum())
+	writeSample(sb, name+"_count", labels, float64(h.count.Load()))
+}
+
+// Histogram registers (or returns the existing) histogram. A nil
+// buckets slice selects DefDurationBuckets.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	s := r.register(name, help, kindHistogram, labels, func() series {
+		if buckets == nil {
+			buckets = DefDurationBuckets
+		}
+		bounds := append([]float64(nil), buckets...)
+		sort.Float64s(bounds)
+		h := &Histogram{bounds: bounds}
+		h.counts = make([]atomic.Int64, len(bounds)+1)
+		return h
+	})
+	h, ok := s.(*Histogram)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q is not a histogram", name))
+	}
+	return h
+}
+
+// Names returns the registered family names in registration order.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.order...)
+}
+
+// formatBound formats a bucket bound compactly ("0.005", "1", "+Inf").
+func formatBound(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+func joinLabels(a, b string) string {
+	if a == "" {
+		return b
+	}
+	if b == "" {
+		return a
+	}
+	return a + "," + b
+}
+
+func writeSample(sb *strings.Builder, name, labels string, v float64) {
+	sb.WriteString(name)
+	if labels != "" {
+		sb.WriteByte('{')
+		sb.WriteString(labels)
+		sb.WriteByte('}')
+	}
+	sb.WriteByte(' ')
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		fmt.Fprintf(sb, "%d", int64(v))
+	} else {
+		fmt.Fprintf(sb, "%g", v)
+	}
+	sb.WriteByte('\n')
+}

@@ -99,6 +99,12 @@ type Spec struct {
 	// that drains mid-task stores its checkpoint here (via Fail), so
 	// the next lease continues where the previous one stopped.
 	Checkpoint json.RawMessage `json:"checkpoint,omitempty"`
+	// TraceID links the task to the submitting request's trace: the
+	// server stamps it at submission and workers adopt it for the whole
+	// lease lifecycle, so one tuning run is followable from client
+	// upload through server logs to task completion. It survives WAL
+	// replay, checkpoints and requeues like the rest of the spec.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // Validate checks the spec before submission.

@@ -1,0 +1,122 @@
+package worker
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gptunecrowd/internal/crowd"
+	"gptunecrowd/internal/obs"
+	"gptunecrowd/internal/taskpool"
+)
+
+// syncBuffer is a goroutine-safe log sink: the server's request logger
+// and the worker's logger both write concurrently with the test's
+// reads.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestTraceFollowsTaskEndToEnd follows one trace ID across the whole
+// crowd-tuning pipeline: the submitting client stamps it on the HTTP
+// request, the server request log and the stored task spec pick it up,
+// the leasing worker adopts it into its lease context, and the worker's
+// own uploads and completion calls carry it back to the server — so
+// every log line of the run, on either side of the wire, shares the ID.
+func TestTraceFollowsTaskEndToEnd(t *testing.T) {
+	var srvLog, wLog syncBuffer
+	srv, ts, httpc := e2eServer(t, crowd.Config{
+		MaxInFlight: 256,
+		Slog:        obs.NewLogger(&srvLog, obs.LogOptions{JSON: true}),
+	})
+	owner := e2eClient(t, ts, httpc, "")
+	if _, err := owner.Register("owner", ""); err != nil {
+		t.Fatal(err)
+	}
+
+	const traceID = "e2e-trace-0042"
+	ctx := obs.WithTrace(context.Background(), traceID)
+	id, err := owner.SubmitTaskContext(ctx, taskpool.Spec{App: "demo", Budget: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	task, ok := srv.TaskPool().Get(id)
+	if !ok {
+		t.Fatalf("task %s not in pool", id)
+	}
+	if task.Spec.TraceID != traceID {
+		t.Fatalf("task spec trace %q, want %q", task.Spec.TraceID, traceID)
+	}
+
+	w, err := New(Options{
+		Client:       e2eClient(t, ts, httpc, owner.APIKey),
+		Name:         "tracer",
+		PollInterval: 10 * time.Millisecond,
+		Slog:         obs.NewLogger(&wLog, obs.LogOptions{JSON: true}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runCtx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() { defer close(done); w.Run(runCtx) }()
+
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		got, _ := srv.TaskPool().Get(id)
+		if got.State == taskpool.StateCompleted {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("task never completed (state %s)", got.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker did not drain")
+	}
+
+	attr := `"trace":"` + traceID + `"`
+	srvOut := srvLog.String()
+	// The submit request and the worker's own traffic (lease heartbeats,
+	// sample upload, completion) must all log under the same trace.
+	if n := strings.Count(srvOut, attr); n < 2 {
+		t.Fatalf("server log has %d records with %s, want >= 2:\n%s", n, attr, srvOut)
+	}
+	uploadLogged := false
+	for _, line := range strings.Split(srvOut, "\n") {
+		if strings.Contains(line, "/api/v1/func_eval/upload") && strings.Contains(line, attr) {
+			uploadLogged = true
+			break
+		}
+	}
+	if !uploadLogged {
+		t.Fatalf("no upload request logged under trace %s:\n%s", traceID, srvOut)
+	}
+	wOut := wLog.String()
+	for _, want := range []string{"leased task", "completed task", attr} {
+		if !strings.Contains(wOut, want) {
+			t.Fatalf("worker log missing %q:\n%s", want, wOut)
+		}
+	}
+}

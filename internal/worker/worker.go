@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"log/slog"
 	"math"
 	"sync/atomic"
 	"time"
@@ -18,6 +19,7 @@ import (
 	"gptunecrowd/internal/apps"
 	"gptunecrowd/internal/core"
 	"gptunecrowd/internal/crowd"
+	"gptunecrowd/internal/obs"
 	"gptunecrowd/internal/taskpool"
 )
 
@@ -34,7 +36,16 @@ type Options struct {
 	// empty or the server unreachable. Default 2s.
 	PollInterval time.Duration
 	// Logger receives progress lines; nil disables logging.
+	//
+	// Deprecated: prefer Slog; Logger is kept for compatibility and
+	// still receives the same lines when set.
 	Logger *log.Logger
+	// Slog receives structured progress records stamped with each
+	// task's trace ID; nil disables structured logging.
+	Slog *slog.Logger
+	// Registry, when non-nil, exposes the worker's cumulative counters
+	// as worker_* metric families (served on the daemon's -debug-addr).
+	Registry *obs.Registry
 	// Accessibility marks uploaded samples ("" = public).
 	Accessibility string
 	// OnSample observes every evaluation the worker records (tests).
@@ -66,6 +77,7 @@ type Stats struct {
 // Worker runs the lease → tune → upload → complete loop.
 type Worker struct {
 	opts Options
+	slog *slog.Logger
 
 	completed atomic.Int64
 	suspended atomic.Int64
@@ -90,7 +102,28 @@ func New(opts Options) (*Worker, error) {
 	if opts.PollInterval <= 0 {
 		opts.PollInterval = 2 * time.Second
 	}
-	return &Worker{opts: opts}, nil
+	w := &Worker{opts: opts, slog: obs.Or(opts.Slog).With("worker", opts.Name)}
+	if opts.Registry != nil {
+		w.registerMetrics(opts.Registry)
+	}
+	return w, nil
+}
+
+// registerMetrics publishes the worker's atomic counters as worker_*
+// families, sampled at exposition time.
+func (w *Worker) registerMetrics(reg *obs.Registry) {
+	counter := func(name, help string, v *atomic.Int64) {
+		reg.CounterFunc(name, help, func() float64 { return float64(v.Load()) })
+	}
+	counter("worker_tasks_completed_total", "Tasks finished with Complete.", &w.completed)
+	counter("worker_tasks_suspended_total", "Tasks handed back with a checkpoint (drain).", &w.suspended)
+	counter("worker_tasks_failed_total", "Tasks handed back after an error.", &w.failed)
+	counter("worker_leases_lost_total", "Tasks abandoned because the lease expired.", &w.leaseLost)
+	counter("worker_evaluations_total", "Function evaluations run.", &w.evals)
+	counter("worker_eval_panics_total", "Evaluations that panicked, recorded as failures.", &w.panics)
+	counter("worker_eval_timeouts_total", "Evaluations abandoned at EvalTimeout.", &w.timeouts)
+	counter("worker_evals_imputed_total", "Failed evaluations recorded for imputation.", &w.imputed)
+	counter("worker_fit_fallbacks_total", "Iterations degraded to space-filling sampling.", &w.fitFallbacks)
 }
 
 // Stats returns the worker's counters.
@@ -172,9 +205,15 @@ func (w *Worker) runTask(ctx context.Context, task *taskpool.Task, ttl time.Dura
 		task.ID, task.Spec.App, task.Spec.Budget, task.Attempts, task.MaxAttempts)
 
 	// leaseCtx dies when the heartbeat loop learns the lease is lost;
-	// the step loop checks it between evaluations.
-	leaseCtx, cancelLease := context.WithCancel(context.Background())
+	// the step loop checks it between evaluations. It adopts the trace
+	// the submitter stamped on the spec, so every heartbeat, upload and
+	// completion joins the submitting request's trace.
+	leaseCtx, cancelLease := context.WithCancel(
+		obs.WithTrace(context.Background(), task.Spec.TraceID))
 	defer cancelLease()
+	w.slog.InfoContext(leaseCtx, "leased task",
+		"task", task.ID, "app", task.Spec.App, "budget", task.Spec.Budget,
+		"attempt", task.Attempts, "max_attempts", task.MaxAttempts)
 	hbDone := make(chan struct{})
 	go func() {
 		defer close(hbDone)
@@ -270,6 +309,8 @@ func (w *Worker) runTask(ctx context.Context, task *taskpool.Task, ttl time.Dura
 	}
 	w.completed.Add(1)
 	w.logf("completed %s (best %.6g in %d evals)", task.ID, res.BestY, sess.Iter())
+	w.slog.InfoContext(leaseCtx, "completed task",
+		"task", task.ID, "best_y", res.BestY, "evals", sess.Iter())
 }
 
 // openSession builds the task's application problem and a fresh or

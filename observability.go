@@ -1,0 +1,42 @@
+package gptunecrowd
+
+import (
+	"context"
+	"net/http"
+
+	"gptunecrowd/internal/obs"
+)
+
+// Metrics is a typed metrics registry (counters, gauges, histograms)
+// with Prometheus text exposition. Pass one in TuneOptions.Metrics to
+// collect the tuner's per-stage histograms (tuner_fit_seconds,
+// tuner_search_seconds, tuner_propose_seconds, tuner_evaluate_seconds);
+// the same registry type backs the crowd server's /metrics endpoint.
+// Registration is idempotent, so several tuning runs may share one
+// registry.
+type Metrics = obs.Registry
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// MetricsHandler serves a registry in Prometheus text exposition format
+// (mount it wherever the application exposes /metrics).
+func MetricsHandler(m *Metrics) http.Handler { return m.Handler() }
+
+// TraceHeader is the HTTP header carrying the trace ID between crowd
+// clients and servers (adopted when valid, generated otherwise, echoed
+// on every response).
+const TraceHeader = obs.TraceHeader
+
+// WithTraceID returns a context carrying the trace ID; crowd client
+// requests made with it send the ID in TraceHeader, and the server's
+// request logs, task leases and worker logs all carry it, making one
+// tuning run followable end to end. Use obs-generated IDs or any string
+// of at most 64 letters, digits, '-', '_' or '.'.
+func WithTraceID(ctx context.Context, id string) context.Context { return obs.WithTrace(ctx, id) }
+
+// TraceIDFrom returns the trace ID carried by ctx, or "".
+func TraceIDFrom(ctx context.Context) string { return obs.TraceID(ctx) }
+
+// NewTraceID returns a fresh 128-bit trace ID as 32 hex characters.
+func NewTraceID() string { return obs.NewTraceID() }

@@ -16,6 +16,9 @@ fi
 echo "== go vet"
 go vet ./...
 
+echo "== metrics lint (README table vs registered families)"
+scripts/metrics_lint.sh
+
 echo "== go build"
 go build ./...
 

@@ -1,10 +1,30 @@
 package gptunecrowd
 
 import (
+	"context"
 	"fmt"
 
 	"gptunecrowd/internal/core"
 )
+
+// sessionOptions lowers the public TuneOptions into the core session
+// configuration, adapting the structured logger to the core layer's
+// printf-style diagnostics hook.
+func sessionOptions(opts TuneOptions) core.SessionOptions {
+	so := core.SessionOptions{
+		Budget:   opts.Budget,
+		Seed:     opts.Seed,
+		OnSample: opts.OnSample,
+		Metrics:  opts.Metrics,
+	}
+	if opts.Logger != nil {
+		lg := opts.Logger
+		so.Logf = func(format string, args ...interface{}) {
+			lg.Warn(fmt.Sprintf(format, args...))
+		}
+	}
+	return so
+}
 
 // TuningSession is a suspendable tuning run. It exposes the same
 // propose → evaluate → record loop as Tune, but decomposed into
@@ -31,11 +51,7 @@ func NewTuningSession(p *Problem, task map[string]interface{}, opts TuneOptions)
 	if err != nil {
 		return nil, err
 	}
-	s, err := core.NewSession(p, task, prop, core.SessionOptions{
-		Budget:   opts.Budget,
-		Seed:     opts.Seed,
-		OnSample: opts.OnSample,
-	})
+	s, err := core.NewSession(p, task, prop, sessionOptions(opts))
 	if err != nil {
 		return nil, err
 	}
@@ -51,11 +67,7 @@ func ResumeTuningSession(p *Problem, task map[string]interface{}, opts TuneOptio
 	if err != nil {
 		return nil, err
 	}
-	s, err := core.ResumeSession(p, task, prop, core.SessionOptions{
-		Budget:   opts.Budget,
-		Seed:     opts.Seed,
-		OnSample: opts.OnSample,
-	}, checkpoint)
+	s, err := core.ResumeSession(p, task, prop, sessionOptions(opts), checkpoint)
 	if err != nil {
 		return nil, err
 	}
@@ -78,7 +90,16 @@ func resolveProposer(opts TuneOptions) (string, Proposer, error) {
 // Propose returns the next configuration to evaluate. It is idempotent
 // while a proposal is outstanding: calling it again (e.g. after a
 // resume) returns the same configuration without consuming randomness.
+// Thin wrapper over ProposeContext with context.Background().
 func (s *TuningSession) Propose() (map[string]interface{}, error) { return s.inner.Propose() }
+
+// ProposeContext is Propose with cooperative cancellation: the context
+// threads into surrogate fitting and acquisition search, and a cancel
+// surfaces as the wrapped context error without consuming budget or
+// randomness — the session stays checkpointable and resumable.
+func (s *TuningSession) ProposeContext(ctx context.Context) (map[string]interface{}, error) {
+	return s.inner.ProposeContext(ctx)
+}
 
 // Observe records the measurement for the outstanding proposal. A
 // non-nil evalErr records a failed evaluation, which consumes budget
@@ -86,14 +107,40 @@ func (s *TuningSession) Propose() (map[string]interface{}, error) { return s.inn
 func (s *TuningSession) Observe(y float64, evalErr error) error { return s.inner.Observe(y, evalErr) }
 
 // Step proposes and evaluates one point with the problem's Evaluator.
+// Thin wrapper over StepContext with context.Background().
 func (s *TuningSession) Step() error { return s.inner.Step() }
 
+// StepContext is Step with cooperative cancellation. A cancel mid-
+// evaluation abandons the measurement but keeps the proposal pending,
+// so a resumed (or simply retried) session re-evaluates the same point
+// rather than skipping it.
+func (s *TuningSession) StepContext(ctx context.Context) error { return s.inner.StepContext(ctx) }
+
 // Run steps until the budget is consumed, then reports the result like
-// Tune. A partially run or resumed session simply continues.
+// Tune. A partially run or resumed session simply continues. Thin
+// wrapper over RunContext with context.Background().
 func (s *TuningSession) Run() (*Result, error) {
-	h, err := s.inner.Run()
+	return s.RunContext(context.Background())
+}
+
+// RunContext is Run with cooperative cancellation. On cancellation it
+// returns the wrapped context error together with a partial Result
+// whose Checkpoint field resumes the run via ResumeTuningSession.
+func (s *TuningSession) RunContext(ctx context.Context) (*Result, error) {
+	h, err := s.inner.RunContext(ctx)
 	if err != nil {
-		return nil, err
+		if ctx.Err() == nil {
+			return nil, err
+		}
+		res := &Result{History: h, Algorithm: s.algorithm}
+		if best, ok := h.Best(); ok {
+			res.BestParams = best.Params
+			res.BestY = best.Y
+		}
+		if cp, cperr := s.Checkpoint(); cperr == nil {
+			res.Checkpoint = cp
+		}
+		return res, err
 	}
 	res := &Result{History: h, Algorithm: s.algorithm}
 	if best, ok := h.Best(); ok {
