@@ -15,13 +15,16 @@ package gptunecrowd
 // in the minutes range.
 
 import (
+	"context"
 	"math"
 	"math/rand"
+	"net/http/httptest"
 	"testing"
 
 	"gptunecrowd/internal/apps/nimrod"
 	"gptunecrowd/internal/bandit"
 	"gptunecrowd/internal/core"
+	"gptunecrowd/internal/crowd"
 	"gptunecrowd/internal/experiments"
 	"gptunecrowd/internal/gp"
 	"gptunecrowd/internal/kernel"
@@ -29,6 +32,8 @@ import (
 	"gptunecrowd/internal/machine"
 	"gptunecrowd/internal/sample"
 	"gptunecrowd/internal/sensitivity"
+	"gptunecrowd/internal/space"
+	"gptunecrowd/internal/suggest"
 )
 
 // benchScale miniaturizes every experiment.
@@ -411,6 +416,106 @@ func BenchmarkSaltelliParallel(b *testing.B) {
 			}
 		})
 	}
+}
+
+// --- Suggestion-service benchmarks: the /api/v1/suggest hot path.
+//
+// BenchmarkSuggestHotPath is the CI allocation guard: steady-state
+// suggestion serving from a warm cache (no fits, no history growth)
+// must stay allocation-flat — scripts/ci.sh fails when allocs/op
+// regresses past its threshold.
+
+// benchSuggestSource serves a fixed in-memory snapshot.
+type benchSuggestSource struct{ snap *suggest.Snapshot }
+
+func (s benchSuggestSource) History(context.Context, string, map[string]interface{}) (*suggest.Snapshot, error) {
+	return s.snap, nil
+}
+
+func suggestBenchSnapshot(n int) *suggest.Snapshot {
+	sp, err := space.New(
+		space.Param{Name: "x", Kind: space.Real, Lo: 0, Hi: 1},
+		space.Param{Name: "y", Kind: space.Real, Lo: 0, Hi: 1},
+	)
+	if err != nil {
+		panic(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	snap := &suggest.Snapshot{Space: sp, Version: uint64(n)}
+	for i := 0; i < n; i++ {
+		u := []float64{rng.Float64(), rng.Float64()}
+		snap.X = append(snap.X, u)
+		snap.Y = append(snap.Y, 1+math.Pow(u[0]-0.3, 2)+math.Pow(u[1]-0.6, 2)+0.01*rng.NormFloat64())
+	}
+	return snap
+}
+
+func BenchmarkSuggestHotPath(b *testing.B) {
+	svc := suggest.New(benchSuggestSource{suggestBenchSnapshot(64)}, suggest.Config{
+		Seed: 9, Candidates: 64, DEGens: 8,
+	})
+	ctx := context.Background()
+	req := suggest.Request{Problem: "bench"}
+	if _, err := svc.Suggest(ctx, req); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := svc.Suggest(ctx, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	st := svc.Stats()
+	b.ReportMetric(float64(st.CacheHits)/float64(st.Requests), "hit_rate")
+}
+
+// BenchmarkSuggestEndpoint measures the full HTTP round trip under
+// parallel load against an in-process server.
+func BenchmarkSuggestEndpoint(b *testing.B) {
+	sp, err := space.New(
+		space.Param{Name: "x", Kind: space.Real, Lo: 0, Hi: 1},
+		space.Param{Name: "y", Kind: space.Real, Lo: 0, Hi: 1},
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := crowd.NewServerWith(crowd.Config{SuggestSeed: 9})
+	srv.RegisterProblemPolicy("bench", crowd.ProblemPolicy{Space: sp})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client := crowd.NewClient(ts.URL, "")
+	if _, err := client.Register("bench", ""); err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	evals := make([]FuncEval, 64)
+	for i := range evals {
+		x, y := rng.Float64(), rng.Float64()
+		evals[i] = FuncEval{
+			TuningProblemName: "bench",
+			TuningParams:      map[string]interface{}{"x": x, "y": y},
+			Output:            1 + math.Pow(x-0.3, 2) + math.Pow(y-0.6, 2) + 0.01*rng.NormFloat64(),
+		}
+	}
+	if _, err := client.Upload(evals); err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	req := crowd.SuggestRequest{TuningProblemName: "bench"}
+	if _, err := client.SuggestRemote(ctx, req); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := client.SuggestRemote(ctx, req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // fig3Fixture builds the shared demo-function transfer fixture.

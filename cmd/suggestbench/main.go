@@ -1,0 +1,233 @@
+// Command suggestbench measures the sustained throughput of POST
+// /api/v1/suggest against an in-process crowd server and writes the
+// result as JSON (the repo's perf-trajectory point, BENCH_suggest.json).
+//
+// The workload is the service's steady state: a warm fitted-model cache
+// under concurrent client load, with a background uploader appending
+// samples so the incremental-update path (not the O(n³) refit) is what
+// keeps models fresh. Latency is measured per request; allocations are
+// measured in a separate single-goroutine phase so the per-op number is
+// not polluted by other goroutines.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"gptunecrowd/internal/crowd"
+	"gptunecrowd/internal/space"
+)
+
+type result struct {
+	Benchmark  string  `json:"benchmark"`
+	Date       string  `json:"date"`
+	GoVersion  string  `json:"go_version"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Seed       int64   `json:"seed"`
+	DurationS  float64 `json:"duration_s"`
+	Clients    int     `json:"clients"`
+	HistoryN   int     `json:"history_n"`
+
+	Requests    int64   `json:"requests"`
+	QPS         float64 `json:"qps"`
+	P50Ms       float64 `json:"p50_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+
+	CacheHitRate        float64 `json:"cache_hit_rate"`
+	FullFits            int64   `json:"full_fits"`
+	IncrementalObserves int64   `json:"incremental_observes"`
+	UploadsDuringRun    int     `json:"uploads_during_run"`
+}
+
+func main() {
+	var (
+		seed     = flag.Int64("seed", 9, "RNG seed for history and search")
+		duration = flag.Duration("duration", 5*time.Second, "sustained-load phase length")
+		clients  = flag.Int("clients", 16, "concurrent suggest clients")
+		history  = flag.Int("history", 64, "seed history size (samples)")
+		allocOps = flag.Int("alloc-ops", 200, "single-goroutine requests for the allocs/op phase")
+		uploadMs = flag.Int("upload-every-ms", 250, "background upload period (0 disables)")
+		out      = flag.String("out", "", "output JSON path (default stdout)")
+	)
+	flag.Parse()
+
+	sp, err := space.New(
+		space.Param{Name: "x", Kind: space.Real, Lo: 0, Hi: 1},
+		space.Param{Name: "y", Kind: space.Real, Lo: 0, Hi: 1},
+	)
+	if err != nil {
+		fatal(err)
+	}
+	srv := crowd.NewServerWith(crowd.Config{SuggestSeed: *seed, MaxInFlight: 4 * *clients})
+	srv.RegisterProblemPolicy("bench", crowd.ProblemPolicy{Space: sp})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client := crowd.NewClient(ts.URL, "")
+	if _, err := client.Register("bench", ""); err != nil {
+		fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	eval := func() crowd.FuncEval {
+		x, y := rng.Float64(), rng.Float64()
+		return crowd.FuncEval{
+			TuningProblemName: "bench",
+			TuningParams:      map[string]interface{}{"x": x, "y": y},
+			Output:            1 + math.Pow(x-0.3, 2) + math.Pow(y-0.6, 2) + 0.01*rng.NormFloat64(),
+		}
+	}
+	evals := make([]crowd.FuncEval, *history)
+	for i := range evals {
+		evals[i] = eval()
+	}
+	if _, err := client.Upload(evals); err != nil {
+		fatal(err)
+	}
+
+	ctx := context.Background()
+	req := crowd.SuggestRequest{TuningProblemName: "bench"}
+	// Warm: fit the surrogate once so every phase below measures the
+	// cached hot path.
+	if _, err := client.SuggestRemote(ctx, req); err != nil {
+		fatal(err)
+	}
+
+	// Phase 1: allocations per request, single goroutine, no concurrent
+	// load. runtime Mallocs counts cumulative allocations (GC-immune).
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	for i := 0; i < *allocOps; i++ {
+		if _, err := client.SuggestRemote(ctx, req); err != nil {
+			fatal(err)
+		}
+	}
+	runtime.ReadMemStats(&ms1)
+	allocsPerOp := float64(ms1.Mallocs-ms0.Mallocs) / float64(*allocOps)
+
+	// Phase 2: sustained concurrent load with a background uploader.
+	statsBefore := srv.SuggestService().Stats()
+	var (
+		wg        sync.WaitGroup
+		latMu     sync.Mutex
+		latencies []float64
+		uploads   int
+		stop      = make(chan struct{})
+	)
+	if *uploadMs > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tick := time.NewTicker(time.Duration(*uploadMs) * time.Millisecond)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					if _, err := client.Upload([]crowd.FuncEval{eval()}); err != nil {
+						fatal(err)
+					}
+					uploads++
+				}
+			}
+		}()
+	}
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]float64, 0, 4096)
+			for {
+				select {
+				case <-stop:
+					latMu.Lock()
+					latencies = append(latencies, local...)
+					latMu.Unlock()
+					return
+				default:
+				}
+				t0 := time.Now()
+				if _, err := client.SuggestRemote(ctx, req); err != nil {
+					fatal(err)
+				}
+				local = append(local, time.Since(t0).Seconds())
+			}
+		}()
+	}
+	time.Sleep(*duration)
+	close(stop)
+	wg.Wait()
+
+	statsAfter := srv.SuggestService().Stats()
+	n := int64(len(latencies))
+	sort.Float64s(latencies)
+	hits := statsAfter.CacheHits - statsBefore.CacheHits
+	reqs := statsAfter.Requests - statsBefore.Requests
+	res := result{
+		Benchmark:  "suggest-sustained-qps",
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Seed:       *seed,
+		DurationS:  duration.Seconds(),
+		Clients:    *clients,
+		HistoryN:   *history,
+
+		Requests:    n,
+		QPS:         float64(n) / duration.Seconds(),
+		P50Ms:       1000 * quantile(latencies, 0.50),
+		P99Ms:       1000 * quantile(latencies, 0.99),
+		AllocsPerOp: allocsPerOp,
+
+		CacheHitRate:        ratio(hits, reqs),
+		FullFits:            statsAfter.FullFits,
+		IncrementalObserves: statsAfter.IncrementalObserves,
+		UploadsDuringRun:    uploads,
+	}
+	b, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	b = append(b, '\n')
+	if *out == "" {
+		os.Stdout.Write(b)
+		return
+	}
+	if err := os.WriteFile(*out, b, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("suggestbench: %d requests, %.0f req/s, p50 %.2fms p99 %.2fms, %.0f allocs/op -> %s\n",
+		res.Requests, res.QPS, res.P50Ms, res.P99Ms, res.AllocsPerOp, *out)
+}
+
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func ratio(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "suggestbench:", err)
+	os.Exit(1)
+}

@@ -30,6 +30,12 @@ type (
 	ConfigurationSpace = crowd.ConfigurationSpace
 	// QueryRequest is a crowd query.
 	QueryRequest = crowd.QueryRequest
+	// SuggestRequest asks the server's suggestion service for the next
+	// configuration to evaluate (POST /api/v1/suggest).
+	SuggestRequest = crowd.SuggestRequest
+	// SuggestResponse is a server-proposed configuration plus its
+	// surrogate provenance (model version, sample count, cache state).
+	SuggestResponse = crowd.SuggestResponse
 	// APIError is a typed crowd-server failure (status code + server
 	// message); use errors.As to distinguish auth, validation and
 	// overload errors.

@@ -3,12 +3,46 @@ package core
 import (
 	"math"
 	"math/rand"
+	"sync"
 
 	"gptunecrowd/internal/optimize"
 	"gptunecrowd/internal/parallel"
 	"gptunecrowd/internal/sample"
 	"gptunecrowd/internal/space"
 )
+
+// searchScratch recycles the per-call buffers of SearchNext — the
+// candidate pool (one flat backing array resliced into rows) and its
+// score vector — so steady-state suggestion serving is allocation-flat.
+type searchScratch struct {
+	flat   []float64
+	pool   [][]float64
+	scores []float64
+}
+
+func (sc *searchScratch) resize(n, dim int) {
+	if cap(sc.flat) < n*dim {
+		sc.flat = make([]float64, n*dim)
+	}
+	sc.flat = sc.flat[:n*dim]
+	if cap(sc.pool) < n {
+		sc.pool = make([][]float64, n)
+	}
+	sc.pool = sc.pool[:n]
+	for i := range sc.pool {
+		sc.pool[i] = sc.flat[i*dim : (i+1)*dim]
+	}
+	if cap(sc.scores) < n {
+		sc.scores = make([]float64, n)
+	}
+	sc.scores = sc.scores[:n]
+}
+
+var searchPool = sync.Pool{New: func() interface{} { return new(searchScratch) }}
+
+// canonPool recycles the canonicalization buffer of one acquisition
+// evaluation; stored as *[]float64 so Put does not allocate.
+var canonPool = sync.Pool{New: func() interface{} { b := make([]float64, 0, 32); return &b }}
 
 // SearchOptions tunes the acquisition maximization.
 type SearchOptions struct {
@@ -49,19 +83,37 @@ func SearchNext(surr Surrogate, sp *space.Space, acq Acquisition, h *History, rn
 	dim := sp.Dim()
 	best := bestForAcq(h)
 	neg := func(u []float64) float64 {
-		c := sp.Canonicalize(u)
-		if opts.Feasible != nil && !opts.Feasible(c) {
-			return math.Inf(1)
+		// Canonicalize into a pooled buffer: the canonical point is only
+		// read by Feasible/Predict and never retained, so it can be
+		// recycled the moment this evaluation returns.
+		bp := canonPool.Get().(*[]float64)
+		c := *bp
+		if cap(c) < dim {
+			c = make([]float64, dim)
 		}
-		mean, std := surr.Predict(c)
-		return -acq.Score(mean, std, best)
+		c = c[:dim]
+		sp.CanonicalizeInto(u, c)
+		f := math.Inf(1)
+		if opts.Feasible == nil || opts.Feasible(c) {
+			mean, std := surr.Predict(c)
+			f = -acq.Score(mean, std, best)
+		}
+		*bp = c
+		canonPool.Put(bp)
+		return f
 	}
 	// Prescreen a candidate pool for DE seeds: scores fan out over
 	// workers into per-candidate slots, then the top-8 selection scans
 	// them in pool order — the same order the serial loop used, so the
-	// seeds are identical for every worker count.
-	pool := sample.LatinHypercube(opts.Candidates, dim, rng)
-	scores := make([]float64, len(pool))
+	// seeds are identical for every worker count. The pool rows live in
+	// recycled scratch; DE copies its seed vectors, and every use below
+	// finishes before the deferred Put.
+	sc := searchPool.Get().(*searchScratch)
+	defer searchPool.Put(sc)
+	sc.resize(opts.Candidates, dim)
+	pool := sc.pool
+	sample.LatinHypercubeInto(pool, rng)
+	scores := sc.scores
 	parallel.For(len(pool), opts.Workers, func(i int) {
 		scores[i] = neg(pool[i])
 	})

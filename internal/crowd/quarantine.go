@@ -282,6 +282,7 @@ func (s *Server) handleQuarantineRelease(w http.ResponseWriter, r *http.Request,
 	})
 	s.qCounters.release()
 	s.reputation.recordReleased(qs.Uploader)
+	s.suggest.NotifyAppend(fe.TuningProblemName, 1)
 	writeJSON(w, http.StatusOK, QuarantineReleaseResponse{FuncEvalID: feID})
 }
 

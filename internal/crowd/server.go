@@ -17,6 +17,7 @@ import (
 
 	"gptunecrowd/internal/historydb"
 	"gptunecrowd/internal/obs"
+	"gptunecrowd/internal/suggest"
 	"gptunecrowd/internal/taskpool"
 )
 
@@ -56,6 +57,17 @@ type Config struct {
 	// AdminUsers may list and release quarantined samples. Empty means
 	// every authenticated user may (the single-operator deployment).
 	AdminUsers []string
+
+	// Suggestion-service tuning (zero values select the suggest package
+	// defaults): fitted-model cache capacity, how many appended samples a
+	// model absorbs incrementally before a full refit, how far behind the
+	// history a served model may lag, search parallelism and the fit /
+	// search RNG seed.
+	SuggestCacheSize  int
+	SuggestRefitEvery int
+	SuggestMaxStale   int
+	SuggestWorkers    int
+	SuggestSeed       int64
 }
 
 // Defaults for the zero Config.
@@ -114,6 +126,10 @@ type MetricsSnapshot struct {
 	// time from the trust layer.
 	Quarantine QuarantineStats       `json:"quarantine"`
 	Reputation map[string]Reputation `json:"reputation,omitempty"`
+
+	// Suggest is the suggestion-service view: request/cache counters and
+	// fit counts, filled from the service at snapshot time.
+	Suggest suggest.Stats `json:"suggest"`
 }
 
 // batchEntry is one remembered upload batch: the first request to claim
@@ -136,6 +152,7 @@ type Server struct {
 	sem     chan struct{}
 	metrics *serverMetrics
 	slog    *slog.Logger
+	suggest *suggest.Service
 
 	// API-key index: auth is an O(1) map lookup instead of a scan of
 	// the users collection on every authenticated request.
@@ -175,6 +192,15 @@ func NewServerWith(cfg Config) *Server {
 		slog:       obs.Or(cfg.Slog),
 	}
 	s.registerDerivedMetrics()
+	s.suggest = suggest.New(storeSource{s}, suggest.Config{
+		CacheSize:  cfg.SuggestCacheSize,
+		RefitEvery: cfg.SuggestRefitEvery,
+		MaxStale:   cfg.SuggestMaxStale,
+		Workers:    cfg.SuggestWorkers,
+		Seed:       cfg.SuggestSeed,
+		Registry:   s.metrics.reg,
+		Logger:     s.slog,
+	})
 	mux := http.NewServeMux()
 	mux.HandleFunc("/api/v1/register", s.handleRegister)
 	mux.HandleFunc("/api/v1/func_eval/upload", s.auth(s.handleUpload))
@@ -188,6 +214,7 @@ func NewServerWith(cfg Config) *Server {
 	mux.HandleFunc("/api/v1/tasks/complete", s.auth(s.handleTaskComplete))
 	mux.HandleFunc("/api/v1/tasks/fail", s.auth(s.handleTaskFail))
 	mux.HandleFunc("/api/v1/tasks/list", s.auth(s.handleTaskList))
+	mux.HandleFunc("/api/v1/suggest", s.auth(s.handleSuggest))
 	mux.HandleFunc("/api/v1/quarantine", s.auth(s.handleQuarantineList))
 	mux.HandleFunc("/api/v1/quarantine/release", s.auth(s.handleQuarantineRelease))
 	mux.HandleFunc("/api/v1/stats", s.handleStats)
@@ -214,6 +241,7 @@ func (s *Server) Metrics() MetricsSnapshot {
 	m.TaskPool = s.tasks.Stats()
 	m.Quarantine = s.qCounters.snapshot()
 	m.Reputation = s.reputation.snapshot()
+	m.Suggest = s.suggest.Stats()
 	return m
 }
 
@@ -575,6 +603,16 @@ func (s *Server) applyUpload(req *UploadRequest, user string) (int, interface{})
 		}
 		for range accepted {
 			s.reputation.recordAccepted(user)
+		}
+		// Advance the suggestion service's per-problem history generation
+		// so cached surrogates learn the new samples (incrementally when
+		// the lag is small, via full refit otherwise).
+		perProblem := make(map[string]int)
+		for _, fe := range accepted {
+			perProblem[fe.TuningProblemName]++
+		}
+		for problem, n := range perProblem {
+			s.suggest.NotifyAppend(problem, n)
 		}
 	}
 	s.metrics.uploads.Inc()

@@ -1,0 +1,151 @@
+package crowd
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"gptunecrowd/internal/historydb"
+	"gptunecrowd/internal/suggest"
+)
+
+// SuggestRequest asks the server for the next configuration to evaluate
+// for a (tuning problem, task) pair. The heavy lifting — surrogate
+// fitting and acquisition search — happens server-side against the
+// shared history, so the client needs no numerics.
+type SuggestRequest struct {
+	TuningProblemName string                 `json:"tuning_problem_name"`
+	TaskParams        map[string]interface{} `json:"task_parameters,omitempty"`
+	// Acquisition selects the scoring rule: "ei" (default), "lcb", "pi".
+	Acquisition string `json:"acquisition,omitempty"`
+}
+
+// SuggestResponse is the proposed configuration plus the provenance a
+// client needs to reason about staleness.
+type SuggestResponse struct {
+	TuningParams map[string]interface{} `json:"tuning_parameters"`
+	ParamU       []float64              `json:"param_u,omitempty"`
+	ModelVersion uint64                 `json:"model_version"`
+	ModelSamples int                    `json:"model_samples"`
+	CacheHit     bool                   `json:"cache_hit"`
+	Proposer     string                 `json:"proposer"`
+}
+
+// storeSource adapts the server's history store to suggest.Source: one
+// snapshot-isolated scan per fit, filtered to the requested problem and
+// task, with tuning parameters encoded into the unit cube through the
+// problem's registered policy space. The surrogate is fit over every
+// stored sample regardless of accessibility — the server is the trusted
+// aggregation point, and proposals expose only the model's argmax, not
+// raw samples.
+type storeSource struct{ s *Server }
+
+// History implements suggest.Source. Version counts every sample
+// matching (problem, task) — including failed evaluations and samples
+// whose parameters no longer encode — so it advances exactly in step
+// with NotifyAppend.
+func (src storeSource) History(ctx context.Context, problem string, task map[string]interface{}) (*suggest.Snapshot, error) {
+	policy, ok := src.s.policies.get(problem)
+	if !ok || policy.Space == nil {
+		return nil, suggest.ErrUnknownProblem
+	}
+	docs, err := src.s.funcEvals().FindContext(ctx, historydb.Eq("tuning_problem_name", problem))
+	if err != nil {
+		return nil, err
+	}
+	want := canonTask(task)
+	snap := &suggest.Snapshot{Space: policy.Space}
+	for _, d := range docs {
+		fe, err := fromDocument(d)
+		if err != nil {
+			continue
+		}
+		if canonTask(fe.TaskParams) != want {
+			continue
+		}
+		snap.Version++
+		if fe.Failed {
+			continue
+		}
+		u, err := policy.Space.Encode(fe.TuningParams)
+		if err != nil {
+			continue // legacy sample outside the declared space
+		}
+		snap.X = append(snap.X, u)
+		snap.Y = append(snap.Y, fe.Output)
+	}
+	return snap, nil
+}
+
+// canonTask canonicalizes task parameters for matching: JSON with
+// sorted keys, nil and empty identical. Values arrive through JSON on
+// both sides (upload and suggest request), so their types agree.
+func canonTask(task map[string]interface{}) string {
+	if len(task) == 0 {
+		return "{}"
+	}
+	b, err := json.Marshal(task)
+	if err != nil {
+		return fmt.Sprintf("!%v", task)
+	}
+	return string(b)
+}
+
+// handleSuggest serves POST /api/v1/suggest. Rate limiting (429),
+// request deadlines and trace propagation come from the standard
+// middleware chain.
+func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request, user string) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req SuggestRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	resp, err := s.suggest.Suggest(r.Context(), suggest.Request{
+		Problem:     req.TuningProblemName,
+		Task:        req.TaskParams,
+		Acquisition: req.Acquisition,
+	})
+	if err != nil {
+		switch {
+		case errors.Is(err, suggest.ErrUnknownProblem):
+			writeJSON(w, http.StatusNotFound, errorResponse{
+				Error: fmt.Sprintf("no registered problem policy for %q", req.TuningProblemName),
+				Code:  "unknown_problem",
+			})
+		case errors.Is(err, suggest.ErrBadRequest):
+			writeErr(w, http.StatusBadRequest, "%v", err)
+		default:
+			writeStoreErr(w, err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, SuggestResponse{
+		TuningParams: resp.Params,
+		ParamU:       resp.ParamU,
+		ModelVersion: resp.ModelVersion,
+		ModelSamples: resp.ModelSamples,
+		CacheHit:     resp.CacheHit,
+		Proposer:     resp.Proposer,
+	})
+}
+
+// SuggestService exposes the suggestion service (bench harness and
+// daemon wiring).
+func (s *Server) SuggestService() *suggest.Service { return s.suggest }
+
+// SuggestRemote asks the server for the next configuration to evaluate.
+// The request inherits the context's trace ID, so client logs, server
+// request lines and background fit lines share one trace.
+func (c *Client) SuggestRemote(ctx context.Context, req SuggestRequest) (*SuggestResponse, error) {
+	var resp SuggestResponse
+	if err := c.post(ctx, "/api/v1/suggest", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}

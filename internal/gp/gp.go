@@ -49,11 +49,13 @@ type GP struct {
 	lnoise float64 // log noise variance (standardized units)
 
 	x     [][]float64
+	ys    []float64 // standardized targets, kept for incremental updates
 	alpha []float64
 	chol  *linalg.Cholesky
 
 	meanY, stdY float64
 	nll         float64
+	observed    int // Observe calls since the last full factorization
 
 	// predictPool recycles per-call prediction buffers so that Predict is
 	// both allocation-light and safe to call from many goroutines.
@@ -355,12 +357,30 @@ func (g *GP) factorize(ys []float64) error {
 		return fmt.Errorf("gp: covariance factorization failed: %w", err)
 	}
 	g.chol = ch
+	g.ys = ys
 	g.alpha = ch.SolveVec(ys)
+	g.observed = 0
 	n := len(g.x)
 	g.predictPool.New = func() interface{} {
 		return &predictScratch{ks: make([]float64, n), v: make([]float64, n), tmp: make([]float64, n)}
 	}
 	return nil
+}
+
+// scratch fetches a prediction scratch sized for n training rows. Pooled
+// buffers are grown in place when Observe has extended the model past
+// the size they were created with.
+func (g *GP) scratch(n int) *predictScratch {
+	sc := g.predictPool.Get().(*predictScratch)
+	if cap(sc.ks) < n {
+		sc.ks = make([]float64, n)
+		sc.v = make([]float64, n)
+		sc.tmp = make([]float64, n)
+	}
+	sc.ks = sc.ks[:n]
+	sc.v = sc.v[:n]
+	sc.tmp = sc.tmp[:n]
+	return sc
 }
 
 // Dim returns the input dimension.
@@ -383,7 +403,7 @@ func (g *GP) NoiseVar() float64 { return math.Exp(g.lnoise) }
 // concurrent use; per-call buffers come from an internal pool.
 func (g *GP) Predict(x []float64) (mean, std float64) {
 	n := len(g.x)
-	sc := g.predictPool.Get().(*predictScratch)
+	sc := g.scratch(n)
 	defer g.predictPool.Put(sc)
 	ks := sc.ks
 	for i := 0; i < n; i++ {
@@ -401,7 +421,7 @@ func (g *GP) Predict(x []float64) (mean, std float64) {
 // PredictMean returns only the posterior mean at x.
 func (g *GP) PredictMean(x []float64) float64 {
 	n := len(g.x)
-	sc := g.predictPool.Get().(*predictScratch)
+	sc := g.scratch(n)
 	defer g.predictPool.Put(sc)
 	ks := sc.ks
 	for i := 0; i < n; i++ {
@@ -423,10 +443,21 @@ func (g *GP) PredictBatch(X [][]float64) (means, stds []float64) {
 func (g *GP) PredictBatchWorkers(X [][]float64, workers int) (means, stds []float64) {
 	means = make([]float64, len(X))
 	stds = make([]float64, len(X))
+	g.PredictBatchInto(X, means, stds, workers)
+	return means, stds
+}
+
+// PredictBatchInto is PredictBatchWorkers writing into caller-owned
+// slices (len(X) each) — the allocation-flat form used by the suggest
+// hot path. Each output slot is written by exactly one worker, so
+// results are bit-identical for every worker count.
+func (g *GP) PredictBatchInto(X [][]float64, means, stds []float64, workers int) {
+	if len(means) != len(X) || len(stds) != len(X) {
+		panic(fmt.Sprintf("gp: PredictBatchInto output length %d/%d, want %d", len(means), len(stds), len(X)))
+	}
 	parallel.For(len(X), workers, func(i int) {
 		means[i], stds[i] = g.Predict(X[i])
 	})
-	return means, stds
 }
 
 // TrainingInputs exposes the training rows (shared storage).

@@ -1,0 +1,206 @@
+package gp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gptunecrowd/internal/kernel"
+)
+
+// testFunc is a smooth 2-D surface used as the ground truth.
+func testFunc(x []float64) float64 {
+	return math.Sin(3*x[0]) + 0.5*math.Cos(5*x[1]) + x[0]*x[1]
+}
+
+func makeObserveData(n int, rng *rand.Rand) ([][]float64, []float64) {
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		X[i] = []float64{rng.Float64(), rng.Float64()}
+		y[i] = testFunc(X[i]) + 0.01*rng.NormFloat64()
+	}
+	return X, y
+}
+
+// TestObserveMatchesFullRefactorization is the exact equivalence claim:
+// after k incremental Observe calls, the posterior must match a full
+// O(n³) refactorization of the appended data under the same frozen
+// hyperparameters and target standardization to 1e-8.
+func TestObserveMatchesFullRefactorization(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	X, y := makeObserveData(40, rng)
+	g, err := Fit(X, y, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	extraX, extraY := makeObserveData(8, rng)
+	for i, x := range extraX {
+		if err := g.Observe(x, extraY[i]); err != nil {
+			t.Fatalf("Observe %d: %v", i, err)
+		}
+	}
+	if got := g.ObservedSinceFit(); got != len(extraX) {
+		t.Fatalf("ObservedSinceFit = %d, want %d", got, len(extraX))
+	}
+	if got := g.NumSamples(); got != 48 {
+		t.Fatalf("NumSamples = %d, want 48", got)
+	}
+
+	// Reference: full refactorization with the frozen mean/std/hypers.
+	m, s := g.Standardization()
+	allX := make([][]float64, 0, 48)
+	allX = append(allX, X...)
+	allX = append(allX, extraX...)
+	ysAll := make([]float64, 0, 48)
+	for _, v := range y {
+		ysAll = append(ysAll, (v-m)/s)
+	}
+	for _, v := range extraY {
+		ysAll = append(ysAll, (v-m)/s)
+	}
+	ref := &GP{kern: g.kern, hyper: g.hyper, lnoise: g.lnoise, x: allX, meanY: m, stdY: s}
+	if err := ref.factorize(ysAll); err != nil {
+		t.Fatal(err)
+	}
+
+	const tol = 1e-8
+	probe := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		x := []float64{probe.Float64(), probe.Float64()}
+		gm, gs := g.Predict(x)
+		rm, rs := ref.Predict(x)
+		if math.Abs(gm-rm) > tol || math.Abs(gs-rs) > tol {
+			t.Fatalf("probe %d: incremental (%.12f, %.12f) vs full (%.12f, %.12f)", i, gm, gs, rm, rs)
+		}
+	}
+}
+
+// TestObserveCloseToFreshFitFixed checks the operational tolerance: the
+// incremental posterior with frozen standardization stays close to a
+// fresh FitFixed (which re-standardizes from scratch) on the appended
+// data. The two differ only through the prior-mean anchor drifting with
+// the sample mean, which is the bounded error the periodic full refit
+// caps.
+func TestObserveCloseToFreshFitFixed(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	X, y := makeObserveData(50, rng)
+	g, err := Fit(X, y, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	extraX, extraY := makeObserveData(10, rng)
+	for i, x := range extraX {
+		if err := g.Observe(x, extraY[i]); err != nil {
+			t.Fatalf("Observe %d: %v", i, err)
+		}
+	}
+
+	allX := append(append([][]float64{}, X...), extraX...)
+	allY := append(append([]float64{}, y...), extraY...)
+	fresh, err := FitFixed(allX, allY, g.kern, g.Hyper(), g.NoiseVar())
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := rand.New(rand.NewSource(4))
+	for i := 0; i < 100; i++ {
+		x := []float64{probe.Float64(), probe.Float64()}
+		gm, gs := g.Predict(x)
+		fm, fs := fresh.Predict(x)
+		if math.Abs(gm-fm) > 0.05 || math.Abs(gs-fs) > 0.05 {
+			t.Fatalf("probe %d: incremental (%.6f, %.6f) drifted past 0.05 from fresh FitFixed (%.6f, %.6f)", i, gm, gs, fm, fs)
+		}
+	}
+}
+
+// TestObserveRefitResynchronizes emulates the caller contract: once
+// ObservedSinceFit reaches the refit period K, a full Fit on the
+// appended data resets the counter and resynchronizes the posterior
+// with a from-scratch fit of the same data.
+func TestObserveRefitResynchronizes(t *testing.T) {
+	const refitEvery = 4
+	rng := rand.New(rand.NewSource(17))
+	X, y := makeObserveData(30, rng)
+	g, err := Fit(X, y, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	curX := append([][]float64{}, X...)
+	curY := append([]float64{}, y...)
+	refits := 0
+	for i := 0; i < 8; i++ {
+		px, py := []float64{rng.Float64(), rng.Float64()}, 0.0
+		py = testFunc(px) + 0.01*rng.NormFloat64()
+		curX = append(curX, px)
+		curY = append(curY, py)
+		if err := g.Observe(px, py); err != nil {
+			t.Fatalf("Observe %d: %v", i, err)
+		}
+		if g.ObservedSinceFit() >= refitEvery {
+			g, err = Fit(curX, curY, Options{Seed: 1})
+			if err != nil {
+				t.Fatalf("refit %d: %v", i, err)
+			}
+			refits++
+			if g.ObservedSinceFit() != 0 {
+				t.Fatalf("ObservedSinceFit = %d after full refit, want 0", g.ObservedSinceFit())
+			}
+		}
+	}
+	if refits != 2 {
+		t.Fatalf("refit trigger fired %d times over 8 observations with K=%d, want 2", refits, refitEvery)
+	}
+	// The loop ends exactly on a refit boundary, so the resynchronized
+	// model must be bit-identical to a fresh fit of the same data.
+	want, err := Fit(curX, curY, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := rand.New(rand.NewSource(5))
+	for i := 0; i < 50; i++ {
+		x := []float64{probe.Float64(), probe.Float64()}
+		gm, gs := g.Predict(x)
+		wm, ws := want.Predict(x)
+		if gm != wm || gs != ws {
+			t.Fatalf("probe %d: post-refit posterior (%v, %v) != fresh fit (%v, %v)", i, gm, gs, wm, ws)
+		}
+	}
+}
+
+// TestObserveErrorsLeaveModelUnchanged covers the failure contract.
+func TestObserveErrorsLeaveModelUnchanged(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	X, y := makeObserveData(20, rng)
+	g, err := Fit(X, y, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probeX := []float64{0.3, 0.7}
+	m0, s0 := g.Predict(probeX)
+	cases := []struct {
+		x []float64
+		y float64
+	}{
+		{[]float64{0.1}, 1},                // wrong dimension
+		{[]float64{0.1, math.NaN()}, 1},    // non-finite input
+		{[]float64{0.1, 0.2}, math.Inf(1)}, // non-finite target
+		{[]float64{0.1, 0.2}, math.NaN()},  // NaN target
+	}
+	for i, c := range cases {
+		if err := g.Observe(c.x, c.y); err == nil {
+			t.Fatalf("case %d: Observe accepted bad input", i)
+		}
+	}
+	if g.NumSamples() != 20 || g.ObservedSinceFit() != 0 {
+		t.Fatalf("failed Observe mutated the model: n=%d observed=%d", g.NumSamples(), g.ObservedSinceFit())
+	}
+	m1, s1 := g.Predict(probeX)
+	if m0 != m1 || s0 != s1 {
+		t.Fatal("failed Observe changed predictions")
+	}
+	var unfitted GP
+	unfitted.kern = &kernel.Kernel{Type: kernel.Matern52, Dim: 2}
+	if err := unfitted.Observe([]float64{0.1, 0.2}, 1); err == nil {
+		t.Fatal("Observe on an unfitted model succeeded")
+	}
+}

@@ -17,6 +17,20 @@ func LatinHypercube(n, dim int, rng *rand.Rand) [][]float64 {
 	for i := range pts {
 		pts[i] = make([]float64, dim)
 	}
+	LatinHypercubeInto(pts, rng)
+	return pts
+}
+
+// LatinHypercubeInto fills a caller-owned n×dim design in place,
+// consuming the RNG stream exactly as LatinHypercube does — callers
+// that recycle the point buffers (the suggest hot path) get identical
+// designs to the allocating form. Every row must have the same length.
+func LatinHypercubeInto(dst [][]float64, rng *rand.Rand) {
+	n := len(dst)
+	if n == 0 || len(dst[0]) == 0 {
+		panic("sample: empty LHS design")
+	}
+	dim := len(dst[0])
 	perm := make([]int, n)
 	for d := 0; d < dim; d++ {
 		for i := range perm {
@@ -24,10 +38,9 @@ func LatinHypercube(n, dim int, rng *rand.Rand) [][]float64 {
 		}
 		rng.Shuffle(n, func(a, b int) { perm[a], perm[b] = perm[b], perm[a] })
 		for i := 0; i < n; i++ {
-			pts[i][d] = (float64(perm[i]) + rng.Float64()) / float64(n)
+			dst[i][d] = (float64(perm[i]) + rng.Float64()) / float64(n)
 		}
 	}
-	return pts
 }
 
 // Uniform returns n points drawn uniformly at random from [0,1)^dim.

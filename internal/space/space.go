@@ -333,21 +333,31 @@ func (s *Space) Encode(cfg map[string]interface{}) ([]float64, error) {
 // through (clamped to [0,1]).
 func (s *Space) Canonicalize(u []float64) []float64 {
 	out := make([]float64, len(u))
+	s.CanonicalizeInto(u, out)
+	return out
+}
+
+// CanonicalizeInto is Canonicalize writing into a caller-owned slice of
+// length Dim — the allocation-free form used by hot scoring loops.
+// u and dst may be the same slice.
+func (s *Space) CanonicalizeInto(u, dst []float64) {
+	if len(u) != len(s.Params) || len(dst) != len(s.Params) {
+		panic(fmt.Sprintf("space: CanonicalizeInto dimension mismatch %d/%d vs %d", len(u), len(dst), len(s.Params)))
+	}
 	for i, p := range s.Params {
 		v := clamp01(u[i])
 		switch p.Kind {
 		case Real:
-			out[i] = v
+			dst[i] = v
 		default:
 			enc, err := p.Encode(p.Decode(v))
 			if err != nil {
 				// Decode always yields a valid value, so Encode cannot fail.
 				panic(err)
 			}
-			out[i] = enc
+			dst[i] = enc
 		}
 	}
-	return out
 }
 
 // Subspace returns a new space containing only the named parameters

@@ -1,0 +1,552 @@
+// Package suggest turns proposal generation into a server-side hot
+// path: an LRU cache of fitted GP surrogates keyed by (tuning problem,
+// task), kept fresh by single-flight background fits against the
+// snapshot-isolated history store, with incremental O(n²) posterior
+// updates (gp.Observe) between periodic full refits. Thin crowd clients
+// then need no numerics at all — they POST /api/v1/suggest and receive
+// the next configuration to evaluate, the Collective-Mind-style
+// "repository serves the models" division of labor.
+//
+// Consistency contract: a served proposal may lag the newest uploads by
+// fewer than MaxStale samples for its problem (serve-while-stale, with
+// a background refresh in flight); once the lag reaches MaxStale the
+// request blocks until the model is resynchronized. Every history
+// version triggers at most one fit across all concurrent requests.
+package suggest
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"math"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gptunecrowd/internal/core"
+	"gptunecrowd/internal/gp"
+	"gptunecrowd/internal/obs"
+	"gptunecrowd/internal/space"
+)
+
+// ErrUnknownProblem is returned by Sources (and propagated by Suggest)
+// when the tuning problem has no registered space/policy.
+var ErrUnknownProblem = errors.New("suggest: unknown tuning problem")
+
+// ErrBadRequest wraps request-validation failures (empty problem name,
+// unknown acquisition) so transports can map them to client errors.
+var ErrBadRequest = errors.New("suggest: bad request")
+
+// driftSigma is the standardized-residual threshold beyond which an
+// incoming observation forces a full refit instead of an incremental
+// update: a point this far outside the frozen standardization means the
+// frozen hyperparameters no longer describe the data.
+const driftSigma = 6.0
+
+// Snapshot is one consistent view of a task's evaluation history, as
+// produced by a Source. X holds the successful samples encoded into the
+// normalized unit cube, aligned with Y; Version counts all matching
+// samples (including failed ones), so it is the monotone staleness
+// token. The service takes ownership of all slices.
+type Snapshot struct {
+	X       [][]float64
+	Y       []float64
+	Space   *space.Space
+	Version uint64
+}
+
+// Source yields history snapshots. Implementations must be safe for
+// concurrent use and snapshot-isolated (the crowd server backs this
+// with historydb's immutable snapshots).
+type Source interface {
+	History(ctx context.Context, problem string, task map[string]interface{}) (*Snapshot, error)
+}
+
+// Config tunes the service.
+type Config struct {
+	CacheSize   int // fitted-model LRU capacity (default 64)
+	RefitEvery  int // full refit after this many incremental updates (default 16)
+	MaxStale    int // block when a model lags this many uploads (default RefitEvery)
+	Workers     int // parallelism for fits and acquisition scoring (<=0: engine default)
+	Candidates  int // acquisition prescreen pool (default 128)
+	DEGens      int // DE generations per suggestion (default 12)
+	FitRestarts int // hyperparameter multi-starts per full fit (default 2)
+	Seed        int64
+	Registry    *obs.Registry // metrics sink (default: private registry)
+	Logger      *slog.Logger  // fit/error log (default: discard)
+}
+
+func (c *Config) defaults() {
+	if c.CacheSize <= 0 {
+		c.CacheSize = 64
+	}
+	if c.RefitEvery <= 0 {
+		c.RefitEvery = 16
+	}
+	if c.MaxStale <= 0 {
+		c.MaxStale = c.RefitEvery
+	}
+	if c.Candidates <= 0 {
+		c.Candidates = 128
+	}
+	if c.DEGens <= 0 {
+		c.DEGens = 12
+	}
+	if c.FitRestarts <= 0 {
+		c.FitRestarts = 2
+	}
+	if c.Registry == nil {
+		c.Registry = obs.NewRegistry()
+	}
+	c.Logger = obs.Or(c.Logger)
+}
+
+// Request asks for the next configuration to evaluate.
+type Request struct {
+	Problem     string
+	Task        map[string]interface{}
+	Acquisition string // "ei" (default), "lcb" or "pi"
+}
+
+// Response is one proposal.
+type Response struct {
+	Params       map[string]interface{} // decoded configuration
+	ParamU       []float64              // normalized point
+	ModelVersion uint64                 // history version the model covers
+	ModelSamples int                    // training size of the serving model (0: space-fill)
+	CacheHit     bool                   // served without waiting for a fit
+	Proposer     string                 // "suggest/ei", "suggest/space-fill", ...
+}
+
+// Stats is a point-in-time counter snapshot, embedded in the crowd
+// server's /api/v1/metrics document.
+type Stats struct {
+	Requests            int64 `json:"requests"`
+	CacheHits           int64 `json:"cache_hits"`
+	CacheMisses         int64 `json:"cache_misses"`
+	FullFits            int64 `json:"full_fits"`
+	IncrementalObserves int64 `json:"incremental_observes"`
+	Evictions           int64 `json:"evictions"`
+	Entries             int   `json:"entries"`
+	StaleWaits          int64 `json:"stale_waits"`
+}
+
+// entry is one cached surrogate. mu guards the model state (RLock for
+// prediction/search, Lock for swap/incremental update); fitMu guards
+// the single-flight bookkeeping.
+type entry struct {
+	key     string
+	problem string
+	task    map[string]interface{}
+
+	mu       sync.RWMutex
+	model    *gp.GP
+	space    *space.Space
+	hist     *core.History
+	version  uint64 // snapshot version the model covers
+	succN    int    // successful rows absorbed by the model
+	lastSeen uint64 // problem generation at the last completed sync
+	fetched  bool   // at least one snapshot applied
+	lastErr  error
+
+	fitMu   sync.Mutex
+	fitting bool
+	fitDone chan struct{}
+
+	// LRU bookkeeping, guarded by the service lock.
+	prev, next *entry
+}
+
+// Service serves suggestions from cached surrogates.
+type Service struct {
+	cfg Config
+	src Source
+
+	mu      sync.Mutex // guards entries + LRU list
+	entries map[string]*entry
+	head    *entry // most recently used
+	tail    *entry // least recently used
+
+	gens sync.Map     // problem → *atomic.Uint64: uploads observed via NotifyAppend
+	seq  atomic.Int64 // per-request RNG sequence
+
+	requests, hits, misses atomic.Int64
+	fullFits, incrObs      atomic.Int64
+	evictions, staleWaits  atomic.Int64
+	latency, fitSeconds    *obs.Histogram
+	log                    *slog.Logger
+}
+
+// New builds a Service over src. Metrics register into cfg.Registry
+// under the suggest_* families.
+func New(src Source, cfg Config) *Service {
+	cfg.defaults()
+	s := &Service{cfg: cfg, src: src, entries: make(map[string]*entry), log: cfg.Logger}
+	r := cfg.Registry
+	s.latency = r.Histogram("suggest_latency_seconds", "Suggestion latency from request to proposal.", nil)
+	s.fitSeconds = r.Histogram("suggest_fit_seconds", "Wall time of surrogate fits (full and incremental syncs).", nil)
+	r.CounterFunc("suggest_requests_total", "Suggestion requests served.", func() float64 { return float64(s.requests.Load()) })
+	r.CounterFunc("suggest_cache_hits_total", "Requests served from a cached surrogate without waiting for a fit.", func() float64 { return float64(s.hits.Load()) })
+	r.CounterFunc("suggest_cache_misses_total", "Requests that had to wait for a surrogate fit.", func() float64 { return float64(s.misses.Load()) })
+	r.CounterFunc("suggest_fits_total", "Full surrogate refits.", func() float64 { return float64(s.fullFits.Load()) }, obs.L("kind", "full"))
+	r.CounterFunc("suggest_fits_total", "Incremental posterior updates.", func() float64 { return float64(s.incrObs.Load()) }, obs.L("kind", "incremental"))
+	r.CounterFunc("suggest_cache_evictions_total", "Fitted surrogates evicted from the LRU cache.", func() float64 { return float64(s.evictions.Load()) })
+	r.CounterFunc("suggest_stale_waits_total", "Requests blocked on a resynchronizing fit (staleness >= MaxStale).", func() float64 { return float64(s.staleWaits.Load()) })
+	r.GaugeFunc("suggest_cache_entries", "Surrogates currently cached.", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(len(s.entries))
+	})
+	return s
+}
+
+// Stats returns the counter snapshot.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	n := len(s.entries)
+	s.mu.Unlock()
+	return Stats{
+		Requests:            s.requests.Load(),
+		CacheHits:           s.hits.Load(),
+		CacheMisses:         s.misses.Load(),
+		FullFits:            s.fullFits.Load(),
+		IncrementalObserves: s.incrObs.Load(),
+		Evictions:           s.evictions.Load(),
+		Entries:             n,
+		StaleWaits:          s.staleWaits.Load(),
+	}
+}
+
+// NotifyAppend records that n new samples landed for problem, marking
+// its cached models stale. The crowd server calls this after every
+// accepted upload and quarantine release.
+func (s *Service) NotifyAppend(problem string, n int) {
+	if n <= 0 {
+		return
+	}
+	s.gen(problem).Add(uint64(n))
+}
+
+func (s *Service) gen(problem string) *atomic.Uint64 {
+	if v, ok := s.gens.Load(problem); ok {
+		return v.(*atomic.Uint64)
+	}
+	v, _ := s.gens.LoadOrStore(problem, new(atomic.Uint64))
+	return v.(*atomic.Uint64)
+}
+
+// taskKey canonicalizes a task for cache keying: JSON with sorted map
+// keys, nil and empty tasks identical.
+func taskKey(task map[string]interface{}) string {
+	if len(task) == 0 {
+		return "{}"
+	}
+	b, err := json.Marshal(task)
+	if err != nil {
+		// Non-marshalable tasks cannot arrive over the wire; key them by
+		// pointer-free fallback so they at least do not collide with {}.
+		return fmt.Sprintf("!%v", task)
+	}
+	return string(b)
+}
+
+// entryFor returns the cache entry for key, creating it and evicting
+// the LRU tail past capacity.
+func (s *Service) entryFor(key, problem string, task map[string]interface{}) *entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.entries[key]
+	if e == nil {
+		e = &entry{key: key, problem: problem, task: task}
+		s.entries[key] = e
+		s.lruPush(e)
+		for len(s.entries) > s.cfg.CacheSize {
+			victim := s.tail
+			s.lruRemove(victim)
+			delete(s.entries, victim.key)
+			s.evictions.Add(1)
+		}
+	} else {
+		s.lruRemove(e)
+		s.lruPush(e)
+	}
+	return e
+}
+
+func (s *Service) lruPush(e *entry) {
+	e.prev, e.next = nil, s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+}
+
+func (s *Service) lruRemove(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else if s.head == e {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else if s.tail == e {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func parseAcq(name string) (core.Acquisition, error) {
+	switch strings.ToLower(name) {
+	case "", "ei":
+		return core.EI{}, nil
+	case "lcb":
+		return core.LCB{}, nil
+	case "pi":
+		return core.PI{}, nil
+	}
+	return nil, fmt.Errorf("%w: unknown acquisition %q (want ei, lcb or pi)", ErrBadRequest, name)
+}
+
+// Suggest returns the next configuration to evaluate for (Problem,
+// Task). Safe for high-concurrency use; the hot path is a cache read
+// plus one acquisition search over the cached surrogate.
+func (s *Service) Suggest(ctx context.Context, req Request) (*Response, error) {
+	start := time.Now()
+	defer func() { s.latency.Observe(time.Since(start).Seconds()) }()
+	s.requests.Add(1)
+	if req.Problem == "" {
+		return nil, fmt.Errorf("%w: empty tuning problem name", ErrBadRequest)
+	}
+	acq, err := parseAcq(req.Acquisition)
+	if err != nil {
+		return nil, err
+	}
+	e := s.entryFor(req.Problem+"\x1f"+taskKey(req.Task), req.Problem, req.Task)
+	gen := s.gen(req.Problem)
+
+	e.mu.RLock()
+	fetched, lastSeen, lastErr := e.fetched, e.lastSeen, e.lastErr
+	e.mu.RUnlock()
+	gap := gen.Load() - lastSeen
+	hit := true
+	switch {
+	case !fetched, gap >= uint64(s.cfg.MaxStale):
+		// Cold entry or stale beyond the consistency bound: block until
+		// the in-flight (or newly started) sync completes.
+		hit = false
+		s.misses.Add(1)
+		if fetched {
+			s.staleWaits.Add(1)
+		}
+		ch := s.ensureFlight(ctx, e)
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		e.mu.RLock()
+		fetched, lastErr = e.fetched, e.lastErr
+		e.mu.RUnlock()
+		if !fetched {
+			if lastErr != nil {
+				return nil, lastErr
+			}
+			return nil, errors.New("suggest: history fetch failed")
+		}
+	case gap > 0:
+		// Bounded staleness: serve the cached model now, refresh behind.
+		s.ensureFlight(ctx, e)
+		s.hits.Add(1)
+	default:
+		s.hits.Add(1)
+	}
+
+	rng := rand.New(rand.NewSource(s.cfg.Seed ^ (0x9e3779b9 * s.seq.Add(1))))
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.space == nil {
+		if e.lastErr != nil {
+			return nil, e.lastErr
+		}
+		return nil, errors.New("suggest: no parameter space for problem")
+	}
+	resp := &Response{ModelVersion: e.version, CacheHit: hit}
+	if e.model == nil {
+		// Cold start: too little history for a surrogate; space-fill.
+		resp.ParamU = randomFresh(e.space, e.hist, rng)
+		resp.Proposer = "suggest/space-fill"
+	} else {
+		resp.ParamU = core.SearchNext(e.model, e.space, acq, e.hist, rng, core.SearchOptions{
+			Candidates: s.cfg.Candidates,
+			DEGens:     s.cfg.DEGens,
+			Workers:    s.cfg.Workers,
+		})
+		resp.ModelSamples = e.model.NumSamples()
+		resp.Proposer = "suggest/" + strings.ToLower(acq.Name())
+	}
+	resp.Params = e.space.Decode(resp.ParamU)
+	return resp, nil
+}
+
+// randomFresh draws a canonical random point not yet in the history.
+func randomFresh(sp *space.Space, h *core.History, rng *rand.Rand) []float64 {
+	var u []float64
+	for i := 0; i < 64; i++ {
+		u = core.RandomPoint(sp, rng)
+		if h == nil || !h.Contains(u, 1e-9) {
+			return u
+		}
+	}
+	return u
+}
+
+// ensureFlight starts (or joins) the single background sync for e and
+// returns the channel closed when it finishes. The flight inherits the
+// request's trace ID so fit log lines correlate with the triggering
+// client call, but not its deadline — a fit must survive the request
+// that kicked it off.
+func (s *Service) ensureFlight(ctx context.Context, e *entry) chan struct{} {
+	e.fitMu.Lock()
+	defer e.fitMu.Unlock()
+	if e.fitting {
+		return e.fitDone
+	}
+	e.fitting = true
+	ch := make(chan struct{})
+	e.fitDone = ch
+	go s.runFlight(obs.WithTrace(context.Background(), obs.TraceID(ctx)), e, ch)
+	return ch
+}
+
+// runFlight fetches snapshots and applies them until the problem
+// generation is stable, so one flight absorbs uploads that land while
+// it runs instead of leaving a gap for the next request to rediscover.
+func (s *Service) runFlight(ctx context.Context, e *entry, done chan struct{}) {
+	defer func() {
+		e.fitMu.Lock()
+		e.fitting = false
+		e.fitMu.Unlock()
+		close(done)
+	}()
+	gen := s.gen(e.problem)
+	for {
+		g0 := gen.Load()
+		snap, err := s.src.History(ctx, e.problem, e.task)
+		if err != nil {
+			e.mu.Lock()
+			e.lastErr = err
+			e.mu.Unlock()
+			s.log.ErrorContext(ctx, "suggest fit: history fetch failed",
+				"problem", e.problem, "error", err)
+			return
+		}
+		s.apply(ctx, e, snap, g0)
+		if gen.Load() == g0 {
+			return
+		}
+	}
+}
+
+// apply folds one snapshot into the entry: an incremental gp.Observe
+// per new row while under the refit budget, a full gp.Fit otherwise.
+func (s *Service) apply(ctx context.Context, e *entry, snap *Snapshot, g0 uint64) {
+	nsucc := len(snap.X)
+	hist := &core.History{Samples: make([]core.Sample, nsucc)}
+	for i := range snap.X {
+		hist.Samples[i] = core.Sample{ParamU: snap.X[i], Y: snap.Y[i], Proposer: "history"}
+	}
+
+	e.mu.RLock()
+	model, prevN := e.model, e.succN
+	e.mu.RUnlock()
+
+	fitStart := time.Now()
+	incremental := model != nil && nsucc >= prevN &&
+		model.ObservedSinceFit()+(nsucc-prevN) < s.cfg.RefitEvery &&
+		!drifted(model, snap.Y[prevN:])
+	var full *gp.GP
+	var fitErr error
+	if !incremental && nsucc >= 2 {
+		// The O(n³) refit runs outside the entry lock: concurrent
+		// requests keep serving the previous model meanwhile.
+		full, fitErr = gp.Fit(snap.X, snap.Y, gp.Options{
+			Seed:     s.cfg.Seed,
+			Restarts: s.cfg.FitRestarts,
+			Workers:  s.cfg.Workers,
+			Ctx:      ctx,
+		})
+		if fitErr != nil {
+			s.log.ErrorContext(ctx, "suggest fit: full refit failed",
+				"problem", e.problem, "samples", nsucc, "error", fitErr)
+		}
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	kind := "none"
+	switch {
+	case incremental:
+		kind = "incremental"
+		for i := prevN; i < nsucc; i++ {
+			if err := e.model.Observe(snap.X[i], snap.Y[i]); err != nil {
+				// Lost positive definiteness mid-stream: refit from
+				// scratch on the next pass rather than serve a broken
+				// posterior.
+				s.log.WarnContext(ctx, "suggest fit: incremental update failed, forcing refit",
+					"problem", e.problem, "error", err)
+				e.model = nil
+				break
+			}
+			s.incrObs.Add(1)
+			e.succN = i + 1
+		}
+		if e.model == nil {
+			// Recovery refit happens synchronously so this flight still
+			// leaves a usable model behind.
+			if full, fitErr = gp.Fit(snap.X, snap.Y, gp.Options{Seed: s.cfg.Seed, Restarts: s.cfg.FitRestarts, Workers: s.cfg.Workers, Ctx: ctx}); fitErr == nil {
+				e.model = full
+				e.succN = nsucc
+				s.fullFits.Add(1)
+				kind = "full"
+			}
+		}
+	case full != nil:
+		kind = "full"
+		e.model = full
+		e.succN = nsucc
+		s.fullFits.Add(1)
+	case nsucc < 2:
+		// Not enough history for a surrogate yet; serve space-fill.
+		e.model = nil
+		e.succN = nsucc
+	}
+	e.space = snap.Space
+	e.hist = hist
+	e.version = snap.Version
+	e.lastSeen = g0
+	e.fetched = true
+	e.lastErr = fitErr
+	s.fitSeconds.Observe(time.Since(fitStart).Seconds())
+	s.log.InfoContext(ctx, "suggest fit",
+		"problem", e.problem, "kind", kind, "samples", nsucc, "version", snap.Version)
+}
+
+// drifted reports whether any incoming target sits far outside the
+// model's frozen standardization — the hyperparameter-drift trigger for
+// a full refit.
+func drifted(model *gp.GP, newY []float64) bool {
+	m, sd := model.Standardization()
+	for _, y := range newY {
+		if math.Abs(y-m)/sd > driftSigma {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Suggestion-service performance benchmark: runs the sustained-QPS
+# harness (cmd/suggestbench) with a fixed seed and writes the repo's
+# perf-trajectory point BENCH_suggest.json, then prints the Go
+# micro-benchmarks behind the CI allocation guard for comparison.
+#
+# Environment knobs (defaults in parentheses):
+#   SEED (9)  DURATION (5s)  CLIENTS (16)  HISTORY (64)
+#   OUT (BENCH_suggest.json)  BENCHTIME (500x)  COUNT (3)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SEED="${SEED:-9}"
+DURATION="${DURATION:-5s}"
+CLIENTS="${CLIENTS:-16}"
+HISTORY="${HISTORY:-64}"
+OUT="${OUT:-BENCH_suggest.json}"
+BENCHTIME="${BENCHTIME:-500x}"
+COUNT="${COUNT:-3}"
+
+echo "== suggestbench (sustained QPS -> $OUT)"
+go run ./cmd/suggestbench \
+    -seed "$SEED" -duration "$DURATION" -clients "$CLIENTS" \
+    -history "$HISTORY" -out "$OUT"
+
+echo "== go test -bench Suggest (allocation-guard micro-benchmarks)"
+go test -run '^$' -bench 'BenchmarkSuggest(HotPath|Endpoint)' \
+    -benchtime "$BENCHTIME" -count "$COUNT" -benchmem .

@@ -66,4 +66,16 @@ echo "== bench smoke"
 go test -run '^$' -bench 'Parallel|GPFit100|LCMFitTwoTasks|SaltelliSensitivity' \
     -benchtime 1x -benchmem .
 
+echo "== suggest hot-path allocation guard (<= ${SUGGEST_MAX_ALLOCS:=80} allocs/op)"
+go test -run '^$' -bench '^BenchmarkSuggestHotPath$' -benchtime 200x -benchmem . \
+    | tee /tmp/suggest_bench.txt
+awk -v max="$SUGGEST_MAX_ALLOCS" '
+/^BenchmarkSuggestHotPath/ {
+    for (i = 1; i <= NF; i++) if ($(i) == "allocs/op") allocs = $(i-1) + 0
+    found = 1
+    if (allocs > max) { print "FAIL: suggest hot path " allocs " allocs/op > " max; bad = 1 }
+}
+END { if (!found) { print "FAIL: BenchmarkSuggestHotPath did not run"; bad = 1 } exit bad }' \
+    /tmp/suggest_bench.txt
+
 echo "CI gate passed."
