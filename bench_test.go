@@ -471,6 +471,32 @@ func BenchmarkSuggestHotPath(b *testing.B) {
 	b.ReportMetric(float64(st.CacheHits)/float64(st.Requests), "hit_rate")
 }
 
+// BenchmarkSuggestBatchHotPath measures steady-state batched serving:
+// each request clones the cached surrogate and runs the constant-liar
+// loop for 8 points against a full liar ledger. Allocations are gated
+// in scripts/ci.sh (batch serving is clone-per-request by design, so
+// its budget is far above the single-proposal gate, but still fixed).
+func BenchmarkSuggestBatchHotPath(b *testing.B) {
+	svc := suggest.New(benchSuggestSource{suggestBenchSnapshot(64)}, suggest.Config{
+		Seed: 9, Candidates: 64, DEGens: 8,
+	})
+	ctx := context.Background()
+	req := suggest.Request{Problem: "bench", Batch: 8}
+	if _, err := svc.Suggest(ctx, req); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := svc.Suggest(ctx, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	st := svc.Stats()
+	b.ReportMetric(float64(st.LiarsActive), "liars_active")
+}
+
 // BenchmarkSuggestEndpoint measures the full HTTP round trip under
 // parallel load against an in-process server.
 func BenchmarkSuggestEndpoint(b *testing.B) {

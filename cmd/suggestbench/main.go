@@ -37,6 +37,7 @@ type result struct {
 	DurationS  float64 `json:"duration_s"`
 	Clients    int     `json:"clients"`
 	HistoryN   int     `json:"history_n"`
+	Batch      int     `json:"batch"`
 
 	Requests    int64   `json:"requests"`
 	QPS         float64 `json:"qps"`
@@ -48,6 +49,10 @@ type result struct {
 	FullFits            int64   `json:"full_fits"`
 	IncrementalObserves int64   `json:"incremental_observes"`
 	UploadsDuringRun    int     `json:"uploads_during_run"`
+
+	BatchProposals int64 `json:"batch_proposals,omitempty"`
+	LiarsRetired   int64 `json:"liars_retired,omitempty"`
+	LiarsExpired   int64 `json:"liars_expired,omitempty"`
 }
 
 func main() {
@@ -57,6 +62,7 @@ func main() {
 		clients  = flag.Int("clients", 16, "concurrent suggest clients")
 		history  = flag.Int("history", 64, "seed history size (samples)")
 		allocOps = flag.Int("alloc-ops", 200, "single-goroutine requests for the allocs/op phase")
+		batch    = flag.Int("batch", 1, "proposals per request (>1 exercises the constant-liar batch path)")
 		uploadMs = flag.Int("upload-every-ms", 250, "background upload period (0 disables)")
 		out      = flag.String("out", "", "output JSON path (default stdout)")
 	)
@@ -97,6 +103,9 @@ func main() {
 
 	ctx := context.Background()
 	req := crowd.SuggestRequest{TuningProblemName: "bench"}
+	if *batch > 1 {
+		req.Batch = *batch
+	}
 	// Warm: fit the surrogate once so every phase below measures the
 	// cached hot path.
 	if _, err := client.SuggestRemote(ctx, req); err != nil {
@@ -175,8 +184,12 @@ func main() {
 	sort.Float64s(latencies)
 	hits := statsAfter.CacheHits - statsBefore.CacheHits
 	reqs := statsAfter.Requests - statsBefore.Requests
+	name := "suggest-sustained-qps"
+	if *batch > 1 {
+		name = "suggest-batch-sustained-qps"
+	}
 	res := result{
-		Benchmark:  "suggest-sustained-qps",
+		Benchmark:  name,
 		Date:       time.Now().UTC().Format("2006-01-02"),
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
@@ -184,6 +197,7 @@ func main() {
 		DurationS:  duration.Seconds(),
 		Clients:    *clients,
 		HistoryN:   *history,
+		Batch:      *batch,
 
 		Requests:    n,
 		QPS:         float64(n) / duration.Seconds(),
@@ -195,6 +209,10 @@ func main() {
 		FullFits:            statsAfter.FullFits,
 		IncrementalObserves: statsAfter.IncrementalObserves,
 		UploadsDuringRun:    uploads,
+
+		BatchProposals: statsAfter.BatchProposals,
+		LiarsRetired:   statsAfter.LiarsRetired,
+		LiarsExpired:   statsAfter.LiarsExpired,
 	}
 	b, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {

@@ -59,6 +59,13 @@ type SearchOptions struct {
 	// Feasible, when set, restricts the search to normalized points it
 	// accepts (populated by the loop from Problem.Constraints).
 	Feasible func(u []float64) bool
+	// Penalty, when set, multiplies the acquisition value at a canonical
+	// point by a factor in [0,1] — the local-penalization hook batch
+	// proposals use to push later points away from pending ones. For
+	// acquisitions that can go negative (LCB) the factor divides
+	// instead, so a penalized point is always ranked worse. Must be safe
+	// for concurrent calls.
+	Penalty func(u []float64) float64
 }
 
 func (o *SearchOptions) defaults() {
@@ -96,7 +103,24 @@ func SearchNext(surr Surrogate, sp *space.Space, acq Acquisition, h *History, rn
 		f := math.Inf(1)
 		if opts.Feasible == nil || opts.Feasible(c) {
 			mean, std := surr.Predict(c)
-			f = -acq.Score(mean, std, best)
+			score := acq.Score(mean, std, best)
+			if opts.Penalty != nil {
+				p := opts.Penalty(c)
+				if p < 0 {
+					p = 0
+				} else if p > 1 {
+					p = 1
+				}
+				if score > 0 {
+					score *= p
+				} else {
+					// Negative scores (LCB) shrink toward -inf instead of
+					// 0: dividing by the factor keeps "penalized" meaning
+					// "worse" on both sides of zero.
+					score /= math.Max(p, 1e-12)
+				}
+			}
+			f = -score
 		}
 		*bp = c
 		canonPool.Put(bp)

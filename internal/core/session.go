@@ -27,6 +27,10 @@ type SessionOptions struct {
 	// (fit, search, propose, evaluate durations). Diagnostics only —
 	// never part of the checkpointed state.
 	Metrics *obs.Registry
+	// Batch configures how ProposeBatch spreads concurrent proposals
+	// (constant liar vs local penalization). The zero value is the
+	// constant-liar default.
+	Batch BatchConfig
 }
 
 // Session is a suspendable tuning run: the propose → evaluate → record
@@ -50,13 +54,19 @@ type Session struct {
 	opts     SessionOptions
 	search   SearchOptions
 
-	src     *CheckpointableSource
-	rng     *rand.Rand
-	h       *History
-	iter    int       // evaluations recorded so far
-	pending []float64 // outstanding canonical proposal, nil when none
-	stats   RobustStats
-	timers  *Timers
+	src  *CheckpointableSource
+	rng  *rand.Rand
+	h    *History
+	iter int // evaluations committed to the history so far
+
+	// ledger holds issued-but-uncommitted proposals in id order; see
+	// batchsession.go. The single-proposal Propose/Observe pair is the
+	// k=1 special case of the same machinery.
+	ledger     []*pendingEntry
+	nextPropID uint64
+
+	stats  RobustStats
+	timers *Timers
 }
 
 // NewSession validates the problem and returns a fresh session. Unlike
@@ -72,14 +82,18 @@ func NewSession(p *Problem, task map[string]interface{}, proposer Proposer, opts
 	if opts.Budget <= 0 {
 		return nil, fmt.Errorf("core: non-positive budget %d", opts.Budget)
 	}
+	if err := opts.Batch.validate(); err != nil {
+		return nil, err
+	}
 	s := &Session{
-		problem:  p,
-		task:     task,
-		proposer: proposer,
-		opts:     opts,
-		h:        &History{},
-		src:      NewCheckpointableSource(opts.Seed),
-		timers:   NewTimers(opts.Metrics),
+		problem:    p,
+		task:       task,
+		proposer:   proposer,
+		opts:       opts,
+		h:          &History{},
+		src:        NewCheckpointableSource(opts.Seed),
+		timers:     NewTimers(opts.Metrics),
+		nextPropID: 1,
 	}
 	s.rng = rand.New(s.src)
 	s.search = opts.Search
@@ -136,74 +150,39 @@ func (s *Session) Propose() (map[string]interface{}, error) {
 // between fit and acquisition search), so a cancelled context stops the
 // proposal without corrupting the session — no randomness beyond the
 // interrupted stage is consumed and Checkpoint stays valid.
+//
+// Propose/Observe are the k=1 special case of the batch ledger: an
+// outstanding unobserved proposal (from either path) is returned as-is.
 func (s *Session) ProposeContext(rctx context.Context) (map[string]interface{}, error) {
-	if s.Done() {
-		return nil, fmt.Errorf("core: session budget of %d consumed: %w", s.opts.Budget, ErrBudgetExhausted)
+	for _, e := range s.ledger {
+		if !e.observed {
+			return s.problem.ParamSpace.Decode(e.u), nil
+		}
 	}
-	if s.pending != nil {
-		return s.problem.ParamSpace.Decode(s.pending), nil
+	if s.iter+len(s.ledger) >= s.opts.Budget {
+		return nil, fmt.Errorf("core: session budget of %d consumed: %w", s.opts.Budget, ErrBudgetExhausted)
 	}
 	if err := rctx.Err(); err != nil {
 		return nil, fmt.Errorf("core: proposal cancelled at iteration %d: %w", s.iter, err)
 	}
-	ctx := &ProposeContext{
-		Problem: s.problem,
-		Task:    s.task,
-		History: s.h,
-		Rng:     s.rng,
-		Iter:    s.iter,
-		Search:  s.search,
-		Stats:   &s.stats,
-		Logf:    s.opts.Logf,
-		Ctx:     rctx,
-		Timers:  s.timers,
-	}
-	proposeStart := time.Now()
-	u, err := s.proposer.Propose(ctx)
-	s.timers.ObservePropose(time.Since(proposeStart))
+	e, err := s.proposeOne(rctx)
 	if err != nil {
-		return nil, fmt.Errorf("core: proposer %s failed at iteration %d: %w", s.proposer.Name(), s.iter, err)
+		return nil, err
 	}
-	if len(u) != s.problem.ParamSpace.Dim() {
-		return nil, fmt.Errorf("core: proposer %s returned a %d-dim point, want %d",
-			s.proposer.Name(), len(u), s.problem.ParamSpace.Dim())
-	}
-	s.pending = s.problem.ParamSpace.Canonicalize(u)
-	return s.problem.ParamSpace.Decode(s.pending), nil
+	return s.problem.ParamSpace.Decode(e.u), nil
 }
 
-// Observe records the result of the outstanding proposal. Pass a
+// Observe records the result of the oldest outstanding proposal. Pass a
 // non-nil evalErr to record a failed evaluation (it consumes budget but
-// is invisible to surrogate fits, like in RunLoop).
+// is invisible to surrogate fits, like in RunLoop). Drivers juggling a
+// whole batch report by id with ObserveProposal instead.
 func (s *Session) Observe(y float64, evalErr error) error {
-	if s.pending == nil {
-		return errors.New("core: Observe without an outstanding proposal")
+	for _, e := range s.ledger {
+		if !e.observed {
+			return s.ObserveProposal(e.id, y, evalErr)
+		}
 	}
-	smp := Sample{
-		ParamU:   s.pending,
-		Params:   s.problem.ParamSpace.Decode(s.pending),
-		Proposer: s.proposer.Name(),
-	}
-	switch {
-	case evalErr != nil:
-		smp.Failed = true
-		smp.Err = evalErr.Error()
-	case math.IsNaN(y) || math.IsInf(y, 0):
-		// A non-finite "success" is a failure in disguise: recording it
-		// as Failed (with Y zeroed) keeps NaN/Inf out of every surrogate
-		// fit and keeps the history/checkpoint JSON-serializable.
-		smp.Failed = true
-		smp.Err = fmt.Sprintf("non-finite objective %v", y)
-	default:
-		smp.Y = y
-	}
-	s.h.Append(smp)
-	s.pending = nil
-	if s.opts.OnSample != nil {
-		s.opts.OnSample(s.iter, smp)
-	}
-	s.iter++
-	return nil
+	return errors.New("core: Observe without an outstanding proposal")
 }
 
 // Step proposes the next point and evaluates it inline with the
@@ -286,15 +265,21 @@ func (s *Session) RunContext(ctx context.Context) (*History, error) {
 // via Space.Decode, which restores the exact typed values and keeps the
 // checkpoint compact.
 type sessionCheckpoint struct {
-	Version  int                `json:"version"`
-	Problem  string             `json:"problem"`
-	Proposer string             `json:"proposer"`
-	Budget   int                `json:"budget"`
-	Seed     int64              `json:"seed"`
-	Iter     int                `json:"iter"`
-	RNGState uint64             `json:"rng_state"`
-	Pending  []float64          `json:"pending,omitempty"`
-	Samples  []checkpointSample `json:"samples,omitempty"`
+	Version  int    `json:"version"`
+	Problem  string `json:"problem"`
+	Proposer string `json:"proposer"`
+	Budget   int    `json:"budget"`
+	Seed     int64  `json:"seed"`
+	Iter     int    `json:"iter"`
+	RNGState uint64 `json:"rng_state"`
+	// Pending is the version-1 single outstanding proposal; version-2
+	// checkpoints carry the full ledger instead.
+	Pending []float64          `json:"pending,omitempty"`
+	Samples []checkpointSample `json:"samples,omitempty"`
+	// Ledger holds the issued-but-uncommitted batch proposals (version
+	// 2), in strictly increasing id order.
+	Ledger         []checkpointPending `json:"ledger,omitempty"`
+	NextProposalID uint64              `json:"next_proposal_id,omitempty"`
 }
 
 type checkpointSample struct {
@@ -305,25 +290,49 @@ type checkpointSample struct {
 	Proposer string    `json:"proposer,omitempty"`
 }
 
-const sessionCheckpointVersion = 1
+// checkpointPending serializes one ledger entry: the proposal, its
+// constant-liar stand-in, and the buffered result when one has arrived
+// but earlier proposals are still outstanding.
+type checkpointPending struct {
+	ID       uint64    `json:"id"`
+	U        []float64 `json:"u"`
+	Lie      float64   `json:"lie"`
+	Observed bool      `json:"observed,omitempty"`
+	Y        float64   `json:"y,omitempty"`
+	Failed   bool      `json:"failed,omitempty"`
+	Err      string    `json:"err,omitempty"`
+}
 
-// Checkpoint serializes the session's complete state. The session stays
-// usable; checkpointing is a read-only operation.
+const sessionCheckpointVersion = 2
+
+// Checkpoint serializes the session's complete state — including the
+// pending-proposal ledger, so a resumed session can hand the same batch
+// back out and keep accepting results under the original ids. The
+// session stays usable; checkpointing is a read-only operation.
 func (s *Session) Checkpoint() ([]byte, error) {
 	cp := sessionCheckpoint{
-		Version:  sessionCheckpointVersion,
-		Problem:  s.problem.Name,
-		Proposer: s.proposer.Name(),
-		Budget:   s.opts.Budget,
-		Seed:     s.opts.Seed,
-		Iter:     s.iter,
-		RNGState: s.src.State(),
-		Pending:  s.pending,
+		Version:        sessionCheckpointVersion,
+		Problem:        s.problem.Name,
+		Proposer:       s.proposer.Name(),
+		Budget:         s.opts.Budget,
+		Seed:           s.opts.Seed,
+		Iter:           s.iter,
+		RNGState:       s.src.State(),
+		NextProposalID: s.nextPropID,
 	}
 	cp.Samples = make([]checkpointSample, len(s.h.Samples))
 	for i, smp := range s.h.Samples {
 		cp.Samples[i] = checkpointSample{
 			U: smp.ParamU, Y: smp.Y, Failed: smp.Failed, Err: smp.Err, Proposer: smp.Proposer,
+		}
+	}
+	if len(s.ledger) > 0 {
+		cp.Ledger = make([]checkpointPending, len(s.ledger))
+		for i, e := range s.ledger {
+			cp.Ledger[i] = checkpointPending{
+				ID: e.id, U: e.u, Lie: e.lie, Observed: e.observed,
+				Y: e.y, Failed: e.failed, Err: e.errMsg,
+			}
 		}
 	}
 	return json.Marshal(cp)
@@ -344,7 +353,7 @@ func ResumeSession(p *Problem, task map[string]interface{}, proposer Proposer, o
 	if err := json.Unmarshal(checkpoint, &cp); err != nil {
 		return nil, fmt.Errorf("core: bad session checkpoint: %w", err)
 	}
-	if cp.Version != sessionCheckpointVersion {
+	if cp.Version != 1 && cp.Version != sessionCheckpointVersion {
 		return nil, fmt.Errorf("core: unsupported checkpoint version %d", cp.Version)
 	}
 	if err := validateSessionProblem(p); err != nil {
@@ -396,17 +405,47 @@ func ResumeSession(p *Problem, task map[string]interface{}, proposer Proposer, o
 		return nil, fmt.Errorf("core: checkpoint iter %d does not match %d samples", cp.Iter, len(cp.Samples))
 	}
 	s.iter = cp.Iter
-	if cp.Pending != nil {
-		if len(cp.Pending) != dim {
-			return nil, fmt.Errorf("core: checkpoint pending point has dimension %d, want %d", len(cp.Pending), dim)
+	if cp.Version == 1 && cp.Pending != nil {
+		// A v1 checkpoint's single outstanding proposal becomes a
+		// one-entry ledger.
+		cp.Ledger = []checkpointPending{{ID: 1, U: cp.Pending, Lie: lieValue(s.h)}}
+		if cp.NextProposalID == 0 {
+			cp.NextProposalID = 2
 		}
-		for d, u := range cp.Pending {
+	}
+	var maxID uint64
+	for i, pe := range cp.Ledger {
+		if pe.ID == 0 || pe.ID <= maxID {
+			return nil, fmt.Errorf("core: checkpoint ledger entry %d has non-increasing id %d", i, pe.ID)
+		}
+		maxID = pe.ID
+		if len(pe.U) != dim {
+			return nil, fmt.Errorf("core: checkpoint ledger entry %d has dimension %d, want %d", i, len(pe.U), dim)
+		}
+		for d, u := range pe.U {
 			if math.IsNaN(u) || math.IsInf(u, 0) {
-				return nil, fmt.Errorf("core: checkpoint pending point has non-finite coordinate %v at dim %d", u, d)
+				return nil, fmt.Errorf("core: checkpoint ledger entry %d has non-finite coordinate %v at dim %d", i, u, d)
 			}
 		}
-		s.pending = cp.Pending
+		if math.IsNaN(pe.Lie) || math.IsInf(pe.Lie, 0) {
+			return nil, fmt.Errorf("core: checkpoint ledger entry %d has non-finite lie %v", i, pe.Lie)
+		}
+		if pe.Observed && !pe.Failed && (math.IsNaN(pe.Y) || math.IsInf(pe.Y, 0)) {
+			return nil, fmt.Errorf("core: checkpoint ledger entry %d has non-finite objective %v", i, pe.Y)
+		}
+		s.ledger = append(s.ledger, &pendingEntry{
+			id: pe.ID, u: pe.U, lie: pe.Lie, observed: pe.Observed,
+			y: pe.Y, failed: pe.Failed, errMsg: pe.Err,
+		})
 	}
+	s.nextPropID = maxID + 1
+	if cp.NextProposalID > s.nextPropID {
+		s.nextPropID = cp.NextProposalID
+	}
+	// A checkpoint taken mid-commit (or hand-edited) may carry an
+	// observed prefix; fold it into the history silently — restoration
+	// is reconstruction, not a live observation.
+	s.commitObserved(false)
 	s.src.SetState(cp.RNGState)
 	return s, nil
 }

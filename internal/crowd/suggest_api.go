@@ -20,13 +20,26 @@ type SuggestRequest struct {
 	TaskParams        map[string]interface{} `json:"task_parameters,omitempty"`
 	// Acquisition selects the scoring rule: "ei" (default), "lcb", "pi".
 	Acquisition string `json:"acquisition,omitempty"`
+	// Batch asks for that many distinct proposals in one call (0 and 1
+	// are equivalent): the server spreads them with the constant-liar
+	// strategy and remembers each point until its real sample is
+	// uploaded.
+	Batch int `json:"batch,omitempty"`
+}
+
+// SuggestProposal is one point of a batched suggestion.
+type SuggestProposal struct {
+	TuningParams map[string]interface{} `json:"tuning_parameters"`
+	ParamU       []float64              `json:"param_u,omitempty"`
 }
 
 // SuggestResponse is the proposed configuration plus the provenance a
-// client needs to reason about staleness.
+// client needs to reason about staleness. The top-level fields mirror
+// Proposals[0], so pre-batch clients keep working unchanged.
 type SuggestResponse struct {
 	TuningParams map[string]interface{} `json:"tuning_parameters"`
 	ParamU       []float64              `json:"param_u,omitempty"`
+	Proposals    []SuggestProposal      `json:"proposals,omitempty"`
 	ModelVersion uint64                 `json:"model_version"`
 	ModelSamples int                    `json:"model_samples"`
 	CacheHit     bool                   `json:"cache_hit"`
@@ -110,6 +123,7 @@ func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request, user stri
 		Problem:     req.TuningProblemName,
 		Task:        req.TaskParams,
 		Acquisition: req.Acquisition,
+		Batch:       req.Batch,
 	})
 	if err != nil {
 		switch {
@@ -125,14 +139,21 @@ func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request, user stri
 		}
 		return
 	}
-	writeJSON(w, http.StatusOK, SuggestResponse{
+	out := SuggestResponse{
 		TuningParams: resp.Params,
 		ParamU:       resp.ParamU,
 		ModelVersion: resp.ModelVersion,
 		ModelSamples: resp.ModelSamples,
 		CacheHit:     resp.CacheHit,
 		Proposer:     resp.Proposer,
-	})
+	}
+	if req.Batch > 1 {
+		out.Proposals = make([]SuggestProposal, len(resp.Proposals))
+		for i, p := range resp.Proposals {
+			out.Proposals[i] = SuggestProposal{TuningParams: p.Params, ParamU: p.ParamU}
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // SuggestService exposes the suggestion service (bench harness and

@@ -1,0 +1,71 @@
+package crowd
+
+import (
+	"context"
+	"errors"
+	"math"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestSuggestBatchOverWire pins the wire shape of batched suggestions:
+// proposals array present exactly when batch > 1, top-level fields
+// mirroring Proposals[0] for pre-batch clients, distinct points, and a
+// 400 on an oversize batch.
+func TestSuggestBatchOverWire(t *testing.T) {
+	srv := NewServerWith(Config{SuggestSeed: 3})
+	srv.RegisterProblemPolicy("qr", ProblemPolicy{Space: suggestE2ESpace(t)})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	alice := NewClient(ts.URL, "")
+	if _, err := alice.Register("alice", ""); err != nil {
+		t.Fatal(err)
+	}
+	evals := make([]FuncEval, 8)
+	for i := range evals {
+		evals[i] = suggestE2EEval(i)
+	}
+	if _, err := alice.Upload(evals); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	resp, err := alice.SuggestRemote(ctx, SuggestRequest{TuningProblemName: "qr", Batch: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Proposals) != 3 {
+		t.Fatalf("got %d proposals, want 3", len(resp.Proposals))
+	}
+	for i, p := range resp.Proposals {
+		if len(p.ParamU) != 2 || len(p.TuningParams) != 2 {
+			t.Fatalf("malformed proposal %d: %+v", i, p)
+		}
+		for j := i + 1; j < len(resp.Proposals); j++ {
+			q := resp.Proposals[j]
+			if math.Abs(p.ParamU[0]-q.ParamU[0]) < 1e-9 && math.Abs(p.ParamU[1]-q.ParamU[1]) < 1e-9 {
+				t.Fatalf("proposals %d and %d coincide at %v", i, j, p.ParamU)
+			}
+		}
+	}
+	if resp.ParamU[0] != resp.Proposals[0].ParamU[0] || resp.ParamU[1] != resp.Proposals[0].ParamU[1] {
+		t.Fatalf("top-level ParamU %v does not mirror Proposals[0] %v", resp.ParamU, resp.Proposals[0].ParamU)
+	}
+
+	single, err := alice.SuggestRemote(ctx, SuggestRequest{TuningProblemName: "qr"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.Proposals != nil {
+		t.Fatalf("single request grew a proposals array: %+v", single.Proposals)
+	}
+	if len(single.ParamU) != 2 {
+		t.Fatalf("malformed single response %+v", single)
+	}
+
+	_, err = alice.SuggestRemote(ctx, SuggestRequest{TuningProblemName: "qr", Batch: 1000})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != 400 {
+		t.Fatalf("oversize batch: got %v, want a 400", err)
+	}
+}

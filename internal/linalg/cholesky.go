@@ -145,6 +145,14 @@ func (c *Cholesky) LogDet() float64 {
 	return 2 * s
 }
 
+// Clone returns an independent deep copy of the factor. AppendRow and
+// Downdate replace or mutate L in place, so a model that must absorb
+// speculative updates without disturbing the original (the constant-liar
+// batch path) clones the factor first.
+func (c *Cholesky) Clone() *Cholesky {
+	return &Cholesky{L: c.L.Clone(), Jitter: c.Jitter}
+}
+
 // Inverse returns A⁻¹.
 func (c *Cholesky) Inverse() *Matrix {
 	return c.InverseWorkers(1)

@@ -47,6 +47,16 @@ var ErrBadRequest = errors.New("suggest: bad request")
 // frozen hyperparameters no longer describe the data.
 const driftSigma = 6.0
 
+// retireTol is the per-coordinate tolerance for matching an uploaded
+// sample against an outstanding liar point: uploads round-trip through
+// JSON and parameter decoding, so exact float equality is too strict.
+const retireTol = 1e-6
+
+// maxLiarsPerEntry bounds the per-entry liar ledger; past it the oldest
+// liars are dropped (counted as expired) — a crowd that never reports
+// back must not make every future batch pay for its ghosts.
+const maxLiarsPerEntry = 64
+
 // Snapshot is one consistent view of a task's evaluation history, as
 // produced by a Source. X holds the successful samples encoded into the
 // normalized unit cube, aligned with Y; Version counts all matching
@@ -75,9 +85,15 @@ type Config struct {
 	Candidates  int // acquisition prescreen pool (default 128)
 	DEGens      int // DE generations per suggestion (default 12)
 	FitRestarts int // hyperparameter multi-starts per full fit (default 2)
-	Seed        int64
-	Registry    *obs.Registry // metrics sink (default: private registry)
-	Logger      *slog.Logger  // fit/error log (default: discard)
+	// MaxBatch caps Request.Batch (default 16, hard limit 64).
+	MaxBatch int
+	// LiarTTL is how many problem generations an unretired liar point
+	// survives before it is dropped (default 4×MaxStale). A liar is
+	// retired early when a matching real sample is absorbed.
+	LiarTTL  int
+	Seed     int64
+	Registry *obs.Registry // metrics sink (default: private registry)
+	Logger   *slog.Logger  // fit/error log (default: discard)
 }
 
 func (c *Config) defaults() {
@@ -99,23 +115,46 @@ func (c *Config) defaults() {
 	if c.FitRestarts <= 0 {
 		c.FitRestarts = 2
 	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 16
+	}
+	if c.MaxBatch > maxLiarsPerEntry {
+		c.MaxBatch = maxLiarsPerEntry
+	}
+	if c.LiarTTL <= 0 {
+		c.LiarTTL = 4 * c.MaxStale
+	}
 	if c.Registry == nil {
 		c.Registry = obs.NewRegistry()
 	}
 	c.Logger = obs.Or(c.Logger)
 }
 
-// Request asks for the next configuration to evaluate.
+// Request asks for the next configuration(s) to evaluate.
 type Request struct {
 	Problem     string
 	Task        map[string]interface{}
 	Acquisition string // "ei" (default), "lcb" or "pi"
+	// Batch asks for that many distinct proposals in one call (0 and 1
+	// are equivalent). Batched proposals are spread with the
+	// constant-liar strategy on a clone of the cached surrogate, and
+	// each point is remembered as a liar until a matching real sample is
+	// uploaded (retired via NotifyAppend) or it expires.
+	Batch int
 }
 
-// Response is one proposal.
+// Proposal is one point of a (possibly batched) response.
+type Proposal struct {
+	Params map[string]interface{} // decoded configuration
+	ParamU []float64              // normalized point
+}
+
+// Response carries the proposal(s). The single-point fields mirror
+// Proposals[0] so pre-batch clients keep working unchanged.
 type Response struct {
 	Params       map[string]interface{} // decoded configuration
 	ParamU       []float64              // normalized point
+	Proposals    []Proposal             // all points, len == effective batch size
 	ModelVersion uint64                 // history version the model covers
 	ModelSamples int                    // training size of the serving model (0: space-fill)
 	CacheHit     bool                   // served without waiting for a fit
@@ -133,6 +172,11 @@ type Stats struct {
 	Evictions           int64 `json:"evictions"`
 	Entries             int   `json:"entries"`
 	StaleWaits          int64 `json:"stale_waits"`
+	BatchRequests       int64 `json:"batch_requests"`
+	BatchProposals      int64 `json:"batch_proposals"`
+	LiarsActive         int64 `json:"liars_active"`
+	LiarsRetired        int64 `json:"liars_retired"`
+	LiarsExpired        int64 `json:"liars_expired"`
 }
 
 // entry is one cached surrogate. mu guards the model state (RLock for
@@ -152,6 +196,10 @@ type entry struct {
 	lastSeen uint64 // problem generation at the last completed sync
 	fetched  bool   // at least one snapshot applied
 	lastErr  error
+	// liars are batch-served points awaiting their real sample: future
+	// proposals are pushed away from them, and each is retired exactly
+	// once when a matching upload is absorbed (or expired by TTL).
+	liars []liar
 
 	fitMu   sync.Mutex
 	fitting bool
@@ -174,11 +222,23 @@ type Service struct {
 	gens sync.Map     // problem → *atomic.Uint64: uploads observed via NotifyAppend
 	seq  atomic.Int64 // per-request RNG sequence
 
-	requests, hits, misses atomic.Int64
-	fullFits, incrObs      atomic.Int64
-	evictions, staleWaits  atomic.Int64
-	latency, fitSeconds    *obs.Histogram
-	log                    *slog.Logger
+	requests, hits, misses     atomic.Int64
+	fullFits, incrObs          atomic.Int64
+	evictions, staleWaits      atomic.Int64
+	batchReqs, batchProps      atomic.Int64
+	liarsActive                atomic.Int64
+	liarsRetired, liarsExpired atomic.Int64
+	latency, fitSeconds        *obs.Histogram
+	log                        *slog.Logger
+}
+
+// liar is one outstanding batch proposal: the point, the constant-liar
+// objective it was pretend-observed at, and the problem generation it
+// was issued under (for TTL expiry).
+type liar struct {
+	u    []float64
+	y    float64
+	born uint64
 }
 
 // New builds a Service over src. Metrics register into cfg.Registry
@@ -201,6 +261,11 @@ func New(src Source, cfg Config) *Service {
 		defer s.mu.Unlock()
 		return float64(len(s.entries))
 	})
+	r.CounterFunc("batch_requests_total", "Suggestion requests that asked for more than one proposal.", func() float64 { return float64(s.batchReqs.Load()) })
+	r.CounterFunc("batch_proposals_total", "Proposals issued through the batch (constant-liar) path.", func() float64 { return float64(s.batchProps.Load()) })
+	r.GaugeFunc("batch_liars_active", "Batch-served points still awaiting their real sample.", func() float64 { return float64(s.liarsActive.Load()) })
+	r.CounterFunc("batch_liars_retired_total", "Liar points retired by a matching absorbed sample.", func() float64 { return float64(s.liarsRetired.Load()) })
+	r.CounterFunc("batch_liars_expired_total", "Liar points dropped by TTL or ledger-capacity expiry.", func() float64 { return float64(s.liarsExpired.Load()) })
 	return s
 }
 
@@ -218,6 +283,11 @@ func (s *Service) Stats() Stats {
 		Evictions:           s.evictions.Load(),
 		Entries:             n,
 		StaleWaits:          s.staleWaits.Load(),
+		BatchRequests:       s.batchReqs.Load(),
+		BatchProposals:      s.batchProps.Load(),
+		LiarsActive:         s.liarsActive.Load(),
+		LiarsRetired:        s.liarsRetired.Load(),
+		LiarsExpired:        s.liarsExpired.Load(),
 	}
 }
 
@@ -328,6 +398,13 @@ func (s *Service) Suggest(ctx context.Context, req Request) (*Response, error) {
 	if err != nil {
 		return nil, err
 	}
+	k := req.Batch
+	if k <= 0 {
+		k = 1
+	}
+	if k > s.cfg.MaxBatch {
+		return nil, fmt.Errorf("%w: batch size %d exceeds the maximum %d", ErrBadRequest, k, s.cfg.MaxBatch)
+	}
 	e := s.entryFor(req.Problem+"\x1f"+taskKey(req.Task), req.Problem, req.Task)
 	gen := s.gen(req.Problem)
 
@@ -369,30 +446,146 @@ func (s *Service) Suggest(ctx context.Context, req Request) (*Response, error) {
 	}
 
 	rng := rand.New(rand.NewSource(s.cfg.Seed ^ (0x9e3779b9 * s.seq.Add(1))))
+
+	// Snapshot the serving state under the read lock, then search
+	// without it: apply replaces model/hist/space wholesale (never
+	// mutates in place), so the snapshot stays internally consistent and
+	// concurrent syncs are never blocked by a long acquisition search.
 	e.mu.RLock()
-	defer e.mu.RUnlock()
-	if e.space == nil {
-		if e.lastErr != nil {
-			return nil, e.lastErr
+	model, sp, hist, version := e.model, e.space, e.hist, e.version
+	lastErr = e.lastErr
+	var pendingLiars []liar
+	if model != nil && (k > 1 || len(e.liars) > 0) {
+		pendingLiars = append(pendingLiars, e.liars...)
+	}
+	e.mu.RUnlock()
+	if sp == nil {
+		if lastErr != nil {
+			return nil, lastErr
 		}
 		return nil, errors.New("suggest: no parameter space for problem")
 	}
-	resp := &Response{ModelVersion: e.version, CacheHit: hit}
-	if e.model == nil {
-		// Cold start: too little history for a surrogate; space-fill.
-		resp.ParamU = randomFresh(e.space, e.hist, rng)
-		resp.Proposer = "suggest/space-fill"
-	} else {
-		resp.ParamU = core.SearchNext(e.model, e.space, acq, e.hist, rng, core.SearchOptions{
-			Candidates: s.cfg.Candidates,
-			DEGens:     s.cfg.DEGens,
-			Workers:    s.cfg.Workers,
-		})
-		resp.ModelSamples = e.model.NumSamples()
-		resp.Proposer = "suggest/" + strings.ToLower(acq.Name())
+
+	resp := &Response{ModelVersion: version, CacheHit: hit}
+	searchOpts := core.SearchOptions{
+		Candidates: s.cfg.Candidates,
+		DEGens:     s.cfg.DEGens,
+		Workers:    s.cfg.Workers,
 	}
-	resp.Params = e.space.Decode(resp.ParamU)
+	switch {
+	case model == nil:
+		// Cold start: too little history for a surrogate; space-fill.
+		// Batched space-fill appends each draw to a scratch history so
+		// the k points are distinct.
+		resp.Proposer = "suggest/space-fill"
+		if k == 1 {
+			resp.Proposals = []Proposal{proposalFor(sp, randomFresh(sp, hist, rng))}
+			break
+		}
+		scratch := scratchHist(hist, k)
+		for j := 0; j < k; j++ {
+			u := randomFresh(sp, scratch, rng)
+			scratch.Append(core.Sample{ParamU: u, Failed: true, Err: "pending proposal"})
+			resp.Proposals = append(resp.Proposals, proposalFor(sp, u))
+		}
+	case k == 1 && len(pendingLiars) == 0:
+		// The allocation-flat hot path: one search over the shared model.
+		u := core.SearchNext(model, sp, acq, hist, rng, searchOpts)
+		resp.Proposals = []Proposal{proposalFor(sp, u)}
+		resp.ModelSamples = model.NumSamples()
+		resp.Proposer = "suggest/" + strings.ToLower(acq.Name())
+	default:
+		// Batch (or liar-aware single) path: pretend-observe the pending
+		// liars and each new point on a throwaway clone, so proposals
+		// spread out instead of collapsing onto the acquisition optimum.
+		resp.ModelSamples = model.NumSamples()
+		resp.Proposer = "suggest/" + strings.ToLower(acq.Name())
+		work := model.Clone()
+		scratch := scratchHist(hist, len(pendingLiars)+k)
+		for _, l := range pendingLiars {
+			// A liar that breaks positive definiteness (e.g. a duplicate
+			// point) is skipped for repulsion but still blocks re-proposal
+			// through the scratch history.
+			_ = work.Observe(l.u, l.y)
+			scratch.Append(core.Sample{ParamU: l.u, Y: l.y, Proposer: "suggest/liar"})
+		}
+		lie := incumbent(scratch)
+		newLiars := make([]liar, 0, k)
+		for j := 0; j < k; j++ {
+			u := core.SearchNext(work, sp, acq, scratch, rng, searchOpts)
+			resp.Proposals = append(resp.Proposals, proposalFor(sp, u))
+			newLiars = append(newLiars, liar{u: u, y: lie})
+			if j < k-1 {
+				_ = work.Observe(u, lie)
+			}
+			scratch.Append(core.Sample{ParamU: u, Y: lie, Proposer: "suggest/liar"})
+		}
+		// Only batch points enter the ledger: a single proposal served
+		// while liars are pending is steered away from them but is not
+		// itself remembered, matching the pre-batch single-shot contract.
+		if k > 1 {
+			s.recordLiars(e, newLiars)
+		}
+	}
+	if k > 1 {
+		s.batchReqs.Add(1)
+		s.batchProps.Add(int64(len(resp.Proposals)))
+	}
+	resp.ParamU = resp.Proposals[0].ParamU
+	resp.Params = resp.Proposals[0].Params
 	return resp, nil
+}
+
+// proposalFor decodes one canonical point.
+func proposalFor(sp *space.Space, u []float64) Proposal {
+	return Proposal{ParamU: u, Params: sp.Decode(u)}
+}
+
+// scratchHist copies h with room for extra appended stand-ins.
+func scratchHist(h *core.History, extra int) *core.History {
+	n := 0
+	if h != nil {
+		n = h.Len()
+	}
+	scratch := &core.History{Samples: make([]core.Sample, 0, n+extra)}
+	if h != nil {
+		scratch.Samples = append(scratch.Samples, h.Samples...)
+	}
+	return scratch
+}
+
+// incumbent is the constant-liar value: the best observed objective, 0
+// on an empty history (targets are standardized, only the relative
+// level matters).
+func incumbent(h *core.History) float64 {
+	if best, ok := h.Best(); ok {
+		return best.Y
+	}
+	return 0
+}
+
+// recordLiars appends freshly served batch points to the entry's liar
+// ledger, stamped with the current problem generation, and enforces the
+// ledger cap (oldest out first, counted as expired).
+func (s *Service) recordLiars(e *entry, newLiars []liar) {
+	if len(newLiars) == 0 {
+		return
+	}
+	born := s.gen(e.problem).Load()
+	for i := range newLiars {
+		newLiars[i].born = born
+	}
+	e.mu.Lock()
+	e.liars = append(e.liars, newLiars...)
+	dropped := len(e.liars) - maxLiarsPerEntry
+	if dropped > 0 {
+		e.liars = append(e.liars[:0:0], e.liars[dropped:]...)
+	} else {
+		dropped = 0
+	}
+	e.mu.Unlock()
+	s.liarsActive.Add(int64(len(newLiars) - dropped))
+	s.liarsExpired.Add(int64(dropped))
 }
 
 // randomFresh draws a canonical random point not yet in the history.
@@ -468,21 +661,54 @@ func (s *Service) apply(ctx context.Context, e *entry, snap *Snapshot, g0 uint64
 	e.mu.RUnlock()
 
 	fitStart := time.Now()
-	incremental := model != nil && nsucc >= prevN &&
+	incremental := model != nil && nsucc > prevN &&
 		model.ObservedSinceFit()+(nsucc-prevN) < s.cfg.RefitEvery &&
 		!drifted(model, snap.Y[prevN:])
-	var full *gp.GP
-	var fitErr error
-	if !incremental && nsucc >= 2 {
-		// The O(n³) refit runs outside the entry lock: concurrent
-		// requests keep serving the previous model meanwhile.
-		full, fitErr = gp.Fit(snap.X, snap.Y, gp.Options{
+	refit := func() (*gp.GP, error) {
+		return gp.Fit(snap.X, snap.Y, gp.Options{
 			Seed:     s.cfg.Seed,
 			Restarts: s.cfg.FitRestarts,
 			Workers:  s.cfg.Workers,
 			Ctx:      ctx,
 		})
-		if fitErr != nil {
+	}
+	// All model construction happens outside the entry lock, and the
+	// incremental path updates a clone: concurrent requests may be
+	// mid-search on the serving model, whose Cholesky factor gp.Observe
+	// would otherwise rewrite under their feet. The finished model swaps
+	// in wholesale below.
+	var next *gp.GP
+	var fitErr error
+	kind := "none"
+	switch {
+	case model != nil && nsucc == prevN:
+		// No new successful rows; keep serving the current model.
+	case incremental:
+		kind = "incremental"
+		next = model.Clone()
+		for i := prevN; i < nsucc; i++ {
+			if err := next.Observe(snap.X[i], snap.Y[i]); err != nil {
+				// Lost positive definiteness mid-stream: refit from
+				// scratch rather than serve a broken posterior.
+				s.log.WarnContext(ctx, "suggest fit: incremental update failed, forcing refit",
+					"problem", e.problem, "error", err)
+				next = nil
+				break
+			}
+			s.incrObs.Add(1)
+		}
+		if next == nil {
+			kind = "none"
+			if next, fitErr = refit(); fitErr == nil {
+				kind = "full"
+				s.fullFits.Add(1)
+			}
+		}
+	case nsucc >= 2:
+		if next, fitErr = refit(); fitErr == nil {
+			kind = "full"
+			s.fullFits.Add(1)
+		} else {
 			s.log.ErrorContext(ctx, "suggest fit: full refit failed",
 				"problem", e.problem, "samples", nsucc, "error", fitErr)
 		}
@@ -490,52 +716,103 @@ func (s *Service) apply(ctx context.Context, e *entry, snap *Snapshot, g0 uint64
 
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	kind := "none"
 	switch {
-	case incremental:
-		kind = "incremental"
-		for i := prevN; i < nsucc; i++ {
-			if err := e.model.Observe(snap.X[i], snap.Y[i]); err != nil {
-				// Lost positive definiteness mid-stream: refit from
-				// scratch on the next pass rather than serve a broken
-				// posterior.
-				s.log.WarnContext(ctx, "suggest fit: incremental update failed, forcing refit",
-					"problem", e.problem, "error", err)
-				e.model = nil
-				break
-			}
-			s.incrObs.Add(1)
-			e.succN = i + 1
-		}
-		if e.model == nil {
-			// Recovery refit happens synchronously so this flight still
-			// leaves a usable model behind.
-			if full, fitErr = gp.Fit(snap.X, snap.Y, gp.Options{Seed: s.cfg.Seed, Restarts: s.cfg.FitRestarts, Workers: s.cfg.Workers, Ctx: ctx}); fitErr == nil {
-				e.model = full
-				e.succN = nsucc
-				s.fullFits.Add(1)
-				kind = "full"
-			}
-		}
-	case full != nil:
-		kind = "full"
-		e.model = full
+	case next != nil:
+		e.model = next
 		e.succN = nsucc
-		s.fullFits.Add(1)
 	case nsucc < 2:
 		// Not enough history for a surrogate yet; serve space-fill.
 		e.model = nil
 		e.succN = nsucc
 	}
+	// Retire liars whose real sample just got absorbed (each absorbed
+	// row retires at most one liar, each liar at most once), then expire
+	// the ones the crowd never reported back.
+	if nsucc > prevN {
+		if retired := retireLiars(e, snap.X[prevN:nsucc]); retired > 0 {
+			s.liarsActive.Add(-int64(retired))
+			s.liarsRetired.Add(int64(retired))
+		}
+	}
+	if expired := expireLiars(e, g0, uint64(s.cfg.LiarTTL)); expired > 0 {
+		s.liarsActive.Add(-int64(expired))
+		s.liarsExpired.Add(int64(expired))
+	}
 	e.space = snap.Space
 	e.hist = hist
-	e.version = snap.Version
-	e.lastSeen = g0
+	// lastSeen and version only ever advance: a sync that raced a
+	// concurrent NotifyAppend (the upload/release handlers notify after
+	// inserting, so a fetch can see rows its generation does not cover
+	// yet) must never roll the staleness clock back — a regressed
+	// lastSeen would re-open the gap and let a later sync double-absorb
+	// rows the model already contains.
+	if snap.Version > e.version {
+		e.version = snap.Version
+	}
+	if g0 > e.lastSeen {
+		e.lastSeen = g0
+	}
 	e.fetched = true
 	e.lastErr = fitErr
 	s.fitSeconds.Observe(time.Since(fitStart).Seconds())
 	s.log.InfoContext(ctx, "suggest fit",
 		"problem", e.problem, "kind", kind, "samples", nsucc, "version", snap.Version)
+}
+
+// retireLiars removes, for each newly absorbed row, the first liar
+// matching it within retireTol. Caller holds e.mu. Returns the number
+// retired; exactly-once follows from removal — a retired liar cannot
+// match a second row, and a second upload of the same point finds the
+// ledger slot already gone.
+func retireLiars(e *entry, newRows [][]float64) int {
+	if len(e.liars) == 0 {
+		return 0
+	}
+	retired := 0
+	for _, row := range newRows {
+		for i, l := range e.liars {
+			if pointsClose(row, l.u, retireTol) {
+				e.liars = append(e.liars[:i], e.liars[i+1:]...)
+				retired++
+				break
+			}
+		}
+		if len(e.liars) == 0 {
+			break
+		}
+	}
+	return retired
+}
+
+// expireLiars drops liars older than ttl generations. Caller holds e.mu.
+func expireLiars(e *entry, now, ttl uint64) int {
+	if len(e.liars) == 0 {
+		return 0
+	}
+	kept := e.liars[:0]
+	expired := 0
+	for _, l := range e.liars {
+		if now >= l.born && now-l.born > ttl {
+			expired++
+			continue
+		}
+		kept = append(kept, l)
+	}
+	e.liars = kept
+	return expired
+}
+
+// pointsClose reports per-coordinate closeness within tol.
+func pointsClose(a, b []float64, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > tol {
+			return false
+		}
+	}
+	return true
 }
 
 // drifted reports whether any incoming target sits far outside the

@@ -1,0 +1,310 @@
+package worker
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"time"
+
+	"gptunecrowd"
+	"gptunecrowd/internal/apps"
+	"gptunecrowd/internal/crowd"
+	"gptunecrowd/internal/obs"
+	"gptunecrowd/internal/taskpool"
+)
+
+// CoordinatorOptions configures a batch Coordinator.
+type CoordinatorOptions struct {
+	// Client is the authenticated crowd client (required).
+	Client *crowd.Client
+	// App names the application in the internal/apps registry (required).
+	App string
+	// TuningProblemName labels the eval tasks and uploaded samples;
+	// defaults to App.
+	TuningProblemName string
+	// TaskParams are the task (input) parameter values; nil selects the
+	// application's default task.
+	TaskParams map[string]interface{}
+	// Tune configures the driving session (Budget required; Seed,
+	// BatchStrategy, BatchRadius as usual). The session never calls the
+	// application itself — evaluation is the workers' job.
+	Tune gptunecrowd.TuneOptions
+	// BatchSize caps the proposals in flight at once (default 4).
+	BatchSize int
+	// PollInterval is the sleep between completion polls (default
+	// 100ms).
+	PollInterval time.Duration
+	// Machine restricts which workers may lease the eval tasks.
+	Machine taskpool.MachineConstraint
+	// Slog receives structured progress records; nil disables logging.
+	Slog *slog.Logger
+}
+
+// ScheduleEvent is one recorded coordinator action. The sequence of
+// events fully determines the session's final state: replaying it with
+// ReplaySchedule against a fresh session reproduces the history, RNG
+// state and checkpoint bit-identically, no matter how many workers (or
+// which interleaving) produced the original run.
+type ScheduleEvent struct {
+	// Kind is "propose" or "observe".
+	Kind string `json:"kind"`
+	// K is the batch size requested by a propose event.
+	K int `json:"k,omitempty"`
+	// IDs are the proposal ids the propose event issued.
+	IDs []uint64 `json:"ids,omitempty"`
+	// ProposalID, Y, Failed and Err describe an observe event.
+	ProposalID uint64  `json:"proposal_id,omitempty"`
+	Y          float64 `json:"y,omitempty"`
+	Failed     bool    `json:"failed,omitempty"`
+	Err        string  `json:"err,omitempty"`
+}
+
+// Coordinator drives one tuning session with a crowd of workers: it
+// proposes batches, fans each point out as an eval-kind task, and feeds
+// results back into the session as they land — in whatever order the
+// workers finish. The session's id-ordered commit rule keeps the run
+// deterministic in the result set, and the coordinator records its
+// propose/observe schedule so any run can be replayed bit-identically.
+//
+// A Coordinator is single-threaded: Run owns the session, and Schedule,
+// Session and Best are for inspection after Run returns.
+type Coordinator struct {
+	opts CoordinatorOptions
+	sess *gptunecrowd.TuningSession
+	slog *slog.Logger
+
+	// submitted maps proposal id → task id; done marks task ids whose
+	// result was already fed to the session.
+	submitted map[uint64]string
+	done      map[string]bool
+	schedule  []ScheduleEvent
+}
+
+// NewCoordinator validates the options, builds the application problem
+// and opens the driving session.
+func NewCoordinator(opts CoordinatorOptions) (*Coordinator, error) {
+	if opts.Client == nil {
+		return nil, errors.New("worker: coordinator needs a crowd client")
+	}
+	if opts.App == "" {
+		return nil, errors.New("worker: coordinator needs an app")
+	}
+	if opts.BatchSize <= 0 {
+		opts.BatchSize = 4
+	}
+	if opts.PollInterval <= 0 {
+		opts.PollInterval = 100 * time.Millisecond
+	}
+	if opts.TuningProblemName == "" {
+		opts.TuningProblemName = opts.App
+	}
+	sess, taskParams, err := openCoordinatorSession(opts.App, opts.TaskParams, opts.Tune, nil)
+	if err != nil {
+		return nil, err
+	}
+	opts.TaskParams = taskParams
+	return &Coordinator{
+		opts:      opts,
+		sess:      sess,
+		slog:      obs.Or(opts.Slog).With("coordinator", opts.App),
+		submitted: make(map[uint64]string),
+		done:      make(map[string]bool),
+	}, nil
+}
+
+// openCoordinatorSession builds the app problem and a fresh or resumed
+// session over it. The evaluator stays on the problem but is never
+// called by the coordinator.
+func openCoordinatorSession(app string, taskParams map[string]interface{}, tune gptunecrowd.TuneOptions, checkpoint []byte) (*gptunecrowd.TuningSession, map[string]interface{}, error) {
+	inst, err := apps.Build(app, apps.Options{Seed: tune.Seed})
+	if err != nil {
+		return nil, nil, err
+	}
+	if taskParams == nil {
+		taskParams = inst.DefaultTask
+	}
+	if checkpoint != nil {
+		s, err := gptunecrowd.ResumeTuningSession(inst.Problem, taskParams, tune, checkpoint)
+		return s, taskParams, err
+	}
+	s, err := gptunecrowd.NewTuningSession(inst.Problem, taskParams, tune)
+	return s, taskParams, err
+}
+
+// Session exposes the driving session (inspection after Run).
+func (c *Coordinator) Session() *gptunecrowd.TuningSession { return c.sess }
+
+// Schedule returns the recorded propose/observe events so far.
+func (c *Coordinator) Schedule() []ScheduleEvent {
+	return append([]ScheduleEvent(nil), c.schedule...)
+}
+
+// Run proposes, fans out and ingests until the session's budget is
+// consumed, then reports the best configuration. Cancellation returns
+// the wrapped context error; the schedule recorded so far remains
+// valid, and the session can be checkpointed with pending proposals
+// intact.
+func (c *Coordinator) Run(ctx context.Context) (*gptunecrowd.Result, error) {
+	for !c.sess.Done() {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("worker: coordinator cancelled: %w", err)
+		}
+		if err := c.topUp(ctx); err != nil {
+			return nil, err
+		}
+		n, err := c.ingest(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 && !c.sess.Done() {
+			if err := sleep(ctx, c.opts.PollInterval); err != nil {
+				return nil, fmt.Errorf("worker: coordinator cancelled: %w", err)
+			}
+		}
+	}
+	return c.sess.Run()
+}
+
+// topUp proposes until BatchSize points are in flight (or the budget is
+// spoken for) and submits an eval task for every proposal that has none
+// yet — including proposals restored from a checkpoint.
+func (c *Coordinator) topUp(ctx context.Context) error {
+	deficit := c.opts.BatchSize - c.sess.InFlight()
+	if room := c.sess.Budget() - c.sess.Iter() - c.sess.InFlight(); deficit > room {
+		deficit = room
+	}
+	if deficit > 0 {
+		props, err := c.sess.ProposeBatchContext(ctx, deficit)
+		if err != nil {
+			return fmt.Errorf("worker: batch proposal: %w", err)
+		}
+		ev := ScheduleEvent{Kind: "propose", K: deficit}
+		for _, p := range props {
+			ev.IDs = append(ev.IDs, p.ID)
+		}
+		c.schedule = append(c.schedule, ev)
+		c.slog.InfoContext(ctx, "proposed batch", "k", deficit, "issued", len(props))
+	}
+	for _, p := range c.sess.PendingProposals() {
+		if _, ok := c.submitted[p.ID]; ok {
+			continue
+		}
+		id, err := c.opts.Client.SubmitTaskContext(ctx, taskpool.Spec{
+			App:               c.opts.App,
+			Kind:              taskpool.KindEval,
+			TuningProblemName: c.opts.TuningProblemName,
+			TaskParams:        c.opts.TaskParams,
+			Seed:              c.opts.Tune.Seed,
+			Machine:           c.opts.Machine,
+			ParamU:            p.ParamU,
+			ProposalID:        p.ID,
+			TraceID:           obs.TraceID(ctx),
+		})
+		if err != nil {
+			return fmt.Errorf("worker: submit eval task for proposal %d: %w", p.ID, err)
+		}
+		c.submitted[p.ID] = id
+	}
+	return nil
+}
+
+// ingest polls the pool for finished eval tasks of this run and feeds
+// their observations into the session, returning how many it absorbed.
+// Completed tasks carry a measurement; dead-lettered ones (every lease
+// attempt burned) are recorded as failed evaluations so the run cannot
+// hang on a poisoned point. Stale and duplicate results — a retried
+// task completing twice — are tolerated and not double-counted.
+func (c *Coordinator) ingest(ctx context.Context) (int, error) {
+	byTask := make(map[string]uint64, len(c.submitted))
+	for pid, tid := range c.submitted {
+		if !c.done[tid] {
+			byTask[tid] = pid
+		}
+	}
+	if len(byTask) == 0 {
+		return 0, nil
+	}
+	var ingested int
+	for _, state := range []taskpool.State{taskpool.StateCompleted, taskpool.StateDead} {
+		tasks, err := c.opts.Client.ListTasksContext(ctx, state)
+		if err != nil {
+			return ingested, fmt.Errorf("worker: list %s tasks: %w", state, err)
+		}
+		for i := range tasks {
+			t := &tasks[i]
+			pid, ok := byTask[t.ID]
+			if !ok {
+				continue
+			}
+			ev := ScheduleEvent{Kind: "observe", ProposalID: pid}
+			switch {
+			case state == taskpool.StateDead:
+				ev.Failed = true
+				ev.Err = fmt.Sprintf("eval task dead-lettered: %s", t.LastError)
+			case t.Result != nil && t.Result.Observation != nil:
+				o := t.Result.Observation
+				ev.Y, ev.Failed, ev.Err = o.Y, o.Failed, o.Err
+				if ev.Failed && ev.Err == "" {
+					ev.Err = "evaluation failed"
+				}
+			default:
+				ev.Failed = true
+				ev.Err = "eval task completed without an observation"
+			}
+			err := c.sess.ObserveContext(ctx, pid, ev.Y, observeErr(ev))
+			if err != nil && !errors.Is(err, gptunecrowd.ErrStaleObservation) &&
+				!errors.Is(err, gptunecrowd.ErrDuplicateObservation) {
+				return ingested, fmt.Errorf("worker: observe proposal %d: %w", pid, err)
+			}
+			if err == nil {
+				c.schedule = append(c.schedule, ev)
+				ingested++
+				c.slog.InfoContext(ctx, "observed result",
+					"proposal_id", pid, "y", ev.Y, "failed", ev.Failed)
+			}
+			c.done[t.ID] = true
+		}
+	}
+	return ingested, nil
+}
+
+// observeErr reconstructs the evaluation error an observe event carries.
+func observeErr(ev ScheduleEvent) error {
+	if !ev.Failed {
+		return nil
+	}
+	if ev.Err == "" {
+		return errors.New("evaluation failed")
+	}
+	return errors.New(ev.Err)
+}
+
+// ReplaySchedule re-executes a recorded schedule against a fresh
+// session for the same app and options, returning the replayed session.
+// Because proposals consume randomness only at issue time and results
+// commit in id order, the replayed session's history, RNG state and
+// checkpoint are bit-identical to the original run's — the determinism
+// contract the batch engine is built on, checkable at any worker count.
+func ReplaySchedule(app string, taskParams map[string]interface{}, tune gptunecrowd.TuneOptions, events []ScheduleEvent) (*gptunecrowd.TuningSession, error) {
+	sess, _, err := openCoordinatorSession(app, taskParams, tune, nil)
+	if err != nil {
+		return nil, err
+	}
+	for i, ev := range events {
+		switch ev.Kind {
+		case "propose":
+			if _, err := sess.ProposeBatch(ev.K); err != nil {
+				return nil, fmt.Errorf("worker: replay event %d (propose %d): %w", i, ev.K, err)
+			}
+		case "observe":
+			err := sess.ObserveContext(context.Background(), ev.ProposalID, ev.Y, observeErr(ev))
+			if err != nil {
+				return nil, fmt.Errorf("worker: replay event %d (observe %d): %w", i, ev.ProposalID, err)
+			}
+		default:
+			return nil, fmt.Errorf("worker: replay event %d has unknown kind %q", i, ev.Kind)
+		}
+	}
+	return sess, nil
+}

@@ -221,6 +221,11 @@ func (w *Worker) runTask(ctx context.Context, task *taskpool.Task, ttl time.Dura
 	}()
 	defer func() { cancelLease(); <-hbDone }()
 
+	if task.Spec.Kind == taskpool.KindEval {
+		w.runEvalTask(ctx, leaseCtx, task)
+		return
+	}
+
 	sess, taskParams, eval, err := w.openSession(task)
 	if err != nil {
 		w.failTask(task, fmt.Sprintf("setup: %v", err), nil)
@@ -311,6 +316,108 @@ func (w *Worker) runTask(ctx context.Context, task *taskpool.Task, ttl time.Dura
 	w.logf("completed %s (best %.6g in %d evals)", task.ID, res.BestY, sess.Iter())
 	w.slog.InfoContext(leaseCtx, "completed task",
 		"task", task.ID, "best_y", res.BestY, "evals", sess.Iter())
+}
+
+// runEvalTask executes a single-point evaluation task: decode the
+// pinned configuration, run it once, upload the measurement and report
+// the observation in the task result so a batch coordinator can feed
+// it back into its session. Eval tasks carry no checkpoint — a drain
+// hands the untouched task back for another worker to run whole.
+func (w *Worker) runEvalTask(ctx, leaseCtx context.Context, task *taskpool.Task) {
+	spec := task.Spec
+	if ctx.Err() != nil {
+		// Draining before the evaluation started: hand the task back
+		// untouched instead of burning a measurement we cannot report.
+		w.failTask(task, "worker draining", nil)
+		w.suspended.Add(1)
+		return
+	}
+	inst, err := apps.Build(spec.App, apps.Options{Seed: spec.Seed})
+	if err != nil {
+		w.failTask(task, fmt.Sprintf("setup: %v", err), nil)
+		w.failed.Add(1)
+		return
+	}
+	eval := inst.Problem.Evaluator
+	if w.opts.WrapEvaluator != nil {
+		eval = w.opts.WrapEvaluator(eval)
+	}
+	taskParams := spec.TaskParams
+	if taskParams == nil {
+		taskParams = inst.DefaultTask
+	}
+	if got, want := len(spec.ParamU), inst.Problem.ParamSpace.Dim(); got != want {
+		w.failTask(task, fmt.Sprintf("eval point has %d dims, app %q has %d", got, spec.App, want), nil)
+		w.failed.Add(1)
+		return
+	}
+	u := inst.Problem.ParamSpace.Canonicalize(spec.ParamU)
+	params := inst.Problem.ParamSpace.Decode(u)
+
+	var faults taskpool.FaultStats
+	y, evalErr := w.evaluate(task.ID, eval, taskParams, params, &faults)
+	w.evals.Add(1)
+	w.panics.Add(faults.PanicsRecovered)
+	w.timeouts.Add(faults.Timeouts)
+	failed := evalErr != nil || math.IsNaN(y) || math.IsInf(y, 0)
+	if failed {
+		faults.ImputedEvals++
+		w.imputed.Add(1)
+	}
+	if leaseCtx.Err() != nil {
+		w.leaseLost.Add(1)
+		w.logf("lease on %s lost, abandoning", task.ID)
+		return
+	}
+
+	obsv := &taskpool.Observation{ProposalID: spec.ProposalID, ParamU: u, Y: y, Failed: failed}
+	if evalErr != nil {
+		obsv.Err = evalErr.Error()
+	}
+	// Upload best-effort: the observation rides on the task result
+	// either way, so a lost upload costs shared history, not progress.
+	if err := w.uploadEval(leaseCtx, task, taskParams, params, y, failed); err != nil {
+		w.logf("upload of eval %s: %v", task.ID, err)
+	}
+	if w.opts.OnSample != nil {
+		w.opts.OnSample(task.ID, 0, y)
+	}
+	res := taskpool.Result{NumEvals: 1, Observation: obsv, Faults: faults}
+	if !failed {
+		res.BestParams = params
+		res.BestY = y
+	}
+	if err := w.opts.Client.CompleteTaskContext(leaseCtx, task.ID, task.LeaseToken, res); err != nil {
+		w.logf("complete %s failed: %v", task.ID, err)
+		w.failed.Add(1)
+		return
+	}
+	w.completed.Add(1)
+	w.logf("completed eval %s (proposal %d, y=%.6g failed=%v)", task.ID, spec.ProposalID, y, failed)
+	w.slog.InfoContext(leaseCtx, "completed eval task",
+		"task", task.ID, "proposal_id", spec.ProposalID, "y", y, "failed", failed)
+}
+
+// uploadEval pushes a single eval-task measurement to the shared
+// database.
+func (w *Worker) uploadEval(ctx context.Context, task *taskpool.Task, taskParams, params map[string]interface{}, y float64, failed bool) error {
+	problem := task.Spec.TuningProblemName
+	if problem == "" {
+		problem = task.Spec.App
+	}
+	_, err := w.opts.Client.UploadContext(ctx, []crowd.FuncEval{{
+		TuningProblemName: problem,
+		TaskParams:        taskParams,
+		TuningParams:      params,
+		Output:            y,
+		Failed:            failed,
+		Machine: crowd.MachineConfiguration{
+			MachineName: w.opts.Machine.MachineName,
+			Partition:   w.opts.Machine.Partition,
+		},
+		Accessibility: w.opts.Accessibility,
+	}})
+	return err
 }
 
 // openSession builds the task's application problem and a fresh or

@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
 # Suggestion-service performance benchmark: runs the sustained-QPS
-# harness (cmd/suggestbench) with a fixed seed and writes the repo's
-# perf-trajectory point BENCH_suggest.json, then prints the Go
-# micro-benchmarks behind the CI allocation guard for comparison.
+# harness (cmd/suggestbench) twice — single-proposal and batch-8 — and
+# writes the repo's perf-trajectory file BENCH_suggest.json (a JSON
+# array, one entry per workload), then prints the Go micro-benchmarks
+# behind the CI allocation guards for comparison.
 #
 # Environment knobs (defaults in parentheses):
-#   SEED (9)  DURATION (5s)  CLIENTS (16)  HISTORY (64)
+#   SEED (9)  DURATION (5s)  CLIENTS (16)  HISTORY (64)  BATCH (8)
 #   OUT (BENCH_suggest.json)  BENCHTIME (500x)  COUNT (3)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -14,15 +15,32 @@ SEED="${SEED:-9}"
 DURATION="${DURATION:-5s}"
 CLIENTS="${CLIENTS:-16}"
 HISTORY="${HISTORY:-64}"
+BATCH="${BATCH:-8}"
 OUT="${OUT:-BENCH_suggest.json}"
 BENCHTIME="${BENCHTIME:-500x}"
 COUNT="${COUNT:-3}"
 
-echo "== suggestbench (sustained QPS -> $OUT)"
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
+echo "== suggestbench (sustained QPS, batch 1)"
 go run ./cmd/suggestbench \
     -seed "$SEED" -duration "$DURATION" -clients "$CLIENTS" \
-    -history "$HISTORY" -out "$OUT"
+    -history "$HISTORY" -out "$tmpdir/single.json"
+
+echo "== suggestbench (sustained QPS, batch $BATCH)"
+go run ./cmd/suggestbench \
+    -seed "$SEED" -duration "$DURATION" -clients "$CLIENTS" \
+    -history "$HISTORY" -batch "$BATCH" -out "$tmpdir/batch.json"
+
+{
+    printf '[\n'
+    sed 's/^/  /' "$tmpdir/single.json" | sed '$s/}/},/'
+    sed 's/^/  /' "$tmpdir/batch.json"
+    printf ']\n'
+} > "$OUT"
+echo "wrote $OUT"
 
 echo "== go test -bench Suggest (allocation-guard micro-benchmarks)"
-go test -run '^$' -bench 'BenchmarkSuggest(HotPath|Endpoint)' \
+go test -run '^$' -bench 'BenchmarkSuggest(HotPath|BatchHotPath|Endpoint)' \
     -benchtime "$BENCHTIME" -count "$COUNT" -benchmem .

@@ -42,6 +42,7 @@ FuzzRegisterDecode ./internal/crowd
 FuzzTaskLeaseDecode ./internal/crowd
 FuzzTaskCompleteDecode ./internal/crowd
 FuzzTaskHeartbeatDecode ./internal/crowd
+FuzzBatchObserve ./internal/core
 FuzzUnmarshalQuery ./internal/historydb
 FuzzReadJSONL ./internal/historydb
 FuzzParseSpackSpec ./internal/envparse
@@ -53,8 +54,8 @@ echo "$fuzz_targets" | while read -r target pkg; do
     go test -run "^${target}\$" -fuzz "^${target}\$" -fuzztime=10s "$pkg"
 done
 
-echo "== coverage floor (crowd + historydb + taskpool + core >= 80%)"
-go test -count=1 -cover ./internal/crowd ./internal/historydb ./internal/taskpool ./internal/core | tee /tmp/cover.txt
+echo "== coverage floor (crowd + historydb + taskpool + core + suggest >= 80%)"
+go test -count=1 -cover ./internal/crowd ./internal/historydb ./internal/taskpool ./internal/core ./internal/suggest | tee /tmp/cover.txt
 awk '
 /coverage:/ {
     for (i = 1; i <= NF; i++) if ($i == "coverage:") pct = $(i+1) + 0
@@ -77,5 +78,17 @@ awk -v max="$SUGGEST_MAX_ALLOCS" '
 }
 END { if (!found) { print "FAIL: BenchmarkSuggestHotPath did not run"; bad = 1 } exit bad }' \
     /tmp/suggest_bench.txt
+
+echo "== suggest batch allocation guard (<= ${SUGGEST_BATCH_MAX_ALLOCS:=1400} allocs/op)"
+go test -run '^$' -bench '^BenchmarkSuggestBatchHotPath$' -benchtime 200x -benchmem . \
+    | tee /tmp/suggest_batch_bench.txt
+awk -v max="$SUGGEST_BATCH_MAX_ALLOCS" '
+/^BenchmarkSuggestBatchHotPath/ {
+    for (i = 1; i <= NF; i++) if ($(i) == "allocs/op") allocs = $(i-1) + 0
+    found = 1
+    if (allocs > max) { print "FAIL: suggest batch path " allocs " allocs/op > " max; bad = 1 }
+}
+END { if (!found) { print "FAIL: BenchmarkSuggestBatchHotPath did not run"; bad = 1 } exit bad }' \
+    /tmp/suggest_batch_bench.txt
 
 echo "CI gate passed."

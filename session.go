@@ -16,6 +16,10 @@ func sessionOptions(opts TuneOptions) core.SessionOptions {
 		Seed:     opts.Seed,
 		OnSample: opts.OnSample,
 		Metrics:  opts.Metrics,
+		Batch: core.BatchConfig{
+			Strategy: opts.BatchStrategy,
+			LPRadius: opts.BatchRadius,
+		},
 	}
 	if opts.Logger != nil {
 		lg := opts.Logger
@@ -105,6 +109,77 @@ func (s *TuningSession) ProposeContext(ctx context.Context) (map[string]interfac
 // non-nil evalErr records a failed evaluation, which consumes budget
 // but is invisible to surrogate fits.
 func (s *TuningSession) Observe(y float64, evalErr error) error { return s.inner.Observe(y, evalErr) }
+
+// Batch observation errors, re-exported for drivers that feed a session
+// from a crowd of workers. Match with errors.Is: the first two are
+// harmless races (a retried task reporting a result the session already
+// has), the third is a caller bug.
+var (
+	// ErrStaleObservation marks a result for a proposal already
+	// committed to the history; the session is unchanged.
+	ErrStaleObservation = core.ErrStaleObservation
+	// ErrDuplicateObservation marks a second result for a still-pending
+	// proposal; the first result stands.
+	ErrDuplicateObservation = core.ErrDuplicateObservation
+	// ErrUnknownProposal marks an id the session never issued.
+	ErrUnknownProposal = core.ErrUnknownProposal
+)
+
+// Proposal is one outstanding batch proposal: the configuration to
+// evaluate plus the id its measurement must be reported under with
+// ObserveContext.
+type Proposal struct {
+	// ID is the session-unique, monotonically increasing proposal id.
+	ID uint64
+	// Params is the decoded parameter assignment to evaluate.
+	Params map[string]interface{}
+	// ParamU is the canonical (normalized) point.
+	ParamU []float64
+}
+
+func publicProposals(in []core.PendingProposal) []Proposal {
+	out := make([]Proposal, len(in))
+	for i, p := range in {
+		out[i] = Proposal{ID: p.ID, Params: p.Params, ParamU: p.ParamU}
+	}
+	return out
+}
+
+// ProposeBatch is ProposeBatchContext with a background context.
+func (s *TuningSession) ProposeBatch(k int) ([]Proposal, error) {
+	return s.ProposeBatchContext(context.Background(), k)
+}
+
+// ProposeBatchContext issues up to k new proposals on top of whatever
+// is already in flight, so several workers can evaluate points of the
+// same session concurrently. k is clamped to the remaining budget minus
+// the in-flight count. Results are reported with ObserveContext in any
+// order; the session commits them in proposal-id order, so history, RNG
+// state and the next batch are bit-identical for every arrival order of
+// the same result set. Cancellation between points returns the short
+// batch (already in the ledger) together with the context's error.
+func (s *TuningSession) ProposeBatchContext(ctx context.Context, k int) ([]Proposal, error) {
+	props, err := s.inner.ProposeBatchContext(ctx, k)
+	return publicProposals(props), err
+}
+
+// ObserveContext records the measurement for proposal id, wherever it
+// sits in the batch. A non-nil evalErr records a failed evaluation. Out
+// of order is fine; late duplicates surface as ErrStaleObservation or
+// ErrDuplicateObservation and leave the session untouched.
+func (s *TuningSession) ObserveContext(_ context.Context, id uint64, y float64, evalErr error) error {
+	return s.inner.ObserveProposal(id, y, evalErr)
+}
+
+// PendingProposals returns the proposals still awaiting a result, in id
+// order. After ResumeTuningSession this is the work to hand back out.
+func (s *TuningSession) PendingProposals() []Proposal {
+	return publicProposals(s.inner.PendingProposals())
+}
+
+// InFlight returns the number of proposals issued but not yet committed
+// to the history.
+func (s *TuningSession) InFlight() int { return s.inner.InFlight() }
 
 // Step proposes and evaluates one point with the problem's Evaluator.
 // Thin wrapper over StepContext with context.Background().
