@@ -8,6 +8,12 @@
 // keeps models fresh. Latency is measured per request; allocations are
 // measured in a separate single-goroutine phase so the per-op number is
 // not polluted by other goroutines.
+//
+// With -cluster the same workload runs against a 3-shard in-process
+// cluster behind a routing coordinator, spread over several tuning
+// problems so the consistent-hash ring actually routes: the number then
+// includes the coordinator proxy hop and shard fan-out, which is the
+// deployed topology's hot path.
 package main
 
 import (
@@ -24,8 +30,10 @@ import (
 	"sync"
 	"time"
 
+	"gptunecrowd/internal/cluster"
 	"gptunecrowd/internal/crowd"
 	"gptunecrowd/internal/space"
+	"gptunecrowd/internal/suggest"
 )
 
 type result struct {
@@ -38,6 +46,7 @@ type result struct {
 	Clients    int     `json:"clients"`
 	HistoryN   int     `json:"history_n"`
 	Batch      int     `json:"batch"`
+	Shards     int     `json:"shards,omitempty"`
 
 	Requests    int64   `json:"requests"`
 	QPS         float64 `json:"qps"`
@@ -57,14 +66,15 @@ type result struct {
 
 func main() {
 	var (
-		seed     = flag.Int64("seed", 9, "RNG seed for history and search")
-		duration = flag.Duration("duration", 5*time.Second, "sustained-load phase length")
-		clients  = flag.Int("clients", 16, "concurrent suggest clients")
-		history  = flag.Int("history", 64, "seed history size (samples)")
-		allocOps = flag.Int("alloc-ops", 200, "single-goroutine requests for the allocs/op phase")
-		batch    = flag.Int("batch", 1, "proposals per request (>1 exercises the constant-liar batch path)")
-		uploadMs = flag.Int("upload-every-ms", 250, "background upload period (0 disables)")
-		out      = flag.String("out", "", "output JSON path (default stdout)")
+		seed       = flag.Int64("seed", 9, "RNG seed for history and search")
+		duration   = flag.Duration("duration", 5*time.Second, "sustained-load phase length")
+		clients    = flag.Int("clients", 16, "concurrent suggest clients")
+		history    = flag.Int("history", 64, "seed history size (samples per problem)")
+		allocOps   = flag.Int("alloc-ops", 200, "single-goroutine requests for the allocs/op phase")
+		batch      = flag.Int("batch", 1, "proposals per request (>1 exercises the constant-liar batch path)")
+		uploadMs   = flag.Int("upload-every-ms", 250, "background upload period (0 disables)")
+		clusterRun = flag.Bool("cluster", false, "bench a 3-shard cluster behind a routing coordinator")
+		out        = flag.String("out", "", "output JSON path (default stdout)")
 	)
 	flag.Parse()
 
@@ -75,50 +85,108 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	srv := crowd.NewServerWith(crowd.Config{SuggestSeed: *seed, MaxInFlight: 4 * *clients})
-	srv.RegisterProblemPolicy("bench", crowd.ProblemPolicy{Space: sp})
-	ts := httptest.NewServer(srv)
-	defer ts.Close()
-	client := crowd.NewClient(ts.URL, "")
+	cfg := crowd.Config{SuggestSeed: *seed, MaxInFlight: 4 * *clients}
+
+	// Build the target: either one in-process server, or 3 single-replica
+	// shards behind a coordinator with the workload spread over 6
+	// problems so every shard owns some of it.
+	var (
+		problems []string
+		servers  []*crowd.Server
+		baseURL  string
+		shards   = 0
+	)
+	if *clusterRun {
+		shards = 3
+		for i := 0; i < 2*shards; i++ {
+			problems = append(problems, fmt.Sprintf("bench-%d", i))
+		}
+		topo := cluster.Topology{Version: 1}
+		for i := 0; i < shards; i++ {
+			node, err := cluster.NewNode(cluster.NodeConfig{
+				Shard:  fmt.Sprintf("s%d", i),
+				Leader: true,
+				Crowd:  cfg,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			defer node.Close()
+			for _, p := range problems {
+				node.Server().RegisterProblemPolicy(p, crowd.ProblemPolicy{Space: sp})
+			}
+			nts := httptest.NewServer(node)
+			defer nts.Close()
+			node.SetAdvertise(nts.URL)
+			topo.Shards = append(topo.Shards, cluster.ShardInfo{ID: node.Shard(), Leader: nts.URL})
+			servers = append(servers, node.Server())
+		}
+		coord, err := cluster.NewCoordinator(cluster.CoordinatorConfig{Topology: topo})
+		if err != nil {
+			fatal(err)
+		}
+		cts := httptest.NewServer(coord)
+		defer cts.Close()
+		baseURL = cts.URL
+	} else {
+		problems = []string{"bench"}
+		srv := crowd.NewServerWith(cfg)
+		srv.RegisterProblemPolicy("bench", crowd.ProblemPolicy{Space: sp})
+		ts := httptest.NewServer(srv)
+		defer ts.Close()
+		servers = append(servers, srv)
+		baseURL = ts.URL
+	}
+	client := crowd.NewClient(baseURL, "")
 	if _, err := client.Register("bench", ""); err != nil {
 		fatal(err)
 	}
 
 	rng := rand.New(rand.NewSource(*seed))
-	eval := func() crowd.FuncEval {
+	eval := func(problem string) crowd.FuncEval {
 		x, y := rng.Float64(), rng.Float64()
 		return crowd.FuncEval{
-			TuningProblemName: "bench",
+			TuningProblemName: problem,
 			TuningParams:      map[string]interface{}{"x": x, "y": y},
 			Output:            1 + math.Pow(x-0.3, 2) + math.Pow(y-0.6, 2) + 0.01*rng.NormFloat64(),
 		}
 	}
-	evals := make([]crowd.FuncEval, *history)
-	for i := range evals {
-		evals[i] = eval()
-	}
-	if _, err := client.Upload(evals); err != nil {
-		fatal(err)
+	for _, p := range problems {
+		evals := make([]crowd.FuncEval, *history)
+		for i := range evals {
+			evals[i] = eval(p)
+		}
+		if _, err := client.Upload(evals); err != nil {
+			fatal(err)
+		}
 	}
 
 	ctx := context.Background()
-	req := crowd.SuggestRequest{TuningProblemName: "bench"}
-	if *batch > 1 {
-		req.Batch = *batch
+	reqFor := func(i int) crowd.SuggestRequest {
+		r := crowd.SuggestRequest{TuningProblemName: problems[i%len(problems)]}
+		if *batch > 1 {
+			r.Batch = *batch
+		}
+		return r
 	}
-	// Warm: fit the surrogate once so every phase below measures the
-	// cached hot path.
-	if _, err := client.SuggestRemote(ctx, req); err != nil {
-		fatal(err)
+	// Warm: fit every problem's surrogate once so every phase below
+	// measures the cached hot path.
+	for i := range problems {
+		if _, err := client.SuggestRemote(ctx, reqFor(i)); err != nil {
+			fatal(err)
+		}
 	}
 
 	// Phase 1: allocations per request, single goroutine, no concurrent
 	// load. runtime Mallocs counts cumulative allocations (GC-immune).
+	// In cluster mode the shard nodes run in this same process, so the
+	// number covers coordinator + node work too (not comparable to the
+	// single-server figure, but trackable release over release).
 	var ms0, ms1 runtime.MemStats
 	runtime.GC()
 	runtime.ReadMemStats(&ms0)
 	for i := 0; i < *allocOps; i++ {
-		if _, err := client.SuggestRemote(ctx, req); err != nil {
+		if _, err := client.SuggestRemote(ctx, reqFor(i)); err != nil {
 			fatal(err)
 		}
 	}
@@ -126,7 +194,7 @@ func main() {
 	allocsPerOp := float64(ms1.Mallocs-ms0.Mallocs) / float64(*allocOps)
 
 	// Phase 2: sustained concurrent load with a background uploader.
-	statsBefore := srv.SuggestService().Stats()
+	statsBefore := sumStats(servers)
 	var (
 		wg        sync.WaitGroup
 		latMu     sync.Mutex
@@ -140,14 +208,16 @@ func main() {
 			defer wg.Done()
 			tick := time.NewTicker(time.Duration(*uploadMs) * time.Millisecond)
 			defer tick.Stop()
+			i := 0
 			for {
 				select {
 				case <-stop:
 					return
 				case <-tick.C:
-					if _, err := client.Upload([]crowd.FuncEval{eval()}); err != nil {
+					if _, err := client.Upload([]crowd.FuncEval{eval(problems[i%len(problems)])}); err != nil {
 						fatal(err)
 					}
+					i++
 					uploads++
 				}
 			}
@@ -155,10 +225,10 @@ func main() {
 	}
 	for c := 0; c < *clients; c++ {
 		wg.Add(1)
-		go func() {
+		go func(c int) {
 			defer wg.Done()
 			local := make([]float64, 0, 4096)
-			for {
+			for i := c; ; i++ {
 				select {
 				case <-stop:
 					latMu.Lock()
@@ -168,18 +238,18 @@ func main() {
 				default:
 				}
 				t0 := time.Now()
-				if _, err := client.SuggestRemote(ctx, req); err != nil {
+				if _, err := client.SuggestRemote(ctx, reqFor(i)); err != nil {
 					fatal(err)
 				}
 				local = append(local, time.Since(t0).Seconds())
 			}
-		}()
+		}(c)
 	}
 	time.Sleep(*duration)
 	close(stop)
 	wg.Wait()
 
-	statsAfter := srv.SuggestService().Stats()
+	statsAfter := sumStats(servers)
 	n := int64(len(latencies))
 	sort.Float64s(latencies)
 	hits := statsAfter.CacheHits - statsBefore.CacheHits
@@ -187,6 +257,9 @@ func main() {
 	name := "suggest-sustained-qps"
 	if *batch > 1 {
 		name = "suggest-batch-sustained-qps"
+	}
+	if *clusterRun {
+		name = "suggest-cluster-sustained-qps"
 	}
 	res := result{
 		Benchmark:  name,
@@ -198,6 +271,7 @@ func main() {
 		Clients:    *clients,
 		HistoryN:   *history,
 		Batch:      *batch,
+		Shards:     shards,
 
 		Requests:    n,
 		QPS:         float64(n) / duration.Seconds(),
@@ -228,6 +302,23 @@ func main() {
 	}
 	fmt.Printf("suggestbench: %d requests, %.0f req/s, p50 %.2fms p99 %.2fms, %.0f allocs/op -> %s\n",
 		res.Requests, res.QPS, res.P50Ms, res.P99Ms, res.AllocsPerOp, *out)
+}
+
+// sumStats aggregates suggest-service counters across shard servers (a
+// single-server run is the one-element case).
+func sumStats(servers []*crowd.Server) suggest.Stats {
+	var total suggest.Stats
+	for _, srv := range servers {
+		s := srv.SuggestService().Stats()
+		total.Requests += s.Requests
+		total.CacheHits += s.CacheHits
+		total.FullFits += s.FullFits
+		total.IncrementalObserves += s.IncrementalObserves
+		total.BatchProposals += s.BatchProposals
+		total.LiarsRetired += s.LiarsRetired
+		total.LiarsExpired += s.LiarsExpired
+	}
+	return total
 }
 
 func quantile(sorted []float64, q float64) float64 {

@@ -39,6 +39,10 @@ var (
 	// ErrQuarantined reports an upload whose samples were all routed to
 	// quarantine by the trust layer — nothing entered the main store.
 	ErrQuarantined = crowd.ErrQuarantined
+	// ErrWrongShard reports a clustered request that could not be routed
+	// to the shard owning its data — the client chased too many leader
+	// redirects, or the node answered 421 with no leader to name.
+	ErrWrongShard = crowd.ErrWrongShard
 	// ErrBudgetExhausted reports a Propose/Step on a tuning session
 	// whose evaluation budget is consumed.
 	ErrBudgetExhausted = core.ErrBudgetExhausted

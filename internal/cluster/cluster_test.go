@@ -1,0 +1,173 @@
+package cluster
+
+// Focused cluster tests: the client-side 307 redirect contract, the
+// 421/ErrWrongShard surface, and coordinator batch splitting. The
+// full-system behavior lives in cluster_e2e_test.go.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"gptunecrowd/internal/crowd"
+)
+
+// TestFollowerRedirectsWritesToLeader points a plain crowd.Client at a
+// follower and checks the 307 + X-Shard-Leader hop lands the write on
+// the leader transparently.
+func TestFollowerRedirectsWritesToLeader(t *testing.T) {
+	sp := testSpace(t)
+	leader, leaderTS := newTestNode(t, "s0", true, []string{"p"}, sp)
+	follower, followerTS := newTestNode(t, "s0", false, []string{"p"}, sp)
+	rep := leader.AttachFollower(followerTS.URL, nil)
+	defer rep.Stop()
+
+	// Teach the follower who leads: the first replicated write carries
+	// the leader's advertise URL.
+	boot := newStressClient(leaderTS.URL, "")
+	key, err := boot.Register("alice", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Writes against the follower bounce to the leader and succeed.
+	viaFollower := newStressClient(followerTS.URL, key)
+	ids, err := viaFollower.Upload([]crowd.FuncEval{stressEval("p", "via-follower", 1)})
+	if err != nil {
+		t.Fatalf("upload via follower: %v", err)
+	}
+	if len(ids) != 1 {
+		t.Fatalf("got %d ids, want 1", len(ids))
+	}
+	if n := leader.Server().Store().Collection("func_evals").Len(); n != 1 {
+		t.Fatalf("leader stores %d evals, want 1", n)
+	}
+	// The acknowledged write also reached the follower (commit barrier).
+	if n := follower.Server().Store().Collection("func_evals").Len(); n != 1 {
+		t.Fatalf("follower stores %d evals, want 1", n)
+	}
+}
+
+// TestFollowerWithoutLeaderAnswersWrongShard: a follower that has never
+// heard from a leader cannot redirect; the client surfaces the typed
+// sentinel.
+func TestFollowerWithoutLeaderAnswersWrongShard(t *testing.T) {
+	_, followerTS := newTestNode(t, "s0", false, []string{"p"}, testSpace(t))
+	c := newStressClient(followerTS.URL, "whatever-key")
+	_, err := c.Upload([]crowd.FuncEval{stressEval("p", "u", 1)})
+	if !errors.Is(err, crowd.ErrWrongShard) {
+		t.Fatalf("err = %v, want ErrWrongShard", err)
+	}
+}
+
+// TestRedirectBudgetExhausted: a redirect loop (stale topology pointing
+// nodes at each other) ends in ErrWrongShard instead of spinning.
+func TestRedirectBudgetExhausted(t *testing.T) {
+	var ts *httptest.Server
+	hops := 0
+	ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hops++
+		w.Header().Set(crowd.ShardLeaderHeader, ts.URL)
+		w.WriteHeader(http.StatusTemporaryRedirect)
+	}))
+	defer ts.Close()
+	c := newStressClient(ts.URL, "k")
+	_, err := c.Upload([]crowd.FuncEval{stressEval("p", "u", 1)})
+	if !errors.Is(err, crowd.ErrWrongShard) {
+		t.Fatalf("err = %v, want ErrWrongShard", err)
+	}
+	if hops < crowd.DefaultMaxRedirects {
+		t.Fatalf("only %d hops before giving up, want at least %d", hops, crowd.DefaultMaxRedirects)
+	}
+}
+
+// TestCoordinatorSplitsUploadAcrossShards uploads one batch spanning
+// many problems through the coordinator and checks each sample landed
+// on exactly the shard the ring owns it to.
+func TestCoordinatorSplitsUploadAcrossShards(t *testing.T) {
+	problems := []string{"p0", "p1", "p2", "p3", "p4", "p5", "p6", "p7"}
+	coordTS, shards := newTestCluster(t, 3, problems)
+	c := newStressClient(coordTS.URL, "")
+	if _, err := c.Register("alice", ""); err != nil {
+		t.Fatal(err)
+	}
+
+	var batch []crowd.FuncEval
+	for i, p := range problems {
+		batch = append(batch, stressEval(p, fmt.Sprintf("split-%s", p), i))
+	}
+	ids, err := c.Upload(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != len(batch) {
+		t.Fatalf("got %d ids, want %d", len(ids), len(batch))
+	}
+
+	// Every problem is queryable through the coordinator, and the union
+	// of shard-local stores holds exactly the batch.
+	total := 0
+	for _, s := range shards {
+		total += s.leader.Server().Store().Collection("func_evals").Len()
+	}
+	if total != len(batch) {
+		t.Fatalf("shards hold %d evals in total, want %d", total, len(batch))
+	}
+	spread := 0
+	for _, s := range shards {
+		if s.leader.Server().Store().Collection("func_evals").Len() > 0 {
+			spread++
+		}
+	}
+	if spread < 2 {
+		t.Fatalf("all problems hashed onto %d shard(s); ring is not spreading", spread)
+	}
+	for _, p := range problems {
+		evals, err := c.Query(crowd.QueryRequest{TuningProblemName: p})
+		if err != nil {
+			t.Fatalf("query %s: %v", p, err)
+		}
+		if len(evals) != 1 {
+			t.Fatalf("query %s returned %d evals, want 1", p, len(evals))
+		}
+	}
+
+	// The problems fan-out unions all shards.
+	got, err := c.Problems()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(problems) {
+		t.Fatalf("problems fan-out returned %v, want all of %v", got, problems)
+	}
+}
+
+// TestCommitBarrierTimesOutWithDeadFollower: when a shard's only
+// follower is unreachable, writes block on the barrier until the
+// follower is declared dead, then commit with the leader alone —
+// bounded unavailability, no wedge.
+func TestCommitBarrierTimesOutWithDeadFollower(t *testing.T) {
+	sp := testSpace(t)
+	leader, leaderTS := newTestNode(t, "s0", true, []string{"p"}, sp)
+	// A follower that immediately goes away.
+	deadTS := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	rep := leader.AttachFollower(deadTS.URL, nil)
+	defer rep.Stop()
+	deadTS.Close()
+
+	c := newStressClient(leaderTS.URL, "")
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := c.RegisterContext(ctx, "alice", ""); err != nil {
+		t.Fatalf("register with dead follower: %v", err)
+	}
+	if rep.Alive() {
+		t.Fatal("dead follower still counted in the commit quorum")
+	}
+}

@@ -1,0 +1,1080 @@
+package cluster
+
+// Coordinator: the crowd repository's routing front door. It holds the
+// shard topology, consistent-hashes every tuning problem onto a shard
+// (internal/shardring), and serves the same /api/v1 surface as a
+// single crowd server by proxying: single-shard requests go to the
+// owning shard (writes to its leader, reads to a replica with a
+// leader fallback), cross-shard requests fan out and merge. Task and
+// quarantine ids gain a "shard/" prefix on the way out so later
+// by-id requests route without a lookup.
+
+import (
+	"bytes"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"gptunecrowd/internal/crowd"
+	"gptunecrowd/internal/obs"
+	"gptunecrowd/internal/shardring"
+)
+
+// ShardInfo is one shard's membership: the leader plus follower
+// replica base URLs.
+type ShardInfo struct {
+	ID       string   `json:"id"`
+	Leader   string   `json:"leader"`
+	Replicas []string `json:"replicas,omitempty"`
+}
+
+// Topology is the coordinator's routing state. Version increases on
+// every membership or leadership change.
+type Topology struct {
+	Version int         `json:"version"`
+	VNodes  int         `json:"vnodes,omitempty"`
+	Shards  []ShardInfo `json:"shards"`
+}
+
+// CoordinatorConfig configures a Coordinator.
+type CoordinatorConfig struct {
+	Topology Topology
+	// Token gates /api/v1/cluster/join when non-empty.
+	Token string
+	// Registry receives the cluster_* metric families (nil allocates a
+	// private registry).
+	Registry *obs.Registry
+	// Slog receives routing diagnostics. nil disables logging.
+	Slog *slog.Logger
+	// HTTP is the client used for shard traffic (nil uses
+	// http.DefaultClient).
+	HTTP *http.Client
+}
+
+// Coordinator routes the public API across shards. It is an
+// http.Handler.
+type Coordinator struct {
+	token   string
+	client  *http.Client
+	log     *slog.Logger
+	reg     *obs.Registry
+	metrics *coordMetrics
+	mux     *http.ServeMux
+	rr      atomic.Uint64
+
+	mu   sync.RWMutex
+	topo Topology
+	ring *shardring.Ring
+}
+
+// routeAttempts bounds leader-chasing per shard request.
+const routeAttempts = 4
+
+// NewCoordinator builds a coordinator over the given topology.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	client := cfg.HTTP
+	if client == nil {
+		client = http.DefaultClient
+	}
+	c := &Coordinator{
+		token:  cfg.Token,
+		client: client,
+		log:    obs.Or(cfg.Slog),
+		reg:    reg,
+	}
+	if err := c.setTopology(cfg.Topology); err != nil {
+		return nil, err
+	}
+	c.metrics = newCoordMetrics(reg, c)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/v1/register", c.handleRegister)
+	mux.HandleFunc("/api/v1/func_eval/upload", c.handleUpload)
+	mux.HandleFunc("/api/v1/func_eval/query", c.routeByProblem(false))
+	mux.HandleFunc("/api/v1/problems", c.handleProblems)
+	mux.HandleFunc("/api/v1/surrogate/upload", c.handleModelUpload)
+	mux.HandleFunc("/api/v1/surrogate/query", c.routeByProblem(false))
+	mux.HandleFunc("/api/v1/suggest", c.routeByProblem(false))
+	mux.HandleFunc("/api/v1/tasks/submit", c.handleTaskSubmit)
+	mux.HandleFunc("/api/v1/tasks/lease", c.handleTaskLease)
+	mux.HandleFunc("/api/v1/tasks/heartbeat", c.routeByTaskID)
+	mux.HandleFunc("/api/v1/tasks/complete", c.routeByTaskID)
+	mux.HandleFunc("/api/v1/tasks/fail", c.routeByTaskID)
+	mux.HandleFunc("/api/v1/tasks/list", c.handleTaskList)
+	mux.HandleFunc("/api/v1/quarantine", c.handleQuarantineList)
+	mux.HandleFunc("/api/v1/quarantine/release", c.handleQuarantineRelease)
+	mux.HandleFunc("/api/v1/stats", c.handleStats)
+	mux.HandleFunc("/api/v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("/api/v1/cluster/topology", c.handleTopology)
+	mux.HandleFunc("/api/v1/cluster/join", c.handleJoin)
+	mux.Handle("/metrics", reg.Handler())
+	c.mux = mux
+	return c, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) { c.mux.ServeHTTP(w, r) }
+
+// Registry exposes the coordinator's metrics registry.
+func (c *Coordinator) Registry() *obs.Registry { return c.reg }
+
+func (c *Coordinator) setTopology(topo Topology) error {
+	// An empty topology is legal at startup: a coordinator launched
+	// without -shards waits for nodes to join before it can route.
+	var ring *shardring.Ring
+	if len(topo.Shards) > 0 {
+		ids := make([]string, len(topo.Shards))
+		for i, s := range topo.Shards {
+			ids[i] = s.ID
+		}
+		var err error
+		ring, err = shardring.New(shardring.Config{Version: topo.Version, Shards: ids, VNodes: topo.VNodes})
+		if err != nil {
+			return fmt.Errorf("cluster: topology: %w", err)
+		}
+	}
+	c.mu.Lock()
+	c.topo = topo
+	c.ring = ring
+	c.mu.Unlock()
+	return nil
+}
+
+func (c *Coordinator) snapshotTopology() Topology {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t := c.topo
+	t.Shards = append([]ShardInfo(nil), c.topo.Shards...)
+	return t
+}
+
+// ownerOf maps a tuning problem onto its owning shard id ("" while the
+// topology is still empty).
+func (c *Coordinator) ownerOf(problem string) string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.ring == nil {
+		return ""
+	}
+	return c.ring.OwnerFor(problem, "")
+}
+
+func (c *Coordinator) shardIDs() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	ids := make([]string, len(c.topo.Shards))
+	for i, s := range c.topo.Shards {
+		ids[i] = s.ID
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+func (c *Coordinator) shardInfo(id string) (ShardInfo, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, s := range c.topo.Shards {
+		if s.ID == id {
+			return s, true
+		}
+	}
+	return ShardInfo{}, false
+}
+
+// adoptLeader records a leadership change for a shard and bumps the
+// topology version. The displaced leader is kept as a replica so
+// probes keep covering it.
+func (c *Coordinator) adoptLeader(id, leader string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := range c.topo.Shards {
+		s := &c.topo.Shards[i]
+		if s.ID != id || s.Leader == leader {
+			continue
+		}
+		old := s.Leader
+		s.Leader = leader
+		keep := s.Replicas[:0]
+		for _, r := range s.Replicas {
+			if r != leader {
+				keep = append(keep, r)
+			}
+		}
+		if old != "" && old != leader {
+			keep = append(keep, old)
+		}
+		s.Replicas = keep
+		c.topo.Version++
+		c.metrics.failovers.Inc()
+		c.log.Info("adopted new shard leader", "shard", id, "leader", leader)
+	}
+}
+
+// shardReply is one proxied response.
+type shardReply struct {
+	status int
+	header http.Header
+	body   []byte
+}
+
+func (rep *shardReply) leaderHint() string { return rep.header.Get(crowd.ShardLeaderHeader) }
+
+// relay writes a proxied response through unchanged.
+func relay(w http.ResponseWriter, rep *shardReply) {
+	if ct := rep.header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.WriteHeader(rep.status)
+	w.Write(rep.body)
+}
+
+// do posts body to base+path, forwarding the caller's credentials and
+// trace id.
+func (c *Coordinator) do(orig *http.Request, base, path string, body []byte) (*shardReply, error) {
+	req, err := http.NewRequestWithContext(orig.Context(), http.MethodPost, base+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if k := orig.Header.Get("X-Api-Key"); k != "" {
+		req.Header.Set("X-Api-Key", k)
+	}
+	if tr := orig.Header.Get(obs.TraceHeader); tr != "" {
+		req.Header.Set(obs.TraceHeader, tr)
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(resp.Body, 1<<26))
+	if err != nil {
+		return nil, err
+	}
+	return &shardReply{status: resp.StatusCode, header: resp.Header, body: b}, nil
+}
+
+// probeLeader asks every known node of a shard who leads; it returns
+// the first self-reported leader's URL.
+func (c *Coordinator) probeLeader(orig *http.Request, id string) string {
+	info, ok := c.shardInfo(id)
+	if !ok {
+		return ""
+	}
+	candidates := append([]string{info.Leader}, info.Replicas...)
+	for _, url := range candidates {
+		if url == "" {
+			continue
+		}
+		rep, err := c.do(orig, url, "/api/v1/cluster/info", []byte("{}"))
+		if err != nil || rep.status != http.StatusOK {
+			continue
+		}
+		var ni InfoResponse
+		if json.Unmarshal(rep.body, &ni) != nil {
+			continue
+		}
+		if ni.Role == RoleLeader {
+			if ni.Advertise != "" {
+				return ni.Advertise
+			}
+			return url
+		}
+		if ni.Leader != "" {
+			return ni.Leader
+		}
+	}
+	return ""
+}
+
+// writeToShard sends a mutating request to the shard's leader, chasing
+// leadership changes: 307/421 hints and info probes update the
+// topology, bounded by routeAttempts.
+func (c *Coordinator) writeToShard(orig *http.Request, id, path string, body []byte) (*shardReply, error) {
+	info, ok := c.shardInfo(id)
+	if !ok {
+		return nil, fmt.Errorf("cluster: unknown shard %q", id)
+	}
+	url := info.Leader
+	var lastErr error
+	for attempt := 0; attempt < routeAttempts; attempt++ {
+		if url == "" {
+			url = c.probeLeader(orig, id)
+			if url == "" {
+				lastErr = fmt.Errorf("cluster: no reachable leader for shard %s", id)
+				break
+			}
+			c.adoptLeader(id, url)
+		}
+		rep, err := c.do(orig, url, path, body)
+		if err != nil {
+			lastErr = err
+			c.metrics.retries.Inc()
+			url = "" // probe on the next attempt
+			continue
+		}
+		if rep.status == http.StatusTemporaryRedirect || rep.status == http.StatusMisdirectedRequest {
+			if target := rep.leaderHint(); target != "" && target != url {
+				c.adoptLeader(id, target)
+				c.metrics.retries.Inc()
+				url = target
+				continue
+			}
+			c.metrics.retries.Inc()
+			url = ""
+			continue
+		}
+		return rep, nil
+	}
+	return nil, lastErr
+}
+
+// readFromShard serves a read from the shard, preferring follower
+// replicas (round-robin) and falling back to the leader when replicas
+// are stale (412), redirecting, or down.
+func (c *Coordinator) readFromShard(orig *http.Request, id, path string, body []byte) (*shardReply, error) {
+	info, ok := c.shardInfo(id)
+	if !ok {
+		return nil, fmt.Errorf("cluster: unknown shard %q", id)
+	}
+	var order []string
+	if n := len(info.Replicas); n > 0 {
+		start := int(c.rr.Add(1)) % n
+		for i := 0; i < n; i++ {
+			order = append(order, info.Replicas[(start+i)%n])
+		}
+	}
+	if info.Leader != "" {
+		order = append(order, info.Leader)
+	}
+	var lastErr error
+	for _, url := range order {
+		rep, err := c.do(orig, url, path, body)
+		if err != nil {
+			lastErr = err
+			c.metrics.retries.Inc()
+			continue
+		}
+		if rep.status == http.StatusPreconditionFailed {
+			c.metrics.staleReads.Inc()
+			continue
+		}
+		if rep.status == http.StatusTemporaryRedirect || rep.status == http.StatusMisdirectedRequest {
+			c.metrics.retries.Inc()
+			continue
+		}
+		return rep, nil
+	}
+	// Last resort: the write path's leader chase.
+	rep, err := c.writeToShard(orig, id, path, body)
+	if err != nil {
+		if lastErr != nil {
+			return nil, lastErr
+		}
+		return nil, err
+	}
+	return rep, nil
+}
+
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	// GET is allowed (the node endpoints accept it for reads); the
+	// forwarded shard request is always a POST with a JSON body, which
+	// every node endpoint equally accepts.
+	if r.Method != http.MethodPost && r.Method != http.MethodGet {
+		writeErrCode(w, http.StatusMethodNotAllowed, "", "GET or POST required")
+		return nil, false
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<26))
+	if err != nil {
+		writeErrCode(w, http.StatusBadRequest, "", "read body: %v", err)
+		return nil, false
+	}
+	if len(bytes.TrimSpace(body)) == 0 {
+		body = []byte("{}")
+	}
+	return body, true
+}
+
+func (c *Coordinator) routeErr(w http.ResponseWriter, err error) {
+	writeErrCode(w, http.StatusBadGateway, "route_failed", "%v", err)
+}
+
+// routeByProblem proxies an endpoint whose request carries
+// tuning_problem_name to the owning shard (write=false reads from
+// replicas).
+func (c *Coordinator) routeByProblem(write bool) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		body, ok := readBody(w, r)
+		if !ok {
+			return
+		}
+		var probe struct {
+			Problem string `json:"tuning_problem_name"`
+		}
+		if err := json.Unmarshal(body, &probe); err != nil {
+			writeErrCode(w, http.StatusBadRequest, "", "bad request body: %v", err)
+			return
+		}
+		c.metrics.routed.Inc()
+		shard := c.ownerOf(probe.Problem)
+		var (
+			rep *shardReply
+			err error
+		)
+		if write {
+			rep, err = c.writeToShard(r, shard, r.URL.Path, body)
+		} else {
+			rep, err = c.readFromShard(r, shard, r.URL.Path, body)
+		}
+		if err != nil {
+			c.routeErr(w, err)
+			return
+		}
+		relay(w, rep)
+	}
+}
+
+// newClusterKey mints the cluster-wide API key a fanned-out
+// registration presets on every shard.
+func newClusterKey() string {
+	var b [10]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(err) // crypto/rand failure is unrecoverable
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// handleRegister creates the account on every shard with one preset
+// key, so the credential works wherever the user's problems hash.
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	var req crowd.RegisterRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeErrCode(w, http.StatusBadRequest, "", "bad request body: %v", err)
+		return
+	}
+	if req.APIKey == "" {
+		req.APIKey = newClusterKey()
+	}
+	fanBody, err := json.Marshal(req)
+	if err != nil {
+		writeErrCode(w, http.StatusInternalServerError, "", "%v", err)
+		return
+	}
+	c.metrics.fanouts.Inc()
+	for _, id := range c.shardIDs() {
+		rep, err := c.writeToShard(r, id, "/api/v1/register", fanBody)
+		if err != nil {
+			c.routeErr(w, err)
+			return
+		}
+		if rep.status < 200 || rep.status > 299 {
+			relay(w, rep)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, crowd.RegisterResponse{APIKey: req.APIKey})
+}
+
+// handleUpload splits a batch by owning shard, uploads each sub-batch
+// under a derived idempotency id, and merges ids and (index-remapped)
+// quarantine reports.
+func (c *Coordinator) handleUpload(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	var req crowd.UploadRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeErrCode(w, http.StatusBadRequest, "", "bad request body: %v", err)
+		return
+	}
+	type group struct {
+		indices []int
+		evals   []crowd.FuncEval
+	}
+	groups := make(map[string]*group)
+	for i, ev := range req.FuncEvals {
+		id := c.ownerOf(ev.TuningProblemName)
+		g := groups[id]
+		if g == nil {
+			g = &group{}
+			groups[id] = g
+		}
+		g.indices = append(g.indices, i)
+		g.evals = append(g.evals, ev)
+	}
+	if len(groups) <= 1 {
+		// Single owning shard: forward the batch untouched (same
+		// idempotency id end to end).
+		c.metrics.routed.Inc()
+		shard := c.ownerOf("")
+		for id := range groups {
+			shard = id
+		}
+		rep, err := c.writeToShard(r, shard, r.URL.Path, body)
+		if err != nil {
+			c.routeErr(w, err)
+			return
+		}
+		relay(w, rep)
+		return
+	}
+	c.metrics.fanouts.Inc()
+	ids := make([]string, len(groups))
+	i := 0
+	for id := range groups {
+		ids[i] = id
+		i++
+	}
+	sort.Strings(ids)
+	var merged crowd.UploadResponse
+	for _, id := range ids {
+		g := groups[id]
+		sub := crowd.UploadRequest{FuncEvals: g.evals, BatchID: req.BatchID}
+		if sub.BatchID != "" {
+			// Derived per-shard idempotency id: a coordinator retry of
+			// the same client batch replays identically on every shard.
+			sub.BatchID = req.BatchID + "-" + id
+		}
+		subBody, err := json.Marshal(sub)
+		if err != nil {
+			writeErrCode(w, http.StatusInternalServerError, "", "%v", err)
+			return
+		}
+		rep, err := c.writeToShard(r, id, r.URL.Path, subBody)
+		if err != nil {
+			c.routeErr(w, err)
+			return
+		}
+		if rep.status < 200 || rep.status > 299 {
+			relay(w, rep)
+			return
+		}
+		var subResp crowd.UploadResponse
+		if err := json.Unmarshal(rep.body, &subResp); err != nil {
+			writeErrCode(w, http.StatusBadGateway, "route_failed", "decode shard %s response: %v", id, err)
+			return
+		}
+		merged.IDs = append(merged.IDs, subResp.IDs...)
+		for _, q := range subResp.Quarantined {
+			if q.Index >= 0 && q.Index < len(g.indices) {
+				q.Index = g.indices[q.Index]
+			}
+			merged.Quarantined = append(merged.Quarantined, q)
+		}
+	}
+	writeJSON(w, http.StatusOK, merged)
+}
+
+// handleModelUpload is handleUpload for surrogate models.
+func (c *Coordinator) handleModelUpload(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	var req crowd.ModelUploadRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeErrCode(w, http.StatusBadRequest, "", "bad request body: %v", err)
+		return
+	}
+	groups := make(map[string][]crowd.SurrogateModelDoc)
+	for _, m := range req.Models {
+		id := c.ownerOf(m.TuningProblemName)
+		groups[id] = append(groups[id], m)
+	}
+	if len(groups) <= 1 {
+		c.metrics.routed.Inc()
+		shard := c.ownerOf("")
+		for id := range groups {
+			shard = id
+		}
+		rep, err := c.writeToShard(r, shard, r.URL.Path, body)
+		if err != nil {
+			c.routeErr(w, err)
+			return
+		}
+		relay(w, rep)
+		return
+	}
+	c.metrics.fanouts.Inc()
+	ids := make([]string, 0, len(groups))
+	for id := range groups {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var merged crowd.ModelUploadResponse
+	for _, id := range ids {
+		sub := crowd.ModelUploadRequest{Models: groups[id], BatchID: req.BatchID}
+		if sub.BatchID != "" {
+			sub.BatchID = req.BatchID + "-" + id
+		}
+		subBody, err := json.Marshal(sub)
+		if err != nil {
+			writeErrCode(w, http.StatusInternalServerError, "", "%v", err)
+			return
+		}
+		rep, err := c.writeToShard(r, id, r.URL.Path, subBody)
+		if err != nil {
+			c.routeErr(w, err)
+			return
+		}
+		if rep.status < 200 || rep.status > 299 {
+			relay(w, rep)
+			return
+		}
+		var subResp crowd.ModelUploadResponse
+		if err := json.Unmarshal(rep.body, &subResp); err != nil {
+			writeErrCode(w, http.StatusBadGateway, "route_failed", "decode shard %s response: %v", id, err)
+			return
+		}
+		merged.IDs = append(merged.IDs, subResp.IDs...)
+	}
+	writeJSON(w, http.StatusOK, merged)
+}
+
+// handleProblems unions every shard's visible problem list.
+func (c *Coordinator) handleProblems(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	c.metrics.fanouts.Inc()
+	seen := make(map[string]bool)
+	for _, id := range c.shardIDs() {
+		rep, err := c.readFromShard(r, id, r.URL.Path, body)
+		if err != nil {
+			c.routeErr(w, err)
+			return
+		}
+		if rep.status < 200 || rep.status > 299 {
+			relay(w, rep)
+			return
+		}
+		var resp crowd.ProblemsResponse
+		if err := json.Unmarshal(rep.body, &resp); err != nil {
+			writeErrCode(w, http.StatusBadGateway, "route_failed", "decode shard %s response: %v", id, err)
+			return
+		}
+		for _, p := range resp.Problems {
+			seen[p] = true
+		}
+	}
+	problems := make([]string, 0, len(seen))
+	for p := range seen {
+		problems = append(problems, p)
+	}
+	sort.Strings(problems)
+	writeJSON(w, http.StatusOK, crowd.ProblemsResponse{Problems: problems})
+}
+
+// handleTaskSubmit routes a task to the shard owning its tuning
+// problem (falling back to the app name, matching the pool's
+// problem-defaulting) and prefixes the returned id with the shard.
+func (c *Coordinator) handleTaskSubmit(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	var req crowd.TaskSubmitRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeErrCode(w, http.StatusBadRequest, "", "bad request body: %v", err)
+		return
+	}
+	problem := req.Spec.TuningProblemName
+	if problem == "" {
+		problem = req.Spec.App
+	}
+	c.metrics.routed.Inc()
+	shard := c.ownerOf(problem)
+	rep, err := c.writeToShard(r, shard, r.URL.Path, body)
+	if err != nil {
+		c.routeErr(w, err)
+		return
+	}
+	if rep.status < 200 || rep.status > 299 {
+		relay(w, rep)
+		return
+	}
+	var resp crowd.TaskSubmitResponse
+	if err := json.Unmarshal(rep.body, &resp); err != nil {
+		writeErrCode(w, http.StatusBadGateway, "route_failed", "decode shard %s response: %v", shard, err)
+		return
+	}
+	resp.ID = shard + "/" + resp.ID
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleTaskLease scans shards round-robin for a runnable task and
+// prefixes the leased task's id with its shard.
+func (c *Coordinator) handleTaskLease(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	ids := c.shardIDs()
+	if len(ids) == 0 {
+		writeJSON(w, http.StatusOK, crowd.TaskLeaseResponse{})
+		return
+	}
+	c.metrics.fanouts.Inc()
+	start := int(c.rr.Add(1)) % len(ids)
+	var empty *shardReply
+	for i := 0; i < len(ids); i++ {
+		id := ids[(start+i)%len(ids)]
+		rep, err := c.writeToShard(r, id, r.URL.Path, body)
+		if err != nil {
+			c.routeErr(w, err)
+			return
+		}
+		if rep.status < 200 || rep.status > 299 {
+			relay(w, rep)
+			return
+		}
+		var resp crowd.TaskLeaseResponse
+		if err := json.Unmarshal(rep.body, &resp); err != nil {
+			writeErrCode(w, http.StatusBadGateway, "route_failed", "decode shard %s response: %v", id, err)
+			return
+		}
+		if resp.Task != nil {
+			resp.Task.ID = id + "/" + resp.Task.ID
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
+		empty = rep
+	}
+	relay(w, empty)
+}
+
+// splitShardID separates the "shard/" prefix the coordinator stamped
+// on an id.
+func (c *Coordinator) splitShardID(full string) (shard, rest string, ok bool) {
+	shard, rest, found := strings.Cut(full, "/")
+	if !found || rest == "" {
+		return "", "", false
+	}
+	if _, known := c.shardInfo(shard); !known {
+		return "", "", false
+	}
+	return shard, rest, true
+}
+
+// rewriteID swaps the "id" field of a JSON body for the shard-local id.
+func rewriteID(body []byte, id string) ([]byte, error) {
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(body, &m); err != nil {
+		return nil, err
+	}
+	enc, err := json.Marshal(id)
+	if err != nil {
+		return nil, err
+	}
+	m["id"] = enc
+	return json.Marshal(m)
+}
+
+// routeByTaskID proxies heartbeat/complete/fail using the task id's
+// shard prefix.
+func (c *Coordinator) routeByTaskID(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	var probe struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &probe); err != nil {
+		writeErrCode(w, http.StatusBadRequest, "", "bad request body: %v", err)
+		return
+	}
+	shard, rest, ok := c.splitShardID(probe.ID)
+	if !ok {
+		writeErrCode(w, http.StatusNotFound, "wrong_shard", "task id %q carries no known shard prefix", probe.ID)
+		return
+	}
+	rewritten, err := rewriteID(body, rest)
+	if err != nil {
+		writeErrCode(w, http.StatusBadRequest, "", "bad request body: %v", err)
+		return
+	}
+	c.metrics.routed.Inc()
+	rep, err := c.writeToShard(r, shard, r.URL.Path, rewritten)
+	if err != nil {
+		c.routeErr(w, err)
+		return
+	}
+	relay(w, rep)
+}
+
+// handleTaskList fans out, prefixes ids, and merges sorted by id.
+func (c *Coordinator) handleTaskList(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	c.metrics.fanouts.Inc()
+	var merged crowd.TaskListResponse
+	for _, id := range c.shardIDs() {
+		rep, err := c.readFromShard(r, id, r.URL.Path, body)
+		if err != nil {
+			c.routeErr(w, err)
+			return
+		}
+		if rep.status < 200 || rep.status > 299 {
+			relay(w, rep)
+			return
+		}
+		var resp crowd.TaskListResponse
+		if err := json.Unmarshal(rep.body, &resp); err != nil {
+			writeErrCode(w, http.StatusBadGateway, "route_failed", "decode shard %s response: %v", id, err)
+			return
+		}
+		for i := range resp.Tasks {
+			resp.Tasks[i].ID = id + "/" + resp.Tasks[i].ID
+		}
+		merged.Tasks = append(merged.Tasks, resp.Tasks...)
+	}
+	sort.Slice(merged.Tasks, func(i, j int) bool { return merged.Tasks[i].ID < merged.Tasks[j].ID })
+	writeJSON(w, http.StatusOK, merged)
+}
+
+// handleQuarantineList fans out and prefixes quarantine ids so release
+// requests route back.
+func (c *Coordinator) handleQuarantineList(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	c.metrics.fanouts.Inc()
+	var merged crowd.QuarantineListResponse
+	for _, id := range c.shardIDs() {
+		rep, err := c.readFromShard(r, id, r.URL.Path, body)
+		if err != nil {
+			c.routeErr(w, err)
+			return
+		}
+		if rep.status < 200 || rep.status > 299 {
+			relay(w, rep)
+			return
+		}
+		var resp crowd.QuarantineListResponse
+		if err := json.Unmarshal(rep.body, &resp); err != nil {
+			writeErrCode(w, http.StatusBadGateway, "route_failed", "decode shard %s response: %v", id, err)
+			return
+		}
+		for i := range resp.Items {
+			resp.Items[i].ID = id + "/" + resp.Items[i].ID
+		}
+		merged.Items = append(merged.Items, resp.Items...)
+	}
+	writeJSON(w, http.StatusOK, merged)
+}
+
+// handleQuarantineRelease routes a release by its id's shard prefix.
+func (c *Coordinator) handleQuarantineRelease(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	var probe struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &probe); err != nil {
+		writeErrCode(w, http.StatusBadRequest, "", "bad request body: %v", err)
+		return
+	}
+	shard, rest, ok := c.splitShardID(probe.ID)
+	if !ok {
+		writeErrCode(w, http.StatusNotFound, "wrong_shard", "quarantine id %q carries no known shard prefix", probe.ID)
+		return
+	}
+	rewritten, err := rewriteID(body, rest)
+	if err != nil {
+		writeErrCode(w, http.StatusBadRequest, "", "bad request body: %v", err)
+		return
+	}
+	c.metrics.routed.Inc()
+	rep, err := c.writeToShard(r, shard, r.URL.Path, rewritten)
+	if err != nil {
+		c.routeErr(w, err)
+		return
+	}
+	relay(w, rep)
+}
+
+// ReplicaStatus is one replica's reachability in the stats view.
+type ReplicaStatus struct {
+	URL     string `json:"url"`
+	Healthy bool   `json:"healthy"`
+	Role    Role   `json:"role,omitempty"`
+}
+
+// ShardStatus is one shard's health in the stats view.
+type ShardStatus struct {
+	ID       string             `json:"id"`
+	Leader   string             `json:"leader"`
+	Healthy  bool               `json:"healthy"`
+	Replicas []ReplicaStatus    `json:"replicas,omitempty"`
+	Logs     map[string]LogInfo `json:"logs,omitempty"`
+	// Stats is the leader's full /api/v1/stats snapshot, passed through
+	// untouched.
+	Stats json.RawMessage `json:"stats,omitempty"`
+}
+
+// ClusterStats is the coordinator's /api/v1/stats response.
+type ClusterStats struct {
+	TopologyVersion int           `json:"topology_version"`
+	Shards          []ShardStatus `json:"shards"`
+}
+
+// handleStats reports per-shard health: leader reachability, replica
+// roles, log replication positions, and the leader's own stats
+// snapshot.
+func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
+	c.metrics.fanouts.Inc()
+	topo := c.snapshotTopology()
+	out := ClusterStats{TopologyVersion: topo.Version}
+	sort.Slice(topo.Shards, func(i, j int) bool { return topo.Shards[i].ID < topo.Shards[j].ID })
+	for _, s := range topo.Shards {
+		st := ShardStatus{ID: s.ID, Leader: s.Leader}
+		if rep, err := c.do(r, s.Leader, "/api/v1/cluster/info", []byte("{}")); err == nil && rep.status == http.StatusOK {
+			var info InfoResponse
+			if json.Unmarshal(rep.body, &info) == nil && info.Role == RoleLeader {
+				st.Healthy = true
+				st.Logs = info.Logs
+			}
+		}
+		if !st.Healthy {
+			// The recorded leader is gone or demoted: a promoted
+			// follower self-reports leadership — adopt it now rather
+			// than waiting for the next write to discover it.
+			if leader := c.probeLeader(r, s.ID); leader != "" && leader != s.Leader {
+				c.adoptLeader(s.ID, leader)
+				st.Leader = leader
+				if rep, err := c.do(r, leader, "/api/v1/cluster/info", []byte("{}")); err == nil && rep.status == http.StatusOK {
+					var info InfoResponse
+					if json.Unmarshal(rep.body, &info) == nil && info.Role == RoleLeader {
+						st.Healthy = true
+						st.Logs = info.Logs
+						if cur, ok := c.shardInfo(s.ID); ok {
+							s = cur
+						}
+					}
+				}
+			}
+		}
+		if st.Healthy {
+			if rep, err := c.do(r, s.Leader, "/api/v1/stats", []byte("{}")); err == nil && rep.status == http.StatusOK {
+				st.Stats = json.RawMessage(rep.body)
+			}
+		}
+		for _, ru := range s.Replicas {
+			rs := ReplicaStatus{URL: ru}
+			if rep, err := c.do(r, ru, "/api/v1/cluster/info", []byte("{}")); err == nil && rep.status == http.StatusOK {
+				var info InfoResponse
+				if json.Unmarshal(rep.body, &info) == nil {
+					rs.Healthy = true
+					rs.Role = info.Role
+				}
+			}
+			st.Replicas = append(st.Replicas, rs)
+		}
+		out.Shards = append(out.Shards, st)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (c *Coordinator) handleTopology(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, c.snapshotTopology())
+}
+
+// joinRequest registers a node with the coordinator.
+type joinRequest struct {
+	Shard string `json:"shard"`
+	URL   string `json:"url"`
+	Role  Role   `json:"role"`
+}
+
+// handleJoin adds a node to the topology: leaders create or take over
+// their shard (rebuilding the ring when the shard set grows), followers
+// append to the replica list.
+func (c *Coordinator) handleJoin(w http.ResponseWriter, r *http.Request) {
+	if c.token != "" && r.Header.Get(TokenHeader) != c.token {
+		writeErrCode(w, http.StatusUnauthorized, "bad_cluster_token", "cluster token required")
+		return
+	}
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	var req joinRequest
+	if err := json.Unmarshal(body, &req); err != nil || req.Shard == "" || req.URL == "" {
+		writeErrCode(w, http.StatusBadRequest, "", "join needs shard and url")
+		return
+	}
+	topo := c.snapshotTopology()
+	found := false
+	for i := range topo.Shards {
+		s := &topo.Shards[i]
+		if s.ID != req.Shard {
+			continue
+		}
+		found = true
+		if req.Role == RoleLeader {
+			if s.Leader != req.URL {
+				keep := s.Replicas[:0]
+				for _, ru := range s.Replicas {
+					if ru != req.URL {
+						keep = append(keep, ru)
+					}
+				}
+				if s.Leader != "" {
+					keep = append(keep, s.Leader)
+				}
+				s.Replicas = keep
+				s.Leader = req.URL
+			}
+		} else {
+			dup := s.Leader == req.URL
+			for _, ru := range s.Replicas {
+				dup = dup || ru == req.URL
+			}
+			if !dup {
+				s.Replicas = append(s.Replicas, req.URL)
+			}
+		}
+	}
+	if !found {
+		info := ShardInfo{ID: req.Shard}
+		if req.Role == RoleLeader {
+			info.Leader = req.URL
+		} else {
+			info.Replicas = []string{req.URL}
+		}
+		topo.Shards = append(topo.Shards, info)
+	}
+	topo.Version++
+	if err := c.setTopology(topo); err != nil {
+		writeErrCode(w, http.StatusBadRequest, "", "%v", err)
+		return
+	}
+	c.log.Info("node joined", "shard", req.Shard, "url", req.URL, "role", string(req.Role))
+	writeJSON(w, http.StatusOK, c.snapshotTopology())
+}

@@ -1,0 +1,737 @@
+// Package cluster shards and replicates the crowd repository. A Node
+// wraps one crowd.Server and pins its five state machines (the users,
+// func_evals, surrogate_models and quarantine collections plus the task
+// pool) onto internal/replog logs; a shard is one leader Node streaming
+// those logs to follower Nodes; a Coordinator consistent-hashes every
+// tuning problem onto a shard (internal/shardring) and routes the
+// public /api/v1 surface accordingly.
+//
+// The replication contract is the one the replog/historydb/taskpool
+// layers already prove in isolation: log records are physical (ids and
+// sequence numbers pre-assigned by the leader), so a follower that
+// applies the same records converges on byte-identical state, and a
+// write is acknowledged to the client only once every live follower has
+// applied it (the commit barrier). Killing a leader therefore never
+// loses an acknowledged sample — any follower can be promoted and
+// carries the exact prefix the clients observed.
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"gptunecrowd/internal/crowd"
+	"gptunecrowd/internal/replog"
+)
+
+// Defaults for NodeConfig zero values.
+const (
+	// DefaultCommitTimeout bounds how long an acknowledged write may
+	// wait for follower replication before the leader gives up with 503.
+	DefaultCommitTimeout = 5 * time.Second
+	// DefaultStalenessWindow is how recently a follower must have heard
+	// from its leader to serve reads.
+	DefaultStalenessWindow = 5 * time.Second
+	// DefaultMaxLag is how many log entries a follower may trail the
+	// leader's head before refusing reads with 412.
+	DefaultMaxLag = 256
+)
+
+// TokenHeader authenticates intra-cluster requests (replication apply,
+// promote, join) when the deployment sets a shared token.
+const TokenHeader = "X-Cluster-Token"
+
+// logNames are the replicated state machines, in the fixed order every
+// apply batch is processed (deterministic across nodes).
+var logNames = []string{"func_evals", "quarantine", "surrogate_models", "tasks", "users"}
+
+// stateMachine is what a replicated log drives: the historydb
+// collections and the task pool both implement it.
+type stateMachine interface {
+	ApplyLogRecord(replog.Record) error
+	ReadJSONL(io.Reader) error
+	WriteJSONL(io.Writer) error
+}
+
+// Role is a node's position in its shard.
+type Role string
+
+const (
+	RoleLeader   Role = "leader"
+	RoleFollower Role = "follower"
+)
+
+// NodeConfig configures one cluster node.
+type NodeConfig struct {
+	// Shard is the shard id this node serves (e.g. "s0").
+	Shard string
+	// DataDir holds the replicated logs (one subdirectory per state
+	// machine). Empty runs memory-only — tests and ephemeral replicas.
+	DataDir string
+	// LegacyDir, when set, names the directory of a pre-cluster
+	// single-node deployment (users.jsonl, func_evals.jsonl, ...,
+	// taskpool.jsonl). Each file is absorbed as its log's base snapshot
+	// the first time the log is empty; the legacy files are never
+	// written again.
+	LegacyDir string
+	// Leader starts the node as its shard's leader. Followers become
+	// leaders only via Promote.
+	Leader bool
+	// Advertise is the base URL other nodes and clients reach this node
+	// at (e.g. "http://10.0.0.3:8080"). Leaders stamp it on replication
+	// batches so followers can point redirected writers at them.
+	Advertise string
+	// Token, when non-empty, gates the intra-cluster endpoints: apply,
+	// promote and join requests must carry it in X-Cluster-Token.
+	Token string
+	// CommitTimeout, StalenessWindow, MaxLag: see the package defaults.
+	CommitTimeout   time.Duration
+	StalenessWindow time.Duration
+	MaxLag          uint64
+	// SegmentMaxRecords caps records per log segment file (replog
+	// default when zero).
+	SegmentMaxRecords int
+	// Crowd configures the wrapped crowd.Server.
+	Crowd crowd.Config
+}
+
+// Node is one replica of one shard: a crowd.Server whose durable state
+// machines are driven by replicated logs, plus the role logic — a
+// leader accepts writes and streams them to followers; a follower
+// applies the stream, serves bounded-staleness reads, and bounces
+// writes to the leader with 307 + X-Shard-Leader.
+type Node struct {
+	cfg NodeConfig
+	srv *crowd.Server
+
+	mu          sync.Mutex
+	role        Role
+	advertise   string
+	leaderURL   string            // follower: last leader that contacted us
+	lastContact time.Time         // follower: time of that contact
+	heads       map[string]uint64 // follower: leader's LastIndex per log
+	replicators []*Replicator     // leader: one per follower
+
+	// applyMu serializes replication applies against each other and
+	// against promotion (promotion fences the old leader's stream).
+	applyMu sync.Mutex
+
+	logs     map[string]*replog.Log
+	machines map[string]stateMachine
+
+	metrics *nodeMetrics
+	mux     *http.ServeMux
+}
+
+// NewNode opens (or creates) the node's replicated logs, replays them
+// into a fresh crowd.Server, and returns the node ready to serve.
+func NewNode(cfg NodeConfig) (*Node, error) {
+	srv := crowd.NewServerWith(cfg.Crowd)
+	n := &Node{
+		cfg:       cfg,
+		srv:       srv,
+		role:      RoleFollower,
+		advertise: cfg.Advertise,
+		heads:     make(map[string]uint64),
+		logs:      make(map[string]*replog.Log),
+		machines:  make(map[string]stateMachine),
+	}
+	if cfg.Leader {
+		n.role = RoleLeader
+	}
+	opts := replog.Options{SegmentMaxRecords: cfg.SegmentMaxRecords}
+	for _, name := range logNames {
+		dir := ""
+		if cfg.DataDir != "" {
+			dir = filepath.Join(cfg.DataDir, name)
+		}
+		legacy := ""
+		if cfg.LegacyDir != "" {
+			if name == "tasks" {
+				legacy = filepath.Join(cfg.LegacyDir, "taskpool.jsonl")
+			} else {
+				legacy = filepath.Join(cfg.LegacyDir, name+".jsonl")
+			}
+		}
+		o := opts
+		o.Name = name
+		var (
+			lg  *replog.Log
+			err error
+		)
+		if name == "tasks" {
+			lg, err = srv.TaskPool().OpenLog(dir, legacy, o)
+			n.machines[name] = srv.TaskPool()
+		} else {
+			coll := srv.Store().Collection(name)
+			lg, err = coll.OpenLog(dir, legacy, o)
+			n.machines[name] = coll
+		}
+		if err != nil {
+			n.closeLogs()
+			return nil, fmt.Errorf("cluster: open %s log: %w", name, err)
+		}
+		n.logs[name] = lg
+	}
+	if err := srv.RebuildUserIndex(); err != nil {
+		n.closeLogs()
+		return nil, err
+	}
+	if err := srv.RebuildTrustState(); err != nil {
+		n.closeLogs()
+		return nil, err
+	}
+	n.metrics = newNodeMetrics(srv.Registry(), n)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/v1/cluster/apply", n.handleApply)
+	mux.HandleFunc("/api/v1/cluster/info", n.handleInfo)
+	mux.HandleFunc("/api/v1/cluster/promote", n.handlePromote)
+	mux.HandleFunc("/", n.route)
+	n.mux = mux
+	return n, nil
+}
+
+func (n *Node) closeLogs() {
+	for _, lg := range n.logs {
+		lg.Close()
+	}
+}
+
+// Close stops replication to followers and closes the logs.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	reps := append([]*Replicator(nil), n.replicators...)
+	n.replicators = nil
+	n.mu.Unlock()
+	for _, r := range reps {
+		r.Stop()
+	}
+	var firstErr error
+	for _, name := range logNames {
+		if err := n.logs[name].Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Server exposes the wrapped crowd.Server (for policy registration and
+// direct inspection in tests and the daemon).
+func (n *Node) Server() *crowd.Server { return n.srv }
+
+// Shard returns the shard id this node serves.
+func (n *Node) Shard() string { return n.cfg.Shard }
+
+// Role returns the node's current role.
+func (n *Node) Role() Role {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.role
+}
+
+// SetAdvertise records the node's externally reachable base URL (used
+// when it is only known after the listener binds, as with test servers).
+func (n *Node) SetAdvertise(url string) {
+	n.mu.Lock()
+	n.advertise = url
+	n.mu.Unlock()
+}
+
+// Advertise returns the node's advertised base URL.
+func (n *Node) Advertise() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.advertise
+}
+
+// LeaderURL returns the best-known leader base URL: the node's own
+// advertise address when it leads, otherwise the last leader that
+// replicated to it.
+func (n *Node) LeaderURL() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.role == RoleLeader {
+		return n.advertise
+	}
+	return n.leaderURL
+}
+
+// Log returns the named replicated log (nil when unknown). Exposed for
+// the daemon's compaction loop and tests.
+func (n *Node) Log(name string) *replog.Log { return n.logs[name] }
+
+// LogNames returns the replicated log names in apply order.
+func (n *Node) LogNames() []string { return append([]string(nil), logNames...) }
+
+// CompactAll folds every replicated log down to a snapshot of current
+// state (the daemon's periodic flush).
+func (n *Node) CompactAll() error {
+	var firstErr error
+	for _, name := range logNames {
+		var err error
+		if name == "tasks" {
+			err = n.srv.TaskPool().CompactLog()
+		} else {
+			err = n.srv.Store().Collection(name).CompactLog()
+		}
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("cluster: compact %s: %w", name, err)
+		}
+	}
+	return firstErr
+}
+
+func (n *Node) commitTimeout() time.Duration {
+	if n.cfg.CommitTimeout > 0 {
+		return n.cfg.CommitTimeout
+	}
+	return DefaultCommitTimeout
+}
+
+func (n *Node) stalenessWindow() time.Duration {
+	if n.cfg.StalenessWindow > 0 {
+		return n.cfg.StalenessWindow
+	}
+	return DefaultStalenessWindow
+}
+
+func (n *Node) maxLag() uint64 {
+	if n.cfg.MaxLag > 0 {
+		return n.cfg.MaxLag
+	}
+	return DefaultMaxLag
+}
+
+// ServeHTTP implements http.Handler.
+func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) { n.mux.ServeHTTP(w, r) }
+
+// writePaths are the public endpoints that mutate replicated state;
+// everything else is a read. tasks/lease and tasks/complete mutate too
+// (lease tokens, result samples), so workers always talk to leaders.
+var writePaths = map[string]bool{
+	"/api/v1/register":           true,
+	"/api/v1/func_eval/upload":   true,
+	"/api/v1/surrogate/upload":   true,
+	"/api/v1/tasks/submit":       true,
+	"/api/v1/tasks/lease":        true,
+	"/api/v1/tasks/heartbeat":    true,
+	"/api/v1/tasks/complete":     true,
+	"/api/v1/tasks/fail":         true,
+	"/api/v1/quarantine/release": true,
+}
+
+// gatedReads are follower-servable endpoints that still need fresh
+// data; they 412 when the replica is stale so the caller (coordinator
+// or redirect-following client) falls back to the leader. Diagnostics
+// (stats, healthz, metrics) are always served.
+var gatedReads = map[string]bool{
+	"/api/v1/func_eval/query": true,
+	"/api/v1/problems":        true,
+	"/api/v1/surrogate/query": true,
+	"/api/v1/suggest":         true,
+	"/api/v1/tasks/list":      true,
+	"/api/v1/quarantine":      true,
+}
+
+// route is the role gate in front of the wrapped crowd.Server.
+func (n *Node) route(w http.ResponseWriter, r *http.Request) {
+	path := r.URL.Path
+	if writePaths[path] {
+		if n.Role() != RoleLeader {
+			n.redirectToLeader(w, r)
+			return
+		}
+		n.serveWriteBarrier(w, r)
+		return
+	}
+	if gatedReads[path] && n.Role() != RoleLeader && !n.freshEnough() {
+		n.metrics.staleRejects.Inc()
+		if leader := n.LeaderURL(); leader != "" {
+			w.Header().Set(crowd.ShardLeaderHeader, leader)
+		}
+		writeErrCode(w, http.StatusPreconditionFailed, "stale_replica",
+			"replica lags its leader beyond the staleness bound")
+		return
+	}
+	n.srv.ServeHTTP(w, r)
+}
+
+// redirectToLeader bounces a write off a follower: 307 with the leader
+// address when known, 421 when the follower has never heard from one.
+func (n *Node) redirectToLeader(w http.ResponseWriter, r *http.Request) {
+	leader := n.LeaderURL()
+	if leader == "" {
+		writeErrCode(w, http.StatusMisdirectedRequest, "wrong_shard",
+			"follower has no known leader for shard %s", n.cfg.Shard)
+		return
+	}
+	w.Header().Set(crowd.ShardLeaderHeader, leader)
+	w.Header().Set("Location", leader+r.URL.Path)
+	writeErrCode(w, http.StatusTemporaryRedirect, "wrong_shard",
+		"shard %s writes go to the leader at %s", n.cfg.Shard, leader)
+}
+
+// serveWriteBarrier runs a mutating request on the leader and holds the
+// response until every live follower has applied the mutation. The
+// response is buffered so a commit timeout can still turn into a clean
+// 503 — the client retries, and record idempotency (batch ids, physical
+// upserts) makes the replay safe.
+func (n *Node) serveWriteBarrier(w http.ResponseWriter, r *http.Request) {
+	rec := &bufferedResponse{header: make(http.Header)}
+	n.srv.ServeHTTP(rec, r)
+	if rec.status >= 200 && rec.status < 300 {
+		targets := make(map[string]uint64, len(logNames))
+		for _, name := range logNames {
+			lg := n.logs[name]
+			if idx := lg.LastIndex(); idx > lg.CommitIndex() {
+				targets[name] = idx
+			}
+		}
+		if !n.waitCommitted(targets) {
+			n.metrics.commitTimeouts.Inc()
+			writeErrCode(w, http.StatusServiceUnavailable, "commit_timeout",
+				"write applied locally but not replicated within %s; retry", n.commitTimeout())
+			return
+		}
+	}
+	rec.flush(w)
+}
+
+// waitCommitted blocks until every target log index is committed (all
+// live followers applied it) or the commit timeout passes. With no live
+// followers the recompute commits everything immediately — a shard of
+// one acknowledges alone, exactly like the single-node server.
+func (n *Node) waitCommitted(targets map[string]uint64) bool {
+	if len(targets) == 0 {
+		return true
+	}
+	n.kickReplicators()
+	n.recomputeCommit()
+	done := make(chan struct{})
+	t := time.AfterFunc(n.commitTimeout(), func() { close(done) })
+	defer t.Stop()
+	for name, idx := range targets {
+		if !n.logs[name].WaitCommitted(idx, done) {
+			return false
+		}
+	}
+	return true
+}
+
+// kickReplicators nudges every replicator loop to push now rather than
+// at its next heartbeat.
+func (n *Node) kickReplicators() {
+	n.mu.Lock()
+	reps := append([]*Replicator(nil), n.replicators...)
+	n.mu.Unlock()
+	for _, r := range reps {
+		r.kick()
+	}
+}
+
+// recomputeCommit advances each log's commit index to the minimum
+// acknowledged index across live followers (the log head itself when
+// none are live).
+func (n *Node) recomputeCommit() {
+	n.mu.Lock()
+	var live []*Replicator
+	for _, r := range n.replicators {
+		if r.Alive() {
+			live = append(live, r)
+		}
+	}
+	n.mu.Unlock()
+	for _, name := range logNames {
+		lg := n.logs[name]
+		min := lg.LastIndex()
+		for _, r := range live {
+			if a := r.ackedIndex(name); a < min {
+				min = a
+			}
+		}
+		lg.Commit(min)
+	}
+}
+
+// freshEnough reports whether a follower may serve gated reads: it
+// heard from its leader within the staleness window and trails each log
+// head by at most MaxLag entries.
+func (n *Node) freshEnough() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if time.Since(n.lastContact) > n.stalenessWindow() {
+		return false
+	}
+	for name, head := range n.heads {
+		lg := n.logs[name]
+		if lg != nil && head > lg.LastIndex()+n.maxLag() {
+			return false
+		}
+	}
+	return true
+}
+
+// Promote turns a follower into its shard's leader: fence the old
+// leader's replication stream, self-commit every log (the promoted
+// state IS the acknowledged state — the barrier guaranteed acked
+// writes reached us), and rebuild the derived in-memory state the
+// apply path defers.
+func (n *Node) Promote() error {
+	n.applyMu.Lock()
+	defer n.applyMu.Unlock()
+	n.mu.Lock()
+	n.role = RoleLeader
+	n.mu.Unlock()
+	for _, name := range logNames {
+		lg := n.logs[name]
+		lg.Commit(lg.LastIndex())
+	}
+	if err := n.srv.RebuildUserIndex(); err != nil {
+		return err
+	}
+	return n.srv.RebuildTrustState()
+}
+
+// checkToken enforces the shared cluster secret on intra-cluster
+// endpoints.
+func (n *Node) checkToken(w http.ResponseWriter, r *http.Request) bool {
+	if n.cfg.Token != "" && r.Header.Get(TokenHeader) != n.cfg.Token {
+		writeErrCode(w, http.StatusUnauthorized, "bad_cluster_token", "cluster token required")
+		return false
+	}
+	return true
+}
+
+func (n *Node) handlePromote(w http.ResponseWriter, r *http.Request) {
+	if !n.checkToken(w, r) {
+		return
+	}
+	if err := n.Promote(); err != nil {
+		writeErrCode(w, http.StatusInternalServerError, "promote_failed", "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"role": string(RoleLeader)})
+}
+
+// LogInfo is one log's replication position.
+type LogInfo struct {
+	Last   uint64 `json:"last"`
+	Commit uint64 `json:"commit"`
+	Snap   uint64 `json:"snap"`
+}
+
+// InfoResponse is a node's self-description (/api/v1/cluster/info).
+type InfoResponse struct {
+	Shard     string             `json:"shard"`
+	Role      Role               `json:"role"`
+	Advertise string             `json:"advertise,omitempty"`
+	Leader    string             `json:"leader,omitempty"`
+	Logs      map[string]LogInfo `json:"logs"`
+}
+
+func (n *Node) handleInfo(w http.ResponseWriter, r *http.Request) {
+	info := InfoResponse{
+		Shard:     n.cfg.Shard,
+		Role:      n.Role(),
+		Advertise: n.Advertise(),
+		Leader:    n.LeaderURL(),
+		Logs:      make(map[string]LogInfo, len(logNames)),
+	}
+	for _, name := range logNames {
+		st := n.logs[name].Stats()
+		info.Logs[name] = LogInfo{Last: st.LastIndex, Commit: st.CommitIndex, Snap: st.SnapIndex}
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// handleApply is the follower side of replication: append the leader's
+// records (or restore its snapshot) into each log in the fixed order,
+// drive the state machines, and acknowledge the new positions. Applies
+// are idempotent — records at or below the local head are skipped — so
+// a retried batch is harmless.
+func (n *Node) handleApply(w http.ResponseWriter, r *http.Request) {
+	if !n.checkToken(w, r) {
+		return
+	}
+	if n.Role() == RoleLeader {
+		// Fencing: a promoted node never accepts the old leader's
+		// stream; the stale leader sees 409 and stops replicating.
+		writeErrCode(w, http.StatusConflict, "fenced", "node is a leader")
+		return
+	}
+	var req applyRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErrCode(w, http.StatusBadRequest, "bad_apply", "bad apply body: %v", err)
+		return
+	}
+	if req.Shard != n.cfg.Shard {
+		writeErrCode(w, http.StatusMisdirectedRequest, "wrong_shard",
+			"apply for shard %q reached node of shard %q", req.Shard, n.cfg.Shard)
+		return
+	}
+
+	n.applyMu.Lock()
+	defer n.applyMu.Unlock()
+	resp := applyResponse{Acked: make(map[string]uint64, len(logNames))}
+	usersChanged := false
+	problemCounts := make(map[string]int)
+	for _, name := range logNames {
+		lg := n.logs[name]
+		batch := req.Logs[name]
+		if batch == nil {
+			resp.Acked[name] = lg.LastIndex()
+			continue
+		}
+		m := n.machines[name]
+		if batch.Snapshot != nil && batch.SnapshotIndex > lg.LastIndex() {
+			if err := lg.RestoreSnapshot(batch.SnapshotIndex, strings.NewReader(*batch.Snapshot)); err != nil {
+				resp.Errors = appendApplyError(resp.Errors, name, err)
+				resp.Acked[name] = lg.LastIndex()
+				continue
+			}
+			if err := m.ReadJSONL(strings.NewReader(*batch.Snapshot)); err != nil {
+				resp.Errors = appendApplyError(resp.Errors, name, err)
+				resp.Acked[name] = lg.LastIndex()
+				continue
+			}
+			if name == "users" {
+				usersChanged = true
+			}
+		}
+		applied := 0
+		for _, wr := range batch.Records {
+			if wr.Index <= lg.LastIndex() {
+				continue // duplicate delivery
+			}
+			rec := replog.Record{Index: wr.Index, Payload: []byte(wr.Payload)}
+			if err := lg.AppendRecord(rec); err != nil {
+				resp.Errors = appendApplyError(resp.Errors, name, err)
+				break
+			}
+			if err := m.ApplyLogRecord(rec); err != nil {
+				resp.Errors = appendApplyError(resp.Errors, name, err)
+				break
+			}
+			applied++
+			switch name {
+			case "users":
+				usersChanged = true
+			case "func_evals":
+				countProblemAppends(wr.Payload, problemCounts)
+			}
+		}
+		// A follower's durable head is its commit point: everything
+		// applied is acknowledged upstream.
+		lg.Commit(lg.LastIndex())
+		resp.Acked[name] = lg.LastIndex()
+		if applied > 0 {
+			n.metrics.appliedRecords.Add(int64(applied))
+		}
+	}
+	if usersChanged {
+		if err := n.srv.RebuildUserIndex(); err != nil {
+			resp.Errors = appendApplyError(resp.Errors, "users", err)
+		}
+	}
+	for p, k := range problemCounts {
+		n.srv.NotifyProblemAppend(p, k)
+	}
+	n.mu.Lock()
+	n.leaderURL = req.Leader
+	n.lastContact = time.Now()
+	for name, b := range req.Logs {
+		if b != nil {
+			n.heads[name] = b.Head
+		}
+	}
+	n.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// countProblemAppends extracts per-problem sample counts from a
+// func_evals insert record so the follower's suggest service learns
+// about replicated samples (the leader's upload path notifies locally).
+func countProblemAppends(payload json.RawMessage, counts map[string]int) {
+	var lr struct {
+		Op   string `json:"op"`
+		Docs []struct {
+			Problem string `json:"tuning_problem_name"`
+		} `json:"docs"`
+	}
+	if json.Unmarshal(payload, &lr) != nil || lr.Op != "insert" {
+		return
+	}
+	for _, d := range lr.Docs {
+		if d.Problem != "" {
+			counts[d.Problem]++
+		}
+	}
+}
+
+func appendApplyError(errs map[string]string, name string, err error) map[string]string {
+	if errs == nil {
+		errs = make(map[string]string)
+	}
+	if _, dup := errs[name]; !dup {
+		errs[name] = err.Error()
+	}
+	return errs
+}
+
+// bufferedResponse holds a handler's response so the commit barrier can
+// replace it with a 503 if replication does not confirm in time.
+type bufferedResponse struct {
+	header http.Header
+	status int
+	buf    bytes.Buffer
+}
+
+func (b *bufferedResponse) Header() http.Header { return b.header }
+
+func (b *bufferedResponse) WriteHeader(code int) {
+	if b.status == 0 {
+		b.status = code
+	}
+}
+
+func (b *bufferedResponse) Write(p []byte) (int, error) {
+	if b.status == 0 {
+		b.status = http.StatusOK
+	}
+	return b.buf.Write(p)
+}
+
+func (b *bufferedResponse) flush(w http.ResponseWriter) {
+	h := w.Header()
+	for k, vs := range b.header {
+		h[k] = vs
+	}
+	if b.status == 0 {
+		b.status = http.StatusOK
+	}
+	w.WriteHeader(b.status)
+	w.Write(b.buf.Bytes())
+}
+
+// writeJSON / writeErrCode mirror the crowd server's response helpers
+// (same errorResponse wire shape) for the cluster endpoints.
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErrCode(w http.ResponseWriter, status int, code, format string, args ...interface{}) {
+	writeJSON(w, status, struct {
+		Error string `json:"error"`
+		Code  string `json:"code,omitempty"`
+	}{Error: fmt.Sprintf(format, args...), Code: code})
+}

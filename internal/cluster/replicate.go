@@ -1,0 +1,321 @@
+package cluster
+
+// Leader→follower replication. One Replicator runs per follower: a
+// push loop that ships every replicated log's tail (or a full snapshot
+// when the follower is behind the leader's compaction horizon) to the
+// follower's /api/v1/cluster/apply endpoint and feeds the acknowledged
+// indexes back into the leader's commit computation. The write barrier
+// in node.go kicks the loop so acknowledgements arrive at write
+// latency, not heartbeat latency; the heartbeat keeps follower
+// freshness windows open when the shard is idle.
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"gptunecrowd/internal/replog"
+)
+
+// Replication tuning (fixed; in-process latencies dominate tests and
+// single-digit-millisecond pushes dominate production).
+const (
+	// heartbeatInterval bounds how long a healthy follower goes without
+	// hearing from its leader (its read-freshness clock).
+	heartbeatInterval = 500 * time.Millisecond
+	// deadAfterFailures is how many consecutive push failures mark a
+	// follower dead and drop it from the commit quorum.
+	deadAfterFailures = 3
+	// maxBatchRecords caps records shipped per log per push.
+	maxBatchRecords = 1024
+)
+
+// wireRecord is one replicated log record on the wire.
+type wireRecord struct {
+	Index   uint64          `json:"i"`
+	Payload json.RawMessage `json:"p"`
+}
+
+// applyLogBatch carries one log's replication payload: the leader's
+// head (for follower staleness accounting), an optional base snapshot,
+// and the records after the follower's acknowledged index.
+type applyLogBatch struct {
+	Head          uint64       `json:"head"`
+	SnapshotIndex uint64       `json:"snapshot_index,omitempty"`
+	Snapshot      *string      `json:"snapshot,omitempty"`
+	Records       []wireRecord `json:"records,omitempty"`
+}
+
+// applyRequest is one replication push (possibly a pure heartbeat).
+type applyRequest struct {
+	Shard  string                    `json:"shard"`
+	Leader string                    `json:"leader,omitempty"`
+	Logs   map[string]*applyLogBatch `json:"logs"`
+}
+
+// applyResponse acknowledges the follower's position after the push.
+type applyResponse struct {
+	Acked map[string]uint64 `json:"acked"`
+	// Errors reports per-log apply failures (the log's ack then marks
+	// where the follower actually stopped).
+	Errors map[string]string `json:"errors,omitempty"`
+}
+
+// Replicator streams a leader node's logs to one follower.
+type Replicator struct {
+	node   *Node
+	url    string
+	client *http.Client
+
+	kickCh chan struct{}
+	stopCh chan struct{}
+	doneCh chan struct{}
+
+	mu       sync.Mutex
+	acked    map[string]uint64
+	alive    bool
+	fenced   bool
+	failures int
+}
+
+// AttachFollower starts replicating this (leader) node's logs to the
+// follower at baseURL and registers the follower in the commit quorum.
+// httpClient nil uses http.DefaultClient.
+func (n *Node) AttachFollower(baseURL string, httpClient *http.Client) *Replicator {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	r := &Replicator{
+		node:   n,
+		url:    strings.TrimRight(baseURL, "/"),
+		client: httpClient,
+		kickCh: make(chan struct{}, 1),
+		stopCh: make(chan struct{}),
+		doneCh: make(chan struct{}),
+		acked:  make(map[string]uint64),
+		alive:  true,
+	}
+	n.mu.Lock()
+	n.replicators = append(n.replicators, r)
+	n.mu.Unlock()
+	go r.run()
+	return r
+}
+
+// Followers returns the URLs of the followers this node replicates to.
+func (n *Node) Followers() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, len(n.replicators))
+	for i, r := range n.replicators {
+		out[i] = r.url
+	}
+	return out
+}
+
+// Stop halts the push loop and waits for it to exit.
+func (r *Replicator) Stop() {
+	select {
+	case <-r.stopCh:
+	default:
+		close(r.stopCh)
+	}
+	<-r.doneCh
+}
+
+// URL returns the follower's base URL.
+func (r *Replicator) URL() string { return r.url }
+
+// Alive reports whether the follower is in the commit quorum.
+func (r *Replicator) Alive() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.alive && !r.fenced
+}
+
+func (r *Replicator) ackedIndex(name string) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.acked[name]
+}
+
+// kick nudges the loop to push immediately (non-blocking; a pending
+// kick coalesces).
+func (r *Replicator) kick() {
+	select {
+	case r.kickCh <- struct{}{}:
+	default:
+	}
+}
+
+func (r *Replicator) run() {
+	defer close(r.doneCh)
+	timer := time.NewTimer(heartbeatInterval)
+	defer timer.Stop()
+	for {
+		select {
+		case <-r.stopCh:
+			return
+		case <-r.kickCh:
+		case <-timer.C:
+		}
+		if r.isFenced() {
+			return
+		}
+		behind := r.push()
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		if behind {
+			// More entries than one batch: push again immediately.
+			r.kick()
+		}
+		timer.Reset(heartbeatInterval)
+	}
+}
+
+func (r *Replicator) isFenced() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.fenced
+}
+
+// push ships one batch (or heartbeat) and processes the acks. It
+// returns true when the follower is still behind and another push
+// should follow at once.
+func (r *Replicator) push() bool {
+	req, err := r.buildRequest()
+	if err != nil {
+		r.node.metrics.replicationErrs.Inc()
+		r.noteFailure()
+		return false
+	}
+	resp, err := r.send(req)
+	if err != nil {
+		r.node.metrics.replicationErrs.Inc()
+		r.noteFailure()
+		return false
+	}
+	r.mu.Lock()
+	for name, idx := range resp.Acked {
+		r.acked[name] = idx
+	}
+	r.alive = true
+	r.failures = 0
+	r.mu.Unlock()
+	if len(resp.Errors) > 0 {
+		r.node.metrics.replicationErrs.Inc()
+	}
+	r.node.recomputeCommit()
+	for _, name := range logNames {
+		if r.node.logs[name].LastIndex() > r.ackedIndex(name) {
+			return true
+		}
+	}
+	return false
+}
+
+// buildRequest assembles the per-log batches after the follower's
+// acknowledged positions. A follower behind the compaction horizon
+// gets the current snapshot plus the entries after it.
+func (r *Replicator) buildRequest() (*applyRequest, error) {
+	req := &applyRequest{
+		Shard:  r.node.cfg.Shard,
+		Leader: r.node.Advertise(),
+		Logs:   make(map[string]*applyLogBatch, len(logNames)),
+	}
+	for _, name := range logNames {
+		lg := r.node.logs[name]
+		batch := &applyLogBatch{Head: lg.LastIndex()}
+		after := r.ackedIndex(name)
+		ents, err := lg.Entries(after, maxBatchRecords)
+		if errors.Is(err, replog.ErrCompacted) {
+			var sb strings.Builder
+			idx, ok, serr := lg.Snapshot(&sb)
+			if serr != nil {
+				return nil, fmt.Errorf("cluster: snapshot %s: %w", name, serr)
+			}
+			if ok {
+				s := sb.String()
+				batch.Snapshot = &s
+				batch.SnapshotIndex = idx
+			}
+			ents, err = lg.Entries(idx, maxBatchRecords)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("cluster: entries %s after %d: %w", name, after, err)
+		}
+		for _, e := range ents {
+			batch.Records = append(batch.Records, wireRecord{Index: e.Index, Payload: json.RawMessage(e.Payload)})
+		}
+		req.Logs[name] = batch
+	}
+	return req, nil
+}
+
+func (r *Replicator) send(req *applyRequest) (*applyResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	hreq, err := http.NewRequest(http.MethodPost, r.url+"/api/v1/cluster/apply", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	if r.node.cfg.Token != "" {
+		hreq.Header.Set(TokenHeader, r.node.cfg.Token)
+	}
+	resp, err := r.client.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusConflict {
+		// The follower was promoted: this node's leadership is fenced.
+		// Stop pushing for good; the operator (or coordinator failover)
+		// decides what the old leader becomes.
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+		r.mu.Lock()
+		r.fenced = true
+		r.alive = false
+		r.mu.Unlock()
+		r.node.recomputeCommit()
+		return nil, fmt.Errorf("cluster: follower %s fenced this leader", r.url)
+	}
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+		return nil, fmt.Errorf("cluster: apply to %s: HTTP %d", r.url, resp.StatusCode)
+	}
+	var out applyResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// noteFailure counts a failed push; enough in a row drop the follower
+// from the commit quorum so the leader does not wedge behind a dead
+// replica.
+func (r *Replicator) noteFailure() {
+	r.mu.Lock()
+	r.failures++
+	died := r.alive && r.failures >= deadAfterFailures
+	if died {
+		r.alive = false
+	}
+	r.mu.Unlock()
+	if died {
+		r.node.metrics.followerDeaths.Inc()
+		r.node.recomputeCommit()
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
@@ -25,7 +26,26 @@ const (
 	DefaultMaxRetries    = 3
 	DefaultBackoffBase   = 100 * time.Millisecond
 	DefaultBackoffMax    = 5 * time.Second
+	// DefaultMaxRedirects bounds how many 307 shard redirects a single
+	// logical request will chase before giving up with ErrWrongShard.
+	DefaultMaxRedirects = 4
 )
+
+// ShardLeaderHeader carries the owning shard leader's base URL on a
+// 307 response from a cluster follower (or a stale coordinator route).
+// The client re-issues the identical request against that URL.
+const ShardLeaderHeader = "X-Shard-Leader"
+
+// shardRedirect is the internal signal attempt() returns for a 307 +
+// ShardLeaderHeader response; post() follows it without consuming a
+// retry.
+type shardRedirect struct {
+	target string
+}
+
+func (e *shardRedirect) Error() string {
+	return fmt.Sprintf("crowd: redirected to shard leader %s", e.target)
+}
 
 // Client talks to a crowd server. The zero HTTP client uses
 // http.DefaultClient. Failed requests are retried with exponential
@@ -150,16 +170,33 @@ func newBatchID() string {
 // post sends a JSON request, retrying retryable failures with backoff,
 // and decodes the JSON response into out. The request body is marshaled
 // once, so every attempt (including its batch id, if any) is identical.
+// A 307 + X-Shard-Leader answer — a cluster follower bouncing a write
+// to its leader — switches the base URL for the rest of the call and
+// does not consume a retry; more than DefaultMaxRedirects hops yields
+// ErrWrongShard (the topology is churning faster than we can chase it).
 func (c *Client) post(ctx context.Context, path string, in, out interface{}) error {
 	body, err := json.Marshal(in)
 	if err != nil {
 		return fmt.Errorf("crowd: encode request: %w", err)
 	}
 	log := obs.Or(c.Logger)
+	base := c.BaseURL
+	redirects := 0
 	for attempt := 0; ; attempt++ {
-		err, retryable := c.attempt(ctx, path, body, out)
+		err, retryable := c.attemptAt(ctx, base, path, body, out)
 		if err == nil {
 			return nil
+		}
+		var rd *shardRedirect
+		if errors.As(err, &rd) {
+			redirects++
+			if rd.target == "" || redirects > DefaultMaxRedirects {
+				return fmt.Errorf("crowd: request %s: %d shard redirects: %w", path, redirects, ErrWrongShard)
+			}
+			log.InfoContext(ctx, "following shard redirect", "path", path, "leader", rd.target)
+			base = rd.target
+			attempt-- // a redirect is progress, not a failure
+			continue
 		}
 		if !retryable || attempt >= c.maxRetries() {
 			log.ErrorContext(ctx, "request failed", "path", path, "attempt", attempt+1, "err", err)
@@ -175,12 +212,14 @@ func (c *Client) post(ctx context.Context, path string, in, out interface{}) err
 	}
 }
 
-// attempt performs one HTTP round trip under the per-attempt timeout
-// and reports whether its failure is worth retrying.
-func (c *Client) attempt(ctx context.Context, path string, body []byte, out interface{}) (error, bool) {
+// attemptAt performs one HTTP round trip against base under the
+// per-attempt timeout and reports whether its failure is worth
+// retrying. A 307 with a shard-leader header comes back as a
+// *shardRedirect for post to follow.
+func (c *Client) attemptAt(ctx context.Context, base, path string, body []byte, out interface{}) (error, bool) {
 	actx, cancel := context.WithTimeout(ctx, c.timeout())
 	defer cancel()
-	req, err := http.NewRequestWithContext(actx, http.MethodPost, c.BaseURL+path, bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(actx, http.MethodPost, base+path, bytes.NewReader(body))
 	if err != nil {
 		return err, false
 	}
@@ -198,6 +237,14 @@ func (c *Client) attempt(ctx context.Context, path string, body []byte, out inte
 		return fmt.Errorf("crowd: request %s: %w", path, err), true
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusTemporaryRedirect {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		target := resp.Header.Get(ShardLeaderHeader)
+		if target == "" {
+			target = resp.Header.Get("Location")
+		}
+		return &shardRedirect{target: target}, false
+	}
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		apiErr := &APIError{StatusCode: resp.StatusCode, Path: path}
 		var e errorResponse

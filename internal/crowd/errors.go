@@ -20,6 +20,11 @@ var (
 	// ErrQuarantined: every sample in the upload was routed to
 	// quarantine by the trust layer — nothing entered the main store.
 	ErrQuarantined = errors.New("crowd: upload quarantined")
+	// ErrWrongShard: the node does not own the requested data and could
+	// not (or would not, after too many hops) name the leader that does.
+	// Surfaced on HTTP 421, on "wrong_shard"-coded errors, and when the
+	// client's 307 redirect budget is exhausted.
+	ErrWrongShard = errors.New("crowd: wrong shard")
 )
 
 // APIError is a server-reported failure: the HTTP status code plus the
@@ -86,6 +91,10 @@ func (e *APIError) Is(target error) bool {
 		return e.IsOverload()
 	case ErrQuarantined:
 		return e.Code == "quarantined"
+	case ErrWrongShard:
+		// 421 Misdirected Request: a cluster node that cannot serve
+		// this key and has no better leader to point at.
+		return e.StatusCode == 421 || e.Code == "wrong_shard"
 	}
 	return false
 }

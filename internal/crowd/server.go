@@ -248,6 +248,17 @@ func (s *Server) Metrics() MetricsSnapshot {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
 
+// NotifyProblemAppend tells the suggest service that n new samples for
+// problem entered the store outside the normal upload path — a
+// replicated-log apply on a follower replica, or an operator import —
+// so incremental surrogates pick them up on their next refresh.
+func (s *Server) NotifyProblemAppend(problem string, n int) {
+	if problem == "" || n <= 0 {
+		return
+	}
+	s.suggest.NotifyAppend(problem, n)
+}
+
 func (s *Server) users() *historydb.Collection     { return s.store.Collection("users") }
 func (s *Server) funcEvals() *historydb.Collection { return s.store.Collection("func_evals") }
 
@@ -398,13 +409,31 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "username required")
 		return
 	}
+	req.APIKey = strings.TrimSpace(req.APIKey)
+	if req.APIKey != "" && (len(req.APIKey) < 8 || len(req.APIKey) > 128) {
+		writeErr(w, http.StatusBadRequest, "preset api key must be 8..128 characters")
+		return
+	}
 	s.idxMu.Lock()
 	defer s.idxMu.Unlock()
 	if s.usernames[req.Username] {
+		// A replayed registration with the same preset key is idempotent
+		// (the coordinator fans one registration out to every shard and
+		// may retry); anything else is a genuine conflict.
+		if req.APIKey != "" && s.keyToUser[req.APIKey] == req.Username {
+			writeJSON(w, http.StatusOK, RegisterResponse{APIKey: req.APIKey})
+			return
+		}
 		writeErr(w, http.StatusConflict, "username %q taken", req.Username)
 		return
 	}
-	key := newAPIKey()
+	key := req.APIKey
+	if key == "" {
+		key = newAPIKey()
+	} else if owner, ok := s.keyToUser[key]; ok && owner != req.Username {
+		writeErr(w, http.StatusConflict, "api key already in use")
+		return
+	}
 	_, err := s.users().Insert(historydb.Document{
 		"username": req.Username,
 		"email":    req.Email,

@@ -147,10 +147,14 @@ type UploadResponse struct {
 	Quarantined []QuarantineReport `json:"quarantined,omitempty"`
 }
 
-// RegisterRequest creates a user account.
+// RegisterRequest creates a user account. APIKey optionally presets
+// the account's key instead of having the server mint one — the shard
+// coordinator uses this to fan a registration out to every shard with
+// one cluster-wide key.
 type RegisterRequest struct {
 	Username string `json:"username"`
 	Email    string `json:"email"`
+	APIKey   string `json:"api_key,omitempty"`
 }
 
 // RegisterResponse returns the generated API key (shown once, as on the

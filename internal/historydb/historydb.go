@@ -15,6 +15,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"gptunecrowd/internal/replog"
 )
 
 // Document is a JSON object. The store assigns each inserted document a
@@ -35,6 +37,8 @@ type Collection struct {
 	name   string
 	docs   []Document
 	nextID int64
+	log    *replog.Log
+	logErr error
 }
 
 // snapshot returns the current document slice. The header copy is done
@@ -75,6 +79,7 @@ func (c *Collection) Insert(doc Document) (string, error) {
 	c.nextID++
 	cp["_id"] = id
 	c.docs = append(c.docs, cp)
+	c.journalLocked(logRecord{Op: "insert", Docs: []Document{cp}, NextID: c.nextID})
 	return id, nil
 }
 
@@ -101,6 +106,9 @@ func (c *Collection) InsertMany(docs []Document) ([]string, error) {
 		cp["_id"] = id
 		ids[i] = id
 		c.docs = append(c.docs, cp)
+	}
+	if len(cps) > 0 {
+		c.journalLocked(logRecord{Op: "insert", Docs: cps, NextID: c.nextID})
 	}
 	return ids, nil
 }
@@ -165,14 +173,21 @@ func (c *Collection) Delete(q Query) int {
 	defer c.mu.Unlock()
 	kept := make([]Document, 0, len(c.docs))
 	removed := 0
+	var removedIDs []string
 	for _, d := range c.docs {
 		if q != nil && q.Match(d) {
 			removed++
+			if id := docID(d); id != "" {
+				removedIDs = append(removedIDs, id)
+			}
 			continue
 		}
 		kept = append(kept, d)
 	}
 	c.docs = kept
+	if removed > 0 {
+		c.journalLocked(logRecord{Op: "delete", IDs: removedIDs})
+	}
 	return removed
 }
 
@@ -188,6 +203,7 @@ func (c *Collection) Update(q Query, fn func(Document)) int {
 	next := make([]Document, len(c.docs))
 	copy(next, c.docs)
 	n := 0
+	var updated []Document
 	for i, d := range next {
 		if q == nil || q.Match(d) {
 			cp, err := deepCopy(d)
@@ -197,9 +213,13 @@ func (c *Collection) Update(q Query, fn func(Document)) int {
 			fn(cp)
 			next[i] = cp
 			n++
+			updated = append(updated, cp)
 		}
 	}
 	c.docs = next
+	if n > 0 {
+		c.journalLocked(logRecord{Op: "update", Docs: updated})
+	}
 	return n
 }
 

@@ -1,0 +1,221 @@
+package replog
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// hashMachine is a toy state machine for replay-determinism tests: the
+// state is the ordered list of applied payload lines, and the state
+// hash is the SHA-256 of the serialized stream (so "identical state"
+// means byte-identical snapshots).
+type hashMachine struct {
+	lines []string
+}
+
+func (m *hashMachine) apply(rec Record) error {
+	m.lines = append(m.lines, string(rec.Payload))
+	return nil
+}
+
+func (m *hashMachine) restore(r io.Reader) error {
+	m.lines = nil
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		if s := strings.TrimSpace(sc.Text()); s != "" {
+			m.lines = append(m.lines, s)
+		}
+	}
+	return sc.Err()
+}
+
+func (m *hashMachine) snapshot(w io.Writer) error {
+	for _, l := range m.lines {
+		if _, err := fmt.Fprintln(w, l); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *hashMachine) hash() [32]byte {
+	var sb strings.Builder
+	m.snapshot(&sb)
+	return sha256.Sum256([]byte(sb.String()))
+}
+
+// TestReplayDeterminismProperty drives a log through randomized batch
+// splits, restarts (close + reopen) and snapshot/compaction points, and
+// checks that replaying the surviving files always reconstructs exactly
+// the state produced by applying every payload in order.
+func TestReplayDeterminismProperty(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial%d", trial), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(1000 + trial)))
+			dir := t.TempDir()
+			segMax := 1 + rng.Intn(5)
+			l, err := Open(dir, Options{SegmentMaxRecords: segMax})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			oracle := &hashMachine{} // every payload applied in order
+			live := &hashMachine{}   // the machine attached to the log
+			total := 40 + rng.Intn(80)
+			written := 0
+			for written < total {
+				batch := 1 + rng.Intn(7)
+				for b := 0; b < batch && written < total; b++ {
+					payload := fmt.Sprintf(`{"op":%d,"v":%d}`, written, rng.Intn(1000))
+					rec, err := l.Append([]byte(payload))
+					if err != nil {
+						t.Fatal(err)
+					}
+					oracle.apply(rec)
+					live.apply(rec)
+					written++
+				}
+				switch rng.Intn(4) {
+				case 0: // compact at the current head
+					if err := l.Compact(l.LastIndex(), live.snapshot); err != nil {
+						t.Fatal(err)
+					}
+				case 1: // restart: close, reopen, replay from disk
+					l.Close()
+					l, err = Open(dir, Options{SegmentMaxRecords: segMax})
+					if err != nil {
+						t.Fatal(err)
+					}
+					live = &hashMachine{}
+					if err := l.Replay(live.restore, live.apply); err != nil {
+						t.Fatal(err)
+					}
+					if live.hash() != oracle.hash() {
+						t.Fatalf("state diverged after restart at %d ops", written)
+					}
+				}
+			}
+			l.Close()
+
+			// Final check: a cold replay reconstructs the oracle exactly.
+			l2, err := Open(dir, Options{SegmentMaxRecords: segMax})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer l2.Close()
+			replayed := &hashMachine{}
+			if err := l2.Replay(replayed.restore, replayed.apply); err != nil {
+				t.Fatal(err)
+			}
+			if replayed.hash() != oracle.hash() {
+				t.Fatalf("cold replay hash != oracle hash after %d ops", total)
+			}
+			if l2.LastIndex() != uint64(total) {
+				t.Fatalf("LastIndex = %d, want %d", l2.LastIndex(), total)
+			}
+		})
+	}
+}
+
+// TestFollowerReplicationProperty streams a leader log into a follower
+// log in randomized batch sizes with duplicated deliveries and follower
+// restarts, optionally through a snapshot catch-up, and checks the
+// follower's state hash equals the leader's.
+func TestFollowerReplicationProperty(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial%d", trial), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(2000 + trial)))
+			leader, err := Open(t.TempDir(), Options{SegmentMaxRecords: 1 + rng.Intn(4)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer leader.Close()
+			leaderSM := &hashMachine{}
+			total := 30 + rng.Intn(60)
+			for i := 0; i < total; i++ {
+				payload := fmt.Sprintf(`{"op":%d}`, i)
+				rec, err := leader.Append([]byte(payload))
+				if err != nil {
+					t.Fatal(err)
+				}
+				leaderSM.apply(rec)
+				// Occasionally compact the leader mid-stream so late
+				// followers must catch up via snapshot.
+				if rng.Intn(10) == 0 {
+					if err := leader.Compact(leader.LastIndex(), leaderSM.snapshot); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+
+			followerDir := t.TempDir()
+			follower, err := Open(followerDir, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			followerSM := &hashMachine{}
+			for follower.LastIndex() < leader.LastIndex() {
+				recs, err := leader.Entries(follower.LastIndex(), 1+rng.Intn(9))
+				if err == ErrCompacted || (err != nil && strings.Contains(err.Error(), "compacted")) {
+					var snap strings.Builder
+					idx, ok, serr := leader.Snapshot(&snap)
+					if serr != nil || !ok {
+						t.Fatalf("snapshot catch-up: ok=%v err=%v", ok, serr)
+					}
+					if err := follower.RestoreSnapshot(idx, strings.NewReader(snap.String())); err != nil {
+						t.Fatal(err)
+					}
+					if err := followerSM.restore(strings.NewReader(snap.String())); err != nil {
+						t.Fatal(err)
+					}
+					continue
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Deliver the batch, sometimes twice (duplicated
+				// delivery after a lost ack must be harmless).
+				for pass := 0; pass < 1+rng.Intn(2); pass++ {
+					for _, rec := range recs {
+						if rec.Index <= follower.LastIndex() && pass > 0 {
+							if err := follower.AppendRecord(rec); err != nil {
+								t.Fatal(err)
+							}
+							continue
+						}
+						before := follower.LastIndex()
+						if err := follower.AppendRecord(rec); err != nil {
+							t.Fatal(err)
+						}
+						if follower.LastIndex() > before {
+							followerSM.apply(rec)
+						}
+					}
+				}
+				// Occasional follower restart from its own disk.
+				if rng.Intn(6) == 0 {
+					follower.Close()
+					follower, err = Open(followerDir, Options{})
+					if err != nil {
+						t.Fatal(err)
+					}
+					followerSM = &hashMachine{}
+					if err := follower.Replay(followerSM.restore, followerSM.apply); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			defer follower.Close()
+			if followerSM.hash() != leaderSM.hash() {
+				t.Fatalf("follower state hash != leader state hash (%d entries)", total)
+			}
+		})
+	}
+}

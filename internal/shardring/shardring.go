@@ -1,0 +1,135 @@
+// Package shardring places crowd-repository keys onto shards with
+// consistent hashing. The routing key is the (application, task)
+// identity of a tuning problem — the unit the paper's repository
+// aggregates samples under — so every sample, task and suggestion
+// request for one problem lands on one shard, and adding a shard moves
+// only ~K/N keys instead of rehashing the world.
+//
+// Placement is deterministic: any node holding the same versioned
+// Config computes the same ring and therefore the same owner for every
+// key, which is what lets followers and a stale coordinator answer 307
+// redirects instead of proxying blindly.
+package shardring
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultVNodes is the number of virtual nodes per shard. 128 keeps the
+// per-shard load imbalance within a few percent for small clusters.
+const DefaultVNodes = 128
+
+// Config is the versioned ring description shared across the cluster.
+// Two nodes with equal Configs route identically; Version orders
+// topology changes so a node can detect it is stale.
+type Config struct {
+	// Version is bumped by the coordinator on every topology change.
+	Version int `json:"version"`
+	// Shards are the shard ids on the ring, in any order (the ring is
+	// order-insensitive: placement depends only on the set).
+	Shards []string `json:"shards"`
+	// VNodes is the number of virtual nodes per shard (DefaultVNodes
+	// when zero).
+	VNodes int `json:"vnodes,omitempty"`
+}
+
+func (c Config) vnodes() int {
+	if c.VNodes > 0 {
+		return c.VNodes
+	}
+	return DefaultVNodes
+}
+
+// Key builds the canonical routing key for an (app, task) pair. The
+// task component is whatever canonical string identifies the task
+// within the app (this repo uses the tuning-problem name, which bundles
+// both); the NUL separator keeps ("ab","c") and ("a","bc") distinct.
+func Key(app, task string) string { return app + "\x00" + task }
+
+// point is one virtual node: a position on the 64-bit hash circle and
+// the shard it maps to.
+type point struct {
+	pos   uint64
+	shard string
+}
+
+// Ring is an immutable consistent-hash ring built from a Config. Safe
+// for concurrent use.
+type Ring struct {
+	cfg    Config
+	points []point
+}
+
+// New builds the ring. Shard ids must be non-empty and unique.
+func New(cfg Config) (*Ring, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, fmt.Errorf("shardring: no shards")
+	}
+	seen := make(map[string]bool, len(cfg.Shards))
+	shards := append([]string(nil), cfg.Shards...)
+	sort.Strings(shards) // placement depends on the set, not the order
+	points := make([]point, 0, len(shards)*cfg.vnodes())
+	for _, s := range shards {
+		if s == "" {
+			return nil, fmt.Errorf("shardring: empty shard id")
+		}
+		if seen[s] {
+			return nil, fmt.Errorf("shardring: duplicate shard id %q", s)
+		}
+		seen[s] = true
+		for v := 0; v < cfg.vnodes(); v++ {
+			points = append(points, point{pos: hash64(fmt.Sprintf("%s#%d", s, v)), shard: s})
+		}
+	}
+	sort.Slice(points, func(i, j int) bool {
+		if points[i].pos != points[j].pos {
+			return points[i].pos < points[j].pos
+		}
+		// Hash collisions resolve by shard id so every builder of the
+		// same Config breaks the tie identically.
+		return points[i].shard < points[j].shard
+	})
+	cfg.Shards = shards
+	return &Ring{cfg: cfg, points: points}, nil
+}
+
+// hash64 is FNV-1a finished with a SplitMix64 avalanche — stable
+// across processes and Go versions (placement must not depend on map
+// iteration or randomized hashing). The finalizer matters: raw FNV of
+// short, similar strings ("s0#1", "s0#2", …) clusters on the circle
+// and skews shard load badly.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	z := h.Sum64()
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Owner returns the shard owning key: the first virtual node clockwise
+// from the key's hash position.
+func (r *Ring) Owner(key string) string {
+	pos := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].pos >= pos })
+	if i == len(r.points) {
+		i = 0 // wrap around the circle
+	}
+	return r.points[i].shard
+}
+
+// OwnerFor is Owner over the canonical (app, task) key.
+func (r *Ring) OwnerFor(app, task string) string { return r.Owner(Key(app, task)) }
+
+// Version returns the config version the ring was built from.
+func (r *Ring) Version() int { return r.cfg.Version }
+
+// Shards returns the shard ids on the ring, sorted.
+func (r *Ring) Shards() []string { return append([]string(nil), r.cfg.Shards...) }
+
+// Config returns the ring's (normalized) config.
+func (r *Ring) Config() Config {
+	return Config{Version: r.cfg.Version, Shards: r.Shards(), VNodes: r.cfg.VNodes}
+}

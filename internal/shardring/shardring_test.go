@@ -1,0 +1,164 @@
+package shardring
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+)
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = Key(fmt.Sprintf("app%d", i%7), fmt.Sprintf("task%d", i))
+	}
+	return out
+}
+
+func TestDeterministicPlacement(t *testing.T) {
+	cfg := Config{Version: 1, Shards: []string{"s0", "s1", "s2"}}
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same config in a different shard order must route identically —
+	// that is what lets every node compute placement independently.
+	b, err := New(Config{Version: 1, Shards: []string{"s2", "s0", "s1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys(2000) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("order-dependent placement for %q: %s vs %s", k, a.Owner(k), b.Owner(k))
+		}
+	}
+}
+
+func TestOwnerForMatchesKey(t *testing.T) {
+	r, err := New(Config{Shards: []string{"s0", "s1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.OwnerFor("scalapack", "m=1000") != r.Owner(Key("scalapack", "m=1000")) {
+		t.Fatal("OwnerFor != Owner(Key(...))")
+	}
+	if Key("ab", "c") == Key("a", "bc") {
+		t.Fatal("key separator does not keep components distinct")
+	}
+}
+
+func TestBalance(t *testing.T) {
+	shards := []string{"s0", "s1", "s2", "s3"}
+	r, err := New(Config{Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	n := 20000
+	for _, k := range keys(n) {
+		counts[r.Owner(k)]++
+	}
+	for _, s := range shards {
+		frac := float64(counts[s]) / float64(n)
+		if frac < 0.10 || frac > 0.45 {
+			t.Fatalf("shard %s owns %.1f%% of keys (counts: %v)", s, 100*frac, counts)
+		}
+	}
+}
+
+// TestRingStabilityOnGrowth is the consistent-hashing contract: when a
+// shard is added, a key either keeps its owner or moves to the NEW
+// shard (never between old shards), and the moved fraction is close to
+// K/(N+1).
+func TestRingStabilityOnGrowth(t *testing.T) {
+	for n := 2; n <= 6; n++ {
+		var shards []string
+		for i := 0; i < n; i++ {
+			shards = append(shards, fmt.Sprintf("s%d", i))
+		}
+		before, err := New(Config{Version: 1, Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		added := fmt.Sprintf("s%d", n)
+		after, err := New(Config{Version: 2, Shards: append(append([]string(nil), shards...), added)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ks := keys(10000)
+		moved := 0
+		for _, k := range ks {
+			ob, oa := before.Owner(k), after.Owner(k)
+			if ob != oa {
+				moved++
+				if oa != added {
+					t.Fatalf("n=%d: key %q moved %s -> %s, not to the added shard", n, k, ob, oa)
+				}
+			}
+		}
+		// Expected moved fraction is 1/(n+1); allow 2x slack for
+		// virtual-node variance. This is the "adding a shard moves
+		// <= K/N keys" bound.
+		maxMoved := 2 * len(ks) / (n + 1)
+		if moved > maxMoved {
+			t.Fatalf("n=%d: %d/%d keys moved, want <= %d", n, moved, len(ks), maxMoved)
+		}
+		if moved == 0 {
+			t.Fatalf("n=%d: no keys moved to the added shard", n)
+		}
+	}
+}
+
+func TestShrinkOnlyMovesLostKeys(t *testing.T) {
+	before, err := New(Config{Version: 1, Shards: []string{"s0", "s1", "s2"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := New(Config{Version: 2, Shards: []string{"s0", "s1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys(5000) {
+		if before.Owner(k) != "s2" && before.Owner(k) != after.Owner(k) {
+			t.Fatalf("key %q moved although its owner survived", k)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	if _, err := New(Config{Shards: []string{"a", "a"}}); err == nil {
+		t.Fatal("duplicate shard accepted")
+	}
+	if _, err := New(Config{Shards: []string{""}}); err == nil {
+		t.Fatal("empty shard id accepted")
+	}
+}
+
+func TestConfigRoundTripJSON(t *testing.T) {
+	r, err := New(Config{Version: 3, Shards: []string{"b", "a"}, VNodes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(r.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cfg Config
+	if err := json.Unmarshal(b, &cfg); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Version() != 3 {
+		t.Fatalf("version = %d", r2.Version())
+	}
+	for _, k := range keys(1000) {
+		if r.Owner(k) != r2.Owner(k) {
+			t.Fatalf("placement changed across JSON round trip for %q", k)
+		}
+	}
+}

@@ -17,7 +17,10 @@
 // Persistence follows historydb's JSONL style: every mutation appends
 // one JSON record to an attached write-ahead log, and a snapshot is the
 // same record stream compacted to one record per task, so loading a
-// snapshot and replaying a WAL are the same operation.
+// snapshot and replaying a WAL are the same operation. Durable pools
+// sit on an internal/replog segmented log (OpenLog/BindLog), which adds
+// compaction, crash safety and leader→follower replication; legacy
+// single-file WALs are absorbed as the log's base snapshot.
 package taskpool
 
 import (
@@ -31,6 +34,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"gptunecrowd/internal/replog"
 )
 
 // State is a task's lifecycle state.
@@ -309,6 +314,7 @@ type Pool struct {
 	nextSeq  int64
 	counters Counters
 	wal      io.Writer
+	log      *replog.Log
 	walErr   error
 }
 

@@ -6,9 +6,10 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"path/filepath"
 	"sort"
 	"strings"
+
+	"gptunecrowd/internal/replog"
 )
 
 // walRecord is one persisted line. Every mutation appends the full
@@ -23,15 +24,44 @@ type walRecord struct {
 }
 
 // logLocked appends the task's current state (and the counters) to the
-// attached WAL. Called with p.mu held, so records land in mutation
-// order. The first write error sticks and disables further writes.
+// attached WAL sink and/or replicated log. Called with p.mu held, so
+// records land in mutation order. The first write error sticks and
+// disables further writes.
 func (p *Pool) logLocked(t *Task) {
-	if p.wal == nil || p.walErr != nil {
+	if p.walErr != nil {
 		return
 	}
-	if err := writeRecords(p.wal, t, &p.counters); err != nil {
-		p.walErr = err
+	if p.wal != nil {
+		if err := writeRecords(p.wal, t, &p.counters); err != nil {
+			p.walErr = err
+			return
+		}
 	}
+	if p.log != nil {
+		if err := p.appendLogLocked(t); err != nil {
+			p.walErr = err
+		}
+	}
+}
+
+// appendLogLocked appends the mutation's two records as two replicated
+// log entries. The counters entry trails the task entry, so state
+// equality holds at every entry boundary that follows a counters
+// record.
+func (p *Pool) appendLogLocked(t *Task) error {
+	tb, err := json.Marshal(walRecord{Op: "task", Task: t})
+	if err != nil {
+		return err
+	}
+	if _, err := p.log.Append(tb); err != nil {
+		return err
+	}
+	cb, err := json.Marshal(walRecord{Op: "counters", Counters: &p.counters})
+	if err != nil {
+		return err
+	}
+	_, err = p.log.Append(cb)
+	return err
 }
 
 func writeRecords(w io.Writer, t *Task, c *Counters) error {
@@ -49,14 +79,32 @@ func writeRecords(w io.Writer, t *Task, c *Counters) error {
 	return nil
 }
 
-// SetWAL attaches (or with nil detaches) a write-ahead log: every
-// subsequent mutation appends its records to w. The caller owns w and
-// any buffering/syncing policy.
+// SetWAL attaches (or with nil detaches) a plain write-ahead sink:
+// every subsequent mutation appends its records to w. The caller owns w
+// and any buffering/syncing policy. Durable deployments should prefer
+// OpenLog/BindLog, which put the pool on a segmented replicated log.
 func (p *Pool) SetWAL(w io.Writer) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.wal = w
 	p.walErr = nil
+}
+
+// BindLog attaches a replicated log: every subsequent mutation appends
+// its records as log entries (replicable to followers and compactable
+// in place). Pass nil to detach.
+func (p *Pool) BindLog(lg *replog.Log) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.log = lg
+	p.walErr = nil
+}
+
+// Log returns the bound replicated log, if any.
+func (p *Pool) Log() *replog.Log {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.log
 }
 
 // WALError returns the first write error the attached WAL produced, if
@@ -73,6 +121,10 @@ func (p *Pool) WALError() error {
 func (p *Pool) WriteJSONL(w io.Writer) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	return p.writeJSONLLocked(w)
+}
+
+func (p *Pool) writeJSONLLocked(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	for _, t := range p.snapshotLocked() {
 		if err := writeRecords(bw, t, nil); err != nil {
@@ -162,79 +214,115 @@ func (p *Pool) ReadJSONL(r io.Reader) error {
 	return nil
 }
 
-// OpenFile loads the pool from path (snapshot + trailing WAL records,
-// if the file exists) and attaches the file as the live WAL, returning
-// the handle so the caller can close it on shutdown. Missing files are
-// fine: the pool starts empty and the file is created.
-func (p *Pool) OpenFile(path string) (*os.File, error) {
-	if f, err := os.Open(path); err == nil {
-		err = p.ReadJSONL(f)
-		f.Close()
-		if err != nil {
-			return nil, fmt.Errorf("taskpool: load %s: %w", path, err)
-		}
-	} else if !os.IsNotExist(err) {
-		return nil, err
-	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return nil, err
-	}
-	p.SetWAL(f)
-	return f, nil
-}
-
-// Compact rewrites path as a fresh snapshot (via a temp file and
-// rename, so a crash mid-compaction leaves the old log intact) and
-// re-attaches the renamed file as the live WAL. It returns the new WAL
-// handle; the caller should close the previous one.
-func (p *Pool) Compact(path string) (*os.File, error) {
-	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
-	if err != nil {
-		return nil, err
+// ApplyLogRecord applies one replicated-log entry to the pool — the
+// follower path, and the incremental half of ReplayLog. Entries carry
+// the same walRecord payloads the legacy WAL used, so replaying a log
+// and reading a legacy file converge on the same state.
+func (p *Pool) ApplyLogRecord(rec replog.Record) error {
+	var wr walRecord
+	if err := json.Unmarshal(rec.Payload, &wr); err != nil {
+		return fmt.Errorf("taskpool: log entry %d: %w", rec.Index, err)
 	}
 	p.mu.Lock()
-	// Snapshot and WAL switch happen under one lock acquisition so no
-	// mutation can slip between the snapshot and the new log.
-	bw := bufio.NewWriter(tmp)
-	werr := error(nil)
-	for _, t := range p.snapshotLocked() {
-		if err := writeRecords(bw, t, nil); err != nil {
-			werr = err
-			break
+	defer p.mu.Unlock()
+	switch wr.Op {
+	case "task":
+		if wr.Task != nil && wr.Task.ID != "" {
+			p.upsertLocked(wr.Task)
+		}
+	case "counters":
+		if wr.Counters != nil {
+			p.counters = *wr.Counters
 		}
 	}
-	if werr == nil {
-		werr = writeRecords(bw, nil, &p.counters)
+	return nil
+}
+
+// upsertLocked installs a replayed task and maintains the derived
+// state ReadJSONL rebuilds wholesale: id/seq watermarks and the FIFO
+// queue in QueueSeq order.
+func (p *Pool) upsertLocked(t *Task) {
+	prev := p.tasks[t.ID]
+	p.tasks[t.ID] = t
+	if n := taskNum(t.ID); n >= p.nextID {
+		p.nextID = n + 1
 	}
-	if werr == nil {
-		werr = bw.Flush()
+	if t.QueueSeq >= p.nextSeq {
+		p.nextSeq = t.QueueSeq + 1
 	}
-	if werr == nil {
-		werr = tmp.Sync()
+	if prev != nil && prev.State == StateQueued {
+		for i, id := range p.queue {
+			if id == t.ID {
+				p.queue = append(p.queue[:i:i], p.queue[i+1:]...)
+				break
+			}
+		}
 	}
-	if werr != nil {
-		p.mu.Unlock()
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return nil, werr
+	if t.State == StateQueued {
+		i := sort.Search(len(p.queue), func(i int) bool {
+			q := p.tasks[p.queue[i]]
+			return q == nil || q.QueueSeq > t.QueueSeq
+		})
+		p.queue = append(p.queue, "")
+		copy(p.queue[i+1:], p.queue[i:])
+		p.queue[i] = t.ID
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		p.mu.Unlock()
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return nil, err
+}
+
+// ReplayLog replaces the pool contents from the log (snapshot restore
+// plus entry-by-entry apply) and binds the log for subsequent
+// mutations.
+func (p *Pool) ReplayLog(lg *replog.Log) error {
+	if err := lg.Replay(p.ReadJSONL, p.ApplyLogRecord); err != nil {
+		return err
 	}
-	// Reopen in append mode: tmp's handle is positioned correctly, but
-	// an O_APPEND handle keeps semantics obvious.
-	tmp.Close()
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	p.BindLog(lg)
+	return nil
+}
+
+// CompactLog folds the bound log down to a single snapshot of the
+// current pool state. Snapshot and truncation happen under the pool
+// lock, so no mutation can slip between them.
+func (p *Pool) CompactLog() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.log == nil {
+		return nil
+	}
+	return p.log.Compact(p.log.LastIndex(), p.writeJSONLLocked)
+}
+
+// OpenLog opens the pool's replicated log at dir and loads the pool
+// from it. When the log is empty and legacyPath names a pre-replog
+// single-file WAL, that file is absorbed as the log's base snapshot
+// first — old on-disk pools keep loading, and their state becomes
+// replicable. The returned log is bound to the pool; the caller closes
+// it on shutdown.
+func (p *Pool) OpenLog(dir, legacyPath string, opts replog.Options) (*replog.Log, error) {
+	if opts.Name == "" {
+		opts.Name = "taskpool"
+	}
+	lg, err := replog.Open(dir, opts)
 	if err != nil {
-		p.mu.Unlock()
 		return nil, err
 	}
-	p.wal = f
-	p.walErr = nil
-	p.mu.Unlock()
-	return f, nil
+	if !lg.HasState() && legacyPath != "" {
+		f, err := os.Open(legacyPath)
+		if err == nil {
+			berr := lg.Bootstrap(f)
+			f.Close()
+			if berr != nil {
+				lg.Close()
+				return nil, fmt.Errorf("taskpool: bootstrap from %s: %w", legacyPath, berr)
+			}
+		} else if !os.IsNotExist(err) {
+			lg.Close()
+			return nil, err
+		}
+	}
+	if err := p.ReplayLog(lg); err != nil {
+		lg.Close()
+		return nil, err
+	}
+	return lg, nil
 }

@@ -8,6 +8,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"gptunecrowd/internal/replog"
 )
 
 // replay round-trips a pool through its JSONL form and returns the
@@ -131,13 +133,12 @@ func TestReadJSONLRejectsMidStreamCorruption(t *testing.T) {
 	}
 }
 
-func TestOpenFileAndCompact(t *testing.T) {
-	dir := t.TempDir()
-	path := filepath.Join(dir, "taskpool.jsonl")
+func TestOpenLogAndCompact(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "tasklog")
 	clk := newFakeClock()
 
 	p := testPool(clk, time.Minute, 3)
-	f, err := p.OpenFile(path)
+	lg, err := p.OpenLog(dir, "", replog.Options{})
 	if err != nil {
 		t.Fatalf("open: %v", err)
 	}
@@ -148,10 +149,11 @@ func TestOpenFileAndCompact(t *testing.T) {
 	if err := p.WALError(); err != nil {
 		t.Fatalf("wal: %v", err)
 	}
+	lg.Close()
 
-	// Simulate restart: a fresh pool loads the WAL file.
+	// Simulate restart: a fresh pool replays the log directory.
 	q := testPool(clk, time.Minute, 3)
-	f2, err := q.OpenFile(path)
+	lg2, err := q.OpenLog(dir, "", replog.Options{})
 	if err != nil {
 		t.Fatalf("reopen: %v", err)
 	}
@@ -160,31 +162,157 @@ func TestOpenFileAndCompact(t *testing.T) {
 		t.Fatalf("restart lost state: %+v", got)
 	}
 
-	// Compact rewrites the file to one record per task.
-	before, _ := os.ReadFile(path)
-	f3, err := q.Compact(path)
-	if err != nil {
+	// Compact folds the log down to a snapshot; entries drop to zero.
+	if n := lg2.Stats().Entries; n == 0 {
+		t.Fatal("expected live entries before compaction")
+	}
+	if err := q.CompactLog(); err != nil {
 		t.Fatalf("compact: %v", err)
 	}
-	after, _ := os.ReadFile(path)
-	if len(after) >= len(before) {
-		t.Fatalf("compaction did not shrink the log: %d -> %d bytes", len(before), len(after))
+	if n := lg2.Stats().Entries; n != 0 {
+		t.Fatalf("compaction left %d live entries", n)
 	}
-	// Mutations after compaction append to the new file.
+	// Mutations after compaction append to the new segment.
 	mustSubmit(t, q, "bob", demoSpec(3))
 	if err := q.WALError(); err != nil {
 		t.Fatalf("wal after compact: %v", err)
 	}
+	lg2.Close()
+
 	r := testPool(clk, time.Minute, 3)
-	rf, err := r.OpenFile(path)
+	lg3, err := r.OpenLog(dir, "", replog.Options{})
 	if err != nil {
 		t.Fatalf("open after compact: %v", err)
 	}
+	defer lg3.Close()
 	if r.Len() != 3 {
 		t.Fatalf("post-compact replay has %d tasks, want 3", r.Len())
 	}
-	for _, h := range []*os.File{f, f2, f3, rf} {
-		h.Close()
+}
+
+// TestOpenLogBootstrapsLegacyWAL proves WAL-format read compatibility:
+// a pre-replog single-file pool WAL is absorbed as the log's base
+// snapshot, and later opens ignore the legacy file.
+func TestOpenLogBootstrapsLegacyWAL(t *testing.T) {
+	dir := t.TempDir()
+	legacy := filepath.Join(dir, "taskpool.jsonl")
+	clk := newFakeClock()
+
+	// Produce a legacy WAL the old way: raw walRecord lines, including
+	// redundant intermediate states and a torn tail.
+	p := testPool(clk, time.Minute, 3)
+	var wal bytes.Buffer
+	p.SetWAL(&wal)
+	id := mustSubmit(t, p, "alice", demoSpec(1))
+	mustSubmit(t, p, "bob", demoSpec(2))
+	l, _ := p.Lease("w1", MachineConstraint{})
+	p.Complete(l.ID, l.LeaseToken, Result{BestY: 4.5})
+	wal.WriteString(`{"op":"task","task":{"id":"t9","st`) // crash mid-append
+	if err := os.WriteFile(legacy, wal.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	q := testPool(clk, time.Minute, 3)
+	lg, err := q.OpenLog(filepath.Join(dir, "tasklog"), legacy, replog.Options{})
+	if err != nil {
+		t.Fatalf("bootstrap open: %v", err)
+	}
+	got, ok := q.Get(id)
+	if !ok || got.State != StateCompleted || got.Result.BestY != 4.5 {
+		t.Fatalf("legacy state lost: %+v", got)
+	}
+	if ps, qs := p.Stats(), q.Stats(); ps != qs {
+		t.Fatalf("stats drift after bootstrap: %+v vs %+v", ps, qs)
+	}
+	// New mutations land in the log, not the legacy file.
+	before, _ := os.ReadFile(legacy)
+	mustSubmit(t, q, "carol", demoSpec(3))
+	after, _ := os.ReadFile(legacy)
+	if !bytes.Equal(before, after) {
+		t.Fatal("legacy WAL mutated after migration")
+	}
+	lg.Close()
+
+	// A restart replays from the log alone; the (stale) legacy file no
+	// longer wins even though it is still passed in.
+	r := testPool(clk, time.Minute, 3)
+	lg2, err := r.OpenLog(filepath.Join(dir, "tasklog"), legacy, replog.Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer lg2.Close()
+	if r.Len() != 3 {
+		t.Fatalf("restart after migration has %d tasks, want 3", r.Len())
+	}
+}
+
+// TestApplyLogRecordFollowsLeader replays a leader pool's log entries
+// one by one into a follower pool — the replication apply path — and
+// checks the follower converges on the leader's exact state, including
+// queue order.
+func TestApplyLogRecordFollowsLeader(t *testing.T) {
+	clk := newFakeClock()
+	leader := testPool(clk, 30*time.Second, 3)
+	lg, err := leader.OpenLog("", "", replog.Options{}) // memory-only log
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lg.Close()
+
+	for i := 0; i < 6; i++ {
+		mustSubmit(t, leader, "alice", demoSpec(int64(i)))
+	}
+	l1, _ := leader.Lease("w1", MachineConstraint{})
+	l2, _ := leader.Lease("w2", MachineConstraint{})
+	leader.Complete(l1.ID, l1.LeaseToken, Result{BestY: 1})
+	leader.Fail(l2.ID, l2.LeaseToken, "oom", nil)
+	clk.Advance(31 * time.Second)
+	leader.ExpireLeases()
+	if err := leader.WALError(); err != nil {
+		t.Fatal(err)
+	}
+
+	follower := New(Config{LeaseTTL: 30 * time.Second, MaxAttempts: 3, Now: clk.Now})
+	recs, err := lg.Entries(0, int(lg.LastIndex()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
+		if err := follower.ApplyLogRecord(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ls, fs := leader.Stats(), follower.Stats(); ls != fs {
+		t.Fatalf("stats drift: leader %+v follower %+v", ls, fs)
+	}
+	var a, b bytes.Buffer
+	if err := leader.WriteJSONL(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := follower.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("follower snapshot is not byte-identical to leader snapshot")
+	}
+	// Queue order must match too: drain both and compare.
+	var lq, fq []string
+	for {
+		l, _ := leader.Lease("x", MachineConstraint{})
+		if l == nil {
+			break
+		}
+		lq = append(lq, l.ID)
+	}
+	for {
+		l, _ := follower.Lease("x", MachineConstraint{})
+		if l == nil {
+			break
+		}
+		fq = append(fq, l.ID)
+	}
+	if strings.Join(lq, ",") != strings.Join(fq, ",") {
+		t.Fatalf("queue order drift: leader %v follower %v", lq, fq)
 	}
 }
 

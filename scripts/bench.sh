@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Suggestion-service performance benchmark: runs the sustained-QPS
-# harness (cmd/suggestbench) twice — single-proposal and batch-8 — and
-# writes the repo's perf-trajectory file BENCH_suggest.json (a JSON
-# array, one entry per workload), then prints the Go micro-benchmarks
-# behind the CI allocation guards for comparison.
+# harness (cmd/suggestbench) three times — single-proposal, batch-8,
+# and a 3-shard cluster behind the routing coordinator — and writes the
+# repo's perf-trajectory file BENCH_suggest.json (a JSON array, one
+# entry per workload), then prints the Go micro-benchmarks behind the
+# CI allocation guards for comparison.
 #
 # Environment knobs (defaults in parentheses):
 #   SEED (9)  DURATION (5s)  CLIENTS (16)  HISTORY (64)  BATCH (8)
@@ -33,10 +34,16 @@ go run ./cmd/suggestbench \
     -seed "$SEED" -duration "$DURATION" -clients "$CLIENTS" \
     -history "$HISTORY" -batch "$BATCH" -out "$tmpdir/batch.json"
 
+echo "== suggestbench (sustained QPS, 3-shard cluster + coordinator)"
+go run ./cmd/suggestbench \
+    -seed "$SEED" -duration "$DURATION" -clients "$CLIENTS" \
+    -history "$HISTORY" -cluster -out "$tmpdir/cluster.json"
+
 {
     printf '[\n'
     sed 's/^/  /' "$tmpdir/single.json" | sed '$s/}/},/'
-    sed 's/^/  /' "$tmpdir/batch.json"
+    sed 's/^/  /' "$tmpdir/batch.json" | sed '$s/}/},/'
+    sed 's/^/  /' "$tmpdir/cluster.json"
     printf ']\n'
 } > "$OUT"
 echo "wrote $OUT"

@@ -30,8 +30,8 @@ GPTUNE_WORKERS=4 go test -race ./internal/parallel ./internal/kernel \
     ./internal/linalg ./internal/gp ./internal/lcm ./internal/core \
     ./internal/sensitivity ./internal/optimize
 
-echo "== crowd race-stress suite"
-go test -race -run 'Stress' -count=1 ./internal/crowd
+echo "== crowd + cluster race-stress suite"
+go test -race -run 'Stress' -count=1 ./internal/crowd ./internal/cluster
 
 echo "== fuzz smoke (10s per target)"
 fuzz_targets="
@@ -54,8 +54,8 @@ echo "$fuzz_targets" | while read -r target pkg; do
     go test -run "^${target}\$" -fuzz "^${target}\$" -fuzztime=10s "$pkg"
 done
 
-echo "== coverage floor (crowd + historydb + taskpool + core + suggest >= 80%)"
-go test -count=1 -cover ./internal/crowd ./internal/historydb ./internal/taskpool ./internal/core ./internal/suggest | tee /tmp/cover.txt
+echo "== coverage floor (crowd + historydb + taskpool + core + suggest + replog + shardring >= 80%)"
+go test -count=1 -cover ./internal/crowd ./internal/historydb ./internal/taskpool ./internal/core ./internal/suggest ./internal/replog ./internal/shardring | tee /tmp/cover.txt
 awk '
 /coverage:/ {
     for (i = 1; i <= NF; i++) if ($i == "coverage:") pct = $(i+1) + 0
