@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
@@ -143,6 +144,132 @@ func TestCoordinatorSplitsUploadAcrossShards(t *testing.T) {
 	}
 	if len(got) != len(problems) {
 		t.Fatalf("problems fan-out returned %v, want all of %v", got, problems)
+	}
+}
+
+// TestStaleLeaderStepsDownWhenFenced: promoting a follower while the
+// old leader is still reachable must not leave two nodes acknowledging
+// writes. The old leader's next replication push is fenced (409); it
+// steps down to follower, refuses to self-commit the in-flight write
+// (503, not a false ack), and bounces the retry to the promoted node.
+func TestStaleLeaderStepsDownWhenFenced(t *testing.T) {
+	sp := testSpace(t)
+	mk := func(leader bool) (*Node, *httptest.Server) {
+		n, err := NewNode(NodeConfig{
+			Shard:           "s0",
+			Leader:          leader,
+			Token:           testToken,
+			CommitTimeout:   300 * time.Millisecond,
+			StalenessWindow: time.Minute,
+			Crowd:           crowd.Config{SuggestSeed: 11},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.Server().RegisterProblemPolicy("p", crowd.ProblemPolicy{Space: sp})
+		ts := httptest.NewServer(n)
+		n.SetAdvertise(ts.URL)
+		t.Cleanup(ts.Close)
+		t.Cleanup(func() { n.Close() })
+		return n, ts
+	}
+	oldLeader, oldTS := mk(true)
+	follower, folTS := mk(false)
+	rep := oldLeader.AttachFollower(folTS.URL, nil)
+
+	// Replicate one committed write so both nodes hold the credential.
+	boot := newStressClient(oldTS.URL, "")
+	key, err := boot.Register("alice", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Operator failover while the old leader is alive and reachable.
+	if err := follower.Promote(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A write against the stale leader must end up acknowledged by the
+	// promoted node: the first attempt is fenced at the barrier (503)
+	// or bounced outright, and the retry follows the 307.
+	c := newStressClient(oldTS.URL, key)
+	ids, err := c.Upload([]crowd.FuncEval{stressEval("p", "post-fence", 1)})
+	if err != nil {
+		t.Fatalf("upload via stale leader: %v", err)
+	}
+	if len(ids) != 1 {
+		t.Fatalf("got %d ids, want 1", len(ids))
+	}
+	if got := oldLeader.Role(); got != RoleFollower {
+		t.Fatalf("fenced leader role = %s, want follower", got)
+	}
+	if got := oldLeader.LeaderURL(); got != folTS.URL {
+		t.Fatalf("fenced leader points writers at %q, want %q", got, folTS.URL)
+	}
+	if rep.Alive() {
+		t.Fatal("fenced replicator still counted in the commit quorum")
+	}
+	if n := follower.Server().Store().Collection("func_evals").Len(); n != 1 {
+		t.Fatalf("promoted leader stores %d evals, want 1", n)
+	}
+}
+
+// TestTopologySnapshotIsolatedFromFailover: ShardInfo handed out by
+// shardInfo/snapshotTopology must not share Replicas backing arrays
+// with the live topology — adoptLeader rewrites those lists in place
+// while readers iterate their snapshots without a lock.
+func TestTopologySnapshotIsolatedFromFailover(t *testing.T) {
+	c, err := NewCoordinator(CoordinatorConfig{Topology: Topology{
+		Version: 1,
+		Shards:  []ShardInfo{{ID: "s0", Leader: "http://a", Replicas: []string{"http://b", "http://c"}}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, ok := c.shardInfo("s0")
+	if !ok {
+		t.Fatal("shard s0 missing")
+	}
+	c.adoptLeader("s0", "http://b")
+	if got := strings.Join(snap.Replicas, ","); got != "http://b,http://c" {
+		t.Fatalf("shardInfo snapshot mutated by failover: replicas = %s", got)
+	}
+	topo := c.snapshotTopology()
+	c.adoptLeader("s0", "http://c")
+	if got := strings.Join(topo.Shards[0].Replicas, ","); got != "http://c,http://a" {
+		t.Fatalf("topology snapshot mutated by failover: replicas = %s", got)
+	}
+	if topo.Shards[0].Leader != "http://b" {
+		t.Fatalf("topology snapshot leader = %s, want http://b", topo.Shards[0].Leader)
+	}
+}
+
+// TestClientFollowsLocationOnlyRedirect: a 307 that lacks
+// X-Shard-Leader falls back to the Location header, which nodes set to
+// leader+path — the client must keep only the origin, or the retried
+// attempt doubles the path and 404s.
+func TestClientFollowsLocationOnlyRedirect(t *testing.T) {
+	var gotPath string
+	leader := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotPath = r.URL.Path
+		writeJSON(w, http.StatusOK, crowd.RegisterResponse{APIKey: "k"})
+	}))
+	defer leader.Close()
+	follower := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Location", leader.URL+r.URL.Path)
+		w.WriteHeader(http.StatusTemporaryRedirect)
+	}))
+	defer follower.Close()
+	c := newStressClient(follower.URL, "")
+	key, err := c.Register("alice", "")
+	if err != nil {
+		t.Fatalf("register via Location-only redirect: %v", err)
+	}
+	if key != "k" {
+		t.Fatalf("key = %q, want k", key)
+	}
+	if gotPath != "/api/v1/register" {
+		t.Fatalf("leader saw path %q, want /api/v1/register", gotPath)
 	}
 }
 

@@ -86,7 +86,13 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	}
 	client := cfg.HTTP
 	if client == nil {
-		client = http.DefaultClient
+		// Surface 307s instead of transparently following them:
+		// writeToShard turns a redirect into an adoptLeader + retry, so
+		// the topology converges on the new leader rather than paying a
+		// stale-leader bounce on every write forever.
+		client = &http.Client{
+			CheckRedirect: func(*http.Request, []*http.Request) error { return http.ErrUseLastResponse },
+		}
 	}
 	c := &Coordinator{
 		token:  cfg.Token,
@@ -154,11 +160,18 @@ func (c *Coordinator) setTopology(topo Topology) error {
 	return nil
 }
 
+// snapshotTopology deep-copies the routing state: the returned shards
+// (including their Replicas backing arrays) share nothing with the live
+// topology, so callers may read or edit them without holding c.mu.
 func (c *Coordinator) snapshotTopology() Topology {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	t := c.topo
-	t.Shards = append([]ShardInfo(nil), c.topo.Shards...)
+	t.Shards = make([]ShardInfo, len(c.topo.Shards))
+	for i, s := range c.topo.Shards {
+		s.Replicas = append([]string(nil), s.Replicas...)
+		t.Shards[i] = s
+	}
 	return t
 }
 
@@ -189,6 +202,9 @@ func (c *Coordinator) shardInfo(id string) (ShardInfo, bool) {
 	defer c.mu.RUnlock()
 	for _, s := range c.topo.Shards {
 		if s.ID == id {
+			// Deep-copy Replicas: the caller iterates outside the lock
+			// while adoptLeader/handleJoin rewrite the live list.
+			s.Replicas = append([]string(nil), s.Replicas...)
 			return s, true
 		}
 	}
@@ -208,7 +224,9 @@ func (c *Coordinator) adoptLeader(id, leader string) {
 		}
 		old := s.Leader
 		s.Leader = leader
-		keep := s.Replicas[:0]
+		// A fresh slice, not in-place filtering: snapshots handed out
+		// before this call must never observe the rewrite.
+		keep := make([]string, 0, len(s.Replicas)+1)
 		for _, r := range s.Replicas {
 			if r != leader {
 				keep = append(keep, r)
@@ -1039,7 +1057,7 @@ func (c *Coordinator) handleJoin(w http.ResponseWriter, r *http.Request) {
 		found = true
 		if req.Role == RoleLeader {
 			if s.Leader != req.URL {
-				keep := s.Replicas[:0]
+				keep := make([]string, 0, len(s.Replicas)+1)
 				for _, ru := range s.Replicas {
 					if ru != req.URL {
 						keep = append(keep, ru)

@@ -17,6 +17,7 @@ type nodeMetrics struct {
 	replicationErrs *obs.Counter
 	followerDeaths  *obs.Counter
 	staleRejects    *obs.Counter
+	stepDowns       *obs.Counter
 }
 
 func newNodeMetrics(reg *obs.Registry, n *Node) *nodeMetrics {
@@ -31,6 +32,8 @@ func newNodeMetrics(reg *obs.Registry, n *Node) *nodeMetrics {
 			"Followers dropped from the commit quorum after consecutive push failures."),
 		staleRejects: reg.Counter("cluster_stale_reads_total",
 			"Reads refused with 412 because this replica lagged its leader."),
+		stepDowns: reg.Counter("cluster_stepdowns_total",
+			"Stale leaders demoted to follower after a promoted node fenced their stream."),
 	}
 	reg.GaugeFunc("cluster_is_leader",
 		"1 when this node leads its shard, 0 on followers.",

@@ -438,26 +438,58 @@ func (n *Node) kickReplicators() {
 }
 
 // recomputeCommit advances each log's commit index to the minimum
-// acknowledged index across live followers (the log head itself when
-// none are live).
+// acknowledged index across quorum members. A dead follower drops out
+// (the log head self-commits when none are live — a shard of one
+// acknowledges alone), but a fenced follower stays counted at its
+// frozen acknowledged position: fencing means another node was
+// promoted, so a stale leader must never self-commit writes the new
+// leader does not carry.
 func (n *Node) recomputeCommit() {
 	n.mu.Lock()
-	var live []*Replicator
+	var quorum []*Replicator
 	for _, r := range n.replicators {
-		if r.Alive() {
-			live = append(live, r)
+		if r.Alive() || r.isFenced() {
+			quorum = append(quorum, r)
 		}
 	}
 	n.mu.Unlock()
 	for _, name := range logNames {
 		lg := n.logs[name]
 		min := lg.LastIndex()
-		for _, r := range live {
+		for _, r := range quorum {
 			if a := r.ackedIndex(name); a < min {
 				min = a
 			}
 		}
 		lg.Commit(min)
+	}
+}
+
+// stepDown demotes a stale leader after a follower fenced its stream
+// (answered a replication push with 409): leadership has moved, so
+// this node reverts to follower and starts bouncing writes — when the
+// fencing node identified itself, straight to the new leader. The
+// replication loops are signalled to exit without waiting (the caller
+// is one of them), but the fenced replicators stay registered so
+// recomputeCommit keeps capping the commit index at their frozen
+// acknowledged positions; an in-flight write barrier then times out
+// with a clean 503 instead of acknowledging a write the new leader
+// will never carry.
+func (n *Node) stepDown(newLeader string) {
+	n.mu.Lock()
+	if n.role != RoleLeader {
+		n.mu.Unlock()
+		return
+	}
+	n.role = RoleFollower
+	if newLeader != "" {
+		n.leaderURL = newLeader
+	}
+	reps := append([]*Replicator(nil), n.replicators...)
+	n.mu.Unlock()
+	n.metrics.stepDowns.Inc()
+	for _, r := range reps {
+		r.signalStop()
 	}
 }
 
@@ -489,7 +521,15 @@ func (n *Node) Promote() error {
 	defer n.applyMu.Unlock()
 	n.mu.Lock()
 	n.role = RoleLeader
+	// A re-promoted node starts with a fresh follower set: replicators
+	// left over from an earlier (possibly fenced) term would otherwise
+	// cap the commit index forever.
+	reps := n.replicators
+	n.replicators = nil
 	n.mu.Unlock()
+	for _, r := range reps {
+		r.signalStop()
+	}
 	for _, name := range logNames {
 		lg := n.logs[name]
 		lg.Commit(lg.LastIndex())
@@ -563,7 +603,11 @@ func (n *Node) handleApply(w http.ResponseWriter, r *http.Request) {
 	}
 	if n.Role() == RoleLeader {
 		// Fencing: a promoted node never accepts the old leader's
-		// stream; the stale leader sees 409 and stops replicating.
+		// stream; the stale leader sees 409 (stamped with this node's
+		// address) and steps down to follower.
+		if adv := n.Advertise(); adv != "" {
+			w.Header().Set(crowd.ShardLeaderHeader, adv)
+		}
 		writeErrCode(w, http.StatusConflict, "fenced", "node is a leader")
 		return
 	}

@@ -11,6 +11,7 @@ package cluster
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -20,6 +21,7 @@ import (
 	"sync"
 	"time"
 
+	"gptunecrowd/internal/crowd"
 	"gptunecrowd/internal/replog"
 )
 
@@ -34,6 +36,11 @@ const (
 	deadAfterFailures = 3
 	// maxBatchRecords caps records shipped per log per push.
 	maxBatchRecords = 1024
+	// pushTimeout bounds one replication round trip. A black-holed
+	// follower connection then counts as a push failure (and is dropped
+	// from the commit quorum after deadAfterFailures) instead of
+	// wedging the push loop — and Stop/Close — indefinitely.
+	pushTimeout = 5 * time.Second
 )
 
 // wireRecord is one replicated log record on the wire.
@@ -73,9 +80,10 @@ type Replicator struct {
 	url    string
 	client *http.Client
 
-	kickCh chan struct{}
-	stopCh chan struct{}
-	doneCh chan struct{}
+	kickCh   chan struct{}
+	stopCh   chan struct{}
+	stopOnce sync.Once
+	doneCh   chan struct{}
 
 	mu       sync.Mutex
 	acked    map[string]uint64
@@ -86,7 +94,9 @@ type Replicator struct {
 
 // AttachFollower starts replicating this (leader) node's logs to the
 // follower at baseURL and registers the follower in the commit quorum.
-// httpClient nil uses http.DefaultClient.
+// httpClient nil uses http.DefaultClient; either way every push runs
+// under pushTimeout, so a hung follower degrades to a dead one instead
+// of wedging the loop.
 func (n *Node) AttachFollower(baseURL string, httpClient *http.Client) *Replicator {
 	if httpClient == nil {
 		httpClient = http.DefaultClient
@@ -121,12 +131,14 @@ func (n *Node) Followers() []string {
 
 // Stop halts the push loop and waits for it to exit.
 func (r *Replicator) Stop() {
-	select {
-	case <-r.stopCh:
-	default:
-		close(r.stopCh)
-	}
+	r.signalStop()
 	<-r.doneCh
+}
+
+// signalStop asks the push loop to exit without waiting for it — the
+// form a replicator may use on itself from inside the loop.
+func (r *Replicator) signalStop() {
+	r.stopOnce.Do(func() { close(r.stopCh) })
 }
 
 // URL returns the follower's base URL.
@@ -267,7 +279,9 @@ func (r *Replicator) send(req *applyRequest) (*applyResponse, error) {
 	if err != nil {
 		return nil, err
 	}
-	hreq, err := http.NewRequest(http.MethodPost, r.url+"/api/v1/cluster/apply", bytes.NewReader(body))
+	ctx, cancel := context.WithTimeout(context.Background(), pushTimeout)
+	defer cancel()
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, r.url+"/api/v1/cluster/apply", bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
@@ -282,13 +296,18 @@ func (r *Replicator) send(req *applyRequest) (*applyResponse, error) {
 	defer resp.Body.Close()
 	if resp.StatusCode == http.StatusConflict {
 		// The follower was promoted: this node's leadership is fenced.
-		// Stop pushing for good; the operator (or coordinator failover)
-		// decides what the old leader becomes.
+		// Step down to follower immediately — writes start bouncing to
+		// the promoted node (its 409 names it) — and keep this
+		// replicator's frozen ack in the commit computation so no
+		// in-flight write barrier self-commits past what the new
+		// leader carries.
 		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+		newLeader := resp.Header.Get(crowd.ShardLeaderHeader)
 		r.mu.Lock()
 		r.fenced = true
 		r.alive = false
 		r.mu.Unlock()
+		r.node.stepDown(newLeader)
 		r.node.recomputeCommit()
 		return nil, fmt.Errorf("cluster: follower %s fenced this leader", r.url)
 	}

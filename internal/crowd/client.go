@@ -13,6 +13,7 @@ import (
 	"math"
 	mathrand "math/rand"
 	"net/http"
+	"net/url"
 	"sync"
 	"time"
 
@@ -241,7 +242,11 @@ func (c *Client) attemptAt(ctx context.Context, base, path string, body []byte, 
 		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
 		target := resp.Header.Get(ShardLeaderHeader)
 		if target == "" {
-			target = resp.Header.Get("Location")
+			// Location carries leader+path; keep only the origin, since
+			// the retried attempt appends the path itself.
+			if u, perr := url.Parse(resp.Header.Get("Location")); perr == nil && u.Scheme != "" && u.Host != "" {
+				target = u.Scheme + "://" + u.Host
+			}
 		}
 		return &shardRedirect{target: target}, false
 	}

@@ -237,12 +237,16 @@ func (c *Collection) WriteJSONL(w io.Writer) error {
 }
 
 // ReadJSONL replaces the collection contents from a JSONL stream,
-// preserving existing _id fields and advancing the id counter past them.
+// preserving existing _id fields and advancing the id counter past
+// them. A compaction snapshot's trailing watermark record (see
+// watermarkKey) restores the exact counter; streams without one —
+// legacy files, pre-watermark snapshots — fall back to maxID+1.
 func (c *Collection) ReadJSONL(r io.Reader) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
 	var docs []Document
 	maxID := int64(0)
+	watermark := int64(0)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		if line == "" {
@@ -251,6 +255,12 @@ func (c *Collection) ReadJSONL(r io.Reader) error {
 		var d Document
 		if err := json.Unmarshal([]byte(line), &d); err != nil {
 			return fmt.Errorf("historydb: bad JSONL line: %w", err)
+		}
+		if v, ok := d[watermarkKey].(float64); ok && len(d) == 1 {
+			if int64(v) > watermark {
+				watermark = int64(v)
+			}
+			continue
 		}
 		if ids, ok := d["_id"].(string); ok {
 			var v int64
@@ -268,6 +278,9 @@ func (c *Collection) ReadJSONL(r io.Reader) error {
 	defer c.mu.Unlock()
 	c.docs = docs
 	c.nextID = maxID + 1
+	if watermark > c.nextID {
+		c.nextID = watermark
+	}
 	return nil
 }
 

@@ -30,6 +30,14 @@ type logRecord struct {
 	NextID int64      `json:"next_id,omitempty"`
 }
 
+// watermarkKey marks the trailing metadata record a compaction snapshot
+// carries (`{"<key>": <next id>}`): without it, deleting the
+// highest-id documents and then compacting would rewind the id counter
+// on replay to maxID+1 and reissue previously assigned _id values.
+// ReadJSONL recognizes the record; snapshots without one (legacy files,
+// pre-watermark logs) still load with the maxID+1 fallback.
+const watermarkKey = "_historydb_next_id"
+
 // BindLog attaches a replicated log: every subsequent mutation appends
 // a physical record describing exactly what changed. Pass nil to
 // detach.
@@ -174,6 +182,10 @@ func (c *Collection) CompactLog() error {
 			if err := enc.Encode(d); err != nil {
 				return err
 			}
+		}
+		// Trailing id-watermark record (see watermarkKey).
+		if err := enc.Encode(map[string]int64{watermarkKey: c.nextID}); err != nil {
+			return err
 		}
 		return bw.Flush()
 	})

@@ -203,3 +203,46 @@ func TestJournalUnknownOpRejected(t *testing.T) {
 		t.Fatal("bad payload accepted")
 	}
 }
+
+// TestCompactionPreservesIDWatermark: deleting the highest-id documents
+// and then compacting must not rewind the id counter — a reopened
+// collection would otherwise reissue previously assigned _id values.
+func TestCompactionPreservesIDWatermark(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wm-log")
+	live := NewCollection("c")
+	lg, err := live.OpenLog(dir, "", replog.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := live.Insert(Document{"i": i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Documents i=3,4 hold the highest ids ("4","5"); drop them, then
+	// fold the log down to a snapshot of the survivors.
+	for _, i := range []float64{3, 4} {
+		if removed := live.Delete(Eq("i", i)); removed != 1 {
+			t.Fatalf("removed %d docs for i=%v, want 1", removed, i)
+		}
+	}
+	if err := live.CompactLog(); err != nil {
+		t.Fatal(err)
+	}
+	if err := live.LogError(); err != nil {
+		t.Fatal(err)
+	}
+	lg.Close()
+
+	restored := NewCollection("c")
+	lg2, err := restored.OpenLog(dir, "", replog.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lg2.Close()
+	if id, err := restored.Insert(Document{"i": 99}); err != nil {
+		t.Fatal(err)
+	} else if id != "6" {
+		t.Fatalf("id after compaction+reopen = %q, want \"6\" (watermark regressed)", id)
+	}
+}
