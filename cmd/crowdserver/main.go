@@ -195,6 +195,11 @@ func main() {
 		join         = flag.String("join", "", "coordinator base URL to register this node with")
 		clusterToken = flag.String("cluster-token", "", "shared secret for intra-cluster endpoints (apply/promote/join)")
 		shardsFlag   = flag.String("shards", "", "coordinator: static topology, 'id=leader[,replica...];id2=...'")
+
+		// Failure detection (coordinator only).
+		failover       = flag.String("failover", "auto", "coordinator failover mode: auto (detector promotes a caught-up follower) or manual (operators call /promote)")
+		detectInterval = flag.Duration("detect-interval", cluster.DefaultDetectInterval, "coordinator: leader liveness probe cadence")
+		detectMisses   = flag.Int("detect-misses", cluster.DefaultDetectMisses, "coordinator: consecutive missed probes before a leader is declared dead")
 	)
 	flag.Parse()
 
@@ -232,6 +237,20 @@ func main() {
 		} else if dbg != nil {
 			defer dbg.Close()
 			log.Printf("crowdserver debug server (pprof + /metrics) on %s", dbg.Addr)
+		}
+		switch *failover {
+		case "auto":
+			sup := coord.StartSupervisor(cluster.SupervisorConfig{
+				Interval: *detectInterval,
+				Misses:   *detectMisses,
+			})
+			defer sup.Stop()
+			log.Printf("crowdserver: automatic failover on (probe every %s, dead after %d misses)",
+				*detectInterval, *detectMisses)
+		case "manual":
+			log.Printf("crowdserver: automatic failover off; promote followers via POST /api/v1/cluster/promote")
+		default:
+			log.Fatalf("crowdserver: unknown -failover %q (want auto or manual)", *failover)
 		}
 		log.Printf("crowdserver coordinator listening on %s (%d shards)", *addr, len(topo.Shards))
 		if err := serve(ctx, *addr, coord, *shutdownTimeout, nil, 0); err != nil {

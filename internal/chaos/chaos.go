@@ -1,0 +1,341 @@
+// Package chaos injects faults into HTTP paths so cluster failure
+// handling can be tested under -race without touching real networks.
+// A Network holds the live fault set — killed hosts, black holes,
+// pairwise partitions, added latency, slow-drip response bodies —
+// keyed by host:port. Faults apply on both sides of a connection:
+// Transport wraps an http.RoundTripper with the client-side view (a
+// request into a partition hangs until its context gives up, exactly
+// like dropped packets), and Gate wraps an http.Handler with the
+// server-side view (a killed host aborts every in-flight and future
+// connection). A seeded Schedule makes randomized fault plans
+// reproducible: the same seed always draws the same sequence.
+package chaos
+
+import (
+	"fmt"
+	mrand "math/rand"
+	"net/http"
+	"net/url"
+	"sync"
+	"time"
+
+	"gptunecrowd/internal/obs"
+)
+
+// Network is a set of injectable faults over host:port endpoints. All
+// methods are safe for concurrent use.
+type Network struct {
+	mu         sync.Mutex
+	killed     map[string]bool
+	blackholed map[string]bool
+	partitions map[[2]string]bool
+	delays     map[string]time.Duration
+	drips      map[string]time.Duration
+
+	metrics *Metrics
+}
+
+// Metrics counts injected faults (chaos_* families).
+type Metrics struct {
+	Kills      *obs.Counter
+	Partitions *obs.Counter
+	Delays     *obs.Counter
+	Dropped    *obs.Counter
+}
+
+// NewNetwork builds a fault-free network. reg receives the chaos_*
+// metric families (nil allocates a private registry).
+func NewNetwork(reg *obs.Registry) *Network {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return &Network{
+		killed:     make(map[string]bool),
+		blackholed: make(map[string]bool),
+		partitions: make(map[[2]string]bool),
+		delays:     make(map[string]time.Duration),
+		drips:      make(map[string]time.Duration),
+		metrics: &Metrics{
+			Kills: reg.Counter("chaos_kills_total",
+				"Hosts killed by the chaos harness."),
+			Partitions: reg.Counter("chaos_partitions_total",
+				"Pairwise partitions injected by the chaos harness."),
+			Delays: reg.Counter("chaos_delays_total",
+				"Latency injections applied to chaos-routed requests."),
+			Dropped: reg.Counter("chaos_dropped_requests_total",
+				"Requests aborted or black-holed by the chaos harness."),
+		},
+	}
+}
+
+// Metrics exposes the fault counters.
+func (n *Network) Metrics() *Metrics { return n.metrics }
+
+// HostOf extracts the host:port key from a base URL ("" when the URL
+// does not parse).
+func HostOf(rawurl string) string {
+	u, err := url.Parse(rawurl)
+	if err != nil {
+		return ""
+	}
+	return u.Host
+}
+
+func pairKey(a, b string) [2]string {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]string{a, b}
+}
+
+// Kill marks a host dead: its Gate aborts every connection and
+// chaos-routed clients fail fast.
+func (n *Network) Kill(host string) {
+	n.mu.Lock()
+	n.killed[host] = true
+	n.mu.Unlock()
+	n.metrics.Kills.Inc()
+}
+
+// Revive clears a kill.
+func (n *Network) Revive(host string) {
+	n.mu.Lock()
+	delete(n.killed, host)
+	n.mu.Unlock()
+}
+
+// Killed reports whether a host is currently dead.
+func (n *Network) Killed(host string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.killed[host]
+}
+
+// BlackHole makes every chaos-routed request to host hang until the
+// request context gives up (dropped packets, not a refused connection).
+func (n *Network) BlackHole(host string) {
+	n.mu.Lock()
+	n.blackholed[host] = true
+	n.mu.Unlock()
+}
+
+// ClearBlackHole removes a black hole.
+func (n *Network) ClearBlackHole(host string) {
+	n.mu.Lock()
+	delete(n.blackholed, host)
+	n.mu.Unlock()
+}
+
+// Partition drops all chaos-routed traffic between a and b, in both
+// directions, until Heal.
+func (n *Network) Partition(a, b string) {
+	n.mu.Lock()
+	n.partitions[pairKey(a, b)] = true
+	n.mu.Unlock()
+	n.metrics.Partitions.Inc()
+}
+
+// Heal removes the partition between a and b.
+func (n *Network) Heal(a, b string) {
+	n.mu.Lock()
+	delete(n.partitions, pairKey(a, b))
+	n.mu.Unlock()
+}
+
+// HealAll removes every partition and black hole (kills persist until
+// Revive).
+func (n *Network) HealAll() {
+	n.mu.Lock()
+	n.partitions = make(map[[2]string]bool)
+	n.blackholed = make(map[string]bool)
+	n.mu.Unlock()
+}
+
+// SetDelay adds fixed latency to every chaos-routed request reaching
+// host (0 clears).
+func (n *Network) SetDelay(host string, d time.Duration) {
+	n.mu.Lock()
+	if d <= 0 {
+		delete(n.delays, host)
+	} else {
+		n.delays[host] = d
+	}
+	n.mu.Unlock()
+}
+
+// SetSlowDrip makes responses from host drip: each body read stalls by
+// d (0 clears). Exercises partial-response handling under -race.
+func (n *Network) SetSlowDrip(host string, d time.Duration) {
+	n.mu.Lock()
+	if d <= 0 {
+		delete(n.drips, host)
+	} else {
+		n.drips[host] = d
+	}
+	n.mu.Unlock()
+}
+
+// faultsFor snapshots the faults applying to a from→to request.
+func (n *Network) faultsFor(from, to string) (killed, holed bool, delay, drip time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	killed = n.killed[to] || n.killed[from]
+	holed = n.blackholed[to] || n.blackholed[from] || n.partitions[pairKey(from, to)]
+	return killed, holed, n.delays[to], n.drips[to]
+}
+
+// Transport wraps base (nil: http.DefaultTransport) with the
+// client-side fault view for traffic originating at from. Requests
+// into a kill fail immediately; requests into a black hole or
+// partition hang until the request context is done; delayed hosts add
+// latency before the real round trip; slow-drip hosts stall each
+// response body read.
+func (n *Network) Transport(from string, base http.RoundTripper) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &transport{net: n, from: from, base: base}
+}
+
+// Client is Transport wrapped in an http.Client.
+func (n *Network) Client(from string) *http.Client {
+	return &http.Client{Transport: n.Transport(from, nil)}
+}
+
+type transport struct {
+	net  *Network
+	from string
+	base http.RoundTripper
+}
+
+func (t *transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	to := req.URL.Host
+	killed, holed, delay, drip := t.net.faultsFor(t.from, to)
+	if killed {
+		t.net.metrics.Dropped.Inc()
+		return nil, fmt.Errorf("chaos: host %s is killed", to)
+	}
+	if holed {
+		t.net.metrics.Dropped.Inc()
+		// Dropped packets: nothing comes back until the caller's own
+		// deadline fires. A request without one would hang forever —
+		// exactly the bug a missing timeout is.
+		<-req.Context().Done()
+		return nil, fmt.Errorf("chaos: %s→%s black-holed: %w", t.from, to, req.Context().Err())
+	}
+	if delay > 0 {
+		t.net.metrics.Delays.Inc()
+		timer := time.NewTimer(delay)
+		defer timer.Stop()
+		select {
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		case <-timer.C:
+		}
+	}
+	resp, err := t.base.RoundTrip(req)
+	if err != nil || resp == nil {
+		return resp, err
+	}
+	if drip > 0 {
+		resp.Body = &dripBody{inner: resp.Body, delay: drip}
+	}
+	return resp, nil
+}
+
+// dripBody stalls each Read — a slow peer draining its response byte
+// by byte.
+type dripBody struct {
+	inner interface {
+		Read([]byte) (int, error)
+		Close() error
+	}
+	delay time.Duration
+}
+
+func (d *dripBody) Read(p []byte) (int, error) {
+	time.Sleep(d.delay)
+	if len(p) > 256 {
+		p = p[:256] // force many small reads
+	}
+	return d.inner.Read(p)
+}
+
+func (d *dripBody) Close() error { return d.inner.Close() }
+
+// Gate wraps a server handler with the server-side fault view: while
+// host is killed every request — in-flight or new — aborts its
+// connection without a response, the way a SIGKILLed process drops
+// sockets. The response writer re-checks the kill on every write, so a
+// request that entered before the kill (say, one parked on a commit
+// barrier) cannot leak an acknowledgement out of a dead process.
+func (n *Network) Gate(host string, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if n.Killed(host) {
+			n.metrics.Dropped.Inc()
+			panic(http.ErrAbortHandler)
+		}
+		h.ServeHTTP(&gatedWriter{ResponseWriter: w, net: n, host: host}, r)
+	})
+}
+
+// gatedWriter aborts the connection if its host died after the request
+// was admitted: a dead process never flushes a response.
+type gatedWriter struct {
+	http.ResponseWriter
+	net  *Network
+	host string
+}
+
+func (g *gatedWriter) abortIfKilled() {
+	if g.net.Killed(g.host) {
+		g.net.metrics.Dropped.Inc()
+		panic(http.ErrAbortHandler)
+	}
+}
+
+func (g *gatedWriter) WriteHeader(code int) {
+	g.abortIfKilled()
+	g.ResponseWriter.WriteHeader(code)
+}
+
+func (g *gatedWriter) Write(p []byte) (int, error) {
+	g.abortIfKilled()
+	return g.ResponseWriter.Write(p)
+}
+
+func (g *gatedWriter) Flush() {
+	if f, ok := g.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Schedule draws a reproducible fault plan: the same seed yields the
+// same sequence of picks, so a failed chaos run replays exactly from
+// its logged seed.
+type Schedule struct {
+	mu  sync.Mutex
+	rng *mrand.Rand
+}
+
+// NewSchedule seeds a schedule.
+func NewSchedule(seed int64) *Schedule {
+	return &Schedule{rng: mrand.New(mrand.NewSource(seed))}
+}
+
+// Pick draws uniformly from [0, n).
+func (s *Schedule) Pick(n int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rng.Intn(n)
+}
+
+// Duration draws uniformly from [min, max].
+func (s *Schedule) Duration(min, max time.Duration) time.Duration {
+	if max <= min {
+		return min
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return min + time.Duration(s.rng.Int63n(int64(max-min)+1))
+}

@@ -1,0 +1,210 @@
+package chaos
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newEchoServer(t *testing.T, n *Network, body string) (*httptest.Server, string) {
+	t.Helper()
+	var ts *httptest.Server
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, body)
+	})
+	ts = httptest.NewUnstartedServer(nil)
+	ts.Config.Handler = n.Gate(hostOfServer(ts), h)
+	ts.Start()
+	t.Cleanup(ts.Close)
+	return ts, HostOf(ts.URL)
+}
+
+func hostOfServer(ts *httptest.Server) string {
+	return ts.Listener.Addr().String()
+}
+
+func get(t *testing.T, c *http.Client, url string) (string, error) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func TestKillAndRevive(t *testing.T) {
+	n := NewNetwork(nil)
+	ts, host := newEchoServer(t, n, "alive")
+	client := n.Client("client-a")
+
+	if got, err := get(t, client, ts.URL); err != nil || got != "alive" {
+		t.Fatalf("pre-kill: got %q err %v", got, err)
+	}
+	n.Kill(host)
+	if !n.Killed(host) {
+		t.Fatal("Killed(host) = false after Kill")
+	}
+	// Chaos-routed clients fail fast.
+	if _, err := get(t, client, ts.URL); err == nil {
+		t.Fatal("request to killed host via chaos transport succeeded")
+	}
+	// Non-chaos clients hit the Gate and see an aborted connection.
+	if _, err := get(t, &http.Client{}, ts.URL); err == nil {
+		t.Fatal("request to killed host via plain client succeeded")
+	}
+	n.Revive(host)
+	if got, err := get(t, client, ts.URL); err != nil || got != "alive" {
+		t.Fatalf("post-revive: got %q err %v", got, err)
+	}
+	if n.Metrics().Kills.Value() != 1 || n.Metrics().Dropped.Value() < 2 {
+		t.Fatalf("metrics: kills=%d dropped=%d", n.Metrics().Kills.Value(), n.Metrics().Dropped.Value())
+	}
+}
+
+func TestPartitionHangsUntilDeadlineAndHeals(t *testing.T) {
+	n := NewNetwork(nil)
+	ts, host := newEchoServer(t, n, "ok")
+	client := n.Client("node-a")
+	n.Partition("node-a", host)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL, nil)
+	start := time.Now()
+	_, err := client.Do(req)
+	if err == nil {
+		t.Fatal("partitioned request succeeded")
+	}
+	if elapsed := time.Since(start); elapsed < 40*time.Millisecond {
+		t.Fatalf("partitioned request failed fast (%v); want a hang until the deadline", elapsed)
+	}
+	// Other origins are unaffected.
+	if got, err := get(t, n.Client("node-b"), ts.URL); err != nil || got != "ok" {
+		t.Fatalf("unrelated origin: got %q err %v", got, err)
+	}
+	n.Heal("node-a", host)
+	if got, err := get(t, client, ts.URL); err != nil || got != "ok" {
+		t.Fatalf("post-heal: got %q err %v", got, err)
+	}
+}
+
+func TestBlackHoleAndHealAll(t *testing.T) {
+	n := NewNetwork(nil)
+	ts, host := newEchoServer(t, n, "ok")
+	client := n.Client("x")
+	n.BlackHole(host)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL, nil)
+	if _, err := client.Do(req); err == nil {
+		t.Fatal("black-holed request succeeded")
+	}
+	n.HealAll()
+	if got, err := get(t, client, ts.URL); err != nil || got != "ok" {
+		t.Fatalf("post-heal-all: got %q err %v", got, err)
+	}
+	n.BlackHole(host)
+	n.ClearBlackHole(host)
+	if _, err := get(t, client, ts.URL); err != nil {
+		t.Fatalf("post-clear: %v", err)
+	}
+}
+
+func TestDelayAddsLatency(t *testing.T) {
+	n := NewNetwork(nil)
+	ts, host := newEchoServer(t, n, "ok")
+	client := n.Client("x")
+	n.SetDelay(host, 60*time.Millisecond)
+	start := time.Now()
+	if got, err := get(t, client, ts.URL); err != nil || got != "ok" {
+		t.Fatalf("delayed request: got %q err %v", got, err)
+	}
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+		t.Fatalf("delay not applied: %v", elapsed)
+	}
+	if n.Metrics().Delays.Value() == 0 {
+		t.Fatal("delay metric not counted")
+	}
+	n.SetDelay(host, 0)
+	start = time.Now()
+	if _, err := get(t, client, ts.URL); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 50*time.Millisecond {
+		t.Fatalf("delay still applied after clear: %v", elapsed)
+	}
+	// A delayed request whose context expires first fails cleanly.
+	n.SetDelay(host, time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL, nil)
+	if _, err := client.Do(req); err == nil {
+		t.Fatal("delayed request outlived its context")
+	}
+}
+
+func TestSlowDripPreservesBody(t *testing.T) {
+	n := NewNetwork(nil)
+	body := strings.Repeat("0123456789", 200) // forces several dripped reads
+	ts, host := newEchoServer(t, n, body)
+	client := n.Client("x")
+	n.SetSlowDrip(host, time.Millisecond)
+	got, err := get(t, client, ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != body {
+		t.Fatalf("dripped body corrupted: %d bytes, want %d", len(got), len(body))
+	}
+	n.SetSlowDrip(host, 0)
+	if got, err := get(t, client, ts.URL); err != nil || got != body {
+		t.Fatalf("post-clear: err %v", err)
+	}
+}
+
+func TestScheduleDeterminism(t *testing.T) {
+	a, b := NewSchedule(42), NewSchedule(42)
+	for i := 0; i < 100; i++ {
+		if pa, pb := a.Pick(7), b.Pick(7); pa != pb {
+			t.Fatalf("draw %d: %d != %d with equal seeds", i, pa, pb)
+		}
+		da := a.Duration(time.Millisecond, 10*time.Millisecond)
+		db := b.Duration(time.Millisecond, 10*time.Millisecond)
+		if da != db {
+			t.Fatalf("draw %d: %v != %v with equal seeds", i, da, db)
+		}
+		if da < time.Millisecond || da > 10*time.Millisecond {
+			t.Fatalf("duration %v outside [1ms, 10ms]", da)
+		}
+	}
+	if NewSchedule(1).Pick(7) == NewSchedule(2).Pick(7) &&
+		NewSchedule(1).Pick(7) == NewSchedule(3).Pick(7) &&
+		NewSchedule(1).Pick(7) == NewSchedule(4).Pick(7) {
+		t.Fatal("different seeds all drew the same value")
+	}
+	if d := NewSchedule(9).Duration(time.Second, time.Second); d != time.Second {
+		t.Fatalf("degenerate range: %v", d)
+	}
+}
+
+func TestHostOf(t *testing.T) {
+	if got := HostOf("http://127.0.0.1:8080"); got != "127.0.0.1:8080" {
+		t.Fatalf("HostOf = %q", got)
+	}
+	if got := HostOf("://bad url"); got != "" {
+		t.Fatalf("HostOf(bad) = %q, want empty", got)
+	}
+}

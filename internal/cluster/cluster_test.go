@@ -230,12 +230,12 @@ func TestTopologySnapshotIsolatedFromFailover(t *testing.T) {
 	if !ok {
 		t.Fatal("shard s0 missing")
 	}
-	c.adoptLeader("s0", "http://b")
+	c.adoptLeader("s0", "http://b", 2)
 	if got := strings.Join(snap.Replicas, ","); got != "http://b,http://c" {
 		t.Fatalf("shardInfo snapshot mutated by failover: replicas = %s", got)
 	}
 	topo := c.snapshotTopology()
-	c.adoptLeader("s0", "http://c")
+	c.adoptLeader("s0", "http://c", 3)
 	if got := strings.Join(topo.Shards[0].Replicas, ","); got != "http://c,http://a" {
 		t.Fatalf("topology snapshot mutated by failover: replicas = %s", got)
 	}

@@ -11,17 +11,20 @@ package cluster
 
 import (
 	"bytes"
+	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
 	"log/slog"
+	mrand "math/rand"
 	"net/http"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"gptunecrowd/internal/crowd"
 	"gptunecrowd/internal/obs"
@@ -29,10 +32,14 @@ import (
 )
 
 // ShardInfo is one shard's membership: the leader plus follower
-// replica base URLs.
+// replica base URLs. Epoch is the promotion epoch of the adopted
+// leadership — the coordinator refuses to re-adopt a leader whose
+// (epoch, URL) does not supersede it, so a deposed leader's stale 307
+// hints can never win the topology back.
 type ShardInfo struct {
 	ID       string   `json:"id"`
 	Leader   string   `json:"leader"`
+	Epoch    uint64   `json:"epoch,omitempty"`
 	Replicas []string `json:"replicas,omitempty"`
 }
 
@@ -57,18 +64,27 @@ type CoordinatorConfig struct {
 	// HTTP is the client used for shard traffic (nil uses
 	// http.DefaultClient).
 	HTTP *http.Client
+	// ProbeTimeout bounds one health/info probe of a shard node
+	// (DefaultProbeTimeout when zero), so a black-holed node costs one
+	// deadline, not a hung handler.
+	ProbeTimeout time.Duration
+	// RetryBaseDelay seeds the jittered exponential backoff between
+	// shard-routing retries (DefaultRetryBaseDelay when zero).
+	RetryBaseDelay time.Duration
 }
 
 // Coordinator routes the public API across shards. It is an
 // http.Handler.
 type Coordinator struct {
-	token   string
-	client  *http.Client
-	log     *slog.Logger
-	reg     *obs.Registry
-	metrics *coordMetrics
-	mux     *http.ServeMux
-	rr      atomic.Uint64
+	token        string
+	client       *http.Client
+	log          *slog.Logger
+	reg          *obs.Registry
+	metrics      *coordMetrics
+	mux          *http.ServeMux
+	rr           atomic.Uint64
+	probeTimeout time.Duration
+	retryBase    time.Duration
 
 	mu   sync.RWMutex
 	topo Topology
@@ -77,6 +93,49 @@ type Coordinator struct {
 
 // routeAttempts bounds leader-chasing per shard request.
 const routeAttempts = 4
+
+// Routing/probing defaults for CoordinatorConfig zero values.
+const (
+	// DefaultProbeTimeout bounds one health/info probe of a shard node.
+	DefaultProbeTimeout = 2 * time.Second
+	// DefaultRetryBaseDelay seeds the jittered exponential backoff
+	// between routing retries.
+	DefaultRetryBaseDelay = 25 * time.Millisecond
+	// retryMaxDelay caps one backoff sleep.
+	retryMaxDelay = 1 * time.Second
+	// statsProbeWorkers bounds concurrent shard probes in handleStats.
+	statsProbeWorkers = 4
+)
+
+// jitteredBackoff returns the sleep before retry number attempt
+// (0-based): exponential growth from base, capped at retryMaxDelay,
+// with full jitter across [d/2, d] so a fleet of coordinator goroutines
+// retrying through the same failover window spreads out instead of
+// thundering in lockstep.
+func jitteredBackoff(base time.Duration, attempt int) time.Duration {
+	d := base
+	for i := 0; i < attempt && d < retryMaxDelay; i++ {
+		d *= 2
+	}
+	if d > retryMaxDelay {
+		d = retryMaxDelay
+	}
+	half := int64(d / 2)
+	return time.Duration(half + mrand.Int63n(half+1))
+}
+
+// sleepBackoff sleeps the jittered backoff, bailing early when ctx is
+// done. It reports whether the caller may retry.
+func sleepBackoff(ctx context.Context, base time.Duration, attempt int) bool {
+	t := time.NewTimer(jitteredBackoff(base, attempt))
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
 
 // NewCoordinator builds a coordinator over the given topology.
 func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
@@ -95,10 +154,18 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		}
 	}
 	c := &Coordinator{
-		token:  cfg.Token,
-		client: client,
-		log:    obs.Or(cfg.Slog),
-		reg:    reg,
+		token:        cfg.Token,
+		client:       client,
+		log:          obs.Or(cfg.Slog),
+		reg:          reg,
+		probeTimeout: cfg.ProbeTimeout,
+		retryBase:    cfg.RetryBaseDelay,
+	}
+	if c.probeTimeout <= 0 {
+		c.probeTimeout = DefaultProbeTimeout
+	}
+	if c.retryBase <= 0 {
+		c.retryBase = DefaultRetryBaseDelay
 	}
 	if err := c.setTopology(cfg.Topology); err != nil {
 		return nil, err
@@ -213,17 +280,33 @@ func (c *Coordinator) shardInfo(id string) (ShardInfo, bool) {
 
 // adoptLeader records a leadership change for a shard and bumps the
 // topology version. The displaced leader is kept as a replica so
-// probes keep covering it.
-func (c *Coordinator) adoptLeader(id, leader string) {
+// probes keep covering it. Adoption is epoch-fenced: a candidate whose
+// (epoch, URL) does not supersede the adopted leadership is refused —
+// a deposed leader's stale hints can never win the routing table back.
+// It reports whether leader is the shard's adopted leader afterwards.
+func (c *Coordinator) adoptLeader(id, leader string, epoch uint64) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for i := range c.topo.Shards {
 		s := &c.topo.Shards[i]
-		if s.ID != id || s.Leader == leader {
+		if s.ID != id {
 			continue
+		}
+		if s.Leader == leader {
+			if epoch > s.Epoch {
+				s.Epoch = epoch
+			}
+			return true
+		}
+		if s.Leader != "" && !leadershipNewer(epoch, leader, s.Epoch, s.Leader) {
+			c.log.Info("refused stale leader adoption",
+				"shard", id, "candidate", leader, "candidate_epoch", epoch,
+				"leader", s.Leader, "epoch", s.Epoch)
+			return false
 		}
 		old := s.Leader
 		s.Leader = leader
+		s.Epoch = epoch
 		// A fresh slice, not in-place filtering: snapshots handed out
 		// before this call must never observe the rewrite.
 		keep := make([]string, 0, len(s.Replicas)+1)
@@ -238,8 +321,10 @@ func (c *Coordinator) adoptLeader(id, leader string) {
 		s.Replicas = keep
 		c.topo.Version++
 		c.metrics.failovers.Inc()
-		c.log.Info("adopted new shard leader", "shard", id, "leader", leader)
+		c.log.Info("adopted new shard leader", "shard", id, "leader", leader, "epoch", epoch)
+		return true
 	}
+	return false
 }
 
 // shardReply is one proxied response.
@@ -263,16 +348,39 @@ func relay(w http.ResponseWriter, rep *shardReply) {
 // do posts body to base+path, forwarding the caller's credentials and
 // trace id.
 func (c *Coordinator) do(orig *http.Request, base, path string, body []byte) (*shardReply, error) {
-	req, err := http.NewRequestWithContext(orig.Context(), http.MethodPost, base+path, bytes.NewReader(body))
+	return c.doCtx(orig.Context(), orig, base, path, body)
+}
+
+// probeDo is do under the per-probe deadline: a black-holed node costs
+// one ProbeTimeout instead of hanging the caller.
+func (c *Coordinator) probeDo(orig *http.Request, base, path string, body []byte) (*shardReply, error) {
+	parent := context.Background()
+	if orig != nil {
+		parent = orig.Context()
+	}
+	ctx, cancel := context.WithTimeout(parent, c.probeTimeout)
+	defer cancel()
+	return c.doCtx(ctx, orig, base, path, body)
+}
+
+// doCtx posts body to base+path under ctx. orig may be nil (detector
+// traffic has no originating client request).
+func (c *Coordinator) doCtx(ctx context.Context, orig *http.Request, base, path string, body []byte) (*shardReply, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+path, bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
-	if k := orig.Header.Get("X-Api-Key"); k != "" {
-		req.Header.Set("X-Api-Key", k)
+	if orig != nil {
+		if k := orig.Header.Get("X-Api-Key"); k != "" {
+			req.Header.Set("X-Api-Key", k)
+		}
+		if tr := orig.Header.Get(obs.TraceHeader); tr != "" {
+			req.Header.Set(obs.TraceHeader, tr)
+		}
 	}
-	if tr := orig.Header.Get(obs.TraceHeader); tr != "" {
-		req.Header.Set(obs.TraceHeader, tr)
+	if c.token != "" && strings.HasPrefix(path, "/api/v1/cluster/") {
+		req.Header.Set(TokenHeader, c.token)
 	}
 	resp, err := c.client.Do(req)
 	if err != nil {
@@ -286,42 +394,79 @@ func (c *Coordinator) do(orig *http.Request, base, path string, body []byte) (*s
 	return &shardReply{status: resp.StatusCode, header: resp.Header, body: b}, nil
 }
 
-// probeLeader asks every known node of a shard who leads; it returns
-// the first self-reported leader's URL.
-func (c *Coordinator) probeLeader(orig *http.Request, id string) string {
+// nodeInfo probes one node's /api/v1/cluster/info under the probe
+// deadline.
+func (c *Coordinator) nodeInfo(orig *http.Request, url string) (InfoResponse, bool) {
+	var ni InfoResponse
+	if url == "" {
+		return ni, false
+	}
+	rep, err := c.probeDo(orig, url, "/api/v1/cluster/info", []byte("{}"))
+	if err != nil || rep.status != http.StatusOK {
+		return ni, false
+	}
+	if json.Unmarshal(rep.body, &ni) != nil {
+		return ni, false
+	}
+	return ni, true
+}
+
+// probeLeader asks every known node of a shard who leads and returns
+// the best self-reported leader — the one whose (epoch, URL) supersedes
+// all others — plus its epoch. Second-hand hints ("my leader is X")
+// from followers are verified by probing X directly, never trusted
+// blind: an epoch-less hint could otherwise re-adopt a deposed leader.
+func (c *Coordinator) probeLeader(orig *http.Request, id string) (string, uint64) {
 	info, ok := c.shardInfo(id)
 	if !ok {
-		return ""
+		return "", 0
 	}
 	candidates := append([]string{info.Leader}, info.Replicas...)
-	for _, url := range candidates {
-		if url == "" {
-			continue
+	probed := make(map[string]bool)
+	var hints []string
+	bestURL, bestEpoch := "", uint64(0)
+	consider := func(url string, ni InfoResponse) {
+		if ni.Role != RoleLeader {
+			return
 		}
-		rep, err := c.do(orig, url, "/api/v1/cluster/info", []byte("{}"))
-		if err != nil || rep.status != http.StatusOK {
-			continue
+		if ni.Advertise != "" {
+			url = ni.Advertise
 		}
-		var ni InfoResponse
-		if json.Unmarshal(rep.body, &ni) != nil {
-			continue
-		}
-		if ni.Role == RoleLeader {
-			if ni.Advertise != "" {
-				return ni.Advertise
-			}
-			return url
-		}
-		if ni.Leader != "" {
-			return ni.Leader
+		if bestURL == "" || leadershipNewer(ni.Epoch, url, bestEpoch, bestURL) {
+			bestURL, bestEpoch = url, ni.Epoch
 		}
 	}
-	return ""
+	for _, url := range candidates {
+		if url == "" || probed[url] {
+			continue
+		}
+		probed[url] = true
+		ni, ok := c.nodeInfo(orig, url)
+		if !ok {
+			continue
+		}
+		consider(url, ni)
+		if ni.Role != RoleLeader && ni.Leader != "" {
+			hints = append(hints, ni.Leader)
+		}
+	}
+	for _, url := range hints {
+		if probed[url] {
+			continue
+		}
+		probed[url] = true
+		if ni, ok := c.nodeInfo(orig, url); ok {
+			consider(url, ni)
+		}
+	}
+	return bestURL, bestEpoch
 }
 
 // writeToShard sends a mutating request to the shard's leader, chasing
-// leadership changes: 307/421 hints and info probes update the
-// topology, bounded by routeAttempts.
+// leadership changes bounded by routeAttempts: 307/421 hints are
+// verified by an info probe (adoption is epoch-fenced) and failed
+// attempts back off with jittered exponential delays so a failover
+// window does not trigger a synchronized retry herd.
 func (c *Coordinator) writeToShard(orig *http.Request, id, path string, body []byte) (*shardReply, error) {
 	info, ok := c.shardInfo(id)
 	if !ok {
@@ -330,13 +475,17 @@ func (c *Coordinator) writeToShard(orig *http.Request, id, path string, body []b
 	url := info.Leader
 	var lastErr error
 	for attempt := 0; attempt < routeAttempts; attempt++ {
+		if attempt > 0 && !sleepBackoff(orig.Context(), c.retryBase, attempt-1) {
+			break
+		}
 		if url == "" {
-			url = c.probeLeader(orig, id)
-			if url == "" {
+			probedURL, probedEpoch := c.probeLeader(orig, id)
+			if probedURL == "" {
 				lastErr = fmt.Errorf("cluster: no reachable leader for shard %s", id)
-				break
+				continue
 			}
-			c.adoptLeader(id, url)
+			url = probedURL
+			c.adoptLeader(id, probedURL, probedEpoch)
 		}
 		rep, err := c.do(orig, url, path, body)
 		if err != nil {
@@ -346,13 +495,22 @@ func (c *Coordinator) writeToShard(orig *http.Request, id, path string, body []b
 			continue
 		}
 		if rep.status == http.StatusTemporaryRedirect || rep.status == http.StatusMisdirectedRequest {
-			if target := rep.leaderHint(); target != "" && target != url {
-				c.adoptLeader(id, target)
-				c.metrics.retries.Inc()
+			c.metrics.retries.Inc()
+			target := rep.leaderHint()
+			if target == "" || target == url {
+				url = ""
+				continue
+			}
+			// Verify the hint before trusting it: only a node that
+			// self-reports leadership (with its epoch) is adopted.
+			if ni, ok := c.nodeInfo(orig, target); ok && ni.Role == RoleLeader {
+				if ni.Advertise != "" {
+					target = ni.Advertise
+				}
+				c.adoptLeader(id, target, ni.Epoch)
 				url = target
 				continue
 			}
-			c.metrics.retries.Inc()
 			url = ""
 			continue
 		}
@@ -964,59 +1122,68 @@ type ClusterStats struct {
 
 // handleStats reports per-shard health: leader reachability, replica
 // roles, log replication positions, and the leader's own stats
-// snapshot.
+// snapshot. Shard probes fan out under a bounded worker group and
+// every probe runs under the probe deadline, so one black-holed node
+// delays the response by one timeout instead of stalling it serially.
 func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
 	c.metrics.fanouts.Inc()
 	topo := c.snapshotTopology()
-	out := ClusterStats{TopologyVersion: topo.Version}
+	out := ClusterStats{TopologyVersion: topo.Version, Shards: make([]ShardStatus, len(topo.Shards))}
 	sort.Slice(topo.Shards, func(i, j int) bool { return topo.Shards[i].ID < topo.Shards[j].ID })
-	for _, s := range topo.Shards {
-		st := ShardStatus{ID: s.ID, Leader: s.Leader}
-		if rep, err := c.do(r, s.Leader, "/api/v1/cluster/info", []byte("{}")); err == nil && rep.status == http.StatusOK {
-			var info InfoResponse
-			if json.Unmarshal(rep.body, &info) == nil && info.Role == RoleLeader {
-				st.Healthy = true
-				st.Logs = info.Logs
-			}
-		}
-		if !st.Healthy {
-			// The recorded leader is gone or demoted: a promoted
-			// follower self-reports leadership — adopt it now rather
-			// than waiting for the next write to discover it.
-			if leader := c.probeLeader(r, s.ID); leader != "" && leader != s.Leader {
-				c.adoptLeader(s.ID, leader)
+	sem := make(chan struct{}, statsProbeWorkers)
+	var wg sync.WaitGroup
+	for i := range topo.Shards {
+		wg.Add(1)
+		go func(i int, s ShardInfo) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out.Shards[i] = c.shardStatus(r, s)
+		}(i, topo.Shards[i])
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, out)
+}
+
+// shardStatus probes one shard for the stats view (every probe under
+// the probe deadline).
+func (c *Coordinator) shardStatus(r *http.Request, s ShardInfo) ShardStatus {
+	st := ShardStatus{ID: s.ID, Leader: s.Leader}
+	if info, ok := c.nodeInfo(r, s.Leader); ok && info.Role == RoleLeader {
+		st.Healthy = true
+		st.Logs = info.Logs
+	}
+	if !st.Healthy {
+		// The recorded leader is gone or demoted: a promoted follower
+		// self-reports leadership — adopt it now rather than waiting
+		// for the next write to discover it.
+		if leader, epoch := c.probeLeader(r, s.ID); leader != "" && leader != s.Leader {
+			if c.adoptLeader(s.ID, leader, epoch) {
 				st.Leader = leader
-				if rep, err := c.do(r, leader, "/api/v1/cluster/info", []byte("{}")); err == nil && rep.status == http.StatusOK {
-					var info InfoResponse
-					if json.Unmarshal(rep.body, &info) == nil && info.Role == RoleLeader {
-						st.Healthy = true
-						st.Logs = info.Logs
-						if cur, ok := c.shardInfo(s.ID); ok {
-							s = cur
-						}
+				if info, ok := c.nodeInfo(r, leader); ok && info.Role == RoleLeader {
+					st.Healthy = true
+					st.Logs = info.Logs
+					if cur, ok := c.shardInfo(s.ID); ok {
+						s = cur
 					}
 				}
 			}
 		}
-		if st.Healthy {
-			if rep, err := c.do(r, s.Leader, "/api/v1/stats", []byte("{}")); err == nil && rep.status == http.StatusOK {
-				st.Stats = json.RawMessage(rep.body)
-			}
-		}
-		for _, ru := range s.Replicas {
-			rs := ReplicaStatus{URL: ru}
-			if rep, err := c.do(r, ru, "/api/v1/cluster/info", []byte("{}")); err == nil && rep.status == http.StatusOK {
-				var info InfoResponse
-				if json.Unmarshal(rep.body, &info) == nil {
-					rs.Healthy = true
-					rs.Role = info.Role
-				}
-			}
-			st.Replicas = append(st.Replicas, rs)
-		}
-		out.Shards = append(out.Shards, st)
 	}
-	writeJSON(w, http.StatusOK, out)
+	if st.Healthy {
+		if rep, err := c.probeDo(r, st.Leader, "/api/v1/stats", []byte("{}")); err == nil && rep.status == http.StatusOK {
+			st.Stats = json.RawMessage(rep.body)
+		}
+	}
+	for _, ru := range s.Replicas {
+		rs := ReplicaStatus{URL: ru}
+		if info, ok := c.nodeInfo(r, ru); ok {
+			rs.Healthy = true
+			rs.Role = info.Role
+		}
+		st.Replicas = append(st.Replicas, rs)
+	}
+	return st
 }
 
 func (c *Coordinator) handleTopology(w http.ResponseWriter, r *http.Request) {

@@ -12,12 +12,16 @@ import (
 )
 
 type nodeMetrics struct {
-	appliedRecords  *obs.Counter
-	commitTimeouts  *obs.Counter
-	replicationErrs *obs.Counter
-	followerDeaths  *obs.Counter
-	staleRejects    *obs.Counter
-	stepDowns       *obs.Counter
+	appliedRecords   *obs.Counter
+	commitTimeouts   *obs.Counter
+	replicationErrs  *obs.Counter
+	followerDeaths   *obs.Counter
+	staleRejects     *obs.Counter
+	stepDowns        *obs.Counter
+	promotions       *obs.Counter
+	resyncs          *obs.Counter
+	detectorProbes   *obs.Counter
+	detectorSuspects *obs.Counter
 }
 
 func newNodeMetrics(reg *obs.Registry, n *Node) *nodeMetrics {
@@ -34,11 +38,30 @@ func newNodeMetrics(reg *obs.Registry, n *Node) *nodeMetrics {
 			"Reads refused with 412 because this replica lagged its leader."),
 		stepDowns: reg.Counter("cluster_stepdowns_total",
 			"Stale leaders demoted to follower after a promoted node fenced their stream."),
+		promotions: reg.Counter("cluster_promotions_total",
+			"Times this node was promoted to shard leader."),
+		resyncs: reg.Counter("cluster_resyncs_total",
+			"Truncation resyncs: diverged follower logs rebuilt from the leader's snapshot."),
+		detectorProbes: reg.Counter("cluster_detector_probes_total",
+			"Follower→leader liveness probes sent after the leader went quiet."),
+		detectorSuspects: reg.Counter("cluster_detector_suspects_total",
+			"Times this follower marked its quiet leader suspect after a failed probe."),
 	}
 	reg.GaugeFunc("cluster_is_leader",
 		"1 when this node leads its shard, 0 on followers.",
 		func() float64 {
 			if n.Role() == RoleLeader {
+				return 1
+			}
+			return 0
+		})
+	reg.GaugeFunc("cluster_epoch",
+		"Promotion epoch of the leadership this node holds or follows.",
+		func() float64 { return float64(n.Epoch()) })
+	reg.GaugeFunc("cluster_fenced",
+		"1 while this node is a demoted leader awaiting a truncation resync.",
+		func() float64 {
+			if n.Fenced() {
 				return 1
 			}
 			return 0
@@ -71,11 +94,15 @@ func registerLogMetrics(reg *obs.Registry, name string, lg *replog.Log) {
 }
 
 type coordMetrics struct {
-	routed     *obs.Counter
-	fanouts    *obs.Counter
-	retries    *obs.Counter
-	failovers  *obs.Counter
-	staleReads *obs.Counter
+	routed             *obs.Counter
+	fanouts            *obs.Counter
+	retries            *obs.Counter
+	failovers          *obs.Counter
+	staleReads         *obs.Counter
+	detectorProbes     *obs.Counter
+	detectorMisses     *obs.Counter
+	detectorPromotions *obs.Counter
+	detectorDemotions  *obs.Counter
 }
 
 func newCoordMetrics(reg *obs.Registry, c *Coordinator) *coordMetrics {
@@ -90,6 +117,14 @@ func newCoordMetrics(reg *obs.Registry, c *Coordinator) *coordMetrics {
 			"Leader changes adopted after probing a shard's replicas."),
 		staleReads: reg.Counter("cluster_stale_reads_total",
 			"Replica reads refused with 412 and re-served from another node."),
+		detectorProbes: reg.Counter("cluster_detector_probes_total",
+			"Supervisor health probes of shard leaders."),
+		detectorMisses: reg.Counter("cluster_detector_misses_total",
+			"Supervisor probes that found a shard's adopted leader unhealthy."),
+		detectorPromotions: reg.Counter("cluster_detector_promotions_total",
+			"Automatic follower promotions executed by the supervisor."),
+		detectorDemotions: reg.Counter("cluster_detector_demotions_total",
+			"Recovered stale leaders demoted back to follower by the supervisor."),
 	}
 	reg.GaugeFunc("cluster_shards", "Shards in the routing topology.",
 		func() float64 { return float64(len(c.snapshotTopology().Shards)) })

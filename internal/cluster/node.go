@@ -18,7 +18,9 @@ package cluster
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -30,6 +32,11 @@ import (
 	"gptunecrowd/internal/crowd"
 	"gptunecrowd/internal/replog"
 )
+
+// ErrStaleEpoch reports a promotion (or demotion) carrying an epoch at
+// or below the node's current one: some other node already won that
+// epoch, and the caller must re-read the topology before retrying.
+var ErrStaleEpoch = errors.New("cluster: stale promotion epoch")
 
 // Defaults for NodeConfig zero values.
 const (
@@ -95,6 +102,22 @@ type NodeConfig struct {
 	CommitTimeout   time.Duration
 	StalenessWindow time.Duration
 	MaxLag          uint64
+	// HeartbeatInterval bounds how long a healthy follower goes without a
+	// replication push when the shard is idle (DefaultHeartbeatInterval
+	// when zero).
+	HeartbeatInterval time.Duration
+	// PushTimeout bounds one replication round trip, and doubles as the
+	// deadline on follower→leader liveness probes (DefaultPushTimeout
+	// when zero).
+	PushTimeout time.Duration
+	// ProbeInterval is how often a follower checks on a leader that has
+	// gone quiet (half the staleness window when zero).
+	ProbeInterval time.Duration
+	// InternalClient issues this node's outbound intra-cluster requests:
+	// follower→leader liveness probes and replication pushes created via
+	// the attach endpoint (http.DefaultClient when nil). Chaos tests
+	// route it through a fault-injecting transport.
+	InternalClient *http.Client
 	// SegmentMaxRecords caps records per log segment file (replog
 	// default when zero).
 	SegmentMaxRecords int
@@ -113,11 +136,17 @@ type Node struct {
 
 	mu          sync.Mutex
 	role        Role
+	epoch       uint64 // promotion epoch of the leadership this node holds or follows
 	advertise   string
 	leaderURL   string            // follower: last leader that contacted us
 	lastContact time.Time         // follower: time of that contact
 	heads       map[string]uint64 // follower: leader's LastIndex per log
 	replicators []*Replicator     // leader: one per follower
+	needResync  bool              // demoted leader awaiting truncation resync (fenced)
+	suspect     bool              // follower: leader went quiet AND failed a direct probe
+
+	stopCh   chan struct{} // closes the follower→leader prober
+	stopOnce sync.Once
 
 	// applyMu serializes replication applies against each other and
 	// against promotion (promotion fences the old leader's stream).
@@ -142,6 +171,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		heads:     make(map[string]uint64),
 		logs:      make(map[string]*replog.Log),
 		machines:  make(map[string]stateMachine),
+		stopCh:    make(chan struct{}),
 	}
 	if cfg.Leader {
 		n.role = RoleLeader
@@ -188,15 +218,46 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		n.closeLogs()
 		return nil, err
 	}
+	// The promotion epoch survives restarts as replog term metadata (the
+	// highest across the logs wins — they are always written together). A
+	// configured leader starts at epoch 1 so a follower that was promoted
+	// past it can always fence it.
+	for _, name := range logNames {
+		if t := n.logs[name].Term(); t > n.epoch {
+			n.epoch = t
+		}
+	}
+	if cfg.Leader && n.epoch == 0 {
+		n.epoch = 1
+	}
+	if err := n.persistEpoch(n.epoch); err != nil {
+		n.closeLogs()
+		return nil, err
+	}
 	n.metrics = newNodeMetrics(srv.Registry(), n)
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/api/v1/cluster/apply", n.handleApply)
 	mux.HandleFunc("/api/v1/cluster/info", n.handleInfo)
 	mux.HandleFunc("/api/v1/cluster/promote", n.handlePromote)
+	mux.HandleFunc("/api/v1/cluster/demote", n.handleDemote)
+	mux.HandleFunc("/api/v1/cluster/attach", n.handleAttach)
+	mux.HandleFunc("/api/v1/readyz", n.handleReadyz)
 	mux.HandleFunc("/", n.route)
 	n.mux = mux
+	go n.probeLoop()
 	return n, nil
+}
+
+// persistEpoch stamps epoch onto every log's term metadata (monotone,
+// idempotent).
+func (n *Node) persistEpoch(epoch uint64) error {
+	for _, name := range logNames {
+		if err := n.logs[name].SetTerm(epoch); err != nil {
+			return fmt.Errorf("cluster: persist epoch on %s: %w", name, err)
+		}
+	}
+	return nil
 }
 
 func (n *Node) closeLogs() {
@@ -205,8 +266,10 @@ func (n *Node) closeLogs() {
 	}
 }
 
-// Close stops replication to followers and closes the logs.
+// Close stops replication to followers, the liveness prober, and closes
+// the logs.
 func (n *Node) Close() error {
+	n.stopOnce.Do(func() { close(n.stopCh) })
 	n.mu.Lock()
 	reps := append([]*Replicator(nil), n.replicators...)
 	n.replicators = nil
@@ -235,6 +298,36 @@ func (n *Node) Role() Role {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.role
+}
+
+// Epoch returns the promotion epoch of the leadership this node holds
+// (as a leader) or follows.
+func (n *Node) Epoch() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.epoch
+}
+
+// Fenced reports whether the node is a demoted leader still awaiting a
+// truncation resync from the current leader: its log may carry a
+// diverged tail, so it must not serve reads or be promoted if any
+// in-sync replica is available.
+func (n *Node) Fenced() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.needResync
+}
+
+// leadershipNewer reports whether claim (epoch, url) strictly
+// supersedes incumbent (curEpoch, curURL): the higher epoch wins, and an
+// epoch tie — two detectors promoting different followers to the same
+// epoch — breaks deterministically on the lexicographically greater
+// advertise URL, so dueling promotions always converge on one winner.
+func leadershipNewer(epoch uint64, url string, curEpoch uint64, curURL string) bool {
+	if epoch != curEpoch {
+		return epoch > curEpoch
+	}
+	return url > curURL
 }
 
 // SetAdvertise records the node's externally reachable base URL (used
@@ -308,6 +401,97 @@ func (n *Node) maxLag() uint64 {
 		return n.cfg.MaxLag
 	}
 	return DefaultMaxLag
+}
+
+func (n *Node) heartbeatInterval() time.Duration {
+	if n.cfg.HeartbeatInterval > 0 {
+		return n.cfg.HeartbeatInterval
+	}
+	return DefaultHeartbeatInterval
+}
+
+func (n *Node) pushTimeout() time.Duration {
+	if n.cfg.PushTimeout > 0 {
+		return n.cfg.PushTimeout
+	}
+	return DefaultPushTimeout
+}
+
+func (n *Node) probeInterval() time.Duration {
+	if n.cfg.ProbeInterval > 0 {
+		return n.cfg.ProbeInterval
+	}
+	return n.stalenessWindow() / 2
+}
+
+func (n *Node) internalClient() *http.Client {
+	if n.cfg.InternalClient != nil {
+		return n.cfg.InternalClient
+	}
+	return http.DefaultClient
+}
+
+// probeLoop is the follower→leader liveness probe: when the leader has
+// gone quiet past the staleness window, ask it directly (under the push
+// timeout) and flag it suspect on failure. The flag is surfaced through
+// /api/v1/readyz and /api/v1/cluster/info so the coordinator's detector
+// has a second, independent witness of leader death — detection works
+// even when the coordinator's own probe path differs from the
+// replication path (asymmetric partitions).
+func (n *Node) probeLoop() {
+	ticker := time.NewTicker(n.probeInterval())
+	defer ticker.Stop()
+	for {
+		select {
+		case <-n.stopCh:
+			return
+		case <-ticker.C:
+		}
+		n.probeLeaderOnce()
+	}
+}
+
+func (n *Node) probeLeaderOnce() {
+	n.mu.Lock()
+	role := n.role
+	leader := n.leaderURL
+	quiet := time.Since(n.lastContact) > n.stalenessWindow()
+	n.mu.Unlock()
+	if role != RoleFollower || leader == "" {
+		return
+	}
+	if !quiet {
+		n.setSuspect(false)
+		return
+	}
+	n.metrics.detectorProbes.Inc()
+	ctx, cancel := context.WithTimeout(context.Background(), n.pushTimeout())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, leader+"/api/v1/cluster/info", nil)
+	if err != nil {
+		return
+	}
+	if n.cfg.Token != "" {
+		req.Header.Set(TokenHeader, n.cfg.Token)
+	}
+	resp, err := n.internalClient().Do(req)
+	if err != nil {
+		n.setSuspect(true)
+		return
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+	resp.Body.Close()
+	n.setSuspect(resp.StatusCode != http.StatusOK)
+}
+
+func (n *Node) setSuspect(v bool) {
+	n.mu.Lock()
+	changed := n.suspect != v
+	n.suspect = v
+	n.mu.Unlock()
+	if changed && v {
+		n.metrics.detectorSuspects.Inc()
+	}
 }
 
 // ServeHTTP implements http.Handler.
@@ -401,6 +585,15 @@ func (n *Node) serveWriteBarrier(w http.ResponseWriter, r *http.Request) {
 				"write applied locally but not replicated within %s; retry", n.commitTimeout())
 			return
 		}
+		// Ack-time leadership re-check: if a promotion fenced this node
+		// while the barrier waited, the commit above may have been a solo
+		// self-commit the new leader never saw. Never acknowledge it —
+		// bounce the client to the promoted node and let the idempotent
+		// retry land there.
+		if n.Role() != RoleLeader {
+			n.redirectToLeader(w, r)
+			return
+		}
 	}
 	rec.flush(w)
 }
@@ -465,40 +658,52 @@ func (n *Node) recomputeCommit() {
 	}
 }
 
-// stepDown demotes a stale leader after a follower fenced its stream
-// (answered a replication push with 409): leadership has moved, so
-// this node reverts to follower and starts bouncing writes — when the
-// fencing node identified itself, straight to the new leader. The
+// stepDown demotes a stale leader after its leadership was superseded —
+// a follower fenced its stream with 409, a higher-epoch leader's push
+// arrived, or the detector demoted it explicitly. The node reverts to
+// follower at the superseding epoch and starts bouncing writes — when
+// the superseder identified itself, straight to the new leader. The
 // replication loops are signalled to exit without waiting (the caller
-// is one of them), but the fenced replicators stay registered so
+// may be one of them), but the fenced replicators stay registered so
 // recomputeCommit keeps capping the commit index at their frozen
 // acknowledged positions; an in-flight write barrier then times out
 // with a clean 503 instead of acknowledging a write the new leader
-// will never carry.
-func (n *Node) stepDown(newLeader string) {
+// will never carry. The demoted log may hold an appended-but-unacked
+// tail the new leader never saw, so the node marks itself fenced and
+// rejoins only through a truncation resync.
+func (n *Node) stepDown(newLeader string, newEpoch uint64) {
 	n.mu.Lock()
 	if n.role != RoleLeader {
 		n.mu.Unlock()
 		return
 	}
 	n.role = RoleFollower
+	n.needResync = true
 	if newLeader != "" {
 		n.leaderURL = newLeader
 	}
+	if newEpoch > n.epoch {
+		n.epoch = newEpoch
+	}
+	epoch := n.epoch
 	reps := append([]*Replicator(nil), n.replicators...)
 	n.mu.Unlock()
+	n.persistEpoch(epoch)
 	n.metrics.stepDowns.Inc()
 	for _, r := range reps {
 		r.signalStop()
 	}
 }
 
-// freshEnough reports whether a follower may serve gated reads: it
-// heard from its leader within the staleness window and trails each log
-// head by at most MaxLag entries.
+// freshEnough reports whether a follower may serve gated reads: it is
+// not a fenced ex-leader, heard from its leader within the staleness
+// window, and trails each log head by at most MaxLag entries.
 func (n *Node) freshEnough() bool {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	if n.needResync {
+		return false
+	}
 	if time.Since(n.lastContact) > n.stalenessWindow() {
 		return false
 	}
@@ -511,16 +716,42 @@ func (n *Node) freshEnough() bool {
 	return true
 }
 
-// Promote turns a follower into its shard's leader: fence the old
+// Promote turns a follower into its shard's leader at the next epoch
+// (operator convenience form of PromoteEpoch).
+func (n *Node) Promote() error {
+	_, err := n.PromoteEpoch(0)
+	return err
+}
+
+// PromoteEpoch turns a follower into its shard's leader: fence the old
 // leader's replication stream, self-commit every log (the promoted
 // state IS the acknowledged state — the barrier guaranteed acked
 // writes reached us), and rebuild the derived in-memory state the
 // apply path defers.
-func (n *Node) Promote() error {
+//
+// epoch is the promotion epoch the caller claims (the detector's CAS
+// token): it must exceed the node's current epoch or the promotion
+// fails with ErrStaleEpoch — two detectors racing to promote different
+// followers therefore resolve deterministically, the higher epoch wins
+// and the loser steps down on first contact. epoch 0 self-assigns
+// current+1 (the manual operator path). The achieved epoch is returned.
+func (n *Node) PromoteEpoch(epoch uint64) (uint64, error) {
 	n.applyMu.Lock()
 	defer n.applyMu.Unlock()
 	n.mu.Lock()
+	cur := n.epoch
+	if epoch == 0 {
+		epoch = cur + 1
+	}
+	if epoch <= cur {
+		n.mu.Unlock()
+		return cur, fmt.Errorf("%w: at epoch %d, promotion asked for %d", ErrStaleEpoch, cur, epoch)
+	}
 	n.role = RoleLeader
+	n.epoch = epoch
+	n.leaderURL = ""
+	n.needResync = false
+	n.suspect = false
 	// A re-promoted node starts with a fresh follower set: replicators
 	// left over from an earlier (possibly fenced) term would otherwise
 	// cap the commit index forever.
@@ -530,14 +761,48 @@ func (n *Node) Promote() error {
 	for _, r := range reps {
 		r.signalStop()
 	}
+	if err := n.persistEpoch(epoch); err != nil {
+		return epoch, err
+	}
 	for _, name := range logNames {
 		lg := n.logs[name]
 		lg.Commit(lg.LastIndex())
 	}
+	n.metrics.promotions.Inc()
 	if err := n.srv.RebuildUserIndex(); err != nil {
-		return err
+		return epoch, err
 	}
-	return n.srv.RebuildTrustState()
+	return epoch, n.srv.RebuildTrustState()
+}
+
+// Demote steps a (possibly stale) leader down in favor of newLeader at
+// newEpoch — the detector's rejoin path for a recovered old leader. A
+// node that is already a follower just adopts the newer leadership; a
+// claim that does not supersede the node's current epoch is
+// ErrStaleEpoch.
+func (n *Node) Demote(newLeader string, newEpoch uint64) error {
+	n.mu.Lock()
+	role, cur, adv := n.role, n.epoch, n.advertise
+	if role == RoleLeader {
+		if !leadershipNewer(newEpoch, newLeader, cur, adv) {
+			n.mu.Unlock()
+			return fmt.Errorf("%w: leading at epoch %d, demotion claims %d (%s)", ErrStaleEpoch, cur, newEpoch, newLeader)
+		}
+		n.mu.Unlock()
+		n.stepDown(newLeader, newEpoch)
+		return nil
+	}
+	if newEpoch < cur {
+		n.mu.Unlock()
+		return fmt.Errorf("%w: following epoch %d, demotion claims %d", ErrStaleEpoch, cur, newEpoch)
+	}
+	n.leaderURL = newLeader
+	if newEpoch > n.epoch {
+		n.epoch = newEpoch
+	}
+	epoch := n.epoch
+	n.mu.Unlock()
+	return n.persistEpoch(epoch)
 }
 
 // checkToken enforces the shared cluster secret on intra-cluster
@@ -554,11 +819,141 @@ func (n *Node) handlePromote(w http.ResponseWriter, r *http.Request) {
 	if !n.checkToken(w, r) {
 		return
 	}
-	if err := n.Promote(); err != nil {
+	// Body is optional: {"epoch": N} is the detector's CAS form, an
+	// empty body is the operator form (self-assign current+1).
+	var body struct {
+		Epoch uint64 `json:"epoch"`
+	}
+	if r.Body != nil {
+		json.NewDecoder(r.Body).Decode(&body)
+	}
+	epoch, err := n.PromoteEpoch(body.Epoch)
+	if err != nil {
+		if errors.Is(err, ErrStaleEpoch) {
+			writeJSON(w, http.StatusConflict, fencedBody{
+				Error: err.Error(), Code: "stale_epoch",
+				Epoch: epoch, Leader: n.LeaderURL(),
+			})
+			return
+		}
 		writeErrCode(w, http.StatusInternalServerError, "promote_failed", "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"role": string(RoleLeader)})
+	writeJSON(w, http.StatusOK, map[string]interface{}{"role": string(RoleLeader), "epoch": epoch})
+}
+
+// handleDemote steps a (possibly recovered stale) leader down in favor
+// of the named leadership — the detector's rejoin path before it
+// re-attaches the node as a follower.
+func (n *Node) handleDemote(w http.ResponseWriter, r *http.Request) {
+	if !n.checkToken(w, r) {
+		return
+	}
+	var body struct {
+		Leader string `json:"leader"`
+		Epoch  uint64 `json:"epoch"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeErrCode(w, http.StatusBadRequest, "bad_demote", "bad demote body: %v", err)
+		return
+	}
+	if err := n.Demote(body.Leader, body.Epoch); err != nil {
+		if errors.Is(err, ErrStaleEpoch) {
+			writeJSON(w, http.StatusConflict, fencedBody{
+				Error: err.Error(), Code: "stale_epoch",
+				Epoch: n.Epoch(), Leader: n.LeaderURL(),
+			})
+			return
+		}
+		writeErrCode(w, http.StatusInternalServerError, "demote_failed", "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{"role": string(n.Role()), "epoch": n.Epoch()})
+}
+
+// handleAttach asks this (leader) node to start replicating to a
+// follower — the detector's rejoin path for recovered replicas.
+// Idempotent per follower URL: an already-registered replicator keeps
+// retrying a dead follower on its own, so re-attaching is a no-op.
+func (n *Node) handleAttach(w http.ResponseWriter, r *http.Request) {
+	if !n.checkToken(w, r) {
+		return
+	}
+	var body struct {
+		Follower string `json:"follower"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil || body.Follower == "" {
+		writeErrCode(w, http.StatusBadRequest, "bad_attach", "attach body needs a follower URL")
+		return
+	}
+	if n.Role() != RoleLeader {
+		n.writeFenced(w, n.Epoch(), n.LeaderURL())
+		return
+	}
+	url := strings.TrimRight(body.Follower, "/")
+	n.mu.Lock()
+	exists := false
+	for _, rep := range n.replicators {
+		if rep.url == url {
+			exists = true
+			break
+		}
+	}
+	n.mu.Unlock()
+	if !exists {
+		n.AttachFollower(url, nil)
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{"attached": url, "existing": exists})
+}
+
+// handleReadyz is the readiness probe: distinguishes a usable node
+// (leader, in-sync follower) from one that is merely up (stale or
+// fenced follower), so load balancers and the failure detector can
+// route around replicas that would answer reads with 412.
+func (n *Node) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	n.mu.Lock()
+	role, epoch, fenced, suspect, leader := n.role, n.epoch, n.needResync, n.suspect, n.leaderURL
+	n.mu.Unlock()
+	out := struct {
+		State   string `json:"state"`
+		Role    Role   `json:"role"`
+		Epoch   uint64 `json:"epoch"`
+		Leader  string `json:"leader,omitempty"`
+		Suspect bool   `json:"suspect,omitempty"`
+	}{Role: role, Epoch: epoch, Leader: leader, Suspect: suspect}
+	status := http.StatusOK
+	switch {
+	case role == RoleLeader:
+		out.State = "leader"
+		out.Leader = ""
+	case fenced:
+		out.State = "fenced"
+		status = http.StatusServiceUnavailable
+	case n.freshEnough():
+		out.State = "in_sync"
+	case leader == "":
+		out.State = "no_leader"
+		status = http.StatusServiceUnavailable
+	default:
+		out.State = "stale"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, out)
+}
+
+// writeFenced answers an intra-cluster request with 409: the caller's
+// leadership claim is older than the one this node answers to. The body
+// names that leadership so the fenced caller can step down toward it.
+func (n *Node) writeFenced(w http.ResponseWriter, epoch uint64, leader string) {
+	if leader != "" {
+		w.Header().Set(crowd.ShardLeaderHeader, leader)
+	}
+	writeJSON(w, http.StatusConflict, fencedBody{
+		Error:  fmt.Sprintf("superseded by leadership epoch %d", epoch),
+		Code:   "fenced",
+		Epoch:  epoch,
+		Leader: leader,
+	})
 }
 
 // LogInfo is one log's replication position.
@@ -572,17 +967,26 @@ type LogInfo struct {
 type InfoResponse struct {
 	Shard     string             `json:"shard"`
 	Role      Role               `json:"role"`
+	Epoch     uint64             `json:"epoch"`
 	Advertise string             `json:"advertise,omitempty"`
 	Leader    string             `json:"leader,omitempty"`
+	Fenced    bool               `json:"fenced,omitempty"`
+	Suspect   bool               `json:"suspect,omitempty"`
 	Logs      map[string]LogInfo `json:"logs"`
 }
 
 func (n *Node) handleInfo(w http.ResponseWriter, r *http.Request) {
+	n.mu.Lock()
+	role, epoch, adv, fenced, suspect := n.role, n.epoch, n.advertise, n.needResync, n.suspect
+	n.mu.Unlock()
 	info := InfoResponse{
 		Shard:     n.cfg.Shard,
-		Role:      n.Role(),
-		Advertise: n.Advertise(),
+		Role:      role,
+		Epoch:     epoch,
+		Advertise: adv,
 		Leader:    n.LeaderURL(),
+		Fenced:    fenced,
+		Suspect:   suspect,
 		Logs:      make(map[string]LogInfo, len(logNames)),
 	}
 	for _, name := range logNames {
@@ -597,18 +1001,19 @@ func (n *Node) handleInfo(w http.ResponseWriter, r *http.Request) {
 // drive the state machines, and acknowledge the new positions. Applies
 // are idempotent — records at or below the local head are skipped — so
 // a retried batch is harmless.
+//
+// The epoch gate runs first: a push from a leadership older than the
+// one this node holds or follows is fenced with 409 (the pusher steps
+// down), and a push from a strictly newer leadership demotes this node
+// if it thought itself leader. A demoted leader's log may carry an
+// appended tail the new leader never acknowledged, so before applying
+// anything the handler checks for divergence — the fenced flag, a
+// local head past the leader's, or an overlapping record whose payload
+// differs — and answers Resync:true; the leader then re-sends
+// everything as Force batches, which rebuild each log from the
+// leader's snapshot (replog.Log.Reset + state-machine reload).
 func (n *Node) handleApply(w http.ResponseWriter, r *http.Request) {
 	if !n.checkToken(w, r) {
-		return
-	}
-	if n.Role() == RoleLeader {
-		// Fencing: a promoted node never accepts the old leader's
-		// stream; the stale leader sees 409 (stamped with this node's
-		// address) and steps down to follower.
-		if adv := n.Advertise(); adv != "" {
-			w.Header().Set(crowd.ShardLeaderHeader, adv)
-		}
-		writeErrCode(w, http.StatusConflict, "fenced", "node is a leader")
 		return
 	}
 	var req applyRequest
@@ -621,10 +1026,47 @@ func (n *Node) handleApply(w http.ResponseWriter, r *http.Request) {
 			"apply for shard %q reached node of shard %q", req.Shard, n.cfg.Shard)
 		return
 	}
+	n.mu.Lock()
+	role, cur, curLeader, adv := n.role, n.epoch, n.leaderURL, n.advertise
+	n.mu.Unlock()
+	if role == RoleLeader {
+		if !leadershipNewer(req.Epoch, req.Leader, cur, adv) {
+			// Fencing: a promoted node never accepts a deposed
+			// leader's stream; the stale leader sees 409 (naming this
+			// node) and steps down to follower.
+			n.writeFenced(w, cur, adv)
+			return
+		}
+		// The pusher's leadership supersedes ours: we are the deposed
+		// one. Step down and fall through to apply as a follower — the
+		// divergence check below will request a resync.
+		n.stepDown(req.Leader, req.Epoch)
+	} else if leadershipNewer(cur, curLeader, req.Epoch, req.Leader) {
+		// A deposed leader pushing to a follower that already answers
+		// to a newer leadership: fence it toward the current leader.
+		n.writeFenced(w, cur, curLeader)
+		return
+	}
 
 	n.applyMu.Lock()
 	defer n.applyMu.Unlock()
 	resp := applyResponse{Acked: make(map[string]uint64, len(logNames))}
+	force := false
+	for _, b := range req.Logs {
+		if b != nil && b.Force {
+			force = true
+			break
+		}
+	}
+	if !force && n.divergedFrom(&req) {
+		resp.Resync = true
+		for _, name := range logNames {
+			resp.Acked[name] = n.logs[name].LastIndex()
+		}
+		n.noteLeaderContact(&req)
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
 	usersChanged := false
 	problemCounts := make(map[string]int)
 	for _, name := range logNames {
@@ -635,7 +1077,30 @@ func (n *Node) handleApply(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		m := n.machines[name]
-		if batch.Snapshot != nil && batch.SnapshotIndex > lg.LastIndex() {
+		switch {
+		case batch.Force:
+			// Truncation resync: discard this log wholesale — including
+			// any diverged tail — and rebuild from the leader's base
+			// snapshot (possibly empty).
+			var snap, data io.Reader = strings.NewReader(""), strings.NewReader("")
+			if batch.Snapshot != nil {
+				snap = strings.NewReader(*batch.Snapshot)
+				data = strings.NewReader(*batch.Snapshot)
+			}
+			if err := lg.Reset(batch.SnapshotIndex, snap); err != nil {
+				resp.Errors = appendApplyError(resp.Errors, name, err)
+				resp.Acked[name] = lg.LastIndex()
+				continue
+			}
+			if err := m.ReadJSONL(data); err != nil {
+				resp.Errors = appendApplyError(resp.Errors, name, err)
+				resp.Acked[name] = lg.LastIndex()
+				continue
+			}
+			if name == "users" {
+				usersChanged = true
+			}
+		case batch.Snapshot != nil && batch.SnapshotIndex > lg.LastIndex():
 			if err := lg.RestoreSnapshot(batch.SnapshotIndex, strings.NewReader(*batch.Snapshot)); err != nil {
 				resp.Errors = appendApplyError(resp.Errors, name, err)
 				resp.Acked[name] = lg.LastIndex()
@@ -653,7 +1118,7 @@ func (n *Node) handleApply(w http.ResponseWriter, r *http.Request) {
 		applied := 0
 		for _, wr := range batch.Records {
 			if wr.Index <= lg.LastIndex() {
-				continue // duplicate delivery
+				continue // duplicate delivery (divergence was ruled out above)
 			}
 			rec := replog.Record{Index: wr.Index, Payload: []byte(wr.Payload)}
 			if err := lg.AppendRecord(rec); err != nil {
@@ -688,16 +1153,79 @@ func (n *Node) handleApply(w http.ResponseWriter, r *http.Request) {
 	for p, k := range problemCounts {
 		n.srv.NotifyProblemAppend(p, k)
 	}
+	if force && len(resp.Errors) == 0 {
+		// A clean force apply rebuilt every log from the leader's state:
+		// the diverged tail is gone and the fence lifts.
+		n.mu.Lock()
+		n.needResync = false
+		n.mu.Unlock()
+		n.metrics.resyncs.Inc()
+	}
+	n.noteLeaderContact(&req)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// divergedFrom reports whether this follower's logs can have records
+// the pushing leader does not carry — the fenced flag a deposed leader
+// raised at step-down, a local head past the leader's, or an
+// overlapping record whose payload differs from the leader's copy.
+// Ordinary followers never diverge (they only ever append what a
+// leader pushed), so the scan almost always short-circuits.
+func (n *Node) divergedFrom(req *applyRequest) bool {
+	n.mu.Lock()
+	fenced := n.needResync
+	n.mu.Unlock()
+	if fenced {
+		return true
+	}
+	for _, name := range logNames {
+		batch := req.Logs[name]
+		if batch == nil {
+			continue
+		}
+		lg := n.logs[name]
+		last := lg.LastIndex()
+		if batch.Head < last {
+			return true
+		}
+		for _, wr := range batch.Records {
+			if wr.Index > last {
+				break // past our head: pure append, no overlap left
+			}
+			local, err := lg.Entries(wr.Index-1, 1)
+			if err != nil || len(local) != 1 {
+				continue // compacted below our snapshot: cannot compare
+			}
+			if !bytes.Equal(local[0].Payload, []byte(wr.Payload)) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// noteLeaderContact records a (gate-passing) leader push: its address,
+// epoch and per-log heads, and the freshness clock gated reads check.
+func (n *Node) noteLeaderContact(req *applyRequest) {
 	n.mu.Lock()
 	n.leaderURL = req.Leader
 	n.lastContact = time.Now()
+	n.suspect = false
+	bumped := false
+	if req.Epoch > n.epoch {
+		n.epoch = req.Epoch
+		bumped = true
+	}
+	epoch := n.epoch
 	for name, b := range req.Logs {
 		if b != nil {
 			n.heads[name] = b.Head
 		}
 	}
 	n.mu.Unlock()
-	writeJSON(w, http.StatusOK, resp)
+	if bumped {
+		n.persistEpoch(epoch)
+	}
 }
 
 // countProblemAppends extracts per-problem sample counts from a

@@ -25,22 +25,23 @@ import (
 	"gptunecrowd/internal/replog"
 )
 
-// Replication tuning (fixed; in-process latencies dominate tests and
-// single-digit-millisecond pushes dominate production).
+// Replication tuning. The intervals are NodeConfig defaults (chaos
+// tests shrink them to compress failure-detection windows);
+// single-digit-millisecond pushes dominate production.
 const (
-	// heartbeatInterval bounds how long a healthy follower goes without
-	// hearing from its leader (its read-freshness clock).
-	heartbeatInterval = 500 * time.Millisecond
+	// DefaultHeartbeatInterval bounds how long a healthy follower goes
+	// without hearing from its leader (its read-freshness clock).
+	DefaultHeartbeatInterval = 500 * time.Millisecond
 	// deadAfterFailures is how many consecutive push failures mark a
 	// follower dead and drop it from the commit quorum.
 	deadAfterFailures = 3
 	// maxBatchRecords caps records shipped per log per push.
 	maxBatchRecords = 1024
-	// pushTimeout bounds one replication round trip. A black-holed
-	// follower connection then counts as a push failure (and is dropped
-	// from the commit quorum after deadAfterFailures) instead of
-	// wedging the push loop — and Stop/Close — indefinitely.
-	pushTimeout = 5 * time.Second
+	// DefaultPushTimeout bounds one replication round trip. A
+	// black-holed follower connection then counts as a push failure
+	// (and is dropped from the commit quorum after deadAfterFailures)
+	// instead of wedging the push loop — and Stop/Close — indefinitely.
+	DefaultPushTimeout = 5 * time.Second
 )
 
 // wireRecord is one replicated log record on the wire.
@@ -51,18 +52,26 @@ type wireRecord struct {
 
 // applyLogBatch carries one log's replication payload: the leader's
 // head (for follower staleness accounting), an optional base snapshot,
-// and the records after the follower's acknowledged index.
+// and the records after the follower's acknowledged index. Force marks
+// a truncation-resync batch: the follower discards its own log —
+// including any diverged tail it appended as a deposed leader — and
+// rebuilds from this snapshot.
 type applyLogBatch struct {
 	Head          uint64       `json:"head"`
 	SnapshotIndex uint64       `json:"snapshot_index,omitempty"`
 	Snapshot      *string      `json:"snapshot,omitempty"`
+	Force         bool         `json:"force,omitempty"`
 	Records       []wireRecord `json:"records,omitempty"`
 }
 
 // applyRequest is one replication push (possibly a pure heartbeat).
+// Epoch is the leader's promotion epoch: followers reject pushes from
+// leaderships older than the one they follow, so a deposed leader that
+// comes back can never silently re-adopt its old followers.
 type applyRequest struct {
 	Shard  string                    `json:"shard"`
 	Leader string                    `json:"leader,omitempty"`
+	Epoch  uint64                    `json:"epoch,omitempty"`
 	Logs   map[string]*applyLogBatch `json:"logs"`
 }
 
@@ -72,6 +81,19 @@ type applyResponse struct {
 	// Errors reports per-log apply failures (the log's ack then marks
 	// where the follower actually stopped).
 	Errors map[string]string `json:"errors,omitempty"`
+	// Resync asks the leader to re-send everything as Force snapshot
+	// batches: the follower's log diverged from the leader's (it was a
+	// leader itself once and carries an unacknowledged tail).
+	Resync bool `json:"resync,omitempty"`
+}
+
+// fencedBody is the JSON body of a 409 replication rejection: the
+// epoch and leader of the leadership that fenced the push.
+type fencedBody struct {
+	Error  string `json:"error"`
+	Code   string `json:"code"`
+	Epoch  uint64 `json:"epoch"`
+	Leader string `json:"leader"`
 }
 
 // Replicator streams a leader node's logs to one follower.
@@ -85,11 +107,12 @@ type Replicator struct {
 	stopOnce sync.Once
 	doneCh   chan struct{}
 
-	mu       sync.Mutex
-	acked    map[string]uint64
-	alive    bool
-	fenced   bool
-	failures int
+	mu        sync.Mutex
+	acked     map[string]uint64
+	alive     bool
+	fenced    bool
+	failures  int
+	needForce bool // follower asked for a truncation resync
 }
 
 // AttachFollower starts replicating this (leader) node's logs to the
@@ -99,7 +122,7 @@ type Replicator struct {
 // of wedging the loop.
 func (n *Node) AttachFollower(baseURL string, httpClient *http.Client) *Replicator {
 	if httpClient == nil {
-		httpClient = http.DefaultClient
+		httpClient = n.internalClient()
 	}
 	r := &Replicator{
 		node:   n,
@@ -168,7 +191,7 @@ func (r *Replicator) kick() {
 
 func (r *Replicator) run() {
 	defer close(r.doneCh)
-	timer := time.NewTimer(heartbeatInterval)
+	timer := time.NewTimer(r.node.heartbeatInterval())
 	defer timer.Stop()
 	for {
 		select {
@@ -191,7 +214,7 @@ func (r *Replicator) run() {
 			// More entries than one batch: push again immediately.
 			r.kick()
 		}
-		timer.Reset(heartbeatInterval)
+		timer.Reset(r.node.heartbeatInterval())
 	}
 }
 
@@ -223,7 +246,17 @@ func (r *Replicator) push() bool {
 	}
 	r.alive = true
 	r.failures = 0
+	wasForce := r.needForce
+	r.needForce = resp.Resync
 	r.mu.Unlock()
+	if resp.Resync {
+		if !wasForce {
+			// The follower's log diverged (deposed-leader tail); the
+			// next push re-sends every log as a Force snapshot batch.
+			r.node.metrics.resyncs.Inc()
+		}
+		return true
+	}
 	if len(resp.Errors) > 0 {
 		r.node.metrics.replicationErrs.Inc()
 	}
@@ -238,18 +271,34 @@ func (r *Replicator) push() bool {
 
 // buildRequest assembles the per-log batches after the follower's
 // acknowledged positions. A follower behind the compaction horizon
-// gets the current snapshot plus the entries after it.
+// gets the current snapshot plus the entries after it; a follower that
+// requested a resync gets every log as a Force batch — its current
+// base snapshot (possibly absent) plus all retained entries — so the
+// follower can discard a diverged tail and rebuild.
 func (r *Replicator) buildRequest() (*applyRequest, error) {
 	req := &applyRequest{
 		Shard:  r.node.cfg.Shard,
 		Leader: r.node.Advertise(),
+		Epoch:  r.node.Epoch(),
 		Logs:   make(map[string]*applyLogBatch, len(logNames)),
 	}
+	r.mu.Lock()
+	force := r.needForce
+	r.mu.Unlock()
 	for _, name := range logNames {
 		lg := r.node.logs[name]
 		batch := &applyLogBatch{Head: lg.LastIndex()}
 		after := r.ackedIndex(name)
-		ents, err := lg.Entries(after, maxBatchRecords)
+		var (
+			ents []replog.Record
+			err  error
+		)
+		if force {
+			batch.Force = true
+			err = replog.ErrCompacted // take the snapshot path below
+		} else {
+			ents, err = lg.Entries(after, maxBatchRecords)
+		}
 		if errors.Is(err, replog.ErrCompacted) {
 			var sb strings.Builder
 			idx, ok, serr := lg.Snapshot(&sb)
@@ -279,7 +328,7 @@ func (r *Replicator) send(req *applyRequest) (*applyResponse, error) {
 	if err != nil {
 		return nil, err
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), pushTimeout)
+	ctx, cancel := context.WithTimeout(context.Background(), r.node.pushTimeout())
 	defer cancel()
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, r.url+"/api/v1/cluster/apply", bytes.NewReader(body))
 	if err != nil {
@@ -295,21 +344,25 @@ func (r *Replicator) send(req *applyRequest) (*applyResponse, error) {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode == http.StatusConflict {
-		// The follower was promoted: this node's leadership is fenced.
-		// Step down to follower immediately — writes start bouncing to
-		// the promoted node (its 409 names it) — and keep this
-		// replicator's frozen ack in the commit computation so no
-		// in-flight write barrier self-commits past what the new
-		// leader carries.
-		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
-		newLeader := resp.Header.Get(crowd.ShardLeaderHeader)
+		// The follower answers to a newer leadership: this node's is
+		// fenced. Step down to follower immediately — writes start
+		// bouncing to the promoted node (the 409 body and header name
+		// it) — and keep this replicator's frozen ack in the commit
+		// computation so no in-flight write barrier self-commits past
+		// what the new leader carries.
+		var fb fencedBody
+		json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&fb)
+		newLeader := fb.Leader
+		if newLeader == "" {
+			newLeader = resp.Header.Get(crowd.ShardLeaderHeader)
+		}
 		r.mu.Lock()
 		r.fenced = true
 		r.alive = false
 		r.mu.Unlock()
-		r.node.stepDown(newLeader)
+		r.node.stepDown(newLeader, fb.Epoch)
 		r.node.recomputeCommit()
-		return nil, fmt.Errorf("cluster: follower %s fenced this leader", r.url)
+		return nil, fmt.Errorf("cluster: follower %s fenced this leader (epoch %d at %s)", r.url, fb.Epoch, newLeader)
 	}
 	if resp.StatusCode != http.StatusOK {
 		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))

@@ -1,0 +1,340 @@
+package cluster
+
+// Supervisor: the coordinator-side failure detector and self-healing
+// driver. A loop probes every shard's adopted leader on a fixed
+// cadence; after Misses consecutive failed probes the shard is
+// declared leaderless and the supervisor promotes the most-caught-up
+// live in-sync follower at the next promotion epoch (a CAS: the
+// promote body carries the epoch and the node refuses stale claims, so
+// two racing detectors converge on one winner). Around a healthy
+// leader the loop keeps the shard whole — live replicas are
+// idempotently re-attached to the leader's replication fan-out, and a
+// recovered or partition-healed old leader still claiming a superseded
+// leadership is demoted toward the adopted one, then re-attached as a
+// follower (its diverged tail heals through the truncation resync in
+// the replication path).
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Detector defaults for SupervisorConfig zero values.
+const (
+	// DefaultDetectInterval is the supervision probe cadence.
+	DefaultDetectInterval = 2 * time.Second
+	// DefaultDetectMisses is how many consecutive failed leader probes
+	// trigger an automatic failover.
+	DefaultDetectMisses = 3
+	// defaultPromoteAttempts bounds promote retries per failover.
+	defaultPromoteAttempts = 3
+)
+
+// SupervisorConfig tunes the failure detector.
+type SupervisorConfig struct {
+	// Interval is the probe cadence (DefaultDetectInterval when zero).
+	Interval time.Duration
+	// Misses is how many consecutive failed leader probes declare the
+	// leader dead (DefaultDetectMisses when zero).
+	Misses int
+	// PromoteAttempts bounds promote retries — with jittered backoff —
+	// per failover (3 when zero).
+	PromoteAttempts int
+}
+
+// Supervisor runs the detector loop until Stop.
+type Supervisor struct {
+	c   *Coordinator
+	cfg SupervisorConfig
+
+	stopCh   chan struct{}
+	stopOnce sync.Once
+	doneCh   chan struct{}
+
+	mu     sync.Mutex
+	misses map[string]int
+}
+
+// StartSupervisor spawns the failure-detector loop over this
+// coordinator's topology.
+func (c *Coordinator) StartSupervisor(cfg SupervisorConfig) *Supervisor {
+	if cfg.Interval <= 0 {
+		cfg.Interval = DefaultDetectInterval
+	}
+	if cfg.Misses <= 0 {
+		cfg.Misses = DefaultDetectMisses
+	}
+	if cfg.PromoteAttempts <= 0 {
+		cfg.PromoteAttempts = defaultPromoteAttempts
+	}
+	s := &Supervisor{
+		c:      c,
+		cfg:    cfg,
+		stopCh: make(chan struct{}),
+		doneCh: make(chan struct{}),
+		misses: make(map[string]int),
+	}
+	go s.run()
+	return s
+}
+
+// Stop halts the detector loop and waits for it to exit.
+func (s *Supervisor) Stop() {
+	s.stopOnce.Do(func() { close(s.stopCh) })
+	<-s.doneCh
+}
+
+func (s *Supervisor) run() {
+	defer close(s.doneCh)
+	t := time.NewTicker(s.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		case <-t.C:
+		}
+		s.superviseOnce()
+	}
+}
+
+// superviseOnce runs one detection pass over every shard.
+func (s *Supervisor) superviseOnce() {
+	topo := s.c.snapshotTopology()
+	for _, sh := range topo.Shards {
+		select {
+		case <-s.stopCh:
+			return
+		default:
+		}
+		s.superviseShard(sh)
+	}
+}
+
+func (s *Supervisor) addMiss(id string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.misses[id]++
+	return s.misses[id]
+}
+
+func (s *Supervisor) resetMisses(id string) {
+	s.mu.Lock()
+	delete(s.misses, id)
+	s.mu.Unlock()
+}
+
+// superviseShard probes one shard's adopted leader: healthy leaders
+// get their replica set healed, quiet ones accumulate misses until the
+// threshold fires a failover.
+func (s *Supervisor) superviseShard(sh ShardInfo) {
+	c := s.c
+	c.metrics.detectorProbes.Inc()
+	info, ok := c.nodeInfo(nil, sh.Leader)
+	if ok && info.Role == RoleLeader {
+		s.resetMisses(sh.ID)
+		if info.Epoch > sh.Epoch {
+			c.adoptLeader(sh.ID, sh.Leader, info.Epoch)
+		}
+		s.healReplicas(sh.ID)
+		return
+	}
+	if ok && info.Role == RoleFollower && info.Leader != "" {
+		// The routed node was demoted but knows its successor: verify
+		// the hint and adopt without burning the miss budget.
+		if ni, ok := c.nodeInfo(nil, info.Leader); ok && ni.Role == RoleLeader {
+			url := info.Leader
+			if ni.Advertise != "" {
+				url = ni.Advertise
+			}
+			if c.adoptLeader(sh.ID, url, ni.Epoch) {
+				s.resetMisses(sh.ID)
+				s.healReplicas(sh.ID)
+				return
+			}
+		}
+	}
+	c.metrics.detectorMisses.Inc()
+	if s.addMiss(sh.ID) < s.cfg.Misses {
+		return
+	}
+	s.failover(sh)
+	s.resetMisses(sh.ID)
+}
+
+// logTotals scalarizes a node's replication position. Followers of one
+// leader hold identical log prefixes, so a strictly more-caught-up
+// follower dominates per log and the sums preserve that order.
+func logTotals(ni InfoResponse) (commit, last uint64) {
+	for _, li := range ni.Logs {
+		commit += li.Commit
+		last += li.Last
+	}
+	return commit, last
+}
+
+// moreCaughtUp orders promotion candidates: higher committed total,
+// then higher appended total, then the lexicographically greater URL
+// (the same tiebreak leadershipNewer uses, so every detector ranks
+// candidates identically).
+func moreCaughtUp(a InfoResponse, aURL string, b InfoResponse, bURL string) bool {
+	ac, al := logTotals(a)
+	bc, bl := logTotals(b)
+	if ac != bc {
+		return ac > bc
+	}
+	if al != bl {
+		return al > bl
+	}
+	return aURL > bURL
+}
+
+// failover promotes the most-caught-up live in-sync follower at the
+// next promotion epoch. If some replica already claims leadership
+// (another detector or an operator beat us), it is adopted instead of
+// dueled.
+func (s *Supervisor) failover(sh ShardInfo) {
+	c := s.c
+	type candidate struct {
+		url  string
+		info InfoResponse
+	}
+	var cands []candidate
+	maxEpoch := sh.Epoch
+	for _, ru := range sh.Replicas {
+		ni, ok := c.nodeInfo(nil, ru)
+		if !ok || (ni.Shard != "" && ni.Shard != sh.ID) {
+			continue
+		}
+		if ni.Epoch > maxEpoch {
+			maxEpoch = ni.Epoch
+		}
+		url := ru
+		if ni.Advertise != "" {
+			url = ni.Advertise
+		}
+		if ni.Role == RoleLeader {
+			if c.adoptLeader(sh.ID, url, ni.Epoch) {
+				c.log.Info("failover found an existing leader", "shard", sh.ID, "leader", url, "epoch", ni.Epoch)
+				s.healReplicas(sh.ID)
+				return
+			}
+			continue
+		}
+		if ni.Fenced {
+			// A diverged ex-leader must not be promoted while any
+			// in-sync replica is alive: its log carries records the
+			// acknowledged history never saw.
+			continue
+		}
+		cands = append(cands, candidate{url: url, info: ni})
+	}
+	if len(cands) == 0 {
+		c.log.Warn("no promotable replica for dead leader", "shard", sh.ID, "leader", sh.Leader)
+		return
+	}
+	best := cands[0]
+	for _, cand := range cands[1:] {
+		if moreCaughtUp(cand.info, cand.url, best.info, best.url) {
+			best = cand
+		}
+	}
+	epoch := maxEpoch + 1
+	for attempt := 0; attempt < s.cfg.PromoteAttempts; attempt++ {
+		if attempt > 0 && !s.backoff(attempt-1) {
+			return
+		}
+		body, _ := json.Marshal(map[string]uint64{"epoch": epoch})
+		rep, err := c.probeDo(nil, best.url, "/api/v1/cluster/promote", body)
+		if err != nil {
+			continue
+		}
+		if rep.status == http.StatusOK {
+			c.metrics.detectorPromotions.Inc()
+			c.adoptLeader(sh.ID, best.url, epoch)
+			c.log.Info("auto-promoted follower", "shard", sh.ID, "leader", best.url, "epoch", epoch)
+			s.healReplicas(sh.ID)
+			return
+		}
+		if rep.status == http.StatusConflict {
+			// Lost the CAS: some other leadership won that epoch. Adopt
+			// it if it is reachable, else retry one epoch higher.
+			var fb fencedBody
+			json.Unmarshal(rep.body, &fb)
+			if url, e := c.probeLeader(nil, sh.ID); url != "" {
+				c.adoptLeader(sh.ID, url, e)
+				s.healReplicas(sh.ID)
+				return
+			}
+			if fb.Epoch >= epoch {
+				epoch = fb.Epoch + 1
+			}
+			continue
+		}
+	}
+}
+
+// backoff sleeps the jittered retry delay; false when the supervisor
+// stopped meanwhile.
+func (s *Supervisor) backoff(attempt int) bool {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		select {
+		case <-s.stopCh:
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+	return sleepBackoff(ctx, s.c.retryBase, attempt)
+}
+
+// healReplicas keeps a shard whole around its healthy adopted leader:
+// every live replica is (idempotently) re-attached to the leader's
+// replication fan-out — the rejoin path for recovered nodes — and a
+// replica still claiming a superseded leadership is demoted first. A
+// replica claiming a leadership NEWER than the adopted one is adopted
+// instead.
+func (s *Supervisor) healReplicas(id string) {
+	c := s.c
+	sh, ok := c.shardInfo(id)
+	if !ok || sh.Leader == "" {
+		return
+	}
+	for _, ru := range sh.Replicas {
+		ni, ok := c.nodeInfo(nil, ru)
+		if !ok {
+			// Dead replica: do not attach — a freshly attached
+			// replicator starts in the commit quorum and would stall
+			// the write barrier until it is marked dead again.
+			continue
+		}
+		url := ru
+		if ni.Advertise != "" {
+			url = ni.Advertise
+		}
+		if url == sh.Leader {
+			continue
+		}
+		if ni.Role == RoleLeader {
+			if leadershipNewer(ni.Epoch, url, sh.Epoch, sh.Leader) {
+				c.adoptLeader(id, url, ni.Epoch)
+				return
+			}
+			// Recovered stale leader: demote it toward the adopted
+			// leadership, then re-attach it as a follower below.
+			body, _ := json.Marshal(map[string]interface{}{"leader": sh.Leader, "epoch": sh.Epoch})
+			rep, err := c.probeDo(nil, ru, "/api/v1/cluster/demote", body)
+			if err != nil || rep.status != http.StatusOK {
+				continue
+			}
+			c.metrics.detectorDemotions.Inc()
+			c.log.Info("demoted stale leader", "shard", id, "node", url, "leader", sh.Leader, "epoch", sh.Epoch)
+		}
+		body, _ := json.Marshal(map[string]string{"follower": url})
+		c.probeDo(nil, sh.Leader, "/api/v1/cluster/attach", body)
+	}
+}

@@ -109,6 +109,7 @@ type Log struct {
 	recs      []Record // retained entries, recs[0].Index == snapIndex+1 when non-empty
 	last      uint64   // highest appended index
 	commit    uint64   // replication watermark (volatile, not persisted)
+	term      uint64   // leadership term/epoch metadata (persisted as a marker file)
 
 	active      *os.File // current segment (nil in memory mode)
 	activeCount int      // records written to the active segment
@@ -152,6 +153,18 @@ func Open(dir string, opts Options) (*Log, error) {
 
 func snapName(index uint64) string { return fmt.Sprintf("snapshot-%020d.jsonl", index) }
 func segName(first uint64) string  { return fmt.Sprintf("seg-%020d.jsonl", first) }
+func termName(term uint64) string  { return fmt.Sprintf("term-%020d", term) }
+
+func parseTerm(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "term-") {
+		return 0, false
+	}
+	var v uint64
+	if _, err := fmt.Sscanf(strings.TrimPrefix(name, "term-"), "%d", &v); err != nil {
+		return 0, false
+	}
+	return v, true
+}
 
 func parseIndexed(name, prefix string) (uint64, bool) {
 	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, ".jsonl") {
@@ -185,6 +198,17 @@ func (l *Log) load() error {
 			snaps = append(snaps, v)
 		} else if v, ok := parseIndexed(name, "seg-"); ok {
 			segs = append(segs, v)
+		} else if v, ok := parseTerm(name); ok {
+			// The highest surviving term marker wins; older ones are
+			// leftovers from a crash between create and cleanup.
+			if v > l.term {
+				if l.term > 0 {
+					os.Remove(filepath.Join(l.dir, termName(l.term)))
+				}
+				l.term = v
+			} else {
+				os.Remove(filepath.Join(l.dir, name))
+			}
 		}
 	}
 	sort.Slice(snaps, func(i, j int) bool { return snaps[i] < snaps[j] })
@@ -554,6 +578,104 @@ func (l *Log) RestoreSnapshot(index uint64, snapshot io.Reader) error {
 	l.snapIndex = index
 	l.last = index
 	l.recs = nil
+	l.cond.Broadcast()
+	return nil
+}
+
+// Term returns the leadership term/epoch metadata attached to the log
+// (0 when never set).
+func (l *Log) Term() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.term
+}
+
+// SetTerm persists the leadership term/epoch as log metadata. Terms are
+// monotone: a lower or equal term is an idempotent no-op. On disk the
+// term is a marker file (term-<n>) created before the previous marker is
+// removed, so a crash between the two leaves the newest term winning at
+// the next Open.
+func (l *Log) SetTerm(term uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if term <= l.term {
+		return nil
+	}
+	old := l.term
+	if l.dir != "" {
+		f, err := os.Create(filepath.Join(l.dir, termName(term)))
+		if err != nil {
+			return fmt.Errorf("%s: set term: %w", l.opts.name(), err)
+		}
+		f.Sync()
+		f.Close()
+		if d, err := os.Open(l.dir); err == nil {
+			d.Sync()
+			d.Close()
+		}
+		if old > 0 {
+			os.Remove(filepath.Join(l.dir, termName(old)))
+		}
+	}
+	l.term = term
+	return nil
+}
+
+// Reset replaces the log's entire contents with a snapshot at index —
+// the truncation-resync path for a diverged replica (a demoted leader
+// whose tail carries records the new leader never acknowledged). Unlike
+// RestoreSnapshot, entries above index are allowed and are discarded,
+// and every segment file is dropped so a restart cannot replay the
+// diverged tail. A nil snapshot resets to empty state at index.
+func (l *Log) Reset(index uint64, snapshot io.Reader) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.dir != "" {
+		if l.active != nil {
+			l.active.Close()
+			l.active = nil
+			l.activeCount = 0
+		}
+		entries, err := os.ReadDir(l.dir)
+		if err != nil {
+			return err
+		}
+		oldSnap := l.snapIndex
+		if err := l.writeSnapshotLocked(index, func(w io.Writer) error {
+			if snapshot == nil {
+				return nil
+			}
+			_, err := io.Copy(w, snapshot)
+			return err
+		}); err != nil {
+			return err
+		}
+		// The new snapshot is durable; everything below is cleanup that a
+		// crash may skip — leftover files are either skipped or re-detected
+		// as divergence by the replication layer on the next push.
+		for _, e := range entries {
+			if _, ok := parseIndexed(e.Name(), "seg-"); ok {
+				os.Remove(filepath.Join(l.dir, e.Name()))
+			}
+		}
+		if oldSnap != index {
+			os.Remove(filepath.Join(l.dir, snapName(oldSnap)))
+		}
+	} else if snapshot != nil {
+		if _, err := io.Copy(io.Discard, snapshot); err != nil {
+			return err
+		}
+	}
+	l.snapIndex = index
+	l.last = index
+	l.recs = nil
+	l.commit = index
 	l.cond.Broadcast()
 	return nil
 }

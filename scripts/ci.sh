@@ -33,6 +33,17 @@ GPTUNE_WORKERS=4 go test -race ./internal/parallel ./internal/kernel \
 echo "== crowd + cluster race-stress suite"
 go test -race -run 'Stress' -count=1 ./internal/crowd ./internal/cluster
 
+# The chaos failover e2e already ran above on its default schedule
+# (seed 1); replay it on a fixed matrix of extra seeds so distinct
+# fault interleavings stay covered on every push. A failure names its
+# seed — reproduce with CHAOS_SEED=<seed>.
+echo "== chaos failover e2e seed matrix"
+for seed in 7 13; do
+    echo "-- chaos seed $seed"
+    CHAOS_SEED=$seed go test -race -count=1 \
+        -run '^TestClusterChaosStressAutoFailover$' ./internal/cluster
+done
+
 echo "== fuzz smoke (10s per target)"
 fuzz_targets="
 FuzzUploadDecode ./internal/crowd
@@ -54,8 +65,8 @@ echo "$fuzz_targets" | while read -r target pkg; do
     go test -run "^${target}\$" -fuzz "^${target}\$" -fuzztime=10s "$pkg"
 done
 
-echo "== coverage floor (crowd + historydb + taskpool + core + suggest + replog + shardring >= 80%)"
-go test -count=1 -cover ./internal/crowd ./internal/historydb ./internal/taskpool ./internal/core ./internal/suggest ./internal/replog ./internal/shardring | tee /tmp/cover.txt
+echo "== coverage floor (crowd + historydb + taskpool + core + suggest + replog + shardring + chaos >= 80%)"
+go test -count=1 -cover ./internal/crowd ./internal/historydb ./internal/taskpool ./internal/core ./internal/suggest ./internal/replog ./internal/shardring ./internal/chaos | tee /tmp/cover.txt
 awk '
 /coverage:/ {
     for (i = 1; i <= NF; i++) if ($i == "coverage:") pct = $(i+1) + 0

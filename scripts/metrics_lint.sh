@@ -6,7 +6,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-pattern='"(crowd|taskpool|quarantine|reputation|worker|tuner|suggest|batch|cluster|replog)_[a-z_]+"'
+pattern='"(crowd|taskpool|quarantine|reputation|worker|tuner|suggest|batch|cluster|replog|chaos)_[a-z_]+"'
 
 # Registered families: metric-name string literals in non-test sources,
 # excluding struct/json tag lines (e.g. `json:"worker_faults"`).
