@@ -22,9 +22,11 @@ type (
 )
 
 // TuneMultiFidelity runs the GPTuneBand-style bandit tuner over the
-// parameter space. TotalCost is counted in full-fidelity-evaluation
-// units, so TotalCost=20 buys the same compute as 20 full runs but
-// typically screens several times more configurations.
+// parameter space. Budget is counted in full-fidelity-evaluation
+// units, so Budget=20 buys the same compute as 20 full runs but
+// typically screens several times more configurations. (TotalCost is
+// the deprecated name of the same knob and is honored when Budget is
+// zero.)
 func TuneMultiFidelity(ps *Space, task map[string]interface{}, eval FidelityEvaluator, opts BanditOptions) (*BanditResult, error) {
 	return bandit.Run(ps, task, eval, opts)
 }

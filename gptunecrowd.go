@@ -113,7 +113,14 @@ type TuneOptions struct {
 	Seed int64
 	// Algorithm selects the proposer; empty means "NoTLA" when Sources
 	// is empty and "Ensemble(proposed)" otherwise. See Algorithms().
+	// Mutually exclusive with Surrogate.
 	Algorithm string
+	// Surrogate routes the run through the unified surrogate pool
+	// instead of a Table-I algorithm: "auto" lets a budget-aware bandit
+	// pick per iteration from {gp, lcm, copula, sgp, space-filling};
+	// "gp", "lcm", "copula" or "sgp" pins one model. Empty keeps the
+	// Algorithm path. Setting both Algorithm and Surrogate is an error.
+	Surrogate string
 	// Sources are the transfer-learning datasets.
 	Sources []*SourceTask
 	// MaxSourceSamples caps per-source samples for the LCM-based

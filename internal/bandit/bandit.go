@@ -10,6 +10,7 @@ package bandit
 
 import (
 	"fmt"
+	"log/slog"
 	"math"
 	"math/rand"
 	"sort"
@@ -45,21 +46,36 @@ type Observation struct {
 	Err      string
 }
 
-// Options configures the bandit run.
+// Options configures the bandit run. Field names follow the same
+// conventions as the package-level TuneOptions and ConnectOptions: the
+// zero value of every field selects the default, Budget is the
+// evaluation budget, Seed makes the run reproducible and Logger
+// receives structured diagnostics.
 type Options struct {
+	// Budget caps the run in units of full-fidelity evaluations
+	// (fidelities sum toward it, so Budget=20 buys the same compute as
+	// 20 full runs). Default 20.
+	Budget float64
 	// MinFidelity is the cheapest rung (default 1/9 with Eta 3).
 	MinFidelity float64
 	// Eta is the halving rate (default 3).
 	Eta int
 	// Brackets is the number of Hyperband brackets (default s_max+1).
 	Brackets int
-	// TotalCost caps the run in units of full-fidelity evaluations
-	// (fidelities sum toward it). Default 20.
-	TotalCost float64
-	Seed      int64
-	Search    core.SearchOptions
+	// Seed makes the run reproducible.
+	Seed   int64
+	Search core.SearchOptions
+	// Logger, when non-nil, receives structured diagnostics (bracket
+	// starts, surrogate-fit fallbacks). Nil logs nothing.
+	Logger *slog.Logger
 	// OnObservation observes evaluations as they land.
 	OnObservation func(o Observation)
+
+	// TotalCost is the deprecated name of Budget; it is honored only
+	// when Budget is zero.
+	//
+	// Deprecated: use Budget.
+	TotalCost float64
 }
 
 // Result reports a bandit run.
@@ -87,7 +103,10 @@ func Run(ps *space.Space, task map[string]interface{}, eval FidelityEvaluator, o
 	if minFid <= 0 || minFid >= 1 {
 		minFid = 1.0 / float64(eta*eta)
 	}
-	totalCost := opts.TotalCost
+	totalCost := opts.Budget
+	if totalCost <= 0 {
+		totalCost = opts.TotalCost
+	}
 	if totalCost <= 0 {
 		totalCost = 20
 	}
@@ -112,6 +131,10 @@ func Run(ps *space.Space, task map[string]interface{}, eval FidelityEvaluator, o
 					h.Append(core.Sample{ParamU: X[i], Y: Y[i]})
 				}
 				return core.SearchNext(model, ps, core.EI{}, h, rng, opts.Search)
+			}
+			if opts.Logger != nil {
+				opts.Logger.Warn("bandit surrogate fit failed, proposing randomly",
+					"samples", len(X), "err", err.Error())
 			}
 		}
 		return core.RandomPoint(ps, rng)
@@ -148,6 +171,10 @@ func Run(ps *space.Space, task map[string]interface{}, eval FidelityEvaluator, o
 		// Successive halving bracket: n configs at rung fidelity
 		// r = eta^{-s}, promoting the top 1/eta each round.
 		n := int(math.Ceil(float64(sMax+1) / float64(s+1) * math.Pow(float64(eta), float64(s))))
+		if opts.Logger != nil {
+			opts.Logger.Info("bandit bracket", "s", s, "configs", n,
+				"cost_spent", res.CostSpent, "budget", totalCost)
+		}
 		fid := math.Pow(float64(eta), -float64(s))
 		type entry struct {
 			u []float64

@@ -6,19 +6,6 @@ import (
 	"gptunecrowd/internal/stat"
 )
 
-// Surrogate is a posterior model over the normalized parameter space:
-// the GP, LCM-slice or combined transfer-learning models all satisfy it.
-type Surrogate interface {
-	// Predict returns the posterior mean and standard deviation at x.
-	Predict(x []float64) (mean, std float64)
-}
-
-// SurrogateFunc adapts a function to the Surrogate interface.
-type SurrogateFunc func(x []float64) (float64, float64)
-
-// Predict implements Surrogate.
-func (f SurrogateFunc) Predict(x []float64) (float64, float64) { return f(x) }
-
 // Acquisition scores a candidate point; the tuner maximizes it. All
 // acquisitions are phrased for minimization problems.
 type Acquisition interface {

@@ -238,6 +238,7 @@ func (s *Session) proposeOne(rctx context.Context) (*pendingEntry, error) {
 		History: scratch,
 		Rng:     s.rng,
 		Iter:    s.iter + len(s.ledger),
+		Budget:  s.opts.Budget,
 		Search:  search,
 		Stats:   &s.stats,
 		Logf:    s.opts.Logf,

@@ -27,6 +27,7 @@ type ProposeContext struct {
 	History *History
 	Rng     *rand.Rand
 	Iter    int // 0-based evaluation index
+	Budget  int // total evaluation budget (0 when the driver has none)
 	Search  SearchOptions
 
 	// Stats, when non-nil, accumulates the session's robustness
@@ -148,6 +149,7 @@ func RunLoopContext(rctx context.Context, p *Problem, task map[string]interface{
 			History: h,
 			Rng:     rng,
 			Iter:    i,
+			Budget:  opts.Budget,
 			Search:  search,
 			Ctx:     rctx,
 			Timers:  timers,

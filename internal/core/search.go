@@ -12,12 +12,18 @@ import (
 )
 
 // searchScratch recycles the per-call buffers of SearchNext — the
-// candidate pool (one flat backing array resliced into rows) and its
-// score vector — so steady-state suggestion serving is allocation-flat.
+// candidate pool (one flat backing array resliced into rows), its
+// score vector, and the canonicalized-pool/mean/std buffers of the
+// batched prescreen — so steady-state suggestion serving is
+// allocation-flat.
 type searchScratch struct {
 	flat   []float64
 	pool   [][]float64
 	scores []float64
+
+	canonFlat   []float64
+	canon       [][]float64
+	means, stds []float64
 }
 
 func (sc *searchScratch) resize(n, dim int) {
@@ -36,6 +42,28 @@ func (sc *searchScratch) resize(n, dim int) {
 		sc.scores = make([]float64, n)
 	}
 	sc.scores = sc.scores[:n]
+}
+
+// resizeBatch extends the scratch with the canonical-point rows and
+// posterior buffers of the batched prescreen path.
+func (sc *searchScratch) resizeBatch(n, dim int) {
+	if cap(sc.canonFlat) < n*dim {
+		sc.canonFlat = make([]float64, n*dim)
+	}
+	sc.canonFlat = sc.canonFlat[:n*dim]
+	if cap(sc.canon) < n {
+		sc.canon = make([][]float64, n)
+	}
+	sc.canon = sc.canon[:n]
+	for i := range sc.canon {
+		sc.canon[i] = sc.canonFlat[i*dim : (i+1)*dim]
+	}
+	if cap(sc.means) < n {
+		sc.means = make([]float64, n)
+		sc.stds = make([]float64, n)
+	}
+	sc.means = sc.means[:n]
+	sc.stds = sc.stds[:n]
 }
 
 var searchPool = sync.Pool{New: func() interface{} { return new(searchScratch) }}
@@ -85,7 +113,12 @@ func (o *SearchOptions) defaults() {
 // history: a random-candidate prescreen seeds differential evolution,
 // whose winner is snapped to the discrete grid. Falls back to random
 // points if everything promising is a duplicate.
-func SearchNext(surr Surrogate, sp *space.Space, acq Acquisition, h *History, rng *rand.Rand, opts SearchOptions) []float64 {
+//
+// When surr also implements BatchPredictor the prescreen pool is
+// scored through one PredictBatchInto call instead of per-candidate
+// Predict calls; the scores — and therefore the returned point — are
+// bit-identical either way.
+func SearchNext(surr Predictor, sp *space.Space, acq Acquisition, h *History, rng *rand.Rand, opts SearchOptions) []float64 {
 	opts.defaults()
 	dim := sp.Dim()
 	best := bestForAcq(h)
@@ -105,20 +138,7 @@ func SearchNext(surr Surrogate, sp *space.Space, acq Acquisition, h *History, rn
 			mean, std := surr.Predict(c)
 			score := acq.Score(mean, std, best)
 			if opts.Penalty != nil {
-				p := opts.Penalty(c)
-				if p < 0 {
-					p = 0
-				} else if p > 1 {
-					p = 1
-				}
-				if score > 0 {
-					score *= p
-				} else {
-					// Negative scores (LCB) shrink toward -inf instead of
-					// 0: dividing by the factor keeps "penalized" meaning
-					// "worse" on both sides of zero.
-					score /= math.Max(p, 1e-12)
-				}
+				score = penalize(score, opts.Penalty(c))
 			}
 			f = -score
 		}
@@ -138,9 +158,33 @@ func SearchNext(surr Surrogate, sp *space.Space, acq Acquisition, h *History, rn
 	pool := sc.pool
 	sample.LatinHypercubeInto(pool, rng)
 	scores := sc.scores
-	parallel.For(len(pool), opts.Workers, func(i int) {
-		scores[i] = neg(pool[i])
-	})
+	if bp, ok := surr.(BatchPredictor); ok {
+		// Vectorized prescreen: canonicalize every candidate, fetch the
+		// posterior for the whole pool in one batched call, then apply
+		// acquisition/penalty per slot. Predict is deterministic per
+		// point, so the scores match the pointwise path bit for bit.
+		sc.resizeBatch(opts.Candidates, dim)
+		canon, means, stds := sc.canon, sc.means, sc.stds
+		parallel.For(len(pool), opts.Workers, func(i int) {
+			sp.CanonicalizeInto(pool[i], canon[i])
+		})
+		bp.PredictBatchInto(canon, means, stds, opts.Workers)
+		parallel.For(len(pool), opts.Workers, func(i int) {
+			scores[i] = math.Inf(1)
+			if opts.Feasible != nil && !opts.Feasible(canon[i]) {
+				return
+			}
+			score := acq.Score(means[i], stds[i], best)
+			if opts.Penalty != nil {
+				score = penalize(score, opts.Penalty(canon[i]))
+			}
+			scores[i] = -score
+		})
+	} else {
+		parallel.For(len(pool), opts.Workers, func(i int) {
+			scores[i] = neg(pool[i])
+		})
+	}
 	type scored struct {
 		u []float64
 		f float64
@@ -219,6 +263,21 @@ func SearchNext(surr Surrogate, sp *space.Space, acq Acquisition, h *History, rn
 	}
 	// Space may be exhausted; return the optimum even though it repeats.
 	return u
+}
+
+// penalize applies a [0,1] penalty factor to an acquisition score.
+// Positive scores shrink toward 0; negative scores (LCB) shrink toward
+// -inf by dividing, so a penalized point is always ranked worse.
+func penalize(score, p float64) float64 {
+	if p < 0 {
+		p = 0
+	} else if p > 1 {
+		p = 1
+	}
+	if score > 0 {
+		return score * p
+	}
+	return score / math.Max(p, 1e-12)
 }
 
 // RandomPoint returns a canonicalized uniform random point.

@@ -280,6 +280,25 @@ type sessionCheckpoint struct {
 	// 2), in strictly increasing id order.
 	Ledger         []checkpointPending `json:"ledger,omitempty"`
 	NextProposalID uint64              `json:"next_proposal_id,omitempty"`
+	// ProposerState carries the opaque private state of a stateful
+	// proposer (e.g. the surrogate pool's bandit arm statistics), when
+	// the proposer implements StatefulProposer. Absent for stateless
+	// proposers and in pre-pool checkpoints; readers that do not
+	// understand it ignore it.
+	ProposerState json.RawMessage `json:"proposer_state,omitempty"`
+}
+
+// StatefulProposer is a Proposer whose decisions depend on state that
+// is not a pure function of the history and the RNG stream (the
+// surrogate pool's bandit statistics). Sessions serialize that state
+// into checkpoints and restore it on resume, so a resumed run remains
+// bit-identical to an uninterrupted one.
+type StatefulProposer interface {
+	Proposer
+	// StateCheckpoint serializes the proposer's private state.
+	StateCheckpoint() ([]byte, error)
+	// RestoreState restores state serialized by StateCheckpoint.
+	RestoreState(data []byte) error
 }
 
 type checkpointSample struct {
@@ -334,6 +353,13 @@ func (s *Session) Checkpoint() ([]byte, error) {
 				Y: e.y, Failed: e.failed, Err: e.errMsg,
 			}
 		}
+	}
+	if sp, ok := s.proposer.(StatefulProposer); ok {
+		state, err := sp.StateCheckpoint()
+		if err != nil {
+			return nil, fmt.Errorf("core: proposer %s state checkpoint: %w", s.proposer.Name(), err)
+		}
+		cp.ProposerState = state
 	}
 	return json.Marshal(cp)
 }
@@ -441,6 +467,13 @@ func ResumeSession(p *Problem, task map[string]interface{}, proposer Proposer, o
 	s.nextPropID = maxID + 1
 	if cp.NextProposalID > s.nextPropID {
 		s.nextPropID = cp.NextProposalID
+	}
+	if len(cp.ProposerState) > 0 {
+		if sp, ok := proposer.(StatefulProposer); ok {
+			if err := sp.RestoreState(cp.ProposerState); err != nil {
+				return nil, fmt.Errorf("core: proposer %s state restore: %w", proposer.Name(), err)
+			}
+		}
 	}
 	// A checkpoint taken mid-commit (or hand-edited) may carry an
 	// observed prefix; fold it into the history silently — restoration

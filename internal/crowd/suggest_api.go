@@ -25,6 +25,10 @@ type SuggestRequest struct {
 	// strategy and remembers each point until its real sample is
 	// uploaded.
 	Batch int `json:"batch,omitempty"`
+	// Surrogate optionally selects the server-side model family: "gp"
+	// (default), "copula" or "sgp". Absent keeps the default; unknown
+	// values fail with 400.
+	Surrogate string `json:"surrogate,omitempty"`
 }
 
 // SuggestProposal is one point of a batched suggestion.
@@ -124,6 +128,7 @@ func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request, user stri
 		Task:        req.TaskParams,
 		Acquisition: req.Acquisition,
 		Batch:       req.Batch,
+		Surrogate:   req.Surrogate,
 	})
 	if err != nil {
 		switch {

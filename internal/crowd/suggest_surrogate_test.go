@@ -1,0 +1,65 @@
+package crowd
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestSuggestSurrogateHintE2E drives /api/v1/suggest with the optional
+// "surrogate" field over the real HTTP surface: absent keeps the
+// default behavior, each servable kind answers a proposal, and unknown
+// kinds come back as typed 400s.
+func TestSuggestSurrogateHintE2E(t *testing.T) {
+	srv := NewServerWith(Config{})
+	srv.RegisterProblemPolicy("qr", ProblemPolicy{Space: suggestE2ESpace(t)})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	alice := NewClient(ts.URL, "")
+	if _, err := alice.Register("alice", ""); err != nil {
+		t.Fatal(err)
+	}
+	evals := make([]FuncEval, 12)
+	for i := range evals {
+		evals[i] = suggestE2EEval(i)
+	}
+	if _, err := alice.Upload(evals); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	for _, kind := range []string{"", "gp", "copula", "sgp"} {
+		resp, err := alice.SuggestRemote(ctx, SuggestRequest{TuningProblemName: "qr", Surrogate: kind})
+		if err != nil {
+			t.Fatalf("surrogate %q: %v", kind, err)
+		}
+		if len(resp.ParamU) != 2 || len(resp.TuningParams) != 2 {
+			t.Fatalf("surrogate %q: malformed response %+v", kind, resp)
+		}
+		if resp.ModelSamples != 12 {
+			t.Fatalf("surrogate %q: model over %d samples, want 12", kind, resp.ModelSamples)
+		}
+	}
+
+	var ae *APIError
+	for _, kind := range []string{"bogus", "auto", "lcm"} {
+		_, err := alice.SuggestRemote(ctx, SuggestRequest{TuningProblemName: "qr", Surrogate: kind})
+		if err == nil {
+			t.Fatalf("surrogate %q accepted", kind)
+		}
+		if !errors.As(err, &ae) || ae.StatusCode != http.StatusBadRequest {
+			t.Fatalf("surrogate %q: got %v, want a 400", kind, err)
+		}
+	}
+
+	// Batched non-GP suggestions over the wire.
+	resp, err := alice.SuggestRemote(ctx, SuggestRequest{TuningProblemName: "qr", Surrogate: "sgp", Batch: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Proposals) != 3 {
+		t.Fatalf("sgp batch answered %d proposals, want 3", len(resp.Proposals))
+	}
+}

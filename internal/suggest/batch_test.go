@@ -179,7 +179,7 @@ func TestSuggestStalenessClockMonotone(t *testing.T) {
 	if _, err := s.Suggest(ctx, Request{Problem: "app"}); err != nil {
 		t.Fatal(err)
 	}
-	e := s.entryFor("app\x1f{}", "app", nil)
+	e := s.entryFor("app\x1f{}", "app", nil, "gp")
 	e.mu.RLock()
 	v0, seen0 := e.version, e.lastSeen
 	e.mu.RUnlock()
@@ -236,7 +236,7 @@ func TestSuggestConcurrentUploadsAndBatches(t *testing.T) {
 	if _, err := s.Suggest(ctx, Request{Problem: "app", Batch: 2}); err != nil {
 		t.Fatal(err)
 	}
-	e := s.entryFor("app\x1f{}", "app", nil)
+	e := s.entryFor("app\x1f{}", "app", nil, "gp")
 	e.mu.RLock()
 	ledger := len(e.liars)
 	seen := e.lastSeen

@@ -31,6 +31,7 @@ import (
 	"gptunecrowd/internal/gp"
 	"gptunecrowd/internal/obs"
 	"gptunecrowd/internal/space"
+	"gptunecrowd/internal/surrogate"
 )
 
 // ErrUnknownProblem is returned by Sources (and propagated by Suggest)
@@ -141,6 +142,29 @@ type Request struct {
 	// each point is remembered as a liar until a matching real sample is
 	// uploaded (retired via NotifyAppend) or it expires.
 	Batch int
+	// Surrogate optionally picks the model family serving the request:
+	// "gp" (default, the exact GP), "copula" (Gaussian-copula quantile
+	// model) or "sgp" (sparse inducing-point GP — the crowd-scale
+	// choice). Absent keeps the pre-hint behavior exactly; each kind has
+	// its own cache entry. Unknown or unservable kinds ("auto", "lcm")
+	// fail with ErrBadRequest.
+	Surrogate string
+}
+
+// parseSurrogateKind validates the request's surrogate hint and
+// resolves the default.
+func parseSurrogateKind(name string) (string, error) {
+	switch strings.ToLower(name) {
+	case "", surrogate.KindGP:
+		return surrogate.KindGP, nil
+	case surrogate.KindCopula:
+		return surrogate.KindCopula, nil
+	case surrogate.KindSGP:
+		return surrogate.KindSGP, nil
+	case surrogate.KindAuto, surrogate.KindLCM:
+		return "", fmt.Errorf("%w: surrogate %q is not servable by /suggest (want gp, copula or sgp)", ErrBadRequest, name)
+	}
+	return "", fmt.Errorf("%w: unknown surrogate %q (want gp, copula or sgp)", ErrBadRequest, name)
 }
 
 // Proposal is one point of a (possibly batched) response.
@@ -179,6 +203,35 @@ type Stats struct {
 	LiarsExpired        int64 `json:"liars_expired"`
 }
 
+// servingModel is what the acquisition search needs from a cached
+// surrogate: batched posterior prediction plus its training size.
+type servingModel interface {
+	core.BatchPredictor
+	NumSamples() int
+}
+
+// batchModel additionally absorbs constant-liar pseudo-observations for
+// the batch-proposal path.
+type batchModel interface {
+	core.BatchPredictor
+	Observe(x []float64, y float64) error
+}
+
+// fittedSurrogate adapts a non-GP core.Surrogate to servingModel.
+type fittedSurrogate struct {
+	core.Surrogate
+	n int
+}
+
+func (f *fittedSurrogate) NumSamples() int { return f.n }
+
+// readonlyModel serves a shared model in the batch path when a private
+// copy could not be built: liar observations become no-ops, and spread
+// relies on the scratch history's duplicate penalty alone.
+type readonlyModel struct{ servingModel }
+
+func (readonlyModel) Observe([]float64, float64) error { return nil }
+
 // entry is one cached surrogate. mu guards the model state (RLock for
 // prediction/search, Lock for swap/incremental update); fitMu guards
 // the single-flight bookkeeping.
@@ -186,9 +239,10 @@ type entry struct {
 	key     string
 	problem string
 	task    map[string]interface{}
+	kind    string // surrogate family ("gp", "copula", "sgp")
 
 	mu       sync.RWMutex
-	model    *gp.GP
+	model    servingModel
 	space    *space.Space
 	hist     *core.History
 	version  uint64 // snapshot version the model covers
@@ -326,12 +380,12 @@ func taskKey(task map[string]interface{}) string {
 
 // entryFor returns the cache entry for key, creating it and evicting
 // the LRU tail past capacity.
-func (s *Service) entryFor(key, problem string, task map[string]interface{}) *entry {
+func (s *Service) entryFor(key, problem string, task map[string]interface{}, kind string) *entry {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	e := s.entries[key]
 	if e == nil {
-		e = &entry{key: key, problem: problem, task: task}
+		e = &entry{key: key, problem: problem, task: task, kind: kind}
 		s.entries[key] = e
 		s.lruPush(e)
 		for len(s.entries) > s.cfg.CacheSize {
@@ -398,6 +452,10 @@ func (s *Service) Suggest(ctx context.Context, req Request) (*Response, error) {
 	if err != nil {
 		return nil, err
 	}
+	kind, err := parseSurrogateKind(req.Surrogate)
+	if err != nil {
+		return nil, err
+	}
 	k := req.Batch
 	if k <= 0 {
 		k = 1
@@ -405,7 +463,13 @@ func (s *Service) Suggest(ctx context.Context, req Request) (*Response, error) {
 	if k > s.cfg.MaxBatch {
 		return nil, fmt.Errorf("%w: batch size %d exceeds the maximum %d", ErrBadRequest, k, s.cfg.MaxBatch)
 	}
-	e := s.entryFor(req.Problem+"\x1f"+taskKey(req.Task), req.Problem, req.Task)
+	// Non-default kinds get their own cache entries; the default keeps
+	// the pre-hint key so existing caches stay warm across upgrades.
+	key := req.Problem + "\x1f" + taskKey(req.Task)
+	if kind != surrogate.KindGP {
+		key += "\x1f" + kind
+	}
+	e := s.entryFor(key, req.Problem, req.Task, kind)
 	gen := s.gen(req.Problem)
 
 	e.mu.RLock()
@@ -500,7 +564,7 @@ func (s *Service) Suggest(ctx context.Context, req Request) (*Response, error) {
 		// spread out instead of collapsing onto the acquisition optimum.
 		resp.ModelSamples = model.NumSamples()
 		resp.Proposer = "suggest/" + strings.ToLower(acq.Name())
-		work := model.Clone()
+		work := s.batchModelFor(e.kind, model, sp, hist)
 		scratch := scratchHist(hist, len(pendingLiars)+k)
 		for _, l := range pendingLiars {
 			// A liar that breaks positive definiteness (e.g. a duplicate
@@ -534,6 +598,60 @@ func (s *Service) Suggest(ctx context.Context, req Request) (*Response, error) {
 	resp.ParamU = resp.Proposals[0].ParamU
 	resp.Params = resp.Proposals[0].Params
 	return resp, nil
+}
+
+// batchModelFor returns a private copy of the serving model that can
+// absorb liar pseudo-observations. The GP clones its posterior in
+// O(n²); the cheap kinds (copula, sgp) refit a fresh model from the
+// serving history — their fit is the cheap part by design. If the
+// refit fails the shared model is served read-only.
+func (s *Service) batchModelFor(kind string, model servingModel, sp *space.Space, hist *core.History) batchModel {
+	if g, ok := model.(*gp.GP); ok {
+		return g.Clone()
+	}
+	surr, err := s.newSurrogate(kind, sp)
+	if err == nil {
+		X := make([][]float64, hist.Len())
+		Y := make([]float64, hist.Len())
+		for i, smp := range hist.Samples {
+			X[i] = smp.ParamU
+			Y[i] = smp.Y
+		}
+		err = surr.Fit(X, Y)
+	}
+	if err != nil {
+		s.log.Warn("suggest batch: private surrogate refit failed, serving read-only",
+			"kind", kind, "error", err)
+		return readonlyModel{model}
+	}
+	return surr
+}
+
+// newSurrogate builds an unfitted non-GP surrogate for the space.
+func (s *Service) newSurrogate(kind string, sp *space.Space) (core.Surrogate, error) {
+	mask := make([]bool, sp.Dim())
+	anyCat := false
+	for i, k := range sp.Kinds() {
+		if k == space.Categorical {
+			mask[i] = true
+			anyCat = true
+		}
+	}
+	if !anyCat {
+		mask = nil
+	}
+	surr, err := surrogate.New(kind, surrogate.Config{
+		Dim:         sp.Dim(),
+		Categorical: mask,
+		Workers:     s.cfg.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if ss, ok := surr.(interface{ SetSeed(int64) }); ok {
+		ss.SetSeed(s.cfg.Seed)
+	}
+	return surr, nil
 }
 
 // proposalFor decodes one canonical point.
@@ -661,9 +779,10 @@ func (s *Service) apply(ctx context.Context, e *entry, snap *Snapshot, g0 uint64
 	e.mu.RUnlock()
 
 	fitStart := time.Now()
-	incremental := model != nil && nsucc > prevN &&
-		model.ObservedSinceFit()+(nsucc-prevN) < s.cfg.RefitEvery &&
-		!drifted(model, snap.Y[prevN:])
+	gpModel, _ := model.(*gp.GP)
+	incremental := gpModel != nil && nsucc > prevN &&
+		gpModel.ObservedSinceFit()+(nsucc-prevN) < s.cfg.RefitEvery &&
+		!drifted(gpModel, snap.Y[prevN:])
 	refit := func() (*gp.GP, error) {
 		return gp.Fit(snap.X, snap.Y, gp.Options{
 			Seed:     s.cfg.Seed,
@@ -677,37 +796,60 @@ func (s *Service) apply(ctx context.Context, e *entry, snap *Snapshot, g0 uint64
 	// mid-search on the serving model, whose Cholesky factor gp.Observe
 	// would otherwise rewrite under their feet. The finished model swaps
 	// in wholesale below.
-	var next *gp.GP
+	var next servingModel
 	var fitErr error
-	kind := "none"
+	fitKind := "none"
 	switch {
 	case model != nil && nsucc == prevN:
 		// No new successful rows; keep serving the current model.
+	case e.kind != "" && e.kind != surrogate.KindGP:
+		// Cheap-refit path: the non-GP kinds refit from scratch on every
+		// sync — their full fit is cheaper than the GP's incremental
+		// update at crowd scale, so there is nothing to amortize.
+		if nsucc >= 2 {
+			var surr core.Surrogate
+			if surr, fitErr = s.newSurrogate(e.kind, snap.Space); fitErr == nil {
+				fitErr = surr.Fit(snap.X, snap.Y)
+			}
+			if fitErr == nil {
+				next = &fittedSurrogate{Surrogate: surr, n: nsucc}
+				fitKind = "full"
+				s.fullFits.Add(1)
+			} else {
+				s.log.ErrorContext(ctx, "suggest fit: surrogate refit failed",
+					"problem", e.problem, "surrogate", e.kind, "samples", nsucc, "error", fitErr)
+			}
+		}
 	case incremental:
-		kind = "incremental"
-		next = model.Clone()
+		fitKind = "incremental"
+		work := gpModel.Clone()
 		for i := prevN; i < nsucc; i++ {
-			if err := next.Observe(snap.X[i], snap.Y[i]); err != nil {
+			if err := work.Observe(snap.X[i], snap.Y[i]); err != nil {
 				// Lost positive definiteness mid-stream: refit from
 				// scratch rather than serve a broken posterior.
 				s.log.WarnContext(ctx, "suggest fit: incremental update failed, forcing refit",
 					"problem", e.problem, "error", err)
-				next = nil
+				work = nil
 				break
 			}
 			s.incrObs.Add(1)
 		}
-		if next == nil {
-			kind = "none"
-			if next, fitErr = refit(); fitErr == nil {
-				kind = "full"
+		if work == nil {
+			fitKind = "none"
+			if work, fitErr = refit(); fitErr == nil {
+				fitKind = "full"
 				s.fullFits.Add(1)
 			}
 		}
+		if work != nil {
+			next = work
+		}
 	case nsucc >= 2:
-		if next, fitErr = refit(); fitErr == nil {
-			kind = "full"
+		var work *gp.GP
+		if work, fitErr = refit(); fitErr == nil {
+			fitKind = "full"
 			s.fullFits.Add(1)
+			next = work
 		} else {
 			s.log.ErrorContext(ctx, "suggest fit: full refit failed",
 				"problem", e.problem, "samples", nsucc, "error", fitErr)
@@ -756,7 +898,7 @@ func (s *Service) apply(ctx context.Context, e *entry, snap *Snapshot, g0 uint64
 	e.lastErr = fitErr
 	s.fitSeconds.Observe(time.Since(fitStart).Seconds())
 	s.log.InfoContext(ctx, "suggest fit",
-		"problem", e.problem, "kind", kind, "samples", nsucc, "version", snap.Version)
+		"problem", e.problem, "kind", fitKind, "samples", nsucc, "version", snap.Version)
 }
 
 // retireLiars removes, for each newly absorbed row, the first liar

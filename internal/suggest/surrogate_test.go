@@ -1,0 +1,94 @@
+package suggest
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestSuggestSurrogateHint covers the optional "surrogate" request
+// field: each servable kind gets its own cache entry and serves a valid
+// proposal; unknown and unservable kinds fail with ErrBadRequest.
+func TestSuggestSurrogateHint(t *testing.T) {
+	src := newFakeSource()
+	seedHistory(src, "app", 12)
+	s := New(src, Config{Seed: 1})
+	ctx := context.Background()
+
+	for _, kind := range []string{"", "gp", "copula", "sgp"} {
+		r, err := s.Suggest(ctx, Request{Problem: "app", Surrogate: kind})
+		if err != nil {
+			t.Fatalf("surrogate %q: %v", kind, err)
+		}
+		if len(r.ParamU) != 2 || r.ModelSamples != 12 {
+			t.Fatalf("surrogate %q: malformed response %+v", kind, r)
+		}
+		for _, u := range r.ParamU {
+			if u < 0 || u > 1 {
+				t.Fatalf("surrogate %q: proposal %v outside unit cube", kind, r.ParamU)
+			}
+		}
+	}
+	// "" and "gp" share one entry; copula and sgp add one each.
+	if st := s.Stats(); st.Entries != 3 {
+		t.Fatalf("entries = %d, want 3 (gp shared + copula + sgp)", st.Entries)
+	}
+
+	for _, kind := range []string{"auto", "lcm", "bogus"} {
+		_, err := s.Suggest(ctx, Request{Problem: "app", Surrogate: kind})
+		if !errors.Is(err, ErrBadRequest) {
+			t.Fatalf("surrogate %q: got %v, want ErrBadRequest", kind, err)
+		}
+	}
+}
+
+// TestSuggestSurrogateBatch exercises the non-GP cheap-refit batch
+// path: distinct constant-liar proposals from a private refit copy.
+func TestSuggestSurrogateBatch(t *testing.T) {
+	src := newFakeSource()
+	seedHistory(src, "app", 12)
+	s := New(src, Config{Seed: 2})
+	ctx := context.Background()
+
+	for _, kind := range []string{"copula", "sgp"} {
+		r, err := s.Suggest(ctx, Request{Problem: "app", Surrogate: kind, Batch: 3})
+		if err != nil {
+			t.Fatalf("surrogate %q: %v", kind, err)
+		}
+		if len(r.Proposals) != 3 {
+			t.Fatalf("surrogate %q: %d proposals, want 3", kind, len(r.Proposals))
+		}
+		for i := 0; i < len(r.Proposals); i++ {
+			for j := i + 1; j < len(r.Proposals); j++ {
+				if pointsClose(r.Proposals[i].ParamU, r.Proposals[j].ParamU, 1e-9) {
+					t.Fatalf("surrogate %q: proposals %d and %d collapsed onto %v",
+						kind, i, j, r.Proposals[i].ParamU)
+				}
+			}
+		}
+	}
+}
+
+// TestSuggestSurrogateStaysFresh verifies the cheap-refit sync loop:
+// new uploads reach a non-GP entry through NotifyAppend just like the
+// GP path.
+func TestSuggestSurrogateStaysFresh(t *testing.T) {
+	src := newFakeSource()
+	seedHistory(src, "app", 12)
+	s := New(src, Config{Seed: 3, MaxStale: 1})
+	ctx := context.Background()
+
+	r1, err := s.Suggest(ctx, Request{Problem: "app", Surrogate: "sgp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedHistory(src, "app", 6) // 6 more rows land
+	s.NotifyAppend("app", 6)
+	r2, err := s.Suggest(ctx, Request{Problem: "app", Surrogate: "sgp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.ModelSamples <= r1.ModelSamples {
+		t.Fatalf("model did not absorb uploads: %d -> %d", r1.ModelSamples, r2.ModelSamples)
+	}
+}

@@ -14,13 +14,13 @@ import (
 // lcmFit substitutes the LCM fit in tests (fit-degradation coverage).
 var lcmFit = lcm.Fit
 
-// lcmSlice exposes one task of a fitted LCM as a core.Surrogate.
+// lcmSlice exposes one task of a fitted LCM as a core.Predictor.
 type lcmSlice struct {
 	m    *lcm.Model
 	task int
 }
 
-// Predict implements core.Surrogate. A prediction error (out-of-range
+// Predict implements core.Predictor. A prediction error (out-of-range
 // task, bad input) answers +Inf mean so the acquisition search never
 // selects the point, instead of crashing the session.
 func (s lcmSlice) Predict(x []float64) (float64, float64) {

@@ -115,7 +115,7 @@ func equalWeightFirstEval(ctx *core.ProposeContext, sources []*Source, kern kern
 		return nil, err
 	}
 	w := make([]float64, len(models))
-	surrs := make([]core.Surrogate, len(models))
+	surrs := make([]core.Predictor, len(models))
 	for i := range w {
 		w[i] = 1.0 / float64(len(models))
 		surrs[i] = models[i]
@@ -128,11 +128,11 @@ func equalWeightFirstEval(ctx *core.ProposeContext, sources []*Source, kern kern
 // arithmetic weighted mean of means and geometric weighted mean of
 // standard deviations.
 type weightedSurrogate struct {
-	models  []core.Surrogate
+	models  []core.Predictor
 	weights []float64
 }
 
-// Predict implements core.Surrogate.
+// Predict implements core.Predictor.
 func (w *weightedSurrogate) Predict(x []float64) (float64, float64) {
 	var mean float64
 	logStd := 0.0

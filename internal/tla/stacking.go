@@ -98,7 +98,7 @@ type stackedSurrogate struct {
 	nTgt   int
 }
 
-// Predict implements core.Surrogate.
+// Predict implements core.Predictor.
 func (s *stackedSurrogate) Predict(x []float64) (float64, float64) {
 	mean := s.chain.meanAt(x)
 	srcStd := s.chain.stdAt(x)

@@ -140,7 +140,7 @@ func TestNormalizeWeights(t *testing.T) {
 func TestWeightedSurrogateCombination(t *testing.T) {
 	a := core.SurrogateFunc(func(x []float64) (float64, float64) { return 2, 1 })
 	b := core.SurrogateFunc(func(x []float64) (float64, float64) { return 4, 4 })
-	ws := &weightedSurrogate{models: []core.Surrogate{a, b}, weights: []float64{0.5, 0.5}}
+	ws := &weightedSurrogate{models: []core.Predictor{a, b}, weights: []float64{0.5, 0.5}}
 	mean, std := ws.Predict([]float64{0})
 	if mean != 3 {
 		t.Fatalf("mean = %v", mean)

@@ -71,7 +71,7 @@ func (w *WeightedSum) Propose(ctx *core.ProposeContext) ([]float64, error) {
 			tgtModel = nil // degrade gracefully to a source-only mix
 		}
 	}
-	models := make([]core.Surrogate, 0, len(srcModels)+1)
+	models := make([]core.Predictor, 0, len(srcModels)+1)
 	for _, m := range srcModels {
 		models = append(models, m)
 	}

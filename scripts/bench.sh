@@ -4,11 +4,15 @@
 # and a 3-shard cluster behind the routing coordinator — and writes the
 # repo's perf-trajectory file BENCH_suggest.json (a JSON array, one
 # entry per workload), then prints the Go micro-benchmarks behind the
-# CI allocation guards for comparison.
+# CI allocation guards for comparison. A fourth pass runs the
+# cheap-transfer surrogate benchmark (cmd/transferbench) and writes
+# BENCH_transfer.json; it exits nonzero if copula/sgp are not >= 10x
+# faster to fit than LCM or the auto pool misses the LCM incumbent.
 #
 # Environment knobs (defaults in parentheses):
 #   SEED (9)  DURATION (5s)  CLIENTS (16)  HISTORY (64)  BATCH (8)
-#   OUT (BENCH_suggest.json)  BENCHTIME (500x)  COUNT (3)
+#   OUT (BENCH_suggest.json)  TRANSFER_OUT (BENCH_transfer.json)
+#   BENCHTIME (500x)  COUNT (3)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,6 +22,7 @@ CLIENTS="${CLIENTS:-16}"
 HISTORY="${HISTORY:-64}"
 BATCH="${BATCH:-8}"
 OUT="${OUT:-BENCH_suggest.json}"
+TRANSFER_OUT="${TRANSFER_OUT:-BENCH_transfer.json}"
 BENCHTIME="${BENCHTIME:-500x}"
 COUNT="${COUNT:-3}"
 
@@ -47,6 +52,10 @@ go run ./cmd/suggestbench \
     printf ']\n'
 } > "$OUT"
 echo "wrote $OUT"
+
+echo "== transferbench (cheap-transfer surrogate pool, 3 source tasks, 10k crowd samples)"
+go run ./cmd/transferbench -seed "$SEED" -out "$TRANSFER_OUT"
+echo "wrote $TRANSFER_OUT"
 
 echo "== go test -bench Suggest (allocation-guard micro-benchmarks)"
 go test -run '^$' -bench 'BenchmarkSuggest(HotPath|BatchHotPath|Endpoint)' \

@@ -65,8 +65,8 @@ echo "$fuzz_targets" | while read -r target pkg; do
     go test -run "^${target}\$" -fuzz "^${target}\$" -fuzztime=10s "$pkg"
 done
 
-echo "== coverage floor (crowd + historydb + taskpool + core + suggest + replog + shardring + chaos >= 80%)"
-go test -count=1 -cover ./internal/crowd ./internal/historydb ./internal/taskpool ./internal/core ./internal/suggest ./internal/replog ./internal/shardring ./internal/chaos | tee /tmp/cover.txt
+echo "== coverage floor (crowd + historydb + taskpool + core + suggest + replog + shardring + chaos + copula + sgp + surrogate + bandit >= 80%)"
+go test -count=1 -cover ./internal/crowd ./internal/historydb ./internal/taskpool ./internal/core ./internal/suggest ./internal/replog ./internal/shardring ./internal/chaos ./internal/copula ./internal/sgp ./internal/surrogate ./internal/bandit | tee /tmp/cover.txt
 awk '
 /coverage:/ {
     for (i = 1; i <= NF; i++) if ($i == "coverage:") pct = $(i+1) + 0

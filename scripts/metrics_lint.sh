@@ -6,12 +6,14 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-pattern='"(crowd|taskpool|quarantine|reputation|worker|tuner|suggest|batch|cluster|replog|chaos)_[a-z_]+"'
+pattern='"(crowd|taskpool|quarantine|reputation|worker|tuner|suggest|batch|cluster|replog|chaos|surrogate)_[a-z_]+"'
 
 # Registered families: metric-name string literals in non-test sources,
-# excluding struct/json tag lines (e.g. `json:"worker_faults"`).
+# excluding struct/json tag lines (e.g. `json:"worker_faults"`) and the
+# surrogate_models historydb collection (a store name, not a metric).
 registered=$(grep -rhE "$pattern" --include='*.go' --exclude='*_test.go' internal cmd ./*.go \
     | grep -v 'json:' \
+    | grep -v '"surrogate_models"' \
     | grep -oE "$pattern" | tr -d '"' | sort -u)
 
 # Documented families: first backticked cell of each README table row.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"gptunecrowd/internal/core"
+	"gptunecrowd/internal/surrogate"
 )
 
 // sessionOptions lowers the public TuneOptions into the core session
@@ -79,6 +80,25 @@ func ResumeTuningSession(p *Problem, task map[string]interface{}, opts TuneOptio
 }
 
 func resolveProposer(opts TuneOptions) (string, Proposer, error) {
+	if opts.Surrogate != "" {
+		if opts.Algorithm != "" {
+			return "", nil, fmt.Errorf("gptunecrowd: Algorithm %q and Surrogate %q are mutually exclusive", opts.Algorithm, opts.Surrogate)
+		}
+		if !surrogate.ValidKind(opts.Surrogate) {
+			return "", nil, fmt.Errorf("gptunecrowd: unknown surrogate %q (want one of %v)", opts.Surrogate, surrogate.Kinds())
+		}
+		prop, err := surrogate.NewProposer(opts.Surrogate, surrogate.PoolConfig{
+			Config: surrogate.Config{
+				Sources:          opts.Sources,
+				MaxSourceSamples: opts.MaxSourceSamples,
+			},
+			Metrics: opts.Metrics,
+		})
+		if err != nil {
+			return "", nil, err
+		}
+		return prop.Name(), prop, nil
+	}
 	alg := opts.Algorithm
 	if alg == "" {
 		if len(opts.Sources) > 0 {

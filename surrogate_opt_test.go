@@ -1,0 +1,89 @@
+package gptunecrowd
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTuneSurrogateOption covers the TuneOptions.Surrogate routing:
+// every kind runs, "auto" reports the pool, and setting both Algorithm
+// and Surrogate is rejected.
+func TestTuneSurrogateOption(t *testing.T) {
+	X, Y := collectDemo(t, 0.8, 40, 11)
+	sources := []*SourceTask{NewSource("t=0.8", X, Y)}
+	for _, kind := range []string{"auto", "gp", "copula", "sgp", "lcm"} {
+		res, err := Tune(demoProblem(), map[string]interface{}{"t": 1.0}, TuneOptions{
+			Budget:    6,
+			Seed:      5,
+			Surrogate: kind,
+			Sources:   sources,
+		})
+		if err != nil {
+			t.Fatalf("surrogate %q: %v", kind, err)
+		}
+		if want := "Surrogate(" + kind + ")"; res.Algorithm != want {
+			t.Fatalf("surrogate %q reported algorithm %q, want %q", kind, res.Algorithm, want)
+		}
+		if res.History.Len() != 6 {
+			t.Fatalf("surrogate %q: history %d, want 6", kind, res.History.Len())
+		}
+	}
+}
+
+func TestTuneSurrogateConflictsAndValidation(t *testing.T) {
+	task := map[string]interface{}{"t": 1.0}
+	_, err := Tune(demoProblem(), task, TuneOptions{Budget: 4, Algorithm: "NoTLA", Surrogate: "gp"})
+	if err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Fatalf("Algorithm+Surrogate: %v", err)
+	}
+	if _, err := Tune(demoProblem(), task, TuneOptions{Budget: 4, Surrogate: "bogus"}); err == nil {
+		t.Fatal("unknown surrogate accepted")
+	}
+	if _, err := Tune(demoProblem(), task, TuneOptions{Budget: 4, Surrogate: "lcm"}); err == nil {
+		t.Fatal("lcm without sources accepted")
+	}
+}
+
+// TestTuneSurrogateCheckpointResume runs the public checkpoint/resume
+// flow with a non-default surrogate active and checks bit-identity
+// against an uninterrupted run.
+func TestTuneSurrogateCheckpointResume(t *testing.T) {
+	task := map[string]interface{}{"t": 1.0}
+	opts := TuneOptions{Budget: 8, Seed: 7, Surrogate: "sgp"}
+
+	full, err := Tune(demoProblem(), task, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := NewTuningSession(demoProblem(), task, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cp, err := s.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := ResumeTuningSession(demoProblem(), task, opts, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := resumed.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.History.Len() != full.History.Len() {
+		t.Fatalf("resumed history %d, want %d", res.History.Len(), full.History.Len())
+	}
+	for i := range full.History.Samples {
+		a, b := full.History.Samples[i], res.History.Samples[i]
+		if a.Y != b.Y {
+			t.Fatalf("sample %d objective %v != %v", i, b.Y, a.Y)
+		}
+	}
+}
